@@ -1,0 +1,45 @@
+//! Ablation — best-effort filter-update delivery.
+//!
+//! §V-A2 chooses unacknowledged, droppable filter updates ("not in the
+//! critical path"); dropped updates are why the remote hit rate sits at
+//! ~75% rather than ~98% (Fig 17a). This ablation contrasts the
+//! best-effort mesh path with the zero-cost oracle delivery to bound what
+//! guaranteed delivery could buy.
+
+use barre_bench::{apps_all, banner, cfg, sweep, SEED};
+use barre_system::{geomean, speedup, FBarreConfig, SystemConfig, TranslationMode};
+
+fn main() {
+    banner(
+        "Ablation",
+        "best-effort vs oracle filter-update delivery",
+        "design choice of §V-A2 (best-effort updates)",
+    );
+    let base = SystemConfig::scaled();
+    let fb = |oracle: bool| {
+        base.clone().with_mode(TranslationMode::FBarre(FBarreConfig {
+            oracle_traffic: oracle,
+            ..FBarreConfig::default()
+        }))
+    };
+    let cfgs = vec![
+        cfg("baseline", base.clone()),
+        cfg("best-effort", fb(false)),
+        cfg("oracle", fb(true)),
+    ];
+    let apps = apps_all();
+    let results = sweep(&apps, &cfgs, SEED);
+    let (mut sp_be, mut sp_or, mut drops, mut sent) = (Vec::new(), Vec::new(), 0u64, 0u64);
+    for row in &results {
+        sp_be.push(speedup(&row[0], &row[1]));
+        sp_or.push(speedup(&row[0], &row[2]));
+        drops += row[1].filter_updates_dropped;
+        sent += row[1].filter_updates_sent;
+    }
+    println!("best-effort geomean speedup : {:.3}x", geomean(sp_be));
+    println!("oracle      geomean speedup : {:.3}x", geomean(sp_or));
+    println!(
+        "filter updates dropped      : {drops}/{sent} ({:.2}%)",
+        if sent > 0 { drops as f64 / sent as f64 * 100.0 } else { 0.0 }
+    );
+}

@@ -1,0 +1,56 @@
+//! Ablation — speculative multicast of calculated PFNs.
+//!
+//! §IV-B: "Barre can speculatively calculate and send all the other PFNs
+//! of the coalescing group to corresponding GPUs upon one translation.
+//! However, our experiments show this multicasting drops performance due
+//! to the limited outbound bandwidth of IOMMU. Thus, we configure Barre
+//! to cover the translations for the pending requests only."
+//!
+//! This ablation reproduces that design decision: Barre with multicast
+//! on/off.
+
+use barre_bench::{banner, cfg, sweep, SEED};
+use barre_system::{geomean, speedup, SystemConfig, TranslationMode};
+use barre_workloads::AppId;
+
+fn main() {
+    banner(
+        "Ablation",
+        "Barre pending-only coalescing vs speculative multicast",
+        "design choice of §IV-B (multicast rejected)",
+    );
+    // Coalescing-friendly apps where multicast has the most to push.
+    let apps = vec![AppId::Jac2d, AppId::St2d, AppId::Fdtd2d, AppId::Fwt, AppId::Gups];
+    let base = SystemConfig::scaled();
+    let barre = base.clone().with_mode(TranslationMode::Barre);
+    let mut multicast = base.clone().with_mode(TranslationMode::Barre);
+    multicast.barre_multicast = true;
+    let cfgs = vec![
+        cfg("baseline", base),
+        cfg("Barre", barre),
+        cfg("Barre+multicast", multicast),
+    ];
+    let results = sweep(&apps, &cfgs, SEED);
+    println!(
+        "{:<8} {:>12} {:>18} {:>14} {:>14}",
+        "app", "Barre", "Barre+multicast", "pcie KB", "pcie KB (mc)"
+    );
+    let (mut sp_b, mut sp_m) = (Vec::new(), Vec::new());
+    for (a, row) in apps.iter().zip(&results) {
+        let b = speedup(&row[0], &row[1]);
+        let m = speedup(&row[0], &row[2]);
+        sp_b.push(b);
+        sp_m.push(m);
+        println!(
+            "{:<8} {b:>11.3}x {m:>17.3}x {:>14} {:>14}",
+            a.name(),
+            row[1].pcie_bytes / 1024,
+            row[2].pcie_bytes / 1024
+        );
+    }
+    println!(
+        "\ngeomean: Barre {:.3}x, Barre+multicast {:.3}x (paper: multicast loses)",
+        geomean(sp_b),
+        geomean(sp_m)
+    );
+}

@@ -1,0 +1,36 @@
+//! Ablation — PEC buffer capacity.
+//!
+//! The paper fixes 5 entries ("all of our benchmark applications use up
+//! to five large data") with smallest-data eviction. This ablation sweeps
+//! 1–8 entries to show the design point: below the live-data count,
+//! coalescing opportunities drop with the buffer.
+
+use barre_bench::{banner, cfg, sweep, SEED};
+use barre_system::{geomean, speedup, SystemConfig, TranslationMode};
+use barre_workloads::AppId;
+
+fn main() {
+    banner(
+        "Ablation",
+        "PEC buffer entries vs F-Barre speedup",
+        "design choice of §IV-E (5-entry PEC buffer)",
+    );
+    // Multi-dataset apps stress the buffer.
+    let apps = vec![AppId::Fdtd2d, AppId::Jac2d, AppId::Atax, AppId::Bicg, AppId::Spmv];
+    println!("{:<10} {:>14} {:>14}", "entries", "geomean sp", "coalesced");
+    for entries in [1usize, 2, 3, 5, 8] {
+        let base = SystemConfig::scaled();
+        let mut fb = base
+            .clone()
+            .with_mode(TranslationMode::FBarre(Default::default()));
+        fb.pec_buffer_entries = entries;
+        let cfgs = vec![cfg("b", base), cfg("f", fb)];
+        let results = sweep(&apps, &cfgs, SEED);
+        let sps: Vec<f64> = results.iter().map(|r| speedup(&r[0], &r[1])).collect();
+        let coal: u64 = results
+            .iter()
+            .map(|r| r[1].coalesced_translations + r[1].intra_mcm_translations)
+            .sum();
+        println!("{entries:<10} {:>13.3}x {coal:>14}", geomean(sps));
+    }
+}

@@ -1,0 +1,26 @@
+//! Fig 1 — speedup with 8, 16, 32 and infinite PTWs.
+//!
+//! Paper shape: near-linear speedup with more PTWs for most (non-low)
+//! applications, but *infinite* PTWs saturate around 2× — queueing is
+//! removed while walk latency and PCIe remain.
+
+use barre_bench::{apps_all, banner, cfg, print_speedups, sweep, SEED};
+use barre_system::SystemConfig;
+
+fn main() {
+    banner(
+        "Fig 1",
+        "speedup over 8 PTWs with 16, 32 and infinite PTWs (baseline translation)",
+        "Fig 1 (introduction)",
+    );
+    let base = SystemConfig::scaled();
+    let cfgs = vec![
+        cfg("8 PTWs", base.clone().with_ptws(Some(8))),
+        cfg("16 PTWs", base.clone().with_ptws(Some(16))),
+        cfg("32 PTWs", base.clone().with_ptws(Some(32))),
+        cfg("inf PTWs", base.clone().with_ptws(None)),
+    ];
+    let apps = apps_all();
+    let results = sweep(&apps, &cfgs, SEED);
+    print_speedups(&apps, &cfgs, &results);
+}

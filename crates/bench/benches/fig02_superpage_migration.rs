@@ -1,0 +1,38 @@
+//! Fig 2 — 2 MiB super pages under run-time migration.
+//!
+//! Paper shape: some applications gain TLB reach, but apps with shared
+//! hot data (`fwt`, `matr`) slow down badly — a 2 MiB migration moves
+//! 512× the data and coarse placement concentrates hot pages on fewer
+//! chiplets.
+
+use barre_bench::{apps_all, banner, cfg, sweep_specs, SEED};
+use barre_mem::PageSize;
+use barre_system::{MigrationConfig, SystemConfig};
+use barre_workloads::WorkloadSpec;
+
+fn main() {
+    banner(
+        "Fig 2",
+        "2 MiB super page speedup over 4 KiB pages, migration enabled",
+        "Fig 2 (introduction)",
+    );
+    // 8x inputs so each data object spans many 2 MiB pages (the paper's
+    // full-size workloads do); tiny inputs collapse to a single super
+    // page and ping-pong pathologically.
+    let specs: Vec<WorkloadSpec> = apps_all()
+        .into_iter()
+        .map(|app| WorkloadSpec { app, scale: 8 })
+        .collect();
+    let base = SystemConfig::scaled().with_migration(Some(MigrationConfig::default()));
+    let cfgs = vec![
+        cfg("4KB+migration", base.clone()),
+        cfg(
+            "2MB+migration",
+            base.clone().with_page_size(PageSize::Size2M),
+        ),
+    ];
+    let results = sweep_specs(&specs, &cfgs, SEED);
+    // Reuse the speedup printer via the app list.
+    let apps: Vec<_> = specs.iter().map(|s| s.app).collect();
+    barre_bench::print_speedups(&apps, &cfgs, &results);
+}

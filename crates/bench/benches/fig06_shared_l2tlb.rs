@@ -1,0 +1,28 @@
+//! Fig 6 — speedup of an ideal MCM-wide shared L2 TLB over private TLBs.
+//!
+//! Paper shape: only ~6% average speedup, with fewer than half the
+//! applications improving — under an advanced page-mapping policy, exact
+//! TLB sharing has little left to share, so a different approach (Barre)
+//! is needed.
+
+use barre_bench::{apps_all, banner, cfg, print_speedups, sweep, SEED};
+use barre_system::{SystemConfig, TranslationMode};
+
+fn main() {
+    banner(
+        "Fig 6",
+        "ideal shared L2 TLB (4x entries, no added latency) vs private",
+        "Fig 6 (§III-D)",
+    );
+    let base = SystemConfig::scaled();
+    let cfgs = vec![
+        cfg("private", base.clone()),
+        cfg(
+            "shared-ideal",
+            base.clone().with_mode(TranslationMode::SharedL2Ideal),
+        ),
+    ];
+    let apps = apps_all();
+    let results = sweep(&apps, &cfgs, SEED);
+    print_speedups(&apps, &cfgs, &results);
+}

@@ -1,0 +1,39 @@
+//! Fig 15 — overall performance comparison.
+//!
+//! Speedup over the private-TLB baseline for Valkyrie, Least, Barre,
+//! F-Barre-NoMerge, F-Barre-2Merge and F-Barre-4Merge, for all 19
+//! applications plus the geometric mean.
+//!
+//! Paper shape: Barre beats Valkyrie/Least by ~10–13% on average;
+//! F-Barre-NoMerge ≈ 1.24× over Barre (1.36× over Least); merged variants
+//! scale further (2Merge ≈ 1.34×, 4Merge ≈ 1.53× over F-Barre-NoMerge).
+
+use barre_bench::{apps_all, banner, cfg, print_speedups, sweep, SEED};
+use barre_system::{FBarreConfig, SystemConfig, TranslationMode};
+
+fn main() {
+    banner(
+        "Fig 15",
+        "overall speedup vs baseline, all translation architectures",
+        "Fig 15 (evaluation §VII-A)",
+    );
+    let base = SystemConfig::scaled();
+    let fb = |max_merged: u8| {
+        TranslationMode::FBarre(FBarreConfig {
+            max_merged,
+            ..FBarreConfig::default()
+        })
+    };
+    let cfgs = vec![
+        cfg("baseline", base.clone()),
+        cfg("Valkyrie", base.clone().with_mode(TranslationMode::Valkyrie)),
+        cfg("Least", base.clone().with_mode(TranslationMode::Least)),
+        cfg("Barre", base.clone().with_mode(TranslationMode::Barre)),
+        cfg("F-Barre-NoMerge", base.clone().with_mode(fb(1))),
+        cfg("F-Barre-2Merge", base.clone().with_mode(fb(2))),
+        cfg("F-Barre-4Merge", base.clone().with_mode(fb(4))),
+    ];
+    let apps = apps_all();
+    let results = sweep(&apps, &cfgs, SEED);
+    print_speedups(&apps, &cfgs, &results);
+}

@@ -1,0 +1,67 @@
+//! Fig 17 — LCF/RCF sharer-prediction quality and filter-size sweep.
+//!
+//! (a) remote hit rate (peer probes that returned a translation) and
+//!     local hit rate (LCF true positives). Paper: ~75.3% remote /
+//!     ~98.4% local; the remote side is lower because best-effort filter
+//!     updates can be dropped.
+//! (b) speedup with 512- and 1024-row filters over 256-row filters.
+//!     Paper: +3% and +6%.
+
+use barre_bench::{apps_all, banner, cfg, sweep, SEED};
+use barre_system::{geomean, speedup, FBarreConfig, SystemConfig, TranslationMode};
+
+fn main() {
+    banner(
+        "Fig 17",
+        "(a) filter hit rates; (b) sensitivity to filter rows",
+        "Fig 17a/17b (§VII-C, §VII-H3)",
+    );
+    let apps = apps_all();
+    let fb = |rows: usize| {
+        TranslationMode::FBarre(FBarreConfig {
+            filter_rows: rows,
+            ..FBarreConfig::default()
+        })
+    };
+    // (a) hit rates at the default 256 rows.
+    println!("--- (a) hit rates, 256-row filters ---");
+    println!("{:<8} {:>12} {:>12}", "app", "remote hit", "local hit");
+    let cfgs = vec![cfg("fb", SystemConfig::scaled().with_mode(fb(256)))];
+    let results = sweep(&apps, &cfgs, SEED);
+    let (mut rem, mut loc) = (Vec::new(), Vec::new());
+    for (a, row) in apps.iter().zip(&results) {
+        let m = &row[0];
+        if m.rcf_remote_attempts > 0 {
+            rem.push(m.remote_hit_rate());
+        }
+        if m.lcf_hits > 0 {
+            loc.push(m.local_hit_rate());
+        }
+        println!(
+            "{:<8} {:>11.1}% {:>11.1}%",
+            a.name(),
+            m.remote_hit_rate() * 100.0,
+            m.local_hit_rate() * 100.0
+        );
+    }
+    let avg = |v: &[f64]| {
+        if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+    };
+    println!(
+        "average: remote {:.1}%  local {:.1}%",
+        avg(&rem) * 100.0,
+        avg(&loc) * 100.0
+    );
+    // (b) filter-size sweep.
+    println!("\n--- (b) speedup vs 256-row filters ---");
+    let cfgs = vec![
+        cfg("256", SystemConfig::scaled().with_mode(fb(256))),
+        cfg("512", SystemConfig::scaled().with_mode(fb(512))),
+        cfg("1024", SystemConfig::scaled().with_mode(fb(1024))),
+    ];
+    let results = sweep(&apps, &cfgs, SEED);
+    for (label, i) in [("512 rows", 1usize), ("1024 rows", 2)] {
+        let sps: Vec<f64> = results.iter().map(|r| speedup(&r[0], &r[i])).collect();
+        println!("{label}: geomean speedup {:.3}x", geomean(sps));
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig 18 — F-Barre speedup breakdown over Barre.
+//!
+//! Isolates the two F-Barre optimizations: coalescing-aware PTW
+//! scheduling (paper: 1.34× over Barre) and peer coalescing-information
+//! sharing (paper: 1.80× over Barre combined).
+
+use barre_bench::{apps_all, banner, cfg, print_speedups, sweep, SEED};
+use barre_system::{FBarreConfig, SystemConfig, TranslationMode};
+
+fn main() {
+    banner(
+        "Fig 18",
+        "F-Barre feature breakdown, speedup over plain Barre",
+        "Fig 18 (§VII-D)",
+    );
+    let base = SystemConfig::scaled();
+    let fb = |ptw_sched: bool, peer: bool| {
+        TranslationMode::FBarre(FBarreConfig {
+            max_merged: 1,
+            ptw_sched,
+            peer_sharing: peer,
+            ..FBarreConfig::default()
+        })
+    };
+    let cfgs = vec![
+        cfg("Barre", base.clone().with_mode(TranslationMode::Barre)),
+        cfg("+PTW-sched", base.clone().with_mode(fb(true, false))),
+        cfg("+peer-sharing", base.clone().with_mode(fb(false, true))),
+        cfg("+both", base.clone().with_mode(fb(true, true))),
+    ];
+    let apps = apps_all();
+    let results = sweep(&apps, &cfgs, SEED);
+    print_speedups(&apps, &cfgs, &results);
+}

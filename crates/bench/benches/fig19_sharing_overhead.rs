@@ -1,0 +1,47 @@
+//! Fig 19 — traffic overhead of coalescing-information sharing.
+//!
+//! Compares real F-Barre (filter updates and peer probes consuming mesh
+//! bandwidth, best-effort drops) against an oracle where sharing happens
+//! at fixed latency without occupying the bus. Paper shape: F-Barre
+//! reaches over 80% of the oracle's performance.
+
+use barre_bench::{apps_all, banner, cfg, sweep, SEED};
+use barre_system::{geomean, speedup, FBarreConfig, SystemConfig, TranslationMode};
+
+fn main() {
+    banner(
+        "Fig 19",
+        "F-Barre vs oracle (traffic-free) coalescing-information sharing",
+        "Fig 19 (§VII-E)",
+    );
+    let base = SystemConfig::scaled();
+    let fb = |oracle: bool| {
+        TranslationMode::FBarre(FBarreConfig {
+            oracle_traffic: oracle,
+            ..FBarreConfig::default()
+        })
+    };
+    let cfgs = vec![
+        cfg("baseline", base.clone()),
+        cfg("F-Barre", base.clone().with_mode(fb(false))),
+        cfg("Oracle", base.clone().with_mode(fb(true))),
+    ];
+    let apps = apps_all();
+    let results = sweep(&apps, &cfgs, SEED);
+    println!(
+        "{:<8} {:>10} {:>10} {:>14}",
+        "app", "F-Barre", "Oracle", "% of oracle"
+    );
+    let mut fracs = Vec::new();
+    for (a, row) in apps.iter().zip(&results) {
+        let sp_f = speedup(&row[0], &row[1]);
+        let sp_o = speedup(&row[0], &row[2]);
+        let frac = if sp_o > 0.0 { sp_f / sp_o * 100.0 } else { 0.0 };
+        fracs.push(frac / 100.0);
+        println!("{:<8} {sp_f:>9.3}x {sp_o:>9.3}x {frac:>13.1}%", a.name());
+    }
+    println!(
+        "\ngeomean fraction of theoretical max: {:.1}%",
+        geomean(fracs) * 100.0
+    );
+}

@@ -1,0 +1,46 @@
+//! Fig 20 — F-Barre speedup on 2–16-chiplet MCM-GPUs.
+//!
+//! Paper shape: speedup grows with scale (1.54×/1.86×/2.04×/2.31× at
+//! 2/4/8/16 chiplets) as PCIe and PTW contention intensify. Beyond 8
+//! chiplets the §VI *wide* PTE layout is used (no group expansion), so
+//! F-Barre-NoMerge runs at every point for comparability.
+
+use barre_bench::{apps_balanced, banner, cfg, sweep, SEED};
+use barre_system::{geomean, speedup, FBarreConfig, SystemConfig, TranslationMode};
+
+fn main() {
+    banner(
+        "Fig 20",
+        "F-Barre-NoMerge speedup vs baseline at 2/4/8/16 chiplets",
+        "Fig 20 (§VII-H1)",
+    );
+    let apps = apps_balanced();
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "app", "2 chips", "4 chips", "8 chips", "16 chips"
+    );
+    let mut rows = vec![String::new(); apps.len()];
+    let mut geo = Vec::new();
+    for n in [2usize, 4, 8, 16] {
+        let mut base = SystemConfig::scaled();
+        base.topology = base.topology.with_chiplets(n);
+        let fbarre = base.clone().with_mode(TranslationMode::FBarre(FBarreConfig {
+            max_merged: 1,
+            ..FBarreConfig::default()
+        }));
+        let cfgs = vec![cfg("base", base), cfg("fb", fbarre)];
+        let results = sweep(&apps, &cfgs, SEED);
+        let sps: Vec<f64> = results.iter().map(|r| speedup(&r[0], &r[1])).collect();
+        for (i, sp) in sps.iter().enumerate() {
+            rows[i].push_str(&format!(" {sp:>9.3}"));
+        }
+        geo.push(geomean(sps));
+    }
+    for (a, r) in apps.iter().zip(&rows) {
+        println!("{:<8}{r}", a.name());
+    }
+    println!(
+        "{:<8} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+        "geomean", geo[0], geo[1], geo[2], geo[3]
+    );
+}

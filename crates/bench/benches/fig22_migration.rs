@@ -1,0 +1,30 @@
+//! Fig 22 — Barre Chord with counter-based page migration (ACUD).
+//!
+//! Migrated pages leave their coalescing group (coal_bitmap exclusion)
+//! without penalty; the remaining members keep calculating. Paper shape:
+//! Barre Chord + ACUD ≈ 1.20× over ACUD alone.
+
+use barre_bench::{apps_all, banner, cfg, print_speedups, sweep, SEED};
+use barre_system::{MigrationConfig, SystemConfig, TranslationMode};
+
+fn main() {
+    banner(
+        "Fig 22",
+        "speedup of ACUD+BarreChord over ACUD (migration threshold 16)",
+        "Fig 22 (§VII-G)",
+    );
+    let base = SystemConfig::scaled().with_migration(Some(MigrationConfig::default()));
+    let cfgs = vec![
+        cfg("ACUD", base.clone()),
+        cfg(
+            "ACUD+BarreChord",
+            base.clone()
+                .with_mode(TranslationMode::FBarre(Default::default())),
+        ),
+    ];
+    let apps = apps_all();
+    let results = sweep(&apps, &cfgs, SEED);
+    print_speedups(&apps, &cfgs, &results);
+    let total_migr: u64 = results.iter().map(|r| r[1].migrations).sum();
+    println!("\ntotal migrations under ACUD+BarreChord: {total_migr}");
+}

@@ -1,0 +1,43 @@
+//! Fig 23 — F-Barre speedup with 8, 16 and 32 PTWs.
+//!
+//! Paper shape: F-Barre's speedup *shrinks* as PTWs grow (2.12× at 8,
+//! 1.86× at 16, 1.51× at 32) but stays positive — Barre Chord substitutes
+//! for PTW parallelism.
+
+use barre_bench::{apps_all, banner, cfg, sweep, SEED};
+use barre_system::{geomean, speedup, SystemConfig, TranslationMode};
+
+fn main() {
+    banner(
+        "Fig 23",
+        "F-Barre speedup over same-PTW baseline, at 8/16/32 PTWs",
+        "Fig 23 (§VII-H2)",
+    );
+    let apps = apps_all();
+    let mut per_cfg: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut rows = vec![String::new(); apps.len()];
+    for (ci, ptws) in [8usize, 16, 32].iter().enumerate() {
+        let base = SystemConfig::scaled().with_ptws(Some(*ptws));
+        let fbarre = base
+            .clone()
+            .with_mode(TranslationMode::FBarre(Default::default()));
+        let cfgs = vec![cfg("base", base), cfg("fb", fbarre)];
+        let results = sweep(&apps, &cfgs, SEED);
+        for (i, row) in results.iter().enumerate() {
+            let sp = speedup(&row[0], &row[1]);
+            per_cfg[ci].push(sp);
+            rows[i].push_str(&format!(" {sp:>9.3}"));
+        }
+    }
+    println!("{:<8} {:>10} {:>10} {:>10}", "app", "8 PTWs", "16 PTWs", "32 PTWs");
+    for (a, r) in apps.iter().zip(&rows) {
+        println!("{:<8}{r}", a.name());
+    }
+    println!(
+        "{:<8} {:>9.3} {:>9.3} {:>9.3}",
+        "geomean",
+        geomean(per_cfg[0].iter().copied()),
+        geomean(per_cfg[1].iter().copied()),
+        geomean(per_cfg[2].iter().copied())
+    );
+}

@@ -1,0 +1,56 @@
+//! Fig 24 — F-Barre under 64 KiB and 2 MiB pages.
+//!
+//! Left: original inputs (paper: +2.5% at 64 KiB, ~0% at 2 MiB — larger
+//! pages already slash ATS traffic relative to the small footprints).
+//! Right: 16× inputs for a balanced app subset (paper: +67% at 64 KiB).
+
+use barre_bench::{apps_all, apps_balanced, banner, cfg, sweep_specs, SEED};
+use barre_mem::PageSize;
+use barre_system::{geomean, speedup, SystemConfig, TranslationMode};
+use barre_workloads::WorkloadSpec;
+
+fn run_side(title: &str, specs: &[WorkloadSpec], sizes: &[PageSize]) {
+    println!("--- {title} ---");
+    print!("{:<8}", "app");
+    for ps in sizes {
+        print!("{:>12}", ps.to_string());
+    }
+    println!();
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for spec in specs {
+        print!("{:<8}", spec.app.name());
+        for (si, ps) in sizes.iter().enumerate() {
+            let base = SystemConfig::scaled().with_page_size(*ps);
+            let fb = base
+                .clone()
+                .with_mode(TranslationMode::FBarre(Default::default()));
+            let cfgs = vec![cfg("b", base), cfg("f", fb)];
+            let r = sweep_specs(&[*spec], &cfgs, SEED);
+            let sp = speedup(&r[0][0], &r[0][1]);
+            per_size[si].push(sp);
+            print!("{sp:>11.3}x");
+        }
+        println!();
+    }
+    print!("{:<8}", "geomean");
+    for col in &per_size {
+        print!("{:>11.3}x", geomean(col.iter().copied()));
+    }
+    println!();
+}
+
+fn main() {
+    banner(
+        "Fig 24",
+        "F-Barre speedup under 4KB/64KB/2MB pages; right side at 16x input",
+        "Fig 24 (§VII-H4)",
+    );
+    let sizes = [PageSize::Size4K, PageSize::Size64K, PageSize::Size2M];
+    let left: Vec<WorkloadSpec> = apps_all().iter().map(|a| a.spec()).collect();
+    run_side("original input size", &left, &sizes);
+    let right: Vec<WorkloadSpec> = apps_balanced()
+        .iter()
+        .map(|a| WorkloadSpec { app: *a, scale: 16 })
+        .collect();
+    run_side("16x input size (balanced subset)", &right, &sizes[..2]);
+}

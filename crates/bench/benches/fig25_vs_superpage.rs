@@ -1,0 +1,41 @@
+//! Fig 25 — Barre Chord (4 KiB) vs super page (2 MiB), migration enabled.
+//!
+//! Paper shape: Barre Chord ≈ 1.22× over the super page on average;
+//! linear-access apps (`fft`) can favor the super page, shared-data apps
+//! (`pr`, `fwt`) favor Barre Chord by >2×.
+
+use barre_bench::{apps_all, banner, cfg, SEED};
+use barre_mem::PageSize;
+use barre_system::{geomean, speedup, MigrationConfig, SystemConfig, TranslationMode};
+
+fn main() {
+    banner(
+        "Fig 25",
+        "Barre Chord @4KB vs super page @2MB, both with ACUD migration",
+        "Fig 25 (§VII-H5)",
+    );
+    let migr = Some(MigrationConfig::default());
+    let superpage = SystemConfig::scaled()
+        .with_page_size(PageSize::Size2M)
+        .with_migration(migr);
+    let barre = SystemConfig::scaled()
+        .with_mode(TranslationMode::FBarre(Default::default()))
+        .with_migration(migr);
+    let cfgs = vec![cfg("superpage", superpage), cfg("BarreChord", barre)];
+    // 8x inputs: see fig02's note — super pages need footprints that
+    // span many 2 MiB pages to be a meaningful contender.
+    let specs: Vec<barre_workloads::WorkloadSpec> = apps_all()
+        .into_iter()
+        .map(|app| barre_workloads::WorkloadSpec { app, scale: 8 })
+        .collect();
+    let apps: Vec<_> = specs.iter().map(|s| s.app).collect();
+    let results = barre_bench::sweep_specs(&specs, &cfgs, SEED);
+    println!("{:<8} {:>22}", "app", "BarreChord/superpage");
+    let mut sps = Vec::new();
+    for (a, row) in apps.iter().zip(&results) {
+        let sp = speedup(&row[0], &row[1]);
+        sps.push(sp);
+        println!("{:<8} {sp:>21.3}x", a.name());
+    }
+    println!("geomean: {:.3}x", geomean(sps));
+}

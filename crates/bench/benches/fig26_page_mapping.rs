@@ -1,0 +1,46 @@
+//! Fig 26 — Barre Chord under other page-mapping policies.
+//!
+//! Paper shape: speedups of 1.25×/1.48×/1.62× with round-robin,
+//! kernel-wide chunking and CODA — Barre Chord works wherever data is
+//! distributed across chiplets, with less gain under locality-oblivious
+//! mapping (remote accesses dominate).
+
+use barre_bench::{apps_all, banner, cfg, sweep, SEED};
+use barre_mapping::PolicyKind;
+use barre_system::{geomean, speedup, SystemConfig, TranslationMode};
+
+fn main() {
+    banner(
+        "Fig 26",
+        "F-Barre speedup vs same-policy baseline, per mapping policy",
+        "Fig 26 (§VII-H6)",
+    );
+    let apps = apps_all();
+    let policies = [PolicyKind::RoundRobin, PolicyKind::Chunking, PolicyKind::Coda];
+    println!(
+        "{:<8} {:>14} {:>14} {:>14}",
+        "app", "round-robin", "chunking", "CODA"
+    );
+    let mut rows = vec![String::new(); apps.len()];
+    let mut geo = Vec::new();
+    for policy in policies {
+        let base = SystemConfig::scaled().with_policy(policy);
+        let fb = base
+            .clone()
+            .with_mode(TranslationMode::FBarre(Default::default()));
+        let cfgs = vec![cfg("b", base), cfg("f", fb)];
+        let results = sweep(&apps, &cfgs, SEED);
+        let sps: Vec<f64> = results.iter().map(|r| speedup(&r[0], &r[1])).collect();
+        for (i, sp) in sps.iter().enumerate() {
+            rows[i].push_str(&format!(" {sp:>13.3}"));
+        }
+        geo.push(geomean(sps));
+    }
+    for (a, r) in apps.iter().zip(&rows) {
+        println!("{:<8}{r}", a.name());
+    }
+    println!(
+        "{:<8} {:>13.3} {:>13.3} {:>13.3}",
+        "geomean", geo[0], geo[1], geo[2]
+    );
+}

@@ -1,0 +1,29 @@
+//! Fig 27b — F-Barre combined with a 2048-entry IOMMU TLB.
+//!
+//! Paper shape: even with an IOMMU TLB (200-cycle access) absorbing
+//! walks, F-Barre adds ~1.22× (up to 2.35×) — it removes the PCIe round
+//! trip itself, not just the walk.
+
+use barre_bench::{apps_all, banner, cfg, print_speedups, sweep, SEED};
+use barre_system::{SystemConfig, TranslationMode};
+
+fn main() {
+    banner(
+        "Fig 27b",
+        "F-Barre speedup on a system with a 2048-entry IOMMU TLB",
+        "Fig 27b (§VII-J)",
+    );
+    let mut base = SystemConfig::scaled();
+    base.iommu_tlb = Some((2048, 8, 200));
+    let cfgs = vec![
+        cfg("IOMMU-TLB", base.clone()),
+        cfg(
+            "IOMMU-TLB+F-Barre",
+            base.clone()
+                .with_mode(TranslationMode::FBarre(Default::default())),
+        ),
+    ];
+    let apps = apps_all();
+    let results = sweep(&apps, &cfgs, SEED);
+    print_speedups(&apps, &cfgs, &results);
+}

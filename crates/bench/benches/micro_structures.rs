@@ -1,0 +1,117 @@
+//! Criterion microbenchmarks for the core hardware structures:
+//! cuckoo-filter operations, TLB lookups, PEC PFN calculation, and
+//! 4-level page-table walks. These measure the simulator's own data
+//! structures (host-side nanoseconds, not simulated cycles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use barre_core::driver::{BarreAllocator, MappingPlan};
+use barre_core::{CoalInfo, CoalMode, PecLogic};
+use barre_filters::{CuckooFilter, Filter};
+use barre_mem::virt_alloc::VpnRange;
+use barre_mem::{ChipletId, FrameAllocator, PageTable, Vpn};
+use barre_tlb::{Tlb, TlbKey};
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cuckoo_filter");
+    g.bench_function("insert_remove", |b| {
+        let mut f = CuckooFilter::paper_default(1);
+        let mut k = 0u64;
+        b.iter(|| {
+            f.insert(black_box(k));
+            f.remove(black_box(k));
+            k = k.wrapping_add(1);
+        });
+    });
+    g.bench_function("contains_hit", |b| {
+        let mut f = CuckooFilter::paper_default(2);
+        for k in 0..512u64 {
+            f.insert(k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            let hit = f.contains(black_box(k % 512));
+            k += 1;
+            black_box(hit)
+        });
+    });
+    g.finish();
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l2_tlb");
+    g.bench_function("lookup_hit_512e_16w", |b| {
+        let mut t: Tlb<u64> = Tlb::new(512, 16);
+        for v in 0..512u64 {
+            t.insert(TlbKey { asid: 0, vpn: Vpn(v) }, v);
+        }
+        let mut v = 0u64;
+        b.iter(|| {
+            let r = t.lookup(black_box(TlbKey { asid: 0, vpn: Vpn(v % 512) }));
+            v += 1;
+            black_box(r.copied())
+        });
+    });
+    g.finish();
+}
+
+fn fig7a() -> (PecLogic, barre_core::PecEntry, barre_mem::Pte) {
+    let mut frames: Vec<FrameAllocator> = (0..4).map(|_| FrameAllocator::new(4096)).collect();
+    let mut d = BarreAllocator::new(CoalMode::Base, 1);
+    let plan = MappingPlan::interleaved(
+        VpnRange { start: Vpn(0x1), pages: 12 },
+        3,
+        &[ChipletId(0), ChipletId(1), ChipletId(2), ChipletId(3)],
+    );
+    let out = d.allocate(&plan, &mut frames).unwrap();
+    let pte = out.ptes.iter().find(|(v, _)| *v == Vpn(0x4)).unwrap().1;
+    (PecLogic::new(CoalMode::Base), out.pec, pte)
+}
+
+fn bench_pec(c: &mut Criterion) {
+    let (logic, entry, pte) = fig7a();
+    let info = CoalInfo::decode(pte.coal_bits(), CoalMode::Base).unwrap();
+    let mut g = c.benchmark_group("pec_logic");
+    g.bench_function("calc_pfn", |b| {
+        b.iter(|| {
+            logic.calc_pfn(
+                black_box(Vpn(0x4)),
+                black_box(pte.pfn()),
+                &info,
+                &entry,
+                black_box(Vpn(0xA)),
+            )
+        });
+    });
+    g.bench_function("coalescing_candidates", |b| {
+        b.iter(|| logic.coalescing_candidates(&entry, black_box(Vpn(0x4)), 2));
+    });
+    g.finish();
+}
+
+fn bench_page_table(c: &mut Criterion) {
+    let mut pt = PageTable::new(0);
+    for v in 0..4096u64 {
+        pt.map(
+            Vpn(v * 7),
+            barre_mem::Pte::new(
+                barre_mem::GlobalPfn::compose(ChipletId((v % 4) as u8), barre_mem::LocalPfn(v)),
+                barre_mem::PteFlags::default(),
+            ),
+        );
+    }
+    let mut g = c.benchmark_group("page_table");
+    g.bench_function("walk_4_levels", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            let r = pt.walk(black_box(Vpn((v % 4096) * 7)));
+            v += 1;
+            black_box(r)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cuckoo, bench_tlb, bench_pec, bench_page_table);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table I — per-application L2 TLB MPKI and intensity class.
+//!
+//! Prints the paper's measured MPKI next to this reproduction's, under
+//! the scaled baseline configuration. Absolute values differ (different
+//! simulator scale and inputs); the low/mid/high classes and the
+//! within-class ordering are the reproduction target.
+
+use barre_bench::{apps_all, banner, SEED};
+use barre_system::{run_app, SystemConfig};
+
+fn main() {
+    banner(
+        "Table I",
+        "benchmark L2 TLB MPKI (baseline, LASP, 4 chiplets)",
+        "Table I of the paper",
+    );
+    let cfg = SystemConfig::scaled();
+    println!(
+        "{:<8} {:<20} {:>12} {:>12} {:>8} {:>8}",
+        "abbr", "app", "paper MPKI", "measured", "class", "match"
+    );
+    let mut class_matches = 0;
+    let apps = apps_all();
+    for app in &apps {
+        let m = run_app(*app, &cfg, SEED);
+        let measured = m.mpki();
+        let class_of = |mpki: f64| {
+            if mpki < 2.0 {
+                "low"
+            } else if mpki < 100.0 {
+                "mid"
+            } else {
+                "high"
+            }
+        };
+        let matched = class_of(measured) == app.category().to_string();
+        if matched {
+            class_matches += 1;
+        }
+        println!(
+            "{:<8} {:<20} {:>12.3} {:>12.2} {:>8} {:>8}",
+            app.name(),
+            app.full_name(),
+            app.paper_mpki(),
+            measured,
+            app.category(),
+            if matched { "yes" } else { "~" }
+        );
+    }
+    println!("\nclass agreement: {class_matches}/{} apps", apps.len());
+}

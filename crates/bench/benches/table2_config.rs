@@ -1,0 +1,15 @@
+//! Table II — simulation parameters.
+//!
+//! Dumps the paper-faithful configuration and the scaled configuration
+//! every bench actually runs.
+
+use barre_bench::banner;
+use barre_system::SystemConfig;
+
+fn main() {
+    banner("Table II", "simulation parameters", "Table II of the paper");
+    println!("--- paper configuration ---");
+    print!("{}", SystemConfig::paper().table2());
+    println!("\n--- scaled configuration (used by benches) ---");
+    print!("{}", SystemConfig::scaled().table2());
+}

@@ -1,0 +1,125 @@
+//! Shared experiment-harness utilities.
+//!
+//! Every paper table/figure has a bench target under `benches/` (all
+//! `harness = false`); each builds its configurations, runs the app sweep
+//! through [`sweep`], and prints the same rows/series the paper reports.
+//! `EXPERIMENTS.md` records the measured outputs next to the paper's
+//! numbers.
+
+use barre_system::{geomean, run_spec, RunMetrics, SystemConfig};
+use barre_workloads::{AppId, WorkloadSpec};
+
+/// All 19 applications, Table I order.
+pub fn apps_all() -> Vec<AppId> {
+    AppId::all().to_vec()
+}
+
+/// The balanced low/mid/high subset the paper uses for its heaviest
+/// sweeps (§VII-H4 "a balanced number of workloads from each TLB MPKI
+/// class").
+pub fn apps_balanced() -> Vec<AppId> {
+    vec![
+        AppId::Gemv,
+        AppId::Fft,
+        AppId::Pr,
+        AppId::Jac2d,
+        AppId::Lu,
+        AppId::St2d,
+        AppId::Matr,
+        AppId::Gups,
+        AppId::Spmv,
+    ]
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(figure: &str, what: &str, paper: &str) {
+    println!("================================================================");
+    println!("{figure}: {what}");
+    println!("paper reference: {paper}");
+    println!("================================================================");
+}
+
+/// Runs `apps × cfgs`, returning `results[app][cfg]`.
+pub fn sweep(apps: &[AppId], cfgs: &[(String, SystemConfig)], seed: u64) -> Vec<Vec<RunMetrics>> {
+    sweep_specs(
+        &apps.iter().map(|a| a.spec()).collect::<Vec<_>>(),
+        cfgs,
+        seed,
+    )
+}
+
+/// Runs `specs × cfgs`, returning `results[spec][cfg]`.
+pub fn sweep_specs(
+    specs: &[WorkloadSpec],
+    cfgs: &[(String, SystemConfig)],
+    seed: u64,
+) -> Vec<Vec<RunMetrics>> {
+    specs
+        .iter()
+        .map(|spec| {
+            cfgs.iter()
+                .map(|(_, cfg)| run_spec(*spec, cfg, seed))
+                .collect()
+        })
+        .collect()
+}
+
+/// Prints a speedup table: one row per app, one column per non-baseline
+/// config (speedup over column 0), plus a geometric-mean footer row.
+pub fn print_speedups(apps: &[AppId], cfgs: &[(String, SystemConfig)], results: &[Vec<RunMetrics>]) {
+    print!("{:<8}", "app");
+    for (label, _) in &cfgs[1..] {
+        print!("{label:>18}");
+    }
+    println!();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); cfgs.len() - 1];
+    for (a, row) in apps.iter().zip(results) {
+        print!("{:<8}", a.name());
+        for (i, m) in row[1..].iter().enumerate() {
+            let sp = barre_system::speedup(&row[0], m);
+            columns[i].push(sp);
+            print!("{sp:>17.3}x");
+        }
+        println!();
+    }
+    print!("{:<8}", "geomean");
+    for col in &columns {
+        print!("{:>17.3}x", geomean(col.iter().copied()));
+    }
+    println!();
+}
+
+/// Convenience: `(label, cfg)` pair.
+pub fn cfg(label: &str, cfg: SystemConfig) -> (String, SystemConfig) {
+    (label.to_string(), cfg)
+}
+
+/// Standard experiment seed (fixed for reproducibility).
+pub const SEED: u64 = 0x15CA_2024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_subset_covers_all_classes() {
+        use barre_workloads::Category;
+        let apps = apps_balanced();
+        for c in [Category::Low, Category::Mid, Category::High] {
+            assert_eq!(
+                apps.iter().filter(|a| a.category() == c).count(),
+                3,
+                "class {c} misrepresented"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let cfgs = vec![cfg("base", barre_system::smoke_config())];
+        let r = sweep(&[AppId::Gemv], &cfgs, 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].len(), 1);
+        assert!(r[0][0].total_cycles > 0);
+    }
+}

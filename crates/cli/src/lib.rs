@@ -1,0 +1,417 @@
+//! Argument parsing and command dispatch for the `barre` CLI.
+//!
+//! The binary front end for the Barre Chord model: list the workloads,
+//! run one experiment, or sweep every application under a translation
+//! mode — without writing any Rust. Kept dependency-free (hand-rolled
+//! parsing) so the workspace stays within its offline crate budget.
+//!
+//! ```text
+//! barre list
+//! barre table2 [--paper]
+//! barre run   --app gups --mode fbarre [--seed 7] [--ptws 8] [--paper]
+//! barre sweep --mode barre [--apps gups,spmv] [--policy coda]
+//! barre pair  --a gemv --b gups --mode fbarre
+//! ```
+
+use barre_mapping::PolicyKind;
+use barre_mem::PageSize;
+use barre_system::{
+    run_app, run_pair, run_spec, speedup, summary_line, FBarreConfig, MmuKind, RunMetrics,
+    SystemConfig, TranslationMode,
+};
+use barre_workloads::{AppId, AppPair};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// `barre list` — print the workload table.
+    List,
+    /// `barre table2` — print the active configuration.
+    Table2 { cfg: Box<SystemConfig> },
+    /// `barre run` — run one app under one mode, print a summary line.
+    Run {
+        app: AppId,
+        cfg: Box<SystemConfig>,
+        seed: u64,
+        baseline: bool,
+    },
+    /// `barre sweep` — run a set of apps, print speedups vs baseline.
+    Sweep {
+        apps: Vec<AppId>,
+        cfg: Box<SystemConfig>,
+        seed: u64,
+    },
+    /// `barre pair` — co-run two apps (§VII-I).
+    Pair {
+        pair: AppPair,
+        cfg: Box<SystemConfig>,
+        seed: u64,
+    },
+    /// `barre help`.
+    Help,
+}
+
+/// Errors produced while parsing arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Resolves an application by its Table I abbreviation.
+pub fn app_by_name(name: &str) -> Option<AppId> {
+    AppId::all().into_iter().find(|a| a.name() == name)
+}
+
+/// Resolves a translation mode label.
+pub fn mode_by_name(name: &str) -> Option<TranslationMode> {
+    Some(match name {
+        "baseline" => TranslationMode::Baseline,
+        "valkyrie" => TranslationMode::Valkyrie,
+        "least" => TranslationMode::Least,
+        "shared-l2" => TranslationMode::SharedL2Ideal,
+        "barre" => TranslationMode::Barre,
+        "fbarre" | "fbarre2" => TranslationMode::FBarre(FBarreConfig::default()),
+        "fbarre1" | "fbarre-nomerge" => TranslationMode::FBarre(FBarreConfig {
+            max_merged: 1,
+            ..FBarreConfig::default()
+        }),
+        "fbarre4" => TranslationMode::FBarre(FBarreConfig {
+            max_merged: 4,
+            ..FBarreConfig::default()
+        }),
+        _ => return None,
+    })
+}
+
+/// Resolves a mapping policy label.
+pub fn policy_by_name(name: &str) -> Option<PolicyKind> {
+    Some(match name {
+        "lasp" => PolicyKind::Lasp,
+        "coda" => PolicyKind::Coda,
+        "rr" | "round-robin" => PolicyKind::RoundRobin,
+        "chunking" => PolicyKind::Chunking,
+        _ => return None,
+    })
+}
+
+/// Resolves a page-size label.
+pub fn page_size_by_name(name: &str) -> Option<PageSize> {
+    Some(match name {
+        "4k" | "4kb" => PageSize::Size4K,
+        "64k" | "64kb" => PageSize::Size64K,
+        "2m" | "2mb" => PageSize::Size2M,
+        _ => return None,
+    })
+}
+
+/// Parses the full argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first unknown command, flag or
+/// value.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let mut cfg = SystemConfig::scaled();
+    let mut seed = 0x15CA_2024u64;
+    let mut app = None;
+    let mut apps: Option<Vec<AppId>> = None;
+    let mut pair_a = None;
+    let mut pair_b = None;
+    let mut baseline = false;
+
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, ParseError> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| err(format!("flag {flag} needs a value")))
+        };
+        match flag {
+            "--paper" => cfg = SystemConfig::paper().with_mode(cfg.mode),
+            "--baseline" => baseline = true,
+            "--gmmu" => cfg.mmu = MmuKind::Gmmu,
+            "--migration" => cfg.migration = Some(Default::default()),
+            "--app" => {
+                let v = value(&mut i)?;
+                app = Some(app_by_name(&v).ok_or_else(|| err(format!("unknown app {v}")))?);
+            }
+            "--a" => {
+                let v = value(&mut i)?;
+                pair_a = Some(app_by_name(&v).ok_or_else(|| err(format!("unknown app {v}")))?);
+            }
+            "--b" => {
+                let v = value(&mut i)?;
+                pair_b = Some(app_by_name(&v).ok_or_else(|| err(format!("unknown app {v}")))?);
+            }
+            "--apps" => {
+                let v = value(&mut i)?;
+                if v == "all" {
+                    apps = Some(AppId::all().to_vec());
+                } else {
+                    let mut list = Vec::new();
+                    for part in v.split(',') {
+                        list.push(
+                            app_by_name(part)
+                                .ok_or_else(|| err(format!("unknown app {part}")))?,
+                        );
+                    }
+                    apps = Some(list);
+                }
+            }
+            "--mode" => {
+                let v = value(&mut i)?;
+                cfg.mode =
+                    mode_by_name(&v).ok_or_else(|| err(format!("unknown mode {v}")))?;
+            }
+            "--policy" => {
+                let v = value(&mut i)?;
+                cfg.policy =
+                    policy_by_name(&v).ok_or_else(|| err(format!("unknown policy {v}")))?;
+            }
+            "--page-size" => {
+                let v = value(&mut i)?;
+                cfg.page_size = page_size_by_name(&v)
+                    .ok_or_else(|| err(format!("unknown page size {v}")))?;
+            }
+            "--ptws" => {
+                let v = value(&mut i)?;
+                cfg.ptws = if v == "inf" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|_| err(format!("bad PTW count {v}")))?)
+                };
+            }
+            "--chiplets" => {
+                let v = value(&mut i)?;
+                let n: usize = v.parse().map_err(|_| err(format!("bad chiplet count {v}")))?;
+                cfg.topology = cfg.topology.with_chiplets(n);
+            }
+            "--seed" => {
+                let v = value(&mut i)?;
+                seed = v.parse().map_err(|_| err(format!("bad seed {v}")))?;
+            }
+            other => return Err(err(format!("unknown flag {other}"))),
+        }
+        i += 1;
+    }
+
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "table2" => Ok(Command::Table2 { cfg: Box::new(cfg) }),
+        "run" => Ok(Command::Run {
+            app: app.ok_or_else(|| err("run needs --app <name>"))?,
+            cfg: Box::new(cfg),
+            seed,
+            baseline,
+        }),
+        "sweep" => Ok(Command::Sweep {
+            apps: apps.unwrap_or_else(|| AppId::all().to_vec()),
+            cfg: Box::new(cfg),
+            seed,
+        }),
+        "pair" => Ok(Command::Pair {
+            pair: AppPair {
+                a: pair_a.ok_or_else(|| err("pair needs --a <name>"))?,
+                b: pair_b.ok_or_else(|| err("pair needs --b <name>"))?,
+            },
+            cfg: Box::new(cfg),
+            seed,
+        }),
+        other => Err(err(format!("unknown command {other}"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+barre — Barre Chord MCM-GPU translation model
+
+USAGE:
+  barre list                              list the 19 workloads
+  barre table2 [--paper]                  print the configuration
+  barre run   --app <name> [flags]        run one app (baseline compare with --baseline)
+  barre sweep [--apps a,b,c|all] [flags]  speedups vs baseline per app
+  barre pair  --a <name> --b <name>       co-run two apps (multi-programming)
+
+FLAGS:
+  --mode <baseline|valkyrie|least|shared-l2|barre|fbarre|fbarre1|fbarre4>
+  --policy <lasp|coda|rr|chunking>     --page-size <4k|64k|2m>
+  --ptws <n|inf>                       --chiplets <n>
+  --gmmu                               --migration
+  --paper                              --seed <n>
+";
+
+/// Executes a parsed command, printing to stdout. Returns the process
+/// exit code.
+pub fn execute(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            0
+        }
+        Command::List => {
+            println!(
+                "{:<8} {:<20} {:>12} {:>6}",
+                "abbr", "name", "paper MPKI", "class"
+            );
+            for a in AppId::all() {
+                println!(
+                    "{:<8} {:<20} {:>12.3} {:>6}",
+                    a.name(),
+                    a.full_name(),
+                    a.paper_mpki(),
+                    a.category()
+                );
+            }
+            0
+        }
+        Command::Table2 { cfg } => {
+            print!("{}", cfg.table2());
+            0
+        }
+        Command::Run { app, cfg, seed, baseline } => {
+            let m = run_app(app, &cfg, seed);
+            println!("{}", summary_line(&format!("{app}/{}", cfg.mode.label()), &m));
+            if baseline {
+                let base_cfg = (*cfg.clone()).with_mode(TranslationMode::Baseline);
+                let b = run_app(app, &base_cfg, seed);
+                println!("{}", summary_line(&format!("{app}/baseline"), &b));
+                println!("speedup: {:.3}x", speedup(&b, &m));
+            }
+            0
+        }
+        Command::Sweep { apps, cfg, seed } => {
+            let base_cfg = (*cfg.clone()).with_mode(TranslationMode::Baseline);
+            println!(
+                "{:<8} {:>12} {:>12} {:>9}",
+                "app",
+                "base cy",
+                format!("{} cy", cfg.mode.label()),
+                "speedup"
+            );
+            let mut ratios = Vec::new();
+            for app in apps {
+                let b = run_spec(app.spec(), &base_cfg, seed);
+                let m = run_spec(app.spec(), &cfg, seed);
+                let sp = speedup(&b, &m);
+                ratios.push(sp);
+                println!(
+                    "{:<8} {:>12} {:>12} {:>8.3}x",
+                    app.name(),
+                    b.total_cycles,
+                    m.total_cycles,
+                    sp
+                );
+            }
+            println!(
+                "geomean: {:.3}x",
+                barre_system::geomean(ratios.iter().copied())
+            );
+            0
+        }
+        Command::Pair { pair, cfg, seed } => {
+            let m: RunMetrics = run_pair(pair, &cfg, seed);
+            println!("{}", summary_line(&pair.label(), &m));
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, ParseError> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_run() {
+        let cmd = p(&["run", "--app", "gups", "--mode", "fbarre", "--seed", "7"]).unwrap();
+        match cmd {
+            Command::Run { app, cfg, seed, .. } => {
+                assert_eq!(app, AppId::Gups);
+                assert_eq!(seed, 7);
+                assert!(matches!(cfg.mode, TranslationMode::FBarre(_)));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_sweep_subset() {
+        let cmd = p(&["sweep", "--apps", "gemv,gups", "--mode", "barre"]).unwrap();
+        match cmd {
+            Command::Sweep { apps, cfg, .. } => {
+                assert_eq!(apps, vec![AppId::Gemv, AppId::Gups]);
+                assert_eq!(cfg.mode, TranslationMode::Barre);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_pair_and_topology() {
+        let cmd = p(&["pair", "--a", "gemv", "--b", "gups", "--chiplets", "8"]).unwrap();
+        match cmd {
+            Command::Pair { pair, cfg, .. } => {
+                assert_eq!(pair.a, AppId::Gemv);
+                assert_eq!(cfg.topology.n_chiplets, 8);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknowns() {
+        assert!(p(&["run", "--app", "nosuch"]).is_err());
+        assert!(p(&["run"]).is_err());
+        assert!(p(&["frobnicate"]).is_err());
+        assert!(p(&["run", "--app", "gups", "--mode", "warp-drive"]).is_err());
+        assert!(p(&["run", "--app"]).is_err());
+    }
+
+    #[test]
+    fn flag_helpers_cover_all_labels() {
+        for m in ["baseline", "valkyrie", "least", "shared-l2", "barre", "fbarre", "fbarre1", "fbarre4"] {
+            assert!(mode_by_name(m).is_some(), "{m}");
+        }
+        for pol in ["lasp", "coda", "rr", "chunking"] {
+            assert!(policy_by_name(pol).is_some(), "{pol}");
+        }
+        for ps in ["4k", "64k", "2m"] {
+            assert!(page_size_by_name(ps).is_some(), "{ps}");
+        }
+        assert_eq!(app_by_name("gesm"), Some(AppId::Gesm));
+        assert_eq!(app_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn ptws_inf_parses() {
+        let cmd = p(&["run", "--app", "gemv", "--ptws", "inf"]).unwrap();
+        match cmd {
+            Command::Run { cfg, .. } => assert_eq!(cfg.ptws, None),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_args_is_help() {
+        assert!(matches!(p(&[]).unwrap(), Command::Help));
+    }
+}

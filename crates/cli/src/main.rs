@@ -1,0 +1,13 @@
+//! The `barre` binary: see [`barre_cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match barre_cli::parse(&args) {
+        Ok(cmd) => std::process::exit(barre_cli::execute(cmd)),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", barre_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! End-to-end tests of the CLI: parse + execute on fast commands.
+
+use barre_cli::{execute, parse, Command};
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn list_executes() {
+    let cmd = parse(&args(&["list"])).unwrap();
+    assert_eq!(execute(cmd), 0);
+}
+
+#[test]
+fn table2_executes_scaled_and_paper() {
+    assert_eq!(execute(parse(&args(&["table2"])).unwrap()), 0);
+    assert_eq!(execute(parse(&args(&["table2", "--paper"])).unwrap()), 0);
+}
+
+#[test]
+fn help_for_unknown_flags() {
+    assert!(parse(&args(&["run", "--warp-drive"])).is_err());
+}
+
+#[test]
+fn paper_flag_preserves_mode() {
+    // `--mode` before `--paper` must survive the config swap.
+    let cmd = parse(&args(&["table2", "--mode", "barre", "--paper"])).unwrap();
+    match cmd {
+        Command::Table2 { cfg } => {
+            assert_eq!(cfg.topology.total_cus(), 256);
+            assert_eq!(cfg.mode.label(), "Barre");
+        }
+        other => panic!("wrong command {other:?}"),
+    }
+}

@@ -1,0 +1,397 @@
+//! PTE coalescing-information encodings.
+//!
+//! Both layouts fit the 11 ignored bits (52–62) of an x86-64 PTE. Which
+//! layout is in force is a system-wide design choice (§V-B limits the
+//! expanded format to 4 chiplets precisely because there is no spare mode
+//! bit):
+//!
+//! * **Base** (Fig 8): `coal_bitmap[7:0]` + `inter-GPU_coal_order[2:0]` —
+//!   up to 8 chiplets, one page per chiplet per group.
+//! * **Expanded** (Fig 13): `coal_bitmap[3:0]`, `inter-GPU_coal_order[1:0]`,
+//!   `intra-GPU_coal_order[2:0]`, `#_merged_coal_groups[1:0]` — up to 4
+//!   chiplets and 4 merged groups; the intra/inter orders are the (x, y)
+//!   coordinates of the page within the merged group.
+
+use barre_mem::ChipletId;
+
+/// Which PTE layout the platform uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoalMode {
+    /// Fig 8: 8-chiplet bitmap, no merging.
+    #[default]
+    Base,
+    /// Fig 13: 4-chiplet bitmap with contiguity-aware group expansion.
+    Expanded,
+    /// The §VI *Scalability* adjustment for MCM-GPUs beyond 8 chiplets:
+    /// the bitmap field holds a binary participant count ("consecutive
+    /// GPU chiplets in a coalescing group") instead of a bit map, freeing
+    /// enough bits for a 4-bit `inter-GPU_coal_order`. Supports 16
+    /// chiplets; individual-page exclusion is unavailable.
+    Wide,
+}
+
+/// Decoded coalescing information of one PTE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoalInfo {
+    /// Base-format group membership.
+    Base {
+        /// Bit `i` set ⇔ chiplet `i` participates in the group.
+        bitmap: u8,
+        /// This page's position in the group (indexes the GPU map).
+        inter_order: u8,
+    },
+    /// Expanded-format membership in a (possibly merged) group.
+    Expanded {
+        /// Bit `i` set ⇔ chiplet `i` (0–3) participates.
+        bitmap: u8,
+        /// Chunk position in the group (0–3).
+        inter_order: u8,
+        /// Page position within the merged run on its chiplet (0–7).
+        intra_order: u8,
+        /// `#_merged_coal_groups − 1` (0–3): run length minus one.
+        merged: u8,
+    },
+    /// Wide-format (≥8-chiplet) membership: the first `count` group
+    /// positions all participate.
+    Wide {
+        /// Number of participating consecutive group positions (0–16).
+        count: u8,
+        /// Chunk position in the group (0–15).
+        inter_order: u8,
+    },
+}
+
+impl CoalInfo {
+    /// The participation bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the wide format, which stores a participant count rather
+    /// than a bitmap; use [`participates_position`](Self::participates_position).
+    pub fn bitmap(&self) -> u8 {
+        match *self {
+            CoalInfo::Base { bitmap, .. } | CoalInfo::Expanded { bitmap, .. } => bitmap,
+            CoalInfo::Wide { .. } => panic!("wide format has no bitmap"),
+        }
+    }
+
+    /// This page's `inter-GPU_coal_order`.
+    pub fn inter_order(&self) -> u8 {
+        match *self {
+            CoalInfo::Base { inter_order, .. }
+            | CoalInfo::Expanded { inter_order, .. }
+            | CoalInfo::Wide { inter_order, .. } => inter_order,
+        }
+    }
+
+    /// This page's `intra-GPU_coal_order` (0 outside the expanded format).
+    pub fn intra_order(&self) -> u8 {
+        match *self {
+            CoalInfo::Expanded { intra_order, .. } => intra_order,
+            _ => 0,
+        }
+    }
+
+    /// Number of merged base groups (1 outside the expanded format).
+    pub fn merged_groups(&self) -> u8 {
+        match *self {
+            CoalInfo::Expanded { merged, .. } => merged + 1,
+            _ => 1,
+        }
+    }
+
+    /// Number of participating chiplets.
+    pub fn participants(&self) -> u32 {
+        match *self {
+            CoalInfo::Base { bitmap, .. } | CoalInfo::Expanded { bitmap, .. } => {
+                bitmap.count_ones()
+            }
+            CoalInfo::Wide { count, .. } => count as u32,
+        }
+    }
+
+    /// Whether the group member at position `pos` (on `chiplet`)
+    /// participates. Base/expanded formats key on the chiplet id bit;
+    /// the wide format keys on the position.
+    pub fn participates_position(&self, pos: u8, chiplet: ChipletId) -> bool {
+        match *self {
+            CoalInfo::Base { bitmap, .. } | CoalInfo::Expanded { bitmap, .. } => {
+                chiplet.0 < 8 && bitmap & (1u8 << chiplet.0) != 0
+            }
+            CoalInfo::Wide { count, .. } => pos < count,
+        }
+    }
+
+    /// Whether `chiplet` participates in the group (wide format cannot
+    /// track per-chiplet exclusion and reports `true`).
+    pub fn participates(&self, chiplet: ChipletId) -> bool {
+        match *self {
+            CoalInfo::Base { bitmap, .. } | CoalInfo::Expanded { bitmap, .. } => {
+                chiplet.0 < 8 && bitmap & (1u8 << chiplet.0) != 0
+            }
+            CoalInfo::Wide { .. } => true,
+        }
+    }
+
+    /// Returns a copy with `chiplet` removed from the group — the
+    /// migration path of §VI/§VII-G: "we reset coal_bitmap to exclude the
+    /// page from coalescing". The wide format cannot exclude a single
+    /// chiplet, so the whole group is conservatively de-coalesced.
+    pub fn exclude(&self, chiplet: ChipletId) -> CoalInfo {
+        let clear = if chiplet.0 < 8 { !(1u8 << chiplet.0) } else { 0xFF };
+        match *self {
+            CoalInfo::Base { bitmap, inter_order } => CoalInfo::Base {
+                bitmap: bitmap & clear,
+                inter_order,
+            },
+            CoalInfo::Expanded {
+                bitmap,
+                inter_order,
+                intra_order,
+                merged,
+            } => CoalInfo::Expanded {
+                bitmap: bitmap & clear,
+                inter_order,
+                intra_order,
+                merged,
+            },
+            CoalInfo::Wide { inter_order, .. } => CoalInfo::Wide {
+                count: 1,
+                inter_order,
+            },
+        }
+    }
+
+    /// Whether calculation-based translation is usable (at least two
+    /// participants — the PEC logic's trigger condition in §IV-F).
+    pub fn is_coalesced(&self) -> bool {
+        self.participants() > 1
+    }
+
+    /// Packs into the 11-bit PTE field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component exceeds its field width (base:
+    /// `inter_order ≤ 7`; expanded: `bitmap ≤ 0xF`, `inter_order ≤ 3`,
+    /// `intra_order ≤ 7`, `merged ≤ 3`, and `intra_order ≤ merged`).
+    pub fn encode(&self) -> u16 {
+        match *self {
+            CoalInfo::Base { bitmap, inter_order } => {
+                assert!(inter_order < 8, "inter_order exceeds 3 bits");
+                (bitmap as u16) | ((inter_order as u16) << 8)
+            }
+            CoalInfo::Expanded {
+                bitmap,
+                inter_order,
+                intra_order,
+                merged,
+            } => {
+                assert!(bitmap < 16, "expanded bitmap exceeds 4 bits");
+                assert!(inter_order < 4, "inter_order exceeds 2 bits");
+                assert!(intra_order < 8, "intra_order exceeds 3 bits");
+                assert!(merged < 4, "merged exceeds 2 bits");
+                assert!(
+                    intra_order <= merged,
+                    "intra_order {intra_order} outside merged run of {} pages",
+                    merged + 1
+                );
+                (bitmap as u16)
+                    | ((inter_order as u16) << 4)
+                    | ((intra_order as u16) << 6)
+                    | ((merged as u16) << 9)
+            }
+            CoalInfo::Wide { count, inter_order } => {
+                assert!(count <= 16, "count exceeds 16 chiplets");
+                assert!(inter_order < 16, "inter_order exceeds 4 bits");
+                (count as u16) | ((inter_order as u16) << 5)
+            }
+        }
+    }
+
+    /// Unpacks the 11-bit PTE field under `mode`; `None` when the bits do
+    /// not denote a coalesced page (fewer than two participants —
+    /// including the all-zero field of an ordinary mapping).
+    pub fn decode(bits: u16, mode: CoalMode) -> Option<CoalInfo> {
+        let info = match mode {
+            CoalMode::Base => CoalInfo::Base {
+                bitmap: (bits & 0xFF) as u8,
+                inter_order: ((bits >> 8) & 0x7) as u8,
+            },
+            CoalMode::Expanded => {
+                let intra_order = ((bits >> 6) & 0x7) as u8;
+                let merged = ((bits >> 9) & 0x3) as u8;
+                if intra_order > merged {
+                    // Invalid state: a page cannot sit outside its own
+                    // merged run.
+                    return None;
+                }
+                CoalInfo::Expanded {
+                    bitmap: (bits & 0xF) as u8,
+                    inter_order: ((bits >> 4) & 0x3) as u8,
+                    intra_order,
+                    merged,
+                }
+            }
+            CoalMode::Wide => {
+                let count = (bits & 0x1F) as u8;
+                if count > 16 {
+                    // Not a valid wide encoding (the field is 5 bits but
+                    // only 0..=16 are defined).
+                    return None;
+                }
+                CoalInfo::Wide {
+                    count,
+                    inter_order: ((bits >> 5) & 0xF) as u8,
+                }
+            }
+        };
+        info.is_coalesced().then_some(info)
+    }
+
+    /// Bits of PTE-side coalescing metadata shipped in an ATS response
+    /// (§V-A3 quotes "the 10-bit coalescing group information"; with the
+    /// participation bitmap this implementation rounds to the full field).
+    pub const ATS_INFO_BITS: usize = 11;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example2_gray_group_encoding() {
+        // Paper Example 2: gray group involves the first three GPUs
+        // (coal_bitmap 11100000 reading GPU0 as the MSB in the figure;
+        // bit-per-GPU-id here: GPUs 0,1,2 => 0b0000_0111), and 0xB6 is
+        // the 2nd VPN (inter order 2).
+        let info = CoalInfo::Base {
+            bitmap: 0b0000_0111,
+            inter_order: 2,
+        };
+        let bits = info.encode();
+        assert_eq!(CoalInfo::decode(bits, CoalMode::Base), Some(info));
+        assert_eq!(info.participants(), 3);
+        assert!(info.participates(ChipletId(1)));
+        assert!(!info.participates(ChipletId(3)));
+    }
+
+    #[test]
+    fn zero_bits_decode_to_none() {
+        assert_eq!(CoalInfo::decode(0, CoalMode::Base), None);
+        assert_eq!(CoalInfo::decode(0, CoalMode::Expanded), None);
+    }
+
+    #[test]
+    fn single_participant_is_not_coalesced() {
+        let solo = CoalInfo::Base { bitmap: 0b0100, inter_order: 0 };
+        assert!(!solo.is_coalesced());
+        assert_eq!(CoalInfo::decode(solo.encode(), CoalMode::Base), None);
+    }
+
+    #[test]
+    fn base_roundtrip_all_fields() {
+        for bitmap in [0b11u8, 0b1010, 0xFF, 0b1100_0001] {
+            for inter in 0..8u8 {
+                let i = CoalInfo::Base { bitmap, inter_order: inter };
+                assert_eq!(CoalInfo::decode(i.encode(), CoalMode::Base), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn expanded_roundtrip_all_fields() {
+        for bitmap in [0b11u8, 0b1111, 0b1010] {
+            for inter in 0..4u8 {
+                for merged in 0..4u8 {
+                    for intra in 0..=merged {
+                        let i = CoalInfo::Expanded {
+                            bitmap,
+                            inter_order: inter,
+                            intra_order: intra,
+                            merged,
+                        };
+                        assert_eq!(
+                            CoalInfo::decode(i.encode(), CoalMode::Expanded),
+                            Some(i)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encodings_fit_eleven_bits() {
+        let base = CoalInfo::Base { bitmap: 0xFF, inter_order: 7 };
+        assert!(base.encode() < (1 << 11));
+        let exp = CoalInfo::Expanded {
+            bitmap: 0xF,
+            inter_order: 3,
+            intra_order: 3,
+            merged: 3,
+        };
+        assert!(exp.encode() < (1 << 11));
+    }
+
+    #[test]
+    fn exclude_clears_participation() {
+        let info = CoalInfo::Base { bitmap: 0b1111, inter_order: 1 };
+        let after = info.exclude(ChipletId(2));
+        assert_eq!(after.bitmap(), 0b1011);
+        assert!(after.is_coalesced());
+        // Excluding down to one sharer disables coalescing.
+        let solo = after.exclude(ChipletId(0)).exclude(ChipletId(1));
+        assert!(!solo.is_coalesced());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside merged run")]
+    fn expanded_intra_bounded_by_merged() {
+        CoalInfo::Expanded {
+            bitmap: 0b11,
+            inter_order: 0,
+            intra_order: 2,
+            merged: 1,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn wide_roundtrip_and_semantics() {
+        for count in 2..=16u8 {
+            for inter in 0..count.min(16) {
+                let i = CoalInfo::Wide { count, inter_order: inter };
+                assert_eq!(CoalInfo::decode(i.encode(), CoalMode::Wide), Some(i));
+                assert!(i.encode() < (1 << 11));
+            }
+        }
+        let i = CoalInfo::Wide { count: 16, inter_order: 15 };
+        assert_eq!(i.participants(), 16);
+        assert!(i.participates_position(15, ChipletId(15)));
+        assert!(!i.participates_position(16, ChipletId(0)));
+        // Exclusion de-coalesces the whole wide group.
+        assert!(!i.exclude(ChipletId(3)).is_coalesced());
+        // count <= 1 is not coalesced.
+        assert_eq!(
+            CoalInfo::decode(CoalInfo::Wide { count: 1, inter_order: 0 }.encode(), CoalMode::Wide),
+            None
+        );
+    }
+
+    #[test]
+    fn accessors_cover_both_variants() {
+        let b = CoalInfo::Base { bitmap: 0b11, inter_order: 1 };
+        assert_eq!(b.intra_order(), 0);
+        assert_eq!(b.merged_groups(), 1);
+        let e = CoalInfo::Expanded {
+            bitmap: 0b1111,
+            inter_order: 2,
+            intra_order: 1,
+            merged: 3,
+        };
+        assert_eq!(e.inter_order(), 2);
+        assert_eq!(e.intra_order(), 1);
+        assert_eq!(e.merged_groups(), 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! The Barre Chord mechanism — the paper's primary contribution.
+//!
+//! Barre Chord translates virtual addresses in units of *coalescing
+//! groups*: pages of one data object that the driver deliberately maps to
+//! the **same local physical frame number** on every participating GPU
+//! chiplet. Once any one page of a group is translated, every other page's
+//! physical frame is *calculable* — same local frame, different chiplet
+//! base — so its page table walk (Barre, §IV) and even its IOMMU access
+//! (F-Barre, §V) can be skipped.
+//!
+//! This crate contains the complete mechanism, independent of any
+//! simulator timing:
+//!
+//! * [`group`] — coalescing-group vocabulary: [`GpuMap`],
+//!   [`PecEntry`] (the 118-bit PEC-buffer record), group membership.
+//! * [`encoding`] — the two PTE bit-layouts that fit the 11 ignored bits:
+//!   the base format of Fig 8 (`coal_bitmap` + `inter-GPU_coal_order`) and
+//!   the expanded format of Fig 13 (adds `intra-GPU_coal_order` and
+//!   `#_merged_coal_groups`).
+//! * [`pec`] — the PEC buffer (5 entries, smallest-data eviction) and PEC
+//!   logic: coalescing-VPN enumeration, membership tests, and the PFN
+//!   calculator implementing §IV-F and the §V-B equations.
+//! * [`driver`] — the driver modification of §IV-G: search for commonly
+//!   free local PFNs across sharer chiplets (with contiguity-aware
+//!   run search for group expansion) and PTE/PEC construction, falling
+//!   back to default allocation when no common frame exists.
+//! * [`fbarre`] — per-chiplet LCF/RCF filter banks and the 43-bit
+//!   best-effort filter-update protocol for intra-MCM translation.
+//! * [`overhead`] — the hardware cost model of §VII-K.
+//!
+//! # Example: the paper's Fig 7a mapping
+//!
+//! ```
+//! use barre_core::driver::{BarreAllocator, MappingPlan};
+//! use barre_core::encoding::CoalMode;
+//! use barre_mem::{ChipletId, FrameAllocator, Vpn};
+//! use barre_mem::virt_alloc::VpnRange;
+//!
+//! // Four chiplets with 1 KiB-page memories.
+//! let mut frames: Vec<FrameAllocator> = (0..4).map(|_| FrameAllocator::new(1024)).collect();
+//! let mut driver = BarreAllocator::new(CoalMode::Base, 1);
+//!
+//! // Data 1: 12 pages, LASP interleaves 3 consecutive VPNs per chiplet.
+//! let range = VpnRange { start: Vpn(0x1), pages: 12 };
+//! let plan = MappingPlan::interleaved(range, 3, &[ChipletId(0), ChipletId(1), ChipletId(2), ChipletId(3)]);
+//! let out = driver.allocate(&plan, &mut frames).unwrap();
+//!
+//! // VPNs 0x1 and 0x4 are in the same coalescing group: same local PFN.
+//! let p1 = out.ptes.iter().find(|(v, _)| *v == Vpn(0x1)).unwrap().1;
+//! let p4 = out.ptes.iter().find(|(v, _)| *v == Vpn(0x4)).unwrap().1;
+//! assert_eq!(p1.pfn().local(), p4.pfn().local());
+//! assert_eq!(p1.pfn().chiplet(), ChipletId(0));
+//! assert_eq!(p4.pfn().chiplet(), ChipletId(1));
+//! ```
+
+pub mod driver;
+pub mod encoding;
+pub mod fbarre;
+pub mod group;
+pub mod overhead;
+pub mod pec;
+
+pub use driver::{BarreAllocator, MappingPlan};
+pub use encoding::{CoalInfo, CoalMode};
+pub use group::{GpuMap, GroupMember, PecEntry};
+pub use pec::{PecBuffer, PecLogic};

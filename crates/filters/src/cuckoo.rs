@@ -1,0 +1,333 @@
+//! Cuckoo filter (Fan et al., CoNEXT 2014).
+//!
+//! Partial-key cuckoo hashing: an item `x` has two candidate buckets,
+//!
+//! ```text
+//! i1 = hash(x)            mod m
+//! i2 = i1 ^ hash(fp(x))   mod m
+//! ```
+//!
+//! so either bucket is reachable from the other using only the stored
+//! fingerprint — the property that makes relocation (and therefore
+//! deletion) possible without the original key.
+
+use barre_sim::Rng;
+
+use crate::Filter;
+
+/// Maximum displacement chain length before an insert is declared failed,
+/// as in the original paper.
+const MAX_KICKS: usize = 500;
+
+/// A cuckoo filter with `rows` buckets of `ways` fingerprints.
+///
+/// # Example
+///
+/// ```
+/// use barre_filters::{CuckooFilter, Filter};
+///
+/// let mut f = CuckooFilter::paper_default(7);
+/// f.insert(0xA1);
+/// assert!(f.contains(0xA1));
+/// f.remove(0xA1);
+/// assert!(!f.contains(0xA1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CuckooFilter {
+    slots: Vec<u16>, // 0 = empty, else fingerprint
+    rows: usize,
+    ways: usize,
+    fp_bits: u32,
+    len: usize,
+    seed: u64,
+    kick_rng: Rng,
+    dropped: u64,
+}
+
+fn mix(x: u64, seed: u64) -> u64 {
+    // SplitMix64 finalizer over a seeded input; a high-quality 64-bit mixer.
+    let mut z = x ^ seed.rotate_left(25) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl CuckooFilter {
+    /// Creates a filter with `rows` buckets, `ways` slots per bucket and
+    /// `fp_bits`-bit fingerprints. `seed` perturbs the hash functions so
+    /// distinct filters alias differently.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rows` is a power of two, `ways > 0`, and
+    /// `1 <= fp_bits <= 16`.
+    pub fn new(rows: usize, ways: usize, fp_bits: u32, seed: u64) -> Self {
+        assert!(rows.is_power_of_two(), "rows must be a power of two");
+        assert!(ways > 0, "ways must be nonzero");
+        assert!((1..=16).contains(&fp_bits), "fp_bits must be in 1..=16");
+        Self {
+            slots: vec![0; rows * ways],
+            rows,
+            ways,
+            fp_bits,
+            len: 0,
+            seed,
+            kick_rng: Rng::new(seed ^ 0xC0FF_EE00),
+            dropped: 0,
+        }
+    }
+
+    /// The paper's Table II configuration: 256 rows, 4 ways, 9-bit
+    /// fingerprints (1024 entries).
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(256, 4, 9, seed)
+    }
+
+    /// Number of buckets.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Slots per bucket.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.rows * self.ways
+    }
+
+    /// Load factor in `[0, 1]`.
+    pub fn load(&self) -> f64 {
+        self.len as f64 / self.capacity() as f64
+    }
+
+    /// Items dropped due to insertion failure (over-full table).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The theoretical false-positive upper bound `2·ways / 2^fp_bits`
+    /// (§VII-K quotes 1.53% for the default configuration).
+    pub fn theoretical_fp_rate(&self) -> f64 {
+        (2.0 * self.ways as f64) / (1u64 << self.fp_bits) as f64
+    }
+
+    fn fingerprint(&self, key: u64) -> u16 {
+        // Fingerprints must be nonzero (0 marks an empty slot).
+        let h = mix(key, self.seed ^ 0xF1F1_F1F1);
+        let mask = (1u32 << self.fp_bits) - 1;
+        let fp = (h as u32) & mask;
+        if fp == 0 {
+            1
+        } else {
+            fp as u16
+        }
+    }
+
+    fn index1(&self, key: u64) -> usize {
+        (mix(key, self.seed) as usize) & (self.rows - 1)
+    }
+
+    fn alt_index(&self, index: usize, fp: u16) -> usize {
+        (index ^ (mix(fp as u64, self.seed ^ 0xA5A5) as usize)) & (self.rows - 1)
+    }
+
+    fn bucket(&self, row: usize) -> &[u16] {
+        &self.slots[row * self.ways..(row + 1) * self.ways]
+    }
+
+    fn bucket_mut(&mut self, row: usize) -> &mut [u16] {
+        &mut self.slots[row * self.ways..(row + 1) * self.ways]
+    }
+
+    fn try_place(&mut self, row: usize, fp: u16) -> bool {
+        let b = self.bucket_mut(row);
+        for s in b {
+            if *s == 0 {
+                *s = fp;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Filter for CuckooFilter {
+    fn insert(&mut self, key: u64) -> bool {
+        let fp = self.fingerprint(key);
+        let i1 = self.index1(key);
+        let i2 = self.alt_index(i1, fp);
+        if self.try_place(i1, fp) || self.try_place(i2, fp) {
+            self.len += 1;
+            return true;
+        }
+        // Relocate: kick a random resident fingerprint.
+        let mut row = if self.kick_rng.chance(0.5) { i1 } else { i2 };
+        let mut fp = fp;
+        for _ in 0..MAX_KICKS {
+            let victim_slot = self.kick_rng.index(self.ways);
+            let b = self.bucket_mut(row);
+            std::mem::swap(&mut b[victim_slot], &mut fp);
+            row = self.alt_index(row, fp);
+            if self.try_place(row, fp) {
+                self.len += 1;
+                return true;
+            }
+        }
+        // Insertion failed; the displaced fingerprint is dropped. A real
+        // deployment would keep a one-item stash; for sharer prediction a
+        // dropped entry only costs a missed sharing opportunity.
+        self.dropped += 1;
+        false
+    }
+
+    fn remove(&mut self, key: u64) -> bool {
+        let fp = self.fingerprint(key);
+        let i1 = self.index1(key);
+        let i2 = self.alt_index(i1, fp);
+        for row in [i1, i2] {
+            let b = self.bucket_mut(row);
+            if let Some(slot) = b.iter_mut().find(|s| **s == fp) {
+                *slot = 0;
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        let fp = self.fingerprint(key);
+        let i1 = self.index1(key);
+        let i2 = self.alt_index(i1, fp);
+        self.bucket(i1).contains(&fp) || self.bucket(i2).contains(&fp)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill(0);
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_delete() {
+        let mut f = CuckooFilter::paper_default(1);
+        for k in 0..100u64 {
+            assert!(f.insert(k));
+        }
+        for k in 0..100u64 {
+            assert!(f.contains(k), "lost key {k}");
+        }
+        for k in 0..100u64 {
+            assert!(f.remove(k));
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn no_false_negatives_until_drop() {
+        let mut f = CuckooFilter::new(64, 4, 12, 3);
+        let mut stored = Vec::new();
+        for k in 0..200u64 {
+            if f.insert(k * 7919) {
+                stored.push(k * 7919);
+            }
+        }
+        for &k in &stored {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_theory() {
+        let mut f = CuckooFilter::paper_default(5);
+        // ~50% load.
+        for k in 0..512u64 {
+            f.insert(k);
+        }
+        let mut fps = 0u32;
+        let probes = 100_000u32;
+        for k in 0..probes as u64 {
+            if f.contains(1_000_000 + k) {
+                fps += 1;
+            }
+        }
+        let rate = fps as f64 / probes as f64;
+        // Theory bound is 2*4/512 = 1.56%; at half load expect below that.
+        assert!(rate < 0.02, "fp rate {rate}");
+        assert!((f.theoretical_fp_rate() - 0.015625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alt_index_is_involution() {
+        let f = CuckooFilter::paper_default(9);
+        for k in 0..1000u64 {
+            let fp = f.fingerprint(k);
+            let i1 = f.index1(k);
+            let i2 = f.alt_index(i1, fp);
+            assert_eq!(f.alt_index(i2, fp), i1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn high_load_reports_drops() {
+        let mut f = CuckooFilter::new(16, 4, 9, 2); // 64 slots
+        let mut failed = 0;
+        for k in 0..200u64 {
+            if !f.insert(k) {
+                failed += 1;
+            }
+        }
+        assert!(failed > 0);
+        assert_eq!(f.dropped(), failed);
+        assert!(f.len() <= f.capacity());
+    }
+
+    #[test]
+    fn duplicate_inserts_are_counted() {
+        let mut f = CuckooFilter::paper_default(4);
+        assert!(f.insert(42));
+        assert!(f.insert(42));
+        assert_eq!(f.len(), 2);
+        assert!(f.remove(42));
+        assert!(f.contains(42)); // one copy left
+        assert!(f.remove(42));
+        assert!(!f.contains(42));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut f = CuckooFilter::paper_default(6);
+        for k in 0..50 {
+            f.insert(k);
+        }
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.contains(7));
+    }
+
+    #[test]
+    fn remove_absent_is_false() {
+        let mut f = CuckooFilter::paper_default(8);
+        assert!(!f.remove(123));
+    }
+
+    #[test]
+    fn load_factor_tracks() {
+        let mut f = CuckooFilter::new(16, 4, 9, 11);
+        for k in 0..32u64 {
+            f.insert(k);
+        }
+        assert!((f.load() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Physically-indexed, physically-tagged data caches.
+//!
+//! Tag-array-only models: the simulator needs hit/miss decisions and
+//! occupancy, never the data. Used for the per-CU L1 vector cache (16 KiB,
+//! 4-way) and the per-chiplet L2 (2 MiB, 16-way) of Table II.
+
+use barre_mem::PhysAddr;
+use barre_sim::RatioStat;
+
+/// A set-associative tag cache over physical byte addresses.
+///
+/// # Example
+///
+/// ```
+/// use barre_gpu::TagCache;
+/// use barre_mem::PhysAddr;
+///
+/// let mut c = TagCache::new(16 * 1024, 4, 64);
+/// assert!(!c.access(PhysAddr(0x1000)));
+/// assert!(c.access(PhysAddr(0x1004))); // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct TagCache {
+    sets: Vec<Vec<(u64, u64)>>, // (line_tag, last_use)
+    ways: usize,
+    line_shift: u32,
+    clock: u64,
+    stats: RatioStat,
+}
+
+impl TagCache {
+    /// Creates a cache of `bytes` capacity, `ways` associativity and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the geometry divides evenly into a power-of-two set
+    /// count.
+    pub fn new(bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = bytes / line_bytes;
+        assert!(
+            (lines as usize).is_multiple_of(ways),
+            "capacity must divide into ways"
+        );
+        let nsets = lines as usize / ways;
+        assert!(nsets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            sets: (0..nsets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            line_shift: line_bytes.trailing_zeros(),
+            clock: 0,
+            stats: RatioStat::new(),
+        }
+    }
+
+    fn line_of(&self, addr: PhysAddr) -> u64 {
+        addr.0 >> self.line_shift
+    }
+
+    /// Accesses `addr`: returns `true` on hit; on miss the line is filled
+    /// (allocate-on-miss, LRU victim).
+    pub fn access(&mut self, addr: PhysAddr) -> bool {
+        self.clock += 1;
+        let line = self.line_of(addr);
+        let nsets = self.sets.len();
+        let set = &mut self.sets[(line as usize) & (nsets - 1)];
+        if let Some(e) = set.iter_mut().find(|(t, _)| *t == line) {
+            e.1 = self.clock;
+            self.stats.record(true);
+            return true;
+        }
+        self.stats.record(false);
+        if set.len() == self.ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, u))| *u)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            set.swap_remove(lru);
+        }
+        set.push((line, self.clock));
+        false
+    }
+
+    /// Drops every line whose address falls in `[start, end)` — page
+    /// migration invalidates the page's cached lines.
+    pub fn invalidate_range(&mut self, start: PhysAddr, end: PhysAddr) {
+        let lo = start.0 >> self.line_shift;
+        let hi = end.0 >> self.line_shift;
+        for set in &mut self.sets {
+            set.retain(|(t, _)| !(lo..hi).contains(t));
+        }
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> RatioStat {
+        self.stats
+    }
+
+    /// Resident line count.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = TagCache::new(1024, 2, 64);
+        assert!(!c.access(PhysAddr(0)));
+        assert!(c.access(PhysAddr(63)));
+        assert!(!c.access(PhysAddr(64)));
+        assert_eq!(c.stats().hits(), 1);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        // 2 sets × 2 ways, 64 B lines: lines 0,2,4 share set 0.
+        let mut c = TagCache::new(256, 2, 64);
+        c.access(PhysAddr(0)); // line 0
+        c.access(PhysAddr(128)); // line 2
+        c.access(PhysAddr(0)); // refresh line 0
+        c.access(PhysAddr(256)); // line 4 evicts line 2
+        assert!(c.access(PhysAddr(0)));
+        assert!(!c.access(PhysAddr(128)));
+    }
+
+    #[test]
+    fn invalidate_range_drops_page_lines() {
+        let mut c = TagCache::new(4096, 4, 64);
+        c.access(PhysAddr(0x1000));
+        c.access(PhysAddr(0x1040));
+        c.access(PhysAddr(0x3000));
+        c.invalidate_range(PhysAddr(0x1000), PhysAddr(0x2000));
+        assert!(!c.access(PhysAddr(0x1000)));
+        assert!(c.access(PhysAddr(0x3000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        TagCache::new(1024, 2, 48);
+    }
+}

@@ -1,0 +1,150 @@
+//! Cooperative thread arrays and their scheduler.
+//!
+//! The mapping policy assigns every CTA a *home chiplet* (co-located with
+//! its data under LASP/CODA/chunking); within a chiplet, CTAs are handed
+//! to CUs in order as slots free up, matching the paper's §II-B ("within
+//! each GPU chiplet, the assigned CTAs are mapped across CUs as the
+//! execution progresses").
+
+use std::collections::VecDeque;
+
+use barre_mem::ChipletId;
+
+use crate::pattern::AccessPattern;
+
+/// CTA identifier (kernel-wide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CtaId(pub u32);
+
+/// One schedulable CTA: a home chiplet plus its access stream.
+pub struct Cta {
+    /// Kernel-wide id.
+    pub id: CtaId,
+    /// Address space it runs in.
+    pub asid: u16,
+    /// Home chiplet chosen by the mapping policy.
+    pub home: ChipletId,
+    /// The access stream it will execute.
+    pub pattern: Box<dyn AccessPattern>,
+}
+
+impl std::fmt::Debug for Cta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cta")
+            .field("id", &self.id)
+            .field("asid", &self.asid)
+            .field("home", &self.home)
+            .finish()
+    }
+}
+
+/// Per-chiplet CTA dispenser.
+///
+/// # Example
+///
+/// ```
+/// use barre_gpu::{Cta, CtaId, CtaScheduler};
+/// use barre_gpu::pattern::LinearSweep;
+/// use barre_mem::{ChipletId, VirtAddr};
+///
+/// let ctas = vec![Cta {
+///     id: CtaId(0),
+///     asid: 0,
+///     home: ChipletId(1),
+///     pattern: Box::new(LinearSweep::new(VirtAddr(0), VirtAddr(64))),
+/// }];
+/// let mut sched = CtaScheduler::new(4, ctas);
+/// assert!(sched.next_for(ChipletId(0)).is_none());
+/// assert!(sched.next_for(ChipletId(1)).is_some());
+/// assert!(sched.is_drained());
+/// ```
+#[derive(Debug)]
+pub struct CtaScheduler {
+    queues: Vec<VecDeque<Cta>>,
+    total: usize,
+    dispensed: usize,
+}
+
+impl CtaScheduler {
+    /// Creates a scheduler distributing `ctas` to their home queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any CTA's home chiplet is outside `n_chiplets`.
+    pub fn new(n_chiplets: usize, ctas: Vec<Cta>) -> Self {
+        let mut queues: Vec<VecDeque<Cta>> = (0..n_chiplets).map(|_| VecDeque::new()).collect();
+        let total = ctas.len();
+        for cta in ctas {
+            assert!(
+                cta.home.index() < n_chiplets,
+                "CTA {:?} homed outside the MCM",
+                cta.id
+            );
+            queues[cta.home.index()].push_back(cta);
+        }
+        Self {
+            queues,
+            total,
+            dispensed: 0,
+        }
+    }
+
+    /// Hands the next CTA homed on `chiplet` to a free CU, if any remain.
+    pub fn next_for(&mut self, chiplet: ChipletId) -> Option<Cta> {
+        let cta = self.queues[chiplet.index()].pop_front();
+        if cta.is_some() {
+            self.dispensed += 1;
+        }
+        cta
+    }
+
+    /// CTAs not yet dispensed for `chiplet`.
+    pub fn pending(&self, chiplet: ChipletId) -> usize {
+        self.queues[chiplet.index()].len()
+    }
+
+    /// Whether every CTA has been handed out.
+    pub fn is_drained(&self) -> bool {
+        self.dispensed == self.total
+    }
+
+    /// Total CTA count.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::LinearSweep;
+    use barre_mem::VirtAddr;
+
+    fn cta(id: u32, home: u8) -> Cta {
+        Cta {
+            id: CtaId(id),
+            asid: 0,
+            home: ChipletId(home),
+            pattern: Box::new(LinearSweep::new(VirtAddr(0), VirtAddr(64))),
+        }
+    }
+
+    #[test]
+    fn queues_are_per_chiplet_fifo() {
+        let mut s = CtaScheduler::new(2, vec![cta(0, 0), cta(1, 1), cta(2, 0)]);
+        assert_eq!(s.pending(ChipletId(0)), 2);
+        assert_eq!(s.next_for(ChipletId(0)).unwrap().id, CtaId(0));
+        assert_eq!(s.next_for(ChipletId(0)).unwrap().id, CtaId(2));
+        assert!(s.next_for(ChipletId(0)).is_none());
+        assert!(!s.is_drained());
+        s.next_for(ChipletId(1));
+        assert!(s.is_drained());
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "homed outside")]
+    fn out_of_range_home_panics() {
+        CtaScheduler::new(2, vec![cta(0, 5)]);
+    }
+}

@@ -1,0 +1,27 @@
+//! The MCM-GPU substrate: everything on the GPU side of the PCIe link.
+//!
+//! * [`topology`] — chiplet / shader-array / CU structure (Table II:
+//!   4 chiplets × 4 SAs × 16 CUs).
+//! * [`pattern`] — the access-stream abstraction CTAs execute; workload
+//!   kernels implement it in `barre-workloads`.
+//! * [`cta`] — cooperative thread arrays and the policy-driven CTA
+//!   scheduler that co-locates CTAs with their data.
+//! * [`cache`] — physically-indexed, physically-tagged tag-array caches
+//!   (per-CU L1, per-chiplet L2).
+//! * [`interconnect`] — the inter-chiplet mesh (768 GB/s, 32-cycle hops).
+//! * [`gmmu`] — per-chiplet GPU MMUs walking a distributed page table,
+//!   the MGvm substrate of §VII-F.
+
+pub mod cache;
+pub mod cta;
+pub mod gmmu;
+pub mod interconnect;
+pub mod pattern;
+pub mod topology;
+
+pub use cache::TagCache;
+pub use cta::{Cta, CtaId, CtaScheduler};
+pub use gmmu::{GmmuConfig, GmmuUnit};
+pub use interconnect::Mesh;
+pub use pattern::AccessPattern;
+pub use topology::{CuId, Topology};

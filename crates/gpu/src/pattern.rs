@@ -1,0 +1,145 @@
+//! The access-stream abstraction.
+//!
+//! A CTA's execution, for translation purposes, is its sequence of
+//! *warp-level memory instructions*. Each instruction carries up to 32
+//! lane addresses: a coalesced stream touches one or two pages per
+//! instruction, while an uncoalesced gather (SpMV columns, GUPS updates)
+//! touches up to 32 distinct pages — which is how Table I reaches
+//! thousands of L2 TLB misses *per kilo warp instruction*.
+//!
+//! Workload kernels implement [`AccessPattern`]; the system model pulls
+//! one warp instruction at a time as warp slots free up.
+
+use barre_mem::VirtAddr;
+
+/// Lanes per warp (GCN3 wavefront size is 64; the translation behaviour
+/// the paper models uses 32-lane warp instructions, which we follow).
+pub const WARP_LANES: usize = 32;
+
+/// One warp-level memory instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpAccess {
+    /// Lane byte addresses (1..=32; coalesced patterns may carry fewer
+    /// representative addresses when all lanes share a page run).
+    pub addrs: Vec<VirtAddr>,
+    /// Whether the instruction writes.
+    pub write: bool,
+}
+
+impl WarpAccess {
+    /// A fully-coalesced read: `lanes` consecutive `elem_bytes` elements
+    /// from `base`.
+    pub fn coalesced(base: VirtAddr, lanes: usize, elem_bytes: u64) -> Self {
+        // A coalesced warp touches a contiguous block; representative
+        // addresses at the block's first and last byte cover every page
+        // the hardware would translate.
+        let last = base.0 + (lanes.max(1) as u64 * elem_bytes).saturating_sub(1);
+        let mut addrs = vec![base];
+        if last != base.0 {
+            addrs.push(VirtAddr(last));
+        }
+        Self { addrs, write: false }
+    }
+
+    /// Marks the instruction as a store.
+    pub fn as_write(mut self) -> Self {
+        self.write = true;
+        self
+    }
+}
+
+/// A finite stream of warp-level memory instructions.
+///
+/// Implementations must be deterministic: the same constructed pattern
+/// yields the same stream.
+pub trait AccessPattern {
+    /// The next warp instruction, or `None` when the CTA has finished.
+    fn next_warp(&mut self) -> Option<WarpAccess>;
+
+    /// Warp-level instructions executed per memory instruction (including
+    /// the access itself) — the MPKI denominator. Default 10.
+    fn insns_per_access(&self) -> u64 {
+        10
+    }
+}
+
+/// A simple coalesced linear sweep over a byte range — used by tests and
+/// the quickstart example.
+#[derive(Debug, Clone)]
+pub struct LinearSweep {
+    next: u64,
+    end: u64,
+    warp_bytes: u64,
+    insns: u64,
+}
+
+impl LinearSweep {
+    /// Sweeps `[start, end)`, one 32-lane × 8-byte (256 B) coalesced warp
+    /// access at a time.
+    pub fn new(start: VirtAddr, end: VirtAddr) -> Self {
+        Self {
+            next: start.0,
+            end: end.0,
+            warp_bytes: (WARP_LANES * 8) as u64,
+            insns: 10,
+        }
+    }
+
+    /// Overrides the instructions-per-access ratio.
+    pub fn with_insns_per_access(mut self, insns: u64) -> Self {
+        self.insns = insns.max(1);
+        self
+    }
+}
+
+impl AccessPattern for LinearSweep {
+    fn next_warp(&mut self) -> Option<WarpAccess> {
+        if self.next >= self.end {
+            return None;
+        }
+        let bytes = self.warp_bytes.min(self.end - self.next);
+        let a = WarpAccess::coalesced(VirtAddr(self.next), WARP_LANES, bytes / WARP_LANES as u64);
+        self.next += self.warp_bytes;
+        Some(a)
+    }
+
+    fn insns_per_access(&self) -> u64 {
+        self.insns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_access_spans_block() {
+        let a = WarpAccess::coalesced(VirtAddr(0x1000), 32, 8);
+        assert_eq!(a.addrs[0], VirtAddr(0x1000));
+        assert_eq!(a.addrs[1], VirtAddr(0x10FF));
+        assert!(!a.write);
+        assert!(WarpAccess::coalesced(VirtAddr(0), 32, 8).as_write().write);
+    }
+
+    #[test]
+    fn linear_sweep_covers_range() {
+        let mut p = LinearSweep::new(VirtAddr(0), VirtAddr(512));
+        let firsts: Vec<u64> = std::iter::from_fn(|| p.next_warp())
+            .map(|a| a.addrs[0].0)
+            .collect();
+        assert_eq!(firsts, vec![0, 256]);
+    }
+
+    #[test]
+    fn insns_override() {
+        let p = LinearSweep::new(VirtAddr(0), VirtAddr(64)).with_insns_per_access(3);
+        assert_eq!(p.insns_per_access(), 3);
+    }
+
+    #[test]
+    fn single_lane_access() {
+        let a = WarpAccess::coalesced(VirtAddr(8), 1, 8);
+        assert_eq!(a.addrs.len(), 2);
+        assert_eq!(a.addrs[1], VirtAddr(15));
+    }
+}

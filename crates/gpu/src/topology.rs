@@ -1,0 +1,118 @@
+//! MCM-GPU topology.
+
+use barre_mem::ChipletId;
+
+/// Identifier of one compute unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CuId {
+    /// Owning chiplet.
+    pub chiplet: ChipletId,
+    /// Shader array within the chiplet.
+    pub sa: u8,
+    /// CU within the shader array.
+    pub cu: u8,
+}
+
+/// The MCM package structure.
+///
+/// # Example
+///
+/// ```
+/// use barre_gpu::Topology;
+/// let t = Topology::paper_default();
+/// assert_eq!(t.total_cus(), 256);
+/// assert_eq!(t.cus_per_chiplet(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// GPU chiplets in the package.
+    pub n_chiplets: usize,
+    /// Shader arrays per chiplet.
+    pub sas_per_chiplet: usize,
+    /// CUs per shader array.
+    pub cus_per_sa: usize,
+}
+
+impl Topology {
+    /// Table II: 4 chiplets × 4 SAs × 16 CUs = 256 CUs.
+    pub fn paper_default() -> Self {
+        Self {
+            n_chiplets: 4,
+            sas_per_chiplet: 4,
+            cus_per_sa: 16,
+        }
+    }
+
+    /// A scaled-down topology for fast experiment sweeps
+    /// (4 chiplets × 2 SAs × 4 CUs = 32 CUs).
+    pub fn scaled() -> Self {
+        Self {
+            n_chiplets: 4,
+            sas_per_chiplet: 2,
+            cus_per_sa: 4,
+        }
+    }
+
+    /// Same shape with a different chiplet count (Fig 20 sweeps 2–16).
+    pub fn with_chiplets(mut self, n: usize) -> Self {
+        self.n_chiplets = n;
+        self
+    }
+
+    /// CUs per chiplet.
+    pub fn cus_per_chiplet(&self) -> usize {
+        self.sas_per_chiplet * self.cus_per_sa
+    }
+
+    /// Total CUs in the package.
+    pub fn total_cus(&self) -> usize {
+        self.n_chiplets * self.cus_per_chiplet()
+    }
+
+    /// All chiplet ids.
+    pub fn chiplets(&self) -> impl Iterator<Item = ChipletId> {
+        (0..self.n_chiplets).map(|i| ChipletId(i as u8))
+    }
+
+    /// All CU ids of one chiplet, SA-major.
+    pub fn cus_of(&self, chiplet: ChipletId) -> impl Iterator<Item = CuId> + '_ {
+        let sas = self.sas_per_chiplet as u8;
+        let cus = self.cus_per_sa as u8;
+        (0..sas).flat_map(move |sa| (0..cus).map(move |cu| CuId { chiplet, sa, cu }))
+    }
+
+    /// Flat index of a CU within its chiplet.
+    pub fn cu_index(&self, cu: CuId) -> usize {
+        cu.sa as usize * self.cus_per_sa + cu.cu as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions() {
+        let t = Topology::paper_default();
+        assert_eq!(t.total_cus(), 256);
+        assert_eq!(t.chiplets().count(), 4);
+        assert_eq!(t.cus_of(ChipletId(0)).count(), 64);
+    }
+
+    #[test]
+    fn cu_index_is_dense_and_unique() {
+        let t = Topology::scaled();
+        let mut seen = std::collections::BTreeSet::new();
+        for cu in t.cus_of(ChipletId(1)) {
+            assert!(seen.insert(t.cu_index(cu)));
+        }
+        assert_eq!(seen.len(), t.cus_per_chiplet());
+        assert_eq!(*seen.iter().max().unwrap(), t.cus_per_chiplet() - 1);
+    }
+
+    #[test]
+    fn with_chiplets_rescales() {
+        let t = Topology::paper_default().with_chiplets(8);
+        assert_eq!(t.total_cus(), 512);
+    }
+}

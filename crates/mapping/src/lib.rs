@@ -1,0 +1,18 @@
+//! Page mapping policies and page migration for MCM-GPUs.
+//!
+//! The paper's baseline uses **LASP** (locality-aware data and thread-block
+//! management, Khairy et al. MICRO'20) and evaluates Barre Chord on top of
+//! three alternatives (§VII-H6): **CODA**, plain **round-robin**, and
+//! **kernel-wide chunking** (NUMA-aware GPUs, Milic et al. MICRO'17).
+//! A policy decides, for every data object, the `interlv_gran` and the
+//! chiplet cycle — i.e. it emits the [`barre_core::MappingPlan`] the Barre
+//! driver then realizes — and co-locates CTAs with their data.
+//!
+//! [`migration`] implements the counter-based ACUD page-migration scheme
+//! used in §VII-G (threshold 16).
+
+pub mod migration;
+pub mod policy;
+
+pub use migration::{Acud, MigrationDecision};
+pub use policy::{CtaAssignment, DataHint, PolicyKind};

@@ -1,0 +1,233 @@
+//! Page-mapping and CTA-scheduling policies.
+
+use barre_core::MappingPlan;
+use barre_mem::virt_alloc::VpnRange;
+use barre_mem::ChipletId;
+
+/// The policies evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicyKind {
+    /// Locality-aware data/CTA co-location (Khairy et al. MICRO'20):
+    /// compiler-derived locality extent decides the interleave
+    /// granularity per data; CTAs are block-assigned to follow it.
+    #[default]
+    Lasp,
+    /// CODA (Kim et al. TACO'18): linear data as LASP; sparse or
+    /// irregularly-accessed data round-robined page by page.
+    Coda,
+    /// Page-granularity round-robin across chiplets (as used by Idyll's
+    /// baseline).
+    RoundRobin,
+    /// Kernel-wide chunking (Milic et al. MICRO'17): one contiguous chunk
+    /// per chiplet for every data, no compiler support.
+    Chunking,
+}
+
+impl PolicyKind {
+    /// All policies, for sweep experiments.
+    pub fn all() -> [PolicyKind; 4] {
+        [
+            PolicyKind::Lasp,
+            PolicyKind::Coda,
+            PolicyKind::RoundRobin,
+            PolicyKind::Chunking,
+        ]
+    }
+
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Lasp => "LASP",
+            PolicyKind::Coda => "CODA",
+            PolicyKind::RoundRobin => "round-robin",
+            PolicyKind::Chunking => "chunking",
+        }
+    }
+
+    /// Builds the mapping plan for one data object.
+    ///
+    /// `hint` carries what a compiler pass (LASP/CODA) would know about
+    /// the access pattern; policies without compiler support ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_chiplets` is zero.
+    pub fn plan(
+        &self,
+        asid: u16,
+        range: VpnRange,
+        hint: DataHint,
+        n_chiplets: usize,
+    ) -> MappingPlan {
+        assert!(n_chiplets > 0, "need at least one chiplet");
+        let n = n_chiplets as u64;
+        let per_chiplet = range.pages.div_ceil(n).max(1);
+        let gran = match self {
+            PolicyKind::Lasp => hint
+                .locality_gran
+                .unwrap_or(per_chiplet)
+                .clamp(1, per_chiplet),
+            PolicyKind::Coda => {
+                if hint.irregular {
+                    1
+                } else {
+                    hint.locality_gran
+                        .unwrap_or(per_chiplet)
+                        .clamp(1, per_chiplet)
+                }
+            }
+            PolicyKind::RoundRobin => 1,
+            PolicyKind::Chunking => per_chiplet,
+        };
+        let cycle: Vec<ChipletId> = (0..n_chiplets).map(|i| ChipletId(i as u8)).collect();
+        MappingPlan::interleaved(range, gran, &cycle).with_asid(asid)
+    }
+
+    /// Which chiplet executes CTA `cta` of `n_ctas`.
+    pub fn cta_home(&self, cta: u64, n_ctas: u64, n_chiplets: usize) -> CtaAssignment {
+        let n = n_chiplets as u64;
+        let chiplet = match self {
+            // Locality policies block-assign CTAs so CTA i's data region
+            // is local.
+            PolicyKind::Lasp | PolicyKind::Coda | PolicyKind::Chunking => {
+                ((cta * n) / n_ctas.max(1)).min(n - 1)
+            }
+            PolicyKind::RoundRobin => cta % n,
+        };
+        CtaAssignment {
+            chiplet: ChipletId(chiplet as u8),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Compiler-derived knowledge about one data object's access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DataHint {
+    /// Number of consecutive pages one CTA block touches (the locality
+    /// extent LASP derives from row/column access analysis). `None` when
+    /// unknown.
+    pub locality_gran: Option<u64>,
+    /// Whether accesses are sparse/irregular (CODA round-robins these).
+    pub irregular: bool,
+}
+
+impl DataHint {
+    /// A linearly streamed data object with the given locality extent.
+    pub fn linear(gran: u64) -> Self {
+        Self {
+            locality_gran: Some(gran),
+            irregular: false,
+        }
+    }
+
+    /// A sparse/irregularly accessed data object.
+    pub fn irregular() -> Self {
+        Self {
+            locality_gran: None,
+            irregular: true,
+        }
+    }
+}
+
+/// Where a CTA is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtaAssignment {
+    /// Home chiplet of the CTA.
+    pub chiplet: ChipletId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use barre_mem::Vpn;
+
+    fn range(pages: u64) -> VpnRange {
+        VpnRange { start: Vpn(0x100), pages }
+    }
+
+    #[test]
+    fn lasp_uses_compiler_hint() {
+        let p = PolicyKind::Lasp.plan(0, range(64), DataHint::linear(4), 4);
+        assert_eq!(p.gran, 4);
+        // Hint clamped to the per-chiplet share.
+        let p = PolicyKind::Lasp.plan(0, range(8), DataHint::linear(100), 4);
+        assert_eq!(p.gran, 2);
+        // No hint: one chunk per chiplet.
+        let p = PolicyKind::Lasp.plan(0, range(64), DataHint::default(), 4);
+        assert_eq!(p.gran, 16);
+    }
+
+    #[test]
+    fn coda_round_robins_irregular_data() {
+        let p = PolicyKind::Coda.plan(0, range(64), DataHint::irregular(), 4);
+        assert_eq!(p.gran, 1);
+        let p = PolicyKind::Coda.plan(0, range(64), DataHint::linear(8), 4);
+        assert_eq!(p.gran, 8);
+    }
+
+    #[test]
+    fn chunking_ignores_hints() {
+        let p = PolicyKind::Chunking.plan(0, range(64), DataHint::linear(2), 4);
+        assert_eq!(p.gran, 16);
+        assert_eq!(p.chunks(), 4);
+    }
+
+    #[test]
+    fn round_robin_is_page_granular() {
+        let p = PolicyKind::RoundRobin.plan(0, range(10), DataHint::linear(4), 4);
+        assert_eq!(p.gran, 1);
+        // Pages cycle over chiplets.
+        assert_eq!(p.chiplet_of(Vpn(0x100)), Some(ChipletId(0)));
+        assert_eq!(p.chiplet_of(Vpn(0x101)), Some(ChipletId(1)));
+        assert_eq!(p.chiplet_of(Vpn(0x104)), Some(ChipletId(0)));
+    }
+
+    #[test]
+    fn cta_block_assignment_follows_data() {
+        // 16 CTAs over 4 chiplets: CTAs 0-3 on GPU0, ..., 12-15 on GPU3.
+        for cta in 0..16u64 {
+            let a = PolicyKind::Lasp.cta_home(cta, 16, 4);
+            assert_eq!(a.chiplet, ChipletId((cta / 4) as u8));
+        }
+        // Round-robin interleaves.
+        assert_eq!(
+            PolicyKind::RoundRobin.cta_home(5, 16, 4).chiplet,
+            ChipletId(1)
+        );
+    }
+
+    #[test]
+    fn cta_assignment_handles_remainders() {
+        // 10 CTAs, 4 chiplets: assignment stays within range.
+        for cta in 0..10u64 {
+            let a = PolicyKind::Chunking.cta_home(cta, 10, 4);
+            assert!(a.chiplet.0 < 4);
+        }
+        // Last CTA lands on the last chiplet.
+        assert_eq!(PolicyKind::Chunking.cta_home(9, 10, 4).chiplet, ChipletId(3));
+    }
+
+    #[test]
+    fn plans_cover_all_pages() {
+        for kind in PolicyKind::all() {
+            let p = kind.plan(3, range(37), DataHint::linear(5), 4);
+            assert_eq!(p.asid, 3);
+            for v in p.range.iter() {
+                assert!(p.chiplet_of(v).is_some(), "{kind}: unplanned vpn {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_data_single_page() {
+        let p = PolicyKind::Lasp.plan(0, range(1), DataHint::default(), 4);
+        assert_eq!(p.gran, 1);
+        assert_eq!(p.chunks(), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Typed addresses.
+//!
+//! Newtypes keep virtual page numbers, local physical frame numbers and
+//! global physical frame numbers statically distinct — confusing a local and
+//! a global PFN is precisely the class of bug the Barre PFN calculator must
+//! not have.
+
+use std::fmt;
+
+/// Bit position where the chiplet id starts inside a [`GlobalPfn`].
+///
+/// A 40-bit PTE frame field (x86-64 bits 12–51) minus a 4-bit chiplet id
+/// leaves 36 bits of local frame space per chiplet, far more than any
+/// simulated capacity.
+pub const CHIPLET_PFN_SHIFT: u32 = 36;
+
+/// Identifier of one GPU chiplet in the MCM package (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChipletId(pub u8);
+
+impl ChipletId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChipletId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GPU{}", self.0)
+    }
+}
+
+/// A virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// VPN shifted back into a byte address (given a page shift).
+    pub fn base_addr(self, page_shift: u32) -> VirtAddr {
+        VirtAddr(self.0 << page_shift)
+    }
+
+    /// Checked addition of a page delta.
+    pub fn offset(self, delta: i64) -> Option<Vpn> {
+        self.0.checked_add_signed(delta).map(Vpn)
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A physical frame number local to one chiplet's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LocalPfn(pub u64);
+
+impl fmt::Display for LocalPfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L:{:#x}", self.0)
+    }
+}
+
+/// A physical frame number in the MCM-wide flat frame space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GlobalPfn(pub u64);
+
+impl GlobalPfn {
+    /// Builds a global PFN from a chiplet id and a local frame number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the local PFN overflows into the chiplet-id bits.
+    pub fn compose(chiplet: ChipletId, local: LocalPfn) -> Self {
+        assert!(
+            local.0 < (1 << CHIPLET_PFN_SHIFT),
+            "local PFN {local} overflows chiplet field"
+        );
+        GlobalPfn(((chiplet.0 as u64) << CHIPLET_PFN_SHIFT) | local.0)
+    }
+
+    /// The chiplet owning this frame.
+    pub fn chiplet(self) -> ChipletId {
+        ChipletId((self.0 >> CHIPLET_PFN_SHIFT) as u8)
+    }
+
+    /// The frame number within its chiplet's memory.
+    pub fn local(self) -> LocalPfn {
+        LocalPfn(self.0 & ((1 << CHIPLET_PFN_SHIFT) - 1))
+    }
+
+    /// The base byte address of the frame (given a page shift).
+    pub fn base_addr(self, page_shift: u32) -> PhysAddr {
+        PhysAddr(self.0 << page_shift)
+    }
+}
+
+impl fmt::Display for GlobalPfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P:{}+{:#x}", self.chiplet(), self.local().0)
+    }
+}
+
+/// A byte-granular virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The VPN containing this address (given a page shift).
+    pub fn vpn(self, page_shift: u32) -> Vpn {
+        Vpn(self.0 >> page_shift)
+    }
+
+    /// Offset within the page.
+    pub fn page_offset(self, page_shift: u32) -> u64 {
+        self.0 & ((1 << page_shift) - 1)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+/// A byte-granular physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The global PFN containing this address (given a page shift).
+    pub fn pfn(self, page_shift: u32) -> GlobalPfn {
+        GlobalPfn(self.0 >> page_shift)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_roundtrips() {
+        for c in 0..16u8 {
+            let g = GlobalPfn::compose(ChipletId(c), LocalPfn(0x1234));
+            assert_eq!(g.chiplet(), ChipletId(c));
+            assert_eq!(g.local(), LocalPfn(0x1234));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn compose_rejects_oversized_local() {
+        let _ = GlobalPfn::compose(ChipletId(0), LocalPfn(1 << CHIPLET_PFN_SHIFT));
+    }
+
+    #[test]
+    fn paper_example_layout() {
+        // The paper's Fig 7a: data 1 page 0x1 maps to GPU0's local 0x75;
+        // same local frame on GPU1 differs only in the chiplet field.
+        let a = GlobalPfn::compose(ChipletId(0), LocalPfn(0x75));
+        let b = GlobalPfn::compose(ChipletId(1), LocalPfn(0x75));
+        assert_eq!(a.local(), b.local());
+        assert_ne!(a, b);
+        assert_eq!(b.0 - a.0, 1 << CHIPLET_PFN_SHIFT);
+    }
+
+    #[test]
+    fn vpn_addr_roundtrip() {
+        let va = VirtAddr(0x1234_5678);
+        let vpn = va.vpn(12);
+        assert_eq!(vpn, Vpn(0x12345));
+        assert_eq!(vpn.base_addr(12), VirtAddr(0x1234_5000));
+        assert_eq!(va.page_offset(12), 0x678);
+    }
+
+    #[test]
+    fn vpn_offset_is_checked() {
+        assert_eq!(Vpn(10).offset(-3), Some(Vpn(7)));
+        assert_eq!(Vpn(2).offset(-3), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let g = GlobalPfn::compose(ChipletId(3), LocalPfn(0x75));
+        assert_eq!(g.to_string(), "P:GPU3+0x75");
+        assert_eq!(Vpn(0xA).to_string(), "V:0xa");
+        assert_eq!(ChipletId(1).to_string(), "GPU1");
+    }
+
+    #[test]
+    fn phys_addr_pfn() {
+        let g = GlobalPfn::compose(ChipletId(1), LocalPfn(0x88));
+        let pa = g.base_addr(12);
+        assert_eq!(pa.pfn(12), g);
+    }
+}

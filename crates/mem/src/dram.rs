@@ -1,0 +1,94 @@
+//! DRAM channel timing.
+//!
+//! Table II: 1 TB/s per chiplet, 100 ns access latency. At the model's
+//! 1 GHz clock that is 1000 bytes/cycle and 100 cycles. A single
+//! [`barre_sim::Link`] captures both the fixed latency and bandwidth
+//! contention; row-buffer/bank detail is below the abstraction level the
+//! paper's results depend on (its DRAM section explicitly defers
+//! interleaving to the memory controller).
+
+use barre_sim::{Cycle, Link};
+
+/// One chiplet's local DRAM.
+///
+/// # Example
+///
+/// ```
+/// use barre_mem::Dram;
+/// let mut d = Dram::new(100, 1000);
+/// let done = d.access(0, 64);
+/// assert_eq!(done, 0 + 1 + 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    channel: Link,
+    accesses: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM with `latency` cycles and `bytes_per_cycle` bandwidth.
+    pub fn new(latency: Cycle, bytes_per_cycle: u64) -> Self {
+        Self {
+            channel: Link::new(latency, bytes_per_cycle),
+            accesses: 0,
+        }
+    }
+
+    /// DRAM with the paper's Table II parameters (100 ns, 1 TB/s).
+    pub fn paper_default() -> Self {
+        Self::new(100, 1000)
+    }
+
+    /// Performs an access of `bytes` at `now`; returns the completion cycle.
+    pub fn access(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        self.accesses += 1;
+        self.channel.send(now, bytes)
+    }
+
+    /// Total accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes(&self) -> u64 {
+        self.channel.total_bytes()
+    }
+
+    /// Clears dynamic state.
+    pub fn reset(&mut self) {
+        self.channel.reset();
+        self.accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_applies() {
+        let mut d = Dram::new(100, 64);
+        assert_eq!(d.access(50, 64), 50 + 1 + 100);
+        assert_eq!(d.accesses(), 1);
+        assert_eq!(d.bytes(), 64);
+    }
+
+    #[test]
+    fn bandwidth_queues() {
+        let mut d = Dram::new(10, 1);
+        let a = d.access(0, 100);
+        let b = d.access(0, 100);
+        assert_eq!(a, 110);
+        assert_eq!(b, 210);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut d = Dram::paper_default();
+        d.access(0, 64);
+        d.reset();
+        assert_eq!(d.accesses(), 0);
+        assert_eq!(d.bytes(), 0);
+    }
+}

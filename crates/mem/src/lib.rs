@@ -1,0 +1,41 @@
+//! Memory substrate for the Barre Chord MCM-GPU model.
+//!
+//! Provides the address-space vocabulary shared by every other crate:
+//! typed virtual/physical addresses ([`addr`]), page sizes ([`page`]),
+//! x86-64-style page-table entries with the 11 spare bits the paper uses
+//! for coalescing information ([`pte`]), a real 4-level radix page table
+//! ([`page_table`]), per-chiplet physical frame allocators
+//! ([`frame_alloc`]), a virtual-address bump allocator ([`virt_alloc`])
+//! and a DRAM channel timing model ([`dram`]).
+//!
+//! # Address model
+//!
+//! An MCM-GPU exposes one flat physical frame space where each chiplet owns
+//! a contiguous slice, exactly like the paper's example (`GPU0` frames start
+//! at `0xA000`, `GPU1` at `0xB000`, …). A [`GlobalPfn`] is
+//! `chiplet_id << CHIPLET_PFN_SHIFT | local_pfn`, so the *local* PFN — the
+//! quantity Barre equalizes across chiplets — is recoverable by masking.
+//!
+//! ```
+//! use barre_mem::{ChipletId, GlobalPfn, LocalPfn};
+//!
+//! let g = GlobalPfn::compose(ChipletId(2), LocalPfn(0x75));
+//! assert_eq!(g.chiplet(), ChipletId(2));
+//! assert_eq!(g.local(), LocalPfn(0x75));
+//! ```
+
+pub mod addr;
+pub mod dram;
+pub mod frame_alloc;
+pub mod page;
+pub mod page_table;
+pub mod pte;
+pub mod virt_alloc;
+
+pub use addr::{ChipletId, GlobalPfn, LocalPfn, PhysAddr, VirtAddr, Vpn, CHIPLET_PFN_SHIFT};
+pub use dram::Dram;
+pub use frame_alloc::FrameAllocator;
+pub use page::PageSize;
+pub use page_table::{PageTable, WalkResult};
+pub use pte::{Pte, PteFlags};
+pub use virt_alloc::VirtAllocator;

@@ -1,0 +1,180 @@
+//! Virtual address space allocation.
+//!
+//! Each GPU `malloc` call reserves a contiguous VPN range for one data
+//! object (one matrix, one graph, …). A simple bump allocator with a guard
+//! gap matches how real drivers lay out large allocations and guarantees
+//! that distinct data never share a coalescing-group VPN range.
+
+use crate::addr::Vpn;
+
+/// Identifier of one allocated data object within an address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataId(pub u32);
+
+/// A contiguous VPN range `[start, start + pages)` owned by one data object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VpnRange {
+    /// First VPN of the object.
+    pub start: Vpn,
+    /// Number of pages.
+    pub pages: u64,
+}
+
+impl VpnRange {
+    /// One-past-the-last VPN.
+    pub fn end(&self) -> Vpn {
+        Vpn(self.start.0 + self.pages)
+    }
+
+    /// Whether `vpn` falls inside the range.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        (self.start.0..self.end().0).contains(&vpn.0)
+    }
+
+    /// Index of `vpn` within the range (0-based), if contained.
+    pub fn index_of(&self, vpn: Vpn) -> Option<u64> {
+        self.contains(vpn).then(|| vpn.0 - self.start.0)
+    }
+
+    /// VPN at `index` within the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= pages`.
+    pub fn vpn_at(&self, index: u64) -> Vpn {
+        assert!(index < self.pages, "index out of range");
+        Vpn(self.start.0 + index)
+    }
+
+    /// All VPNs in the range, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = Vpn> + '_ {
+        (self.start.0..self.end().0).map(Vpn)
+    }
+}
+
+/// A bump allocator over an address space's VPN range.
+///
+/// # Example
+///
+/// ```
+/// use barre_mem::VirtAllocator;
+///
+/// let mut va = VirtAllocator::new();
+/// let (a_id, a) = va.alloc(100);
+/// let (b_id, b) = va.alloc(50);
+/// assert_ne!(a_id, b_id);
+/// assert!(b.start.0 >= a.end().0); // disjoint
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirtAllocator {
+    next: u64,
+    ranges: Vec<VpnRange>,
+}
+
+/// Guard gap (in pages) between consecutive allocations; mirrors driver
+/// alignment and keeps neighbouring data from producing adjacent VPNs.
+const GUARD_PAGES: u64 = 16;
+
+impl VirtAllocator {
+    /// Creates an allocator starting at VPN 1 (VPN 0 is left unmapped as a
+    /// null guard).
+    pub fn new() -> Self {
+        Self {
+            next: 1,
+            ranges: Vec::new(),
+        }
+    }
+
+    /// Reserves `pages` contiguous VPNs; returns the data id and range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn alloc(&mut self, pages: u64) -> (DataId, VpnRange) {
+        assert!(pages > 0, "cannot allocate zero pages");
+        let range = VpnRange {
+            start: Vpn(self.next),
+            pages,
+        };
+        self.next += pages + GUARD_PAGES;
+        let id = DataId(self.ranges.len() as u32);
+        self.ranges.push(range);
+        (id, range)
+    }
+
+    /// Range of a previously allocated data object.
+    pub fn range(&self, id: DataId) -> Option<VpnRange> {
+        self.ranges.get(id.0 as usize).copied()
+    }
+
+    /// The data object containing `vpn`, if any.
+    pub fn find(&self, vpn: Vpn) -> Option<(DataId, VpnRange)> {
+        self.ranges
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.contains(vpn))
+            .map(|(i, r)| (DataId(i as u32), *r))
+    }
+
+    /// Number of allocations made.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+impl Default for VirtAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint() {
+        let mut va = VirtAllocator::new();
+        let (_, a) = va.alloc(10);
+        let (_, b) = va.alloc(10);
+        for v in a.iter() {
+            assert!(!b.contains(v));
+        }
+    }
+
+    #[test]
+    fn range_arithmetic() {
+        let r = VpnRange {
+            start: Vpn(0x10),
+            pages: 4,
+        };
+        assert_eq!(r.end(), Vpn(0x14));
+        assert!(r.contains(Vpn(0x13)));
+        assert!(!r.contains(Vpn(0x14)));
+        assert_eq!(r.index_of(Vpn(0x12)), Some(2));
+        assert_eq!(r.index_of(Vpn(0x14)), None);
+        assert_eq!(r.vpn_at(3), Vpn(0x13));
+    }
+
+    #[test]
+    fn find_locates_owner() {
+        let mut va = VirtAllocator::new();
+        let (a_id, a) = va.alloc(5);
+        let (b_id, b) = va.alloc(7);
+        assert_eq!(va.find(a.vpn_at(4)).unwrap().0, a_id);
+        assert_eq!(va.find(b.vpn_at(0)).unwrap().0, b_id);
+        assert!(va.find(Vpn(0)).is_none());
+        assert_eq!(va.range(b_id), Some(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pages")]
+    fn zero_alloc_panics() {
+        VirtAllocator::new().alloc(0);
+    }
+}

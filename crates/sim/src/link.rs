@@ -1,0 +1,169 @@
+//! Latency + bandwidth link model.
+//!
+//! Models a point-to-point channel (PCIe lane, one mesh hop, a DRAM
+//! channel) with a fixed propagation latency and a finite serialization
+//! bandwidth. Transfers occupy the head of the link back to back:
+//! a message of `bytes` size departs no earlier than the previous
+//! message's departure plus its own serialization time, and arrives a
+//! propagation latency later. This is the classic "next free slot"
+//! store-and-forward model; it captures queueing delay under contention,
+//! which is what the paper's PCIe/IOMMU bottleneck analysis depends on.
+
+use crate::Cycle;
+
+/// A unidirectional channel with latency and bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use barre_sim::Link;
+/// // 32-cycle latency, 64 bytes/cycle mesh hop.
+/// let mut mesh = Link::new(32, 64);
+/// let arrive_a = mesh.send(0, 64);   // 1 cycle serialization
+/// let arrive_b = mesh.send(0, 64);   // queued behind a
+/// assert_eq!(arrive_a, 0 + 1 + 32);
+/// assert_eq!(arrive_b, 0 + 2 + 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    latency: Cycle,
+    bytes_per_cycle: u64,
+    next_free: Cycle,
+    total_bytes: u64,
+    total_msgs: u64,
+    busy_cycles: Cycle,
+}
+
+impl Link {
+    /// Creates a link with a propagation `latency` (cycles) and a
+    /// serialization bandwidth of `bytes_per_cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is zero.
+    pub fn new(latency: Cycle, bytes_per_cycle: u64) -> Self {
+        assert!(bytes_per_cycle > 0, "link bandwidth must be nonzero");
+        Self {
+            latency,
+            bytes_per_cycle,
+            next_free: 0,
+            total_bytes: 0,
+            total_msgs: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// Sends `bytes` at time `now`; returns the arrival cycle at the far
+    /// end. Accounts for queueing behind earlier messages.
+    pub fn send(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        let start = now.max(self.next_free);
+        let ser = self.serialization(bytes);
+        self.next_free = start + ser;
+        self.total_bytes += bytes;
+        self.total_msgs += 1;
+        self.busy_cycles += ser;
+        self.next_free + self.latency
+    }
+
+    /// Serialization time for a message of `bytes` (at least one cycle).
+    pub fn serialization(&self, bytes: u64) -> Cycle {
+        bytes.div_ceil(self.bytes_per_cycle).max(1)
+    }
+
+    /// How many cycles a message sent `now` would wait before starting to
+    /// serialize (0 when the link is idle). Used for best-effort drop
+    /// decisions (F-Barre filter-update messages).
+    pub fn backlog(&self, now: Cycle) -> Cycle {
+        self.next_free.saturating_sub(now)
+    }
+
+    /// Propagation latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Total bytes ever sent.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total messages ever sent.
+    pub fn total_msgs(&self) -> u64 {
+        self.total_msgs
+    }
+
+    /// Cycles the link head spent serializing messages.
+    pub fn busy_cycles(&self) -> Cycle {
+        self.busy_cycles
+    }
+
+    /// Resets dynamic state (occupancy and statistics), keeping the
+    /// configured latency/bandwidth.
+    pub fn reset(&mut self) {
+        self.next_free = 0;
+        self.total_bytes = 0;
+        self.total_msgs = 0;
+        self.busy_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_link_adds_latency_plus_serialization() {
+        let mut l = Link::new(150, 16);
+        // 64 bytes at 16 B/cy = 4 cycles serialization.
+        assert_eq!(l.send(100, 64), 100 + 4 + 150);
+    }
+
+    #[test]
+    fn contention_queues_messages() {
+        let mut l = Link::new(10, 1);
+        let a = l.send(0, 8);
+        let b = l.send(0, 8);
+        let c = l.send(0, 8);
+        assert_eq!(a, 8 + 10);
+        assert_eq!(b, 16 + 10);
+        assert_eq!(c, 24 + 10);
+    }
+
+    #[test]
+    fn link_drains_when_idle() {
+        let mut l = Link::new(10, 1);
+        l.send(0, 4);
+        // Sent long after the first message drained: no queueing.
+        assert_eq!(l.send(1000, 4), 1000 + 4 + 10);
+    }
+
+    #[test]
+    fn minimum_one_cycle_serialization() {
+        let mut l = Link::new(0, 1000);
+        assert_eq!(l.send(0, 1), 1);
+        assert_eq!(l.serialization(1), 1);
+    }
+
+    #[test]
+    fn backlog_reflects_pending_work() {
+        let mut l = Link::new(5, 1);
+        assert_eq!(l.backlog(0), 0);
+        l.send(0, 100);
+        assert_eq!(l.backlog(0), 100);
+        assert_eq!(l.backlog(60), 40);
+        assert_eq!(l.backlog(200), 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut l = Link::new(5, 2);
+        l.send(0, 10);
+        l.send(0, 6);
+        assert_eq!(l.total_bytes(), 16);
+        assert_eq!(l.total_msgs(), 2);
+        assert_eq!(l.busy_cycles(), 5 + 3);
+        l.reset();
+        assert_eq!(l.total_msgs(), 0);
+        assert_eq!(l.backlog(0), 0);
+    }
+}

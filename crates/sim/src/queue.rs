@@ -1,0 +1,161 @@
+//! The central event queue.
+//!
+//! A binary heap keyed by `(cycle, sequence)`. The sequence number breaks
+//! ties between events scheduled for the same cycle in insertion order,
+//! which keeps the whole simulation deterministic regardless of heap
+//! internals.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A deterministic min-heap of timestamped events.
+///
+/// Events popped in nondecreasing cycle order; events pushed for the same
+/// cycle come out in the order they were pushed (FIFO tie-breaking).
+///
+/// # Example
+///
+/// ```
+/// use barre_sim::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(3, "b");
+/// q.push(3, "c");
+/// q.push(1, "a");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+/// assert_eq!(order, vec![(1, "a"), (3, "b"), (3, "c")]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `ev` to fire at absolute cycle `at`.
+    pub fn push(&mut self, at: Cycle, ev: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, ev }));
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.at, e.ev))
+    }
+
+    /// Cycle of the earliest pending event, without removing it.
+    pub fn peek_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events processed (popped) so far.
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, 3);
+        q.push(10, 1);
+        q.push(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(5, "a");
+        q.push(5, "b");
+        assert_eq!(q.pop(), Some((5, "a")));
+        q.push(5, "c");
+        assert_eq!(q.pop(), Some((5, "b")));
+        assert_eq!(q.pop(), Some((5, "c")));
+    }
+
+    #[test]
+    fn tracks_counts() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, ());
+        q.push(2, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_cycle(), Some(1));
+        q.pop();
+        assert_eq!(q.processed(), 1);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Full-machine composition: the runnable MCM-GPU translation-path model.
+//!
+//! Everything the paper's evaluation needs funnels through this crate:
+//!
+//! * [`SystemConfig`] — Table II parameters plus translation-mode,
+//!   policy, page-size, PTW, MSHR, migration and topology knobs;
+//! * [`TranslationMode`] — baseline, Valkyrie, Least, ideal shared L2,
+//!   Barre, and F-Barre with its feature toggles;
+//! * [`run_app`] / [`run_spec`] / [`run_pair`] — build and run one
+//!   experiment, returning [`RunMetrics`];
+//! * [`speedup`] / [`geomean`] — the ratios the figures plot.
+//!
+//! # Example
+//!
+//! ```
+//! use barre_system::{run_app, smoke_config, speedup, SystemConfig, TranslationMode};
+//! use barre_workloads::AppId;
+//!
+//! let cfg = smoke_config();
+//! let base = run_app(AppId::Gups, &cfg, 42);
+//! let barre = run_app(AppId::Gups, &cfg.clone().with_mode(TranslationMode::Barre), 42);
+//! assert!(speedup(&base, &barre) > 0.0);
+//! ```
+
+pub mod config;
+pub mod machine;
+pub mod metrics;
+pub mod runner;
+
+pub use config::{DemandPagingConfig, FBarreConfig, MigrationConfig, MmuKind, SystemConfig, TranslationMode};
+pub use machine::{L2Payload, Machine};
+pub use metrics::{geomean, speedup, RunMetrics};
+pub use runner::{build_machine, run_app, run_pair, run_spec, smoke_config, summary_line};

@@ -1,0 +1,1397 @@
+//! The full-machine event-driven model.
+//!
+//! One [`Machine`] owns every component: CU warp slots pulling accesses
+//! from CTA streams, per-CU L1 TLBs and L1 data caches, per-chiplet L2
+//! TLBs (with MSHRs), L2 data caches and DRAM, the mesh, the PCIe link,
+//! the IOMMU (or per-chiplet GMMUs), and — depending on the translation
+//! mode — Valkyrie's peer-L1 probing and prefetcher, Least's remote-L2
+//! trackers, or F-Barre's LCF/RCF filter banks with PEC logic.
+//!
+//! The model is a single-threaded discrete-event simulation over
+//! [`barre_sim::EventQueue`]; with a fixed seed, every run is
+//! cycle-reproducible.
+
+use std::collections::{HashMap, VecDeque};
+
+use barre_core::fbarre::{FilterBank, FilterCmd, FilterUpdate};
+use barre_core::{CoalInfo, CoalMode, PecBuffer, PecEntry, PecLogic};
+use barre_filters::{Filter, IdealFilter};
+use barre_gpu::pattern::AccessPattern;
+use barre_gpu::{CtaScheduler, GmmuConfig, GmmuUnit, Mesh, TagCache};
+use barre_iommu::{AtsRequest, AtsResponse, Iommu, IommuConfig, ATS_REQUEST_BYTES, ATS_RESPONSE_BYTES};
+use barre_mapping::Acud;
+use barre_mem::{
+    ChipletId, FrameAllocator, GlobalPfn, PageTable, Vpn,
+};
+use barre_sim::{Cycle, EventQueue, Link};
+use barre_tlb::{MshrFile, MshrOutcome, Tlb, TlbKey};
+
+use crate::config::{MmuKind, SystemConfig, TranslationMode};
+use crate::metrics::RunMetrics;
+
+/// Payload of an L2 TLB entry: the frame plus the coalescing bits the ATS
+/// response carried (F-Barre stores them "with the PFN", §V-A3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Payload {
+    /// Translated frame.
+    pub pfn: GlobalPfn,
+    /// Raw 11-bit coalescing field (0 when uncoalesced).
+    pub coal_bits: u16,
+}
+
+/// Wire size of an F-Barre filter-update message (43 bits → 6 bytes).
+const FILTER_UPDATE_BYTES: u64 = 6;
+/// Wire size of a peer translation probe / reply.
+const PEER_MSG_BYTES: u64 = 16;
+/// Mesh backlog (cycles) beyond which best-effort filter updates drop.
+const FILTER_DROP_BACKLOG: Cycle = 768;
+/// Retry interval when the L2 MSHR file is full.
+const MSHR_RETRY: Cycle = 30;
+/// Extra cycles for a Valkyrie sibling-L1 probe.
+const L1_PEER_PROBE: Cycle = 5;
+/// PEC calculation latency on the chiplet-side path.
+const CHIPLET_PEC_CALC: Cycle = 2;
+
+#[derive(Debug)]
+enum Ev {
+    Issue { chiplet: u8, cu: u16, slot: u8 },
+    Translate { page: u32 },
+    AtsArrive { req: AtsRequest },
+    WalkDone { ptw: usize },
+    GmmuWalkDone { chiplet: u8, walker: usize },
+    RespArrive { resp: AtsResponse },
+    PeerProbe { page: u32, at: u8 },
+    PeerReply { page: u32, result: Option<L2Payload> },
+    FilterUpd { at: u8, upds: Vec<FilterUpdate> },
+    MemStart { page: u32 },
+    MemDone { page: u32 },
+    MshrRetry { page: u32 },
+}
+
+struct Stream {
+    pattern: Box<dyn AccessPattern>,
+    asid: u16,
+    warps: u64,
+}
+
+struct CuState {
+    slots: Vec<Option<Stream>>,
+}
+
+struct WarpInst {
+    chiplet: u8,
+    cu: u16,
+    slot: u8,
+    pages_left: u32,
+}
+
+#[derive(Debug, Clone)]
+struct PageReq {
+    inst: u32,
+    asid: u16,
+    vpn: Vpn,
+    page_off: u64,
+    write: bool,
+    chiplet: u8,
+    cu: u16,
+    pfn: Option<GlobalPfn>,
+    /// MSHR-full replay attempts (drives exponential backoff).
+    attempts: u8,
+}
+
+enum ReqOrigin {
+    Demand,
+    Prefetch,
+}
+
+struct ChipletState {
+    l2_tlb: Tlb<L2Payload>,
+    l2_mshr: MshrFile<TlbKey, Option<u32>>,
+    l1_tlbs: Vec<Tlb<GlobalPfn>>,
+    l1d: Vec<TagCache>,
+    l2d: TagCache,
+    dram_free: Cycle,
+    filters: Option<FilterBank>,
+    pec_buffer: PecBuffer,
+    gmmu: Option<GmmuUnit>,
+}
+
+/// The assembled machine. Build one with [`crate::runner::build_machine`]
+/// (or the higher-level [`crate::runner::run_app`]), then call
+/// [`run`](Self::run).
+pub struct Machine {
+    cfg: SystemConfig,
+    page_shift: u32,
+    coal_mode: CoalMode,
+    pec_logic: PecLogic,
+    page_tables: Vec<PageTable>,
+    frames: Vec<FrameAllocator>,
+    master_pecs: Vec<PecEntry>,
+    /// Mapping plans per data object (fault-time allocation under
+    /// demand paging).
+    plans: Vec<barre_core::MappingPlan>,
+    driver: barre_core::driver::BarreAllocator,
+    iommu: Iommu,
+    iommu_overflow: VecDeque<AtsRequest>,
+    pcie_up: Link,
+    pcie_down: Link,
+    mesh: Mesh,
+    /// Low-priority virtual channel for F-Barre filter updates — they
+    /// ride spare mesh bandwidth off the data path (§V-A2: best effort,
+    /// "not in the critical path").
+    filter_vc: Vec<Link>,
+    chiplets: Vec<ChipletState>,
+    shared_l2: Option<Tlb<L2Payload>>,
+    least_trackers: Vec<IdealFilter>,
+    /// Last L2-missed VPN per chiplet (Valkyrie's stride confirmation:
+    /// prefetch vpn+1 only on a sequential miss streak).
+    valkyrie_last_miss: Vec<Option<TlbKey>>,
+    sched: CtaScheduler,
+    cus: Vec<Vec<CuState>>,
+    acud: Option<Acud>,
+    insts: Vec<WarpInst>,
+    free_insts: Vec<u32>,
+    pages: Vec<PageReq>,
+    free_pages: Vec<u32>,
+    req_origin: HashMap<u64, ReqOrigin>,
+    next_req_id: u64,
+    queue: EventQueue<Ev>,
+    now: Cycle,
+    m: RunMetrics,
+}
+
+impl Machine {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        cfg: SystemConfig,
+        page_tables: Vec<PageTable>,
+        frames: Vec<FrameAllocator>,
+        master_pecs: Vec<PecEntry>,
+        plans: Vec<barre_core::MappingPlan>,
+        sched: CtaScheduler,
+    ) -> Self {
+        let n = cfg.topology.n_chiplets;
+        let page_shift = cfg.page_size.shift();
+        let coal_mode = crate::runner::coal_mode_of(&cfg);
+        let fbarre = match cfg.mode {
+            TranslationMode::FBarre(f) => Some(f),
+            _ => None,
+        };
+        let iommu = Iommu::new(IommuConfig {
+            pw_queue_entries: cfg.pw_queue_entries,
+            ptws: cfg.ptws,
+            walk_latency: cfg.walk_latency,
+            barre: cfg.mode.uses_barre(),
+            coal_mode,
+            ship_pec_entry: fbarre.is_some(),
+            coalescing_sched: fbarre.map(|f| f.ptw_sched).unwrap_or(false),
+            max_merged: cfg.mode.max_merged(),
+            pec_calc_latency: 2,
+            multicast: cfg.barre_multicast,
+            iommu_tlb: cfg.iommu_tlb,
+            pec_buffer_entries: cfg.pec_buffer_entries,
+        });
+        let mut iommu = iommu;
+        for e in &master_pecs {
+            iommu.register_pec(e.clone());
+        }
+        let mesh = Mesh::new(
+            n,
+            cfg.mesh_latency,
+            (cfg.mesh_bytes_per_cycle / n as u64).max(1),
+        );
+        let filter_vc = (0..n)
+            .map(|_| Link::new(cfg.mesh_latency, (cfg.mesh_bytes_per_cycle / (8 * n as u64)).max(1)))
+            .collect();
+        let gmmu_cfg = GmmuConfig {
+            walkers: (cfg.ptws.unwrap_or(16) / n).max(1),
+            queue_entries: (cfg.pw_queue_entries / n).max(4),
+            local_walk_latency: cfg.walk_latency * 3 / 5,
+            remote_walk_penalty: 2 * cfg.mesh_latency + cfg.walk_latency / 5,
+            barre: cfg.mode.uses_barre(),
+            coal_mode,
+            pec_calc_latency: 2,
+            pec_buffer_entries: cfg.pec_buffer_entries,
+        };
+        let chiplets: Vec<ChipletState> = (0..n)
+            .map(|c| {
+                let cid = ChipletId(c as u8);
+                let cus = cfg.topology.cus_per_chiplet();
+                let mut pec_buffer = PecBuffer::new(cfg.pec_buffer_entries);
+                // F-Barre chiplets learn PEC records from ATS responses;
+                // under GMMU+Barre the driver programs them directly.
+                let gmmu = (cfg.mmu == MmuKind::Gmmu).then(|| {
+                    let mut g = GmmuUnit::new(cid, gmmu_cfg.clone());
+                    for e in &master_pecs {
+                        g.register_pec(e.clone());
+                    }
+                    g
+                });
+                if gmmu.is_some() {
+                    for e in &master_pecs {
+                        pec_buffer.insert(e.clone());
+                    }
+                }
+                ChipletState {
+                    l2_tlb: Tlb::new(cfg.l2_tlb_entries, cfg.l2_tlb_ways),
+                    l2_mshr: MshrFile::new(cfg.l2_tlb_mshrs),
+                    l1_tlbs: (0..cus)
+                        .map(|_| Tlb::new(cfg.l1_tlb_entries, cfg.l1_tlb_entries))
+                        .collect(),
+                    l1d: (0..cus)
+                        .map(|_| TagCache::new(cfg.l1d_bytes, 4, cfg.line_bytes))
+                        .collect(),
+                    l2d: TagCache::new(cfg.l2d_bytes, 16, cfg.line_bytes),
+                    dram_free: 0,
+                    filters: fbarre.filter(|f| f.peer_sharing).map(|f| {
+                        FilterBank::new(cid, n, f.filter_rows, cfg.seed ^ 0xF117)
+                    }),
+                    pec_buffer,
+                    gmmu,
+                }
+            })
+            .collect();
+        let shared_l2 = matches!(cfg.mode, TranslationMode::SharedL2Ideal).then(|| {
+            Tlb::new(cfg.l2_tlb_entries * n, cfg.l2_tlb_ways)
+        });
+        let least_trackers = (0..n)
+            .map(|_| IdealFilter::with_capacity(1024))
+            .collect();
+        let cus = (0..n)
+            .map(|_| {
+                (0..cfg.topology.cus_per_chiplet())
+                    .map(|_| CuState {
+                        slots: (0..cfg.cu_slots).map(|_| None).collect(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let acud = cfg
+            .migration
+            .map(|mc| Acud::new(mc.threshold, n));
+        Self {
+            pec_logic: PecLogic::new(coal_mode),
+            page_shift,
+            coal_mode,
+            page_tables,
+            frames,
+            master_pecs,
+            driver: barre_core::driver::BarreAllocator::new(
+                crate::runner::coal_mode_of(&cfg),
+                cfg.mode.max_merged(),
+            ),
+            plans,
+            iommu,
+            iommu_overflow: VecDeque::new(),
+            filter_vc,
+            pcie_up: Link::new(cfg.pcie_latency, cfg.pcie_bytes_per_cycle),
+            pcie_down: Link::new(cfg.pcie_latency, cfg.pcie_bytes_per_cycle),
+            mesh,
+            chiplets,
+            shared_l2,
+            least_trackers,
+            valkyrie_last_miss: vec![None; n],
+            sched,
+            cus,
+            acud,
+            insts: Vec::new(),
+            free_insts: Vec::new(),
+            pages: Vec::new(),
+            free_pages: Vec::new(),
+            req_origin: HashMap::new(),
+            next_req_id: 0,
+            queue: EventQueue::new(),
+            now: 0,
+            m: RunMetrics::default(),
+            cfg,
+        }
+    }
+
+    /// Runs the machine to completion and returns the measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds an internal event budget
+    /// (deadlock guard) or a translation faults (unmapped page).
+    pub fn run(mut self) -> RunMetrics {
+        // Prime every CU slot, staggered: real kernels ramp up as blocks
+        // arrive over thousands of cycles; starting every stream at t=0
+        // phase-locks the whole machine into translation/memory waves.
+        let mut flat = 0u64;
+        for c in 0..self.cfg.topology.n_chiplets {
+            for cu in 0..self.cfg.topology.cus_per_chiplet() {
+                for s in 0..self.cfg.cu_slots {
+                    let at = (flat.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) % 40_000;
+                    flat += 1;
+                    self.queue.push(
+                        at,
+                        Ev::Issue {
+                            chiplet: c as u8,
+                            cu: cu as u16,
+                            slot: s as u8,
+                        },
+                    );
+                }
+            }
+        }
+        let budget: u64 = 2_000_000_000;
+        while let Some((t, ev)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.handle(ev);
+            assert!(
+                self.queue.processed() < budget,
+                "event budget exceeded — deadlock or runaway workload"
+            );
+        }
+        self.finalize()
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Issue { chiplet, cu, slot } => self.issue(chiplet, cu, slot),
+            Ev::Translate { page } => self.translate(page),
+            Ev::AtsArrive { req } => self.ats_arrive(req),
+            Ev::WalkDone { ptw } => self.walk_done(ptw),
+            Ev::GmmuWalkDone { chiplet, walker } => self.gmmu_walk_done(chiplet, walker),
+            Ev::RespArrive { resp } => self.resp_arrive(resp),
+            Ev::PeerProbe { page, at } => self.peer_probe(page, at),
+            Ev::PeerReply { page, result } => self.peer_reply(page, result),
+            Ev::FilterUpd { at, upds } => {
+                if let Some(f) = &mut self.chiplets[at as usize].filters {
+                    for upd in upds {
+                        f.apply_update(upd);
+                    }
+                }
+            }
+            Ev::MemStart { page } => self.mem_start(page),
+            Ev::MemDone { page } => self.mem_done(page),
+            Ev::MshrRetry { page } => self.l2_miss_path(page),
+        }
+    }
+
+    // ----- CU issue -----
+
+    fn issue(&mut self, chiplet: u8, cu: u16, slot: u8) {
+        let now = self.now;
+        loop {
+            let slot_ref =
+                &mut self.cus[chiplet as usize][cu as usize].slots[slot as usize];
+            if slot_ref.is_none() {
+                match self.sched.next_for(ChipletId(chiplet)) {
+                    Some(cta) => {
+                        *slot_ref = Some(Stream {
+                            pattern: cta.pattern,
+                            asid: cta.asid,
+                            warps: 0,
+                        });
+                    }
+                    None => return, // slot retires
+                }
+            }
+            let stream = self.cus[chiplet as usize][cu as usize].slots[slot as usize]
+                .as_mut()
+                .expect("stream present");
+            let capped = self
+                .cfg
+                .max_warps_per_cta
+                .is_some_and(|cap| stream.warps >= cap);
+            let warp = if capped { None } else { stream.pattern.next_warp() };
+            match warp {
+                None => {
+                    // CTA finished; loop to fetch the next one.
+                    self.cus[chiplet as usize][cu as usize].slots[slot as usize] = None;
+                    continue;
+                }
+                Some(w) => {
+                    stream.warps += 1;
+                    let insns = stream.pattern.insns_per_access();
+                    let asid = stream.asid;
+                    self.m.warp_mem_instructions += 1;
+                    self.m.warp_instructions += insns;
+                    // Hardware warp coalescer: dedup pages across lanes.
+                    let mut pages: Vec<(Vpn, u64)> = Vec::with_capacity(4);
+                    for a in &w.addrs {
+                        let vpn = a.vpn(self.page_shift);
+                        if !pages.iter().any(|(v, _)| *v == vpn) {
+                            pages.push((vpn, a.page_offset(self.page_shift)));
+                        }
+                    }
+                    let inst = self.alloc_inst(WarpInst {
+                        chiplet,
+                        cu,
+                        slot,
+                        pages_left: pages.len() as u32,
+                    });
+                    for (vpn, off) in pages {
+                        let page = self.alloc_page(PageReq {
+                            inst,
+                            asid,
+                            vpn,
+                            page_off: off,
+                            write: w.write,
+                            chiplet,
+                            cu,
+                            pfn: None,
+                            attempts: 0,
+                        });
+                        self.queue.push(now, Ev::Translate { page });
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    // ----- translation front end -----
+
+    fn translate(&mut self, page: u32) {
+        let now = self.now;
+        let p = self.pages[page as usize].clone();
+        let key = TlbKey { asid: p.asid, vpn: p.vpn };
+        self.m.l1_tlb_lookups += 1;
+        let cu_idx = self.cfg.topology.cu_index_flat(p.cu);
+        let cu_l1 = &mut self.chiplets[p.chiplet as usize].l1_tlbs[cu_idx];
+        if let Some(&pfn) = cu_l1.lookup(key) {
+            self.pages[page as usize].pfn = Some(pfn);
+            self.queue
+                .push(now + self.cfg.l1_tlb_latency, Ev::MemStart { page });
+            return;
+        }
+        self.m.l1_tlb_misses += 1;
+        // Valkyrie: probe sibling L1s in the chiplet.
+        if matches!(self.cfg.mode, TranslationMode::Valkyrie) {
+            let ch = &mut self.chiplets[p.chiplet as usize];
+            let hit = ch
+                .l1_tlbs
+                .iter()
+                .map(|t| t.probe(key).copied())
+                .find(Option::is_some)
+                .flatten();
+            if let Some(pfn) = hit {
+                self.m.l1_peer_hits += 1;
+                let idx = self.cfg.topology.cu_index_flat(p.cu);
+                ch.l1_tlbs[idx].insert(key, pfn);
+                self.pages[page as usize].pfn = Some(pfn);
+                self.queue.push(
+                    now + self.cfg.l1_tlb_latency + L1_PEER_PROBE,
+                    Ev::MemStart { page },
+                );
+                return;
+            }
+        }
+        self.l2_miss_path(page);
+    }
+
+    /// L2 TLB lookup and, on miss, the mode-specific downstream path.
+    /// Also the MSHR-retry entry point.
+    fn l2_miss_path(&mut self, page: u32) {
+        let now = self.now;
+        let p = self.pages[page as usize].clone();
+        let key = TlbKey { asid: p.asid, vpn: p.vpn };
+        let t1 = now + self.cfg.l1_tlb_latency + self.cfg.l2_tlb_latency;
+        self.m.l2_tlb_lookups += 1;
+        let hit = match &mut self.shared_l2 {
+            Some(shared) => shared.lookup(key).copied(),
+            None => self.chiplets[p.chiplet as usize].l2_tlb.lookup(key).copied(),
+        };
+        if let Some(payload) = hit {
+            self.fill_l1(p.chiplet, p.cu, key, payload.pfn);
+            self.pages[page as usize].pfn = Some(payload.pfn);
+            self.queue.push(t1, Ev::MemStart { page });
+            return;
+        }
+        match self.chiplets[p.chiplet as usize]
+            .l2_mshr
+            .allocate(key, Some(page))
+        {
+            MshrOutcome::Merged => {}
+            MshrOutcome::Full => {
+                // MSHR file full: the access replays with exponential
+                // backoff plus a deterministic per-page jitter. The
+                // jitter keeps rejected streams from phase-locking into
+                // convoys; the exponential growth bounds replay traffic.
+                self.m.l2_tlb_lookups -= 1;
+                let attempts = self.pages[page as usize].attempts;
+                self.pages[page as usize].attempts = attempts.saturating_add(1);
+                let mix = (page as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(now)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                let base = MSHR_RETRY << attempts.min(5);
+                let backoff = base + mix % base.max(1);
+                self.queue.push(t1 + backoff, Ev::MshrRetry { page });
+            }
+            MshrOutcome::Primary => {
+                // MPKI counts unique (primary) misses; merged duplicates
+                // ride the same outstanding translation.
+                self.pages[page as usize].attempts = 0;
+                self.m.l2_tlb_misses += 1;
+                // Miss-path replay overhead: the LSU re-plays the warp's
+                // memory instruction and re-arbitrates the TLB port.
+                // Deterministic per-page spread; without it, uniform
+                // miss latencies phase-lock the closed loop into
+                // translation/memory convoys no real warp scheduler
+                // exhibits.
+                let mix = (key.vpn.0)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(now)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                let replay = mix % 240;
+                self.downstream(page, key, t1 + replay);
+                self.maybe_prefetch(p.chiplet, key, t1 + replay);
+            }
+        }
+    }
+
+    /// Valkyrie's next-VPN L2 prefetch, gated on a sequential miss
+    /// streak so gather workloads do not flood the IOMMU with useless
+    /// prefetches.
+    fn maybe_prefetch(&mut self, chiplet: u8, key: TlbKey, t: Cycle) {
+        if !matches!(self.cfg.mode, TranslationMode::Valkyrie) {
+            return;
+        }
+        let confirmed = self.valkyrie_last_miss[chiplet as usize]
+            .is_some_and(|prev| prev.asid == key.asid && prev.vpn.0 + 1 == key.vpn.0);
+        self.valkyrie_last_miss[chiplet as usize] = Some(key);
+        if !confirmed {
+            return;
+        }
+        let next = TlbKey { asid: key.asid, vpn: Vpn(key.vpn.0 + 1) };
+        {
+            let ch = &self.chiplets[chiplet as usize];
+            if ch.l2_tlb.probe(next).is_some() || ch.l2_mshr.is_pending(next) {
+                return;
+            }
+        }
+        // Only prefetch mapped pages.
+        if self.page_tables[next.asid as usize].lookup(next.vpn).is_none() {
+            return;
+        }
+        if self.chiplets[chiplet as usize].l2_mshr.allocate(next, None) == MshrOutcome::Primary {
+            self.m.prefetches += 1;
+            self.send_ats_inner(chiplet, next, t, true);
+        }
+    }
+
+    /// Mode-specific path below a primary L2 miss.
+    fn downstream(&mut self, page: u32, key: TlbKey, t: Cycle) {
+        let p = self.pages[page as usize].clone();
+        match self.cfg.mode {
+            TranslationMode::FBarre(f) if f.peer_sharing => {
+                // 1) Local calculation through the LCF.
+                if let Some(payload) = self.try_local_coalesced(p.chiplet, key, f.max_merged) {
+                    self.m.intra_mcm_translations += 1;
+                    self.m.lcf_translations += 1;
+                    let done = t + 1 + self.cfg.l2_tlb_latency + CHIPLET_PEC_CALC;
+                    self.finish_l2_miss_at(p.chiplet, key, payload, done);
+                    return;
+                }
+                // 2) Remote calculation through the RCFs.
+                let peer = self.chiplets[p.chiplet as usize]
+                    .filters
+                    .as_ref()
+                    .and_then(|fb| fb.rcf_hit(key.asid, key.vpn));
+                if let Some(peer) = peer {
+                    self.m.peer_probes += 1;
+                    self.m.rcf_remote_attempts += 1;
+                    let at = if f.oracle_traffic {
+                        t + self.cfg.mesh_latency
+                    } else {
+                        self.filter_vc[p.chiplet as usize].send(t, PEER_MSG_BYTES)
+                    };
+                    self.queue.push(at, Ev::PeerProbe { page, at: peer.0 });
+                    return;
+                }
+                self.send_ats(page, key, t);
+            }
+            TranslationMode::Least => {
+                let me = p.chiplet as usize;
+                let fkey = barre_core::fbarre::filter_key(key.asid, key.vpn);
+                let peer = (0..self.chiplets.len())
+                    .find(|&c| c != me && self.least_trackers[c].contains(fkey));
+                if let Some(peer) = peer {
+                    self.m.peer_probes += 1;
+                    // Like F-Barre's probes, Least's tracker probes are
+                    // small control messages on their own traffic class.
+                    let at = self.filter_vc[p.chiplet as usize].send(t, PEER_MSG_BYTES);
+                    self.queue.push(at, Ev::PeerProbe { page, at: peer as u8 });
+                } else {
+                    self.send_ats(page, key, t);
+                }
+            }
+            _ => self.send_ats(page, key, t),
+        }
+    }
+
+    /// F-Barre local path: find a coalescing VPN in this chiplet's own L2
+    /// TLB via the LCF and calculate the requested frame.
+    fn try_local_coalesced(
+        &mut self,
+        chiplet: u8,
+        key: TlbKey,
+        max_merged: u8,
+    ) -> Option<L2Payload> {
+        let mut lcf_hits = 0u64;
+        let mut found: Option<L2Payload> = None;
+        {
+            let ch = &self.chiplets[chiplet as usize];
+            let filters = ch.filters.as_ref()?;
+            let entry = ch.pec_buffer.peek(key.asid, key.vpn)?.clone();
+            let candidates = self
+                .pec_logic
+                .coalescing_candidates(&entry, key.vpn, max_merged);
+            for cand in candidates {
+                if !filters.lcf_contains(key.asid, cand) {
+                    continue;
+                }
+                lcf_hits += 1;
+                let ckey = TlbKey { asid: key.asid, vpn: cand };
+                let Some(payload) = ch.l2_tlb.probe(ckey).copied() else {
+                    continue; // filter false positive
+                };
+                let Some(info) = CoalInfo::decode(payload.coal_bits, self.coal_mode) else {
+                    continue;
+                };
+                if let Some(pfn) =
+                    self.pec_logic
+                        .calc_pfn(cand, payload.pfn, &info, &entry, key.vpn)
+                {
+                    let bits = self
+                        .member_bits(cand, &info, &entry, key.vpn)
+                        .unwrap_or(payload.coal_bits);
+                    found = Some(L2Payload { pfn, coal_bits: bits });
+                    break;
+                }
+            }
+        }
+        self.m.lcf_hits += lcf_hits;
+        if found.is_some() {
+            self.m.lcf_true_hits += 1;
+        }
+        found
+    }
+
+    fn member_bits(
+        &self,
+        pte_vpn: Vpn,
+        info: &CoalInfo,
+        entry: &PecEntry,
+        member: Vpn,
+    ) -> Option<u16> {
+        let m = self.pec_logic.member_for(pte_vpn, info, entry, member)?;
+        let rebuilt = match *info {
+            CoalInfo::Base { bitmap, .. } => CoalInfo::Base {
+                bitmap,
+                inter_order: m.inter_order,
+            },
+            CoalInfo::Expanded { bitmap, merged, .. } => CoalInfo::Expanded {
+                bitmap,
+                inter_order: m.inter_order,
+                intra_order: m.intra_order,
+                merged,
+            },
+            CoalInfo::Wide { count, .. } => CoalInfo::Wide {
+                count,
+                inter_order: m.inter_order,
+            },
+        };
+        Some(rebuilt.encode())
+    }
+
+    // ----- ATS path -----
+
+    fn send_ats(&mut self, page: u32, key: TlbKey, t: Cycle) {
+        let chiplet = self.pages[page as usize].chiplet;
+        self.send_ats_inner(chiplet, key, t, false);
+    }
+
+    fn send_ats_inner(&mut self, chiplet: u8, key: TlbKey, t: Cycle, prefetch: bool) {
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        self.req_origin.insert(
+            id,
+            if prefetch {
+                ReqOrigin::Prefetch
+            } else {
+                ReqOrigin::Demand
+            },
+        );
+        let req = AtsRequest {
+            id,
+            asid: key.asid,
+            vpn: key.vpn,
+            chiplet: ChipletId(chiplet),
+            issued_at: t,
+        };
+        self.m.ats_requests += 1;
+        match self.cfg.mmu {
+            MmuKind::Iommu => {
+                let at = self.pcie_up.send(t, ATS_REQUEST_BYTES);
+                self.queue.push(at, Ev::AtsArrive { req });
+            }
+            MmuKind::Gmmu => {
+                // Walk locally; no PCIe.
+                self.queue.push(t, Ev::AtsArrive { req });
+            }
+        }
+    }
+
+    fn ats_arrive(&mut self, req: AtsRequest) {
+        match self.cfg.mmu {
+            MmuKind::Iommu => {
+                if !self.iommu.enqueue(req) {
+                    self.iommu_overflow.push_back(req);
+                }
+                self.iommu_dispatch();
+            }
+            MmuKind::Gmmu => {
+                let c = req.chiplet.index();
+                let g = self.chiplets[c].gmmu.as_mut().expect("GMMU configured");
+                if !g.enqueue(req) {
+                    self.iommu_overflow.push_back(req);
+                }
+                self.gmmu_dispatch(c);
+            }
+        }
+    }
+
+    fn iommu_dispatch(&mut self) {
+        let now = self.now;
+        for (ptw, done) in self.iommu.dispatch(now) {
+            self.queue.push(done, Ev::WalkDone { ptw });
+        }
+    }
+
+    fn gmmu_dispatch(&mut self, c: usize) {
+        let now = self.now;
+        let Machine { chiplets, page_tables, .. } = self;
+        let g = chiplets[c].gmmu.as_mut().expect("GMMU configured");
+        let started = g.dispatch(now, |asid, vpn| {
+            page_tables
+                .get(asid as usize)
+                .and_then(|pt| pt.lookup(vpn))
+                .map(|pte| pte.pfn().chiplet())
+        });
+        let queue = &mut self.queue;
+        for (walker, done) in started {
+            queue.push(
+                done,
+                Ev::GmmuWalkDone { chiplet: c as u8, walker },
+            );
+        }
+    }
+
+    fn walk_done(&mut self, ptw: usize) {
+        let now = self.now;
+        let Machine { iommu, page_tables, .. } = self;
+        let responses = iommu.complete_walk(ptw, now, |asid, vpn| {
+            page_tables.get(asid as usize).and_then(|pt| pt.lookup(vpn))
+        });
+        // Refill the queue from the PCIe overflow buffer.
+        while !self.iommu_overflow.is_empty() && self.iommu.has_queue_space() {
+            let r = self.iommu_overflow.pop_front().expect("nonempty");
+            let accepted = self.iommu.enqueue(r);
+            debug_assert!(accepted);
+        }
+        self.iommu_dispatch();
+        for (ready, resp) in responses {
+            let at = self.pcie_down.send(ready, ATS_RESPONSE_BYTES);
+            self.queue.push(at, Ev::RespArrive { resp });
+        }
+    }
+
+    fn gmmu_walk_done(&mut self, chiplet: u8, walker: usize) {
+        let now = self.now;
+        let c = chiplet as usize;
+        let Machine { chiplets, page_tables, .. } = self;
+        let g = chiplets[c].gmmu.as_mut().expect("GMMU configured");
+        let responses = g.complete_walk(walker, now, |asid, vpn| {
+            page_tables.get(asid as usize).and_then(|pt| pt.lookup(vpn))
+        });
+        let mut i = 0;
+        while i < self.iommu_overflow.len() {
+            let r = self.iommu_overflow[i];
+            if r.chiplet.index() == c {
+                let g = self.chiplets[c].gmmu.as_mut().expect("GMMU configured");
+                if g.enqueue(r) {
+                    self.iommu_overflow.remove(i);
+                    continue;
+                }
+                break;
+            }
+            i += 1;
+        }
+        self.gmmu_dispatch(c);
+        for (ready, resp) in responses {
+            self.queue.push(ready, Ev::RespArrive { resp });
+        }
+    }
+
+    fn resp_arrive(&mut self, resp: AtsResponse) {
+        let now = self.now;
+        let Some(pfn) = resp.pfn else {
+            return self.page_fault(resp.req, now);
+        };
+        let chiplet = resp.req.chiplet.index();
+        // F-Barre: learn the data's PEC record from the response.
+        if let Some(entry) = &resp.pec_entry {
+            self.chiplets[chiplet].pec_buffer.insert(entry.clone());
+        }
+        let key = TlbKey { asid: resp.req.asid, vpn: resp.req.vpn };
+        let was_prefetch = matches!(
+            self.req_origin.remove(&resp.req.id),
+            Some(ReqOrigin::Prefetch)
+        );
+        // A response walked before a migration can arrive after it; the
+        // IOMMU's invalidation makes such fills stale. Detect and retry
+        // (the MSHR entry is still pending).
+        let current = self.page_tables[key.asid as usize]
+            .lookup(key.vpn)
+            .map(|p| p.pfn());
+        if current != Some(pfn) {
+            self.send_ats_inner(chiplet as u8, key, now, was_prefetch);
+            return;
+        }
+        // Prefetch and demand responses fill identically: a prefetch's
+        // MSHR simply has no waiters.
+        self.finish_l2_miss_at(
+            chiplet as u8,
+            key,
+            L2Payload { pfn, coal_bits: resp.coal_bits },
+            now,
+        );
+    }
+
+    /// Demand-paging far fault (§VI): the driver maps the faulting page —
+    /// or, under group fetch, its whole coalescing group — and the
+    /// translation retries after the fault latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when demand paging is disabled (premapped workloads never
+    /// fault) or physical memory is exhausted.
+    fn page_fault(&mut self, req: AtsRequest, now: Cycle) {
+        let Some(dp) = self.cfg.demand_paging else {
+            panic!(
+                "translation fault for {} asid {} — workload touched an unmapped page",
+                req.vpn, req.asid
+            );
+        };
+        self.m.page_faults += 1;
+        // A concurrent fault may already have mapped it.
+        if self.page_tables[req.asid as usize].lookup(req.vpn).is_none() {
+            let group_fetch = dp.group_fetch && self.cfg.mode.uses_barre();
+            let plan = self
+                .plans
+                .iter()
+                .find(|p| p.asid == req.asid && p.range.contains(req.vpn))
+                .cloned()
+                .expect("faulting page belongs to a data object");
+            let ptes = self
+                .driver
+                .allocate_on_fault(&plan, req.vpn, &mut self.frames, group_fetch)
+                .expect("out of physical frames");
+            for (v, pte) in ptes {
+                // Group fetch can touch members another fault already
+                // mapped; keep the first mapping.
+                if self.page_tables[req.asid as usize].lookup(v).is_none() {
+                    self.page_tables[req.asid as usize].map(v, pte);
+                    self.m.demand_pages_mapped += 1;
+                }
+            }
+        }
+        let key = TlbKey { asid: req.asid, vpn: req.vpn };
+        self.send_ats_inner(req.chiplet.0, key, now + dp.fault_latency, false);
+    }
+
+    // ----- peer sharing -----
+
+    fn peer_probe(&mut self, page: u32, at: u8) {
+        let now = self.now;
+        let p = self.pages[page as usize].clone();
+        let key = TlbKey { asid: p.asid, vpn: p.vpn };
+        let reply_ready = now + 1 + self.cfg.l2_tlb_latency + CHIPLET_PEC_CALC;
+        let result: Option<L2Payload> = match self.cfg.mode {
+            TranslationMode::Least => self.chiplets[at as usize]
+                .l2_tlb
+                .probe(key)
+                .copied(),
+            _ => {
+                // F-Barre peer-side translation: exact entry, else any
+                // coalescing VPN present locally.
+                let exact = self.chiplets[at as usize].l2_tlb.probe(key).copied();
+                exact.or_else(|| self.peer_calculate(at, key))
+            }
+        };
+        let back = match self.cfg.mode {
+            TranslationMode::FBarre(f) if f.oracle_traffic => {
+                reply_ready + self.cfg.mesh_latency
+            }
+            TranslationMode::FBarre(_) => {
+                self.filter_vc[at as usize].send(reply_ready, PEER_MSG_BYTES)
+            }
+            // Least's replies ride the control class too.
+            _ => self.filter_vc[at as usize].send(reply_ready, PEER_MSG_BYTES),
+        };
+        self.queue.push(back, Ev::PeerReply { page, result });
+    }
+
+    fn peer_calculate(&mut self, at: u8, key: TlbKey) -> Option<L2Payload> {
+        let max_merged = self.cfg.mode.max_merged();
+        let ch = &self.chiplets[at as usize];
+        let entry = ch.pec_buffer.peek(key.asid, key.vpn)?.clone();
+        let candidates = self
+            .pec_logic
+            .coalescing_candidates(&entry, key.vpn, max_merged);
+        for cand in candidates {
+            if let Some(fb) = &ch.filters {
+                if !fb.lcf_contains(key.asid, cand) {
+                    continue;
+                }
+            }
+            let ckey = TlbKey { asid: key.asid, vpn: cand };
+            let Some(payload) = ch.l2_tlb.probe(ckey).copied() else {
+                continue;
+            };
+            let Some(info) = CoalInfo::decode(payload.coal_bits, self.coal_mode) else {
+                continue;
+            };
+            if let Some(pfn) =
+                self.pec_logic
+                    .calc_pfn(cand, payload.pfn, &info, &entry, key.vpn)
+            {
+                let bits = self
+                    .member_bits(cand, &info, &entry, key.vpn)
+                    .unwrap_or(payload.coal_bits);
+                return Some(L2Payload { pfn, coal_bits: bits });
+            }
+        }
+        None
+    }
+
+    fn peer_reply(&mut self, page: u32, result: Option<L2Payload>) {
+        let now = self.now;
+        let p = self.pages[page as usize].clone();
+        let key = TlbKey { asid: p.asid, vpn: p.vpn };
+        let current = self.page_tables[key.asid as usize]
+            .lookup(key.vpn)
+            .map(|pte| pte.pfn());
+        match result {
+            Some(payload) if current == Some(payload.pfn) => {
+                if matches!(self.cfg.mode, TranslationMode::FBarre(_)) {
+                    self.m.rcf_remote_hits += 1;
+                }
+                self.m.intra_mcm_translations += 1;
+                self.finish_l2_miss_at(p.chiplet, key, payload, now);
+            }
+            _ => {
+                self.m.peer_probe_nacks += 1;
+                self.send_ats(page, key, now);
+            }
+        }
+    }
+
+    // ----- fills -----
+
+    fn fill_l1(&mut self, chiplet: u8, cu: u16, key: TlbKey, pfn: GlobalPfn) {
+        let idx = self.cfg.topology.cu_index_flat(cu);
+        self.chiplets[chiplet as usize].l1_tlbs[idx].insert(key, pfn);
+    }
+
+    /// Completes an outstanding L2 miss: fills the L2 TLB (with filter and
+    /// tracker maintenance), wakes every merged waiter.
+    fn finish_l2_miss_at(&mut self, chiplet: u8, key: TlbKey, payload: L2Payload, t: Cycle) {
+        // Every fill — walked, IOMMU-calculated, or chiplet-calculated —
+        // must agree with the page table. A fill computed before a page
+        // migration can arrive after it (or be calculated from an
+        // in-flight payload whose bitmap predates the exclusion); the
+        // shootdown protocol turns those into retries.
+        let current = self.page_tables[key.asid as usize]
+            .lookup(key.vpn)
+            .map(|p| p.pfn());
+        if current != Some(payload.pfn) {
+            self.send_ats_inner(chiplet, key, t, false);
+            return;
+        }
+        let c = chiplet as usize;
+        let evicted = match &mut self.shared_l2 {
+            Some(shared) => shared.insert(key, payload),
+            None => self.chiplets[c].l2_tlb.insert(key, payload),
+        };
+        self.after_l2_insert(chiplet, key, payload, t);
+        if let Some((ekey, epayload)) = evicted {
+            self.after_l2_evict(chiplet, ekey, epayload, t);
+        }
+        let waiters = self.chiplets[c].l2_mshr.complete(key);
+        for w in waiters.into_iter().flatten() {
+            let p = self.pages[w as usize].clone();
+            self.fill_l1(p.chiplet, p.cu, key, payload.pfn);
+            self.pages[w as usize].pfn = Some(payload.pfn);
+            self.queue.push(t, Ev::MemStart { page: w });
+        }
+    }
+
+    fn after_l2_insert(&mut self, chiplet: u8, key: TlbKey, payload: L2Payload, t: Cycle) {
+        if matches!(self.cfg.mode, TranslationMode::Least) {
+            let fkey = barre_core::fbarre::filter_key(key.asid, key.vpn);
+            self.least_trackers[chiplet as usize].insert(fkey);
+        }
+        if self.chiplets[chiplet as usize].filters.is_some() {
+            if let Some(f) = &mut self.chiplets[chiplet as usize].filters {
+                f.lcf_insert(key.asid, key.vpn);
+            }
+            self.broadcast_filter_updates(chiplet, key, payload, FilterCmd::Add, t);
+        }
+    }
+
+    fn after_l2_evict(&mut self, chiplet: u8, key: TlbKey, payload: L2Payload, t: Cycle) {
+        if matches!(self.cfg.mode, TranslationMode::Least) {
+            let fkey = barre_core::fbarre::filter_key(key.asid, key.vpn);
+            self.least_trackers[chiplet as usize].remove(fkey);
+        }
+        if self.chiplets[chiplet as usize].filters.is_some() {
+            if let Some(f) = &mut self.chiplets[chiplet as usize].filters {
+                f.lcf_remove(key.asid, key.vpn);
+            }
+            self.broadcast_filter_updates(chiplet, key, payload, FilterCmd::Delete, t);
+        }
+    }
+
+    /// Advertises (or retracts) a TLB entry's exact VPN plus all its
+    /// coalescing VPNs in the sharer peers' RCFs, best effort.
+    fn broadcast_filter_updates(
+        &mut self,
+        chiplet: u8,
+        key: TlbKey,
+        payload: L2Payload,
+        cmd: FilterCmd,
+        t: Cycle,
+    ) {
+        let Some(info) = CoalInfo::decode(payload.coal_bits, self.coal_mode) else {
+            return;
+        };
+        let Some(entry) = self.chiplets[chiplet as usize]
+            .pec_buffer
+            .peek(key.asid, key.vpn)
+            .cloned()
+        else {
+            return;
+        };
+        // Which VPN anchors the member enumeration: the entry itself.
+        let members = self.pec_logic.members(key.vpn, &info, &entry);
+        if members.is_empty() {
+            return;
+        }
+        let advertised: Vec<Vpn> = members.iter().map(|m| m.vpn).collect();
+        let peers: Vec<ChipletId> = members
+            .iter()
+            .map(|m| m.chiplet)
+            .filter(|c| c.0 != chiplet)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let oracle = matches!(self.cfg.mode, TranslationMode::FBarre(f) if f.oracle_traffic);
+        for peer in peers {
+            // One batched message per peer carries the whole group's
+            // advertisement (n × 43-bit records in a single mesh packet).
+            self.m.filter_updates_sent += advertised.len() as u64;
+            let bytes = 4 + FILTER_UPDATE_BYTES * advertised.len() as u64;
+            let at = if oracle {
+                t + self.cfg.mesh_latency
+            } else {
+                let vc = &mut self.filter_vc[chiplet as usize];
+                if vc.backlog(t) > FILTER_DROP_BACKLOG {
+                    self.m.filter_updates_dropped += advertised.len() as u64;
+                    continue;
+                }
+                vc.send(t, bytes)
+            };
+            let upds: Vec<FilterUpdate> = advertised
+                .iter()
+                .map(|&vpn| FilterUpdate {
+                    cmd,
+                    sender: ChipletId(chiplet),
+                    asid: key.asid,
+                    vpn,
+                })
+                .collect();
+            self.queue.push(at, Ev::FilterUpd { at: peer.0, upds });
+        }
+    }
+
+    // ----- data access -----
+
+    fn mem_start(&mut self, page: u32) {
+        let now = self.now;
+        let p = self.pages[page as usize].clone();
+        let pfn = p.pfn.expect("translated before access");
+        // The page may have migrated while this access was in flight
+        // (its TLB entry was shot down, but the access already held the
+        // frame). Re-translate instead of touching the stale frame —
+        // and, crucially, instead of feeding the migration engine a
+        // stale home that it would "migrate" (and double-free) again.
+        if self.cfg.migration.is_some() {
+            let current = self.page_tables[p.asid as usize]
+                .lookup(p.vpn)
+                .map(|e| e.pfn());
+            if current != Some(pfn) {
+                self.queue.push(now, Ev::Translate { page });
+                return;
+            }
+        }
+        // Migration engine observes every data access.
+        if self.acud.is_some() {
+            if let Some(done) = self.try_migration(&p, pfn, now) {
+                // The access restarts after migration (retranslate: the
+                // page moved, TLBs were shot down).
+                self.queue.push(done, Ev::Translate { page });
+                return;
+            }
+        }
+        self.m.data_accesses += 1;
+        let paddr = barre_mem::PhysAddr(
+            (pfn.0 << self.page_shift) | (p.page_off & ((1 << self.page_shift) - 1)),
+        );
+        let home = pfn.chiplet();
+        let local = home.0 == p.chiplet;
+        let cu_idx = self.cfg.topology.cu_index_flat(p.cu);
+        let l1_hit = self.chiplets[p.chiplet as usize].l1d[cu_idx].access(paddr);
+        if l1_hit {
+            self.queue
+                .push(now + self.cfg.l1d_latency, Ev::MemDone { page });
+            return;
+        }
+        let t_req = if local {
+            now + self.cfg.l1d_latency
+        } else {
+            self.m.remote_data_accesses += 1;
+            // Stores carry the line with the request; loads send a small
+            // request and fetch the line on the reply.
+            let req_bytes = if p.write {
+                self.cfg.line_bytes
+            } else {
+                self.cfg.line_bytes / 2
+            };
+            self.mesh.send(
+                now + self.cfg.l1d_latency,
+                ChipletId(p.chiplet),
+                home,
+                req_bytes,
+            )
+        };
+        let l2_hit = self.chiplets[home.index()].l2d.access(paddr);
+        let t_data = if l2_hit {
+            t_req + self.cfg.l2d_latency
+        } else {
+            // DRAM channel occupancy: only the line transfer holds the
+            // channel; the L2D lookup and DRAM access latencies pipeline.
+            let ch = &mut self.chiplets[home.index()];
+            let start = t_req.max(ch.dram_free);
+            let ser = (self.cfg.line_bytes / self.cfg.dram_bytes_per_cycle).max(1);
+            ch.dram_free = start + ser;
+            start + ser + self.cfg.l2d_latency + self.cfg.dram_latency
+        };
+        let t_done = if local {
+            t_data
+        } else {
+            let reply_bytes = if p.write { 8 } else { self.cfg.line_bytes };
+            self.mesh
+                .send(t_data, home, ChipletId(p.chiplet), reply_bytes)
+        };
+        self.queue.push(t_done, Ev::MemDone { page });
+    }
+
+    /// Checks ACUD counters; performs a migration when triggered. Returns
+    /// the cycle the migration completes (the triggering access then
+    /// retries), or `None` when no migration happens.
+    fn try_migration(&mut self, p: &PageReq, pfn: GlobalPfn, now: Cycle) -> Option<Cycle> {
+        let acud = self.acud.as_mut()?;
+        let decision = acud.record(p.asid, p.vpn, ChipletId(p.chiplet), pfn.chiplet())?;
+        // Destination must have a free frame.
+        let local = self.frames[decision.to.index()].alloc_any()?;
+        let acud = self.acud.as_mut().expect("present");
+        acud.migrated(p.asid, p.vpn);
+        self.m.migrations += 1;
+        let old = pfn;
+        let new = GlobalPfn::compose(decision.to, local);
+        self.frames[old.chiplet().index()].free(old.local());
+        // Rewrite the PTE: new frame, excluded from its coalescing group.
+        self.page_tables[p.asid as usize].update(p.vpn, |pte| {
+            pte.with_pfn(new).with_coal_bits(0)
+        });
+        // Remaining group members drop the leaving chiplet from their
+        // bitmaps (§VI). Their cached translations still carry the old
+        // bitmap, so the shootdown must cover the whole group — a member
+        // entry left in a TLB could otherwise calculate the migrated
+        // page's *old* frame.
+        let group = self.exclude_from_group(p.asid, p.vpn, old.chiplet());
+        for vpn in group.into_iter().chain(std::iter::once(p.vpn)) {
+            let key = TlbKey { asid: p.asid, vpn };
+            for c in 0..self.chiplets.len() {
+                let evicted = self.chiplets[c].l2_tlb.invalidate(key);
+                if let Some(epayload) = evicted {
+                    self.after_l2_evict(c as u8, key, epayload, now);
+                }
+                for l1 in &mut self.chiplets[c].l1_tlbs {
+                    l1.invalidate(key);
+                }
+            }
+            if let Some(shared) = &mut self.shared_l2 {
+                shared.invalidate(key);
+            }
+            self.iommu.invalidate(p.asid, vpn);
+        }
+        // Invalidate cached lines of the old frame.
+        let page_bytes = 1u64 << self.page_shift;
+        let old_base = barre_mem::PhysAddr(old.0 << self.page_shift);
+        let old_end = barre_mem::PhysAddr((old.0 << self.page_shift) + page_bytes);
+        for ch in &mut self.chiplets {
+            ch.l2d.invalidate_range(old_base, old_end);
+        }
+        // Copy cost: the page crosses the mesh, plus fixed overhead.
+        let copy_done = self
+            .mesh
+            .send(now, old.chiplet(), decision.to, page_bytes);
+        let overhead = self.cfg.migration.map(|mc| mc.overhead).unwrap_or(0);
+        Some(copy_done + overhead)
+    }
+
+    /// Clears `leaving`'s participation bit in every remaining member of
+    /// the coalescing group containing `(asid, vpn)`; returns the member
+    /// VPNs so the caller can shoot their translations down.
+    fn exclude_from_group(&mut self, asid: u16, vpn: Vpn, leaving: ChipletId) -> Vec<Vpn> {
+        let Some(entry) = self
+            .master_pecs
+            .iter()
+            .find(|e| e.contains(asid, vpn))
+            .cloned()
+        else {
+            return Vec::new();
+        };
+        // Use any member's PTE to enumerate the group.
+        let Some(pte) = self.page_tables[asid as usize].lookup(vpn) else {
+            return Vec::new();
+        };
+        let Some(info) = CoalInfo::decode(pte.coal_bits(), self.coal_mode) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for m in self.pec_logic.members(vpn, &info, &entry) {
+            if m.vpn == vpn {
+                continue;
+            }
+            out.push(m.vpn);
+            self.page_tables[asid as usize].update(m.vpn, |p| {
+                let bits = CoalInfo::decode(p.coal_bits(), self.coal_mode)
+                    .map(|i| i.exclude(leaving))
+                    .map(|i| if i.is_coalesced() { i.encode() } else { 0 })
+                    .unwrap_or(0);
+                p.with_coal_bits(bits)
+            });
+        }
+        out
+    }
+
+    fn mem_done(&mut self, page: u32) {
+        let now = self.now;
+        let p = self.pages[page as usize].clone();
+        self.free_page(page);
+        let inst = &mut self.insts[p.inst as usize];
+        inst.pages_left -= 1;
+        if inst.pages_left == 0 {
+            let (chiplet, cu, slot) = (inst.chiplet, inst.cu, inst.slot);
+            self.free_inst(p.inst);
+            // Compute gap before the stream's next memory instruction,
+            // plus a small deterministic per-warp jitter (instruction-mix
+            // variation). Without it, streams served by synchronized
+            // fills phase-lock into convoys that leave the PTWs idle
+            // between bursts — real warp schedulers never do.
+            let stream = self.cus[chiplet as usize][cu as usize].slots[slot as usize].as_ref();
+            let (gap, warps) = stream
+                .map(|s| (s.pattern.insns_per_access(), s.warps))
+                .unwrap_or((10, 0));
+            let mix = (chiplet as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((cu as u64) << 17)
+                .wrapping_add((slot as u64) << 9)
+                .wrapping_add(warps)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let jitter = mix % (gap / 2 + 8);
+            self.queue.push(now + gap + jitter, Ev::Issue { chiplet, cu, slot });
+        }
+    }
+
+    // ----- slabs -----
+
+    fn alloc_inst(&mut self, inst: WarpInst) -> u32 {
+        match self.free_insts.pop() {
+            Some(i) => {
+                self.insts[i as usize] = inst;
+                i
+            }
+            None => {
+                self.insts.push(inst);
+                (self.insts.len() - 1) as u32
+            }
+        }
+    }
+
+    fn free_inst(&mut self, i: u32) {
+        self.free_insts.push(i);
+    }
+
+    fn alloc_page(&mut self, p: PageReq) -> u32 {
+        match self.free_pages.pop() {
+            Some(i) => {
+                self.pages[i as usize] = p;
+                i
+            }
+            None => {
+                self.pages.push(p);
+                (self.pages.len() - 1) as u32
+            }
+        }
+    }
+
+    fn free_page(&mut self, i: u32) {
+        self.free_pages.push(i);
+    }
+
+    // ----- finalization -----
+
+    fn finalize(mut self) -> RunMetrics {
+        self.m.total_cycles = self.now;
+        let io = self.iommu.stats();
+        self.m.walks = io.walks.get();
+        self.m.coalesced_translations = io.coalesced.get();
+        self.m.ats_latency = io.ats_latency.clone();
+        self.m.vpn_gap = io.vpn_gap.clone();
+        for ch in &self.chiplets {
+            if let Some(g) = &ch.gmmu {
+                self.m.walks += g.local_walks.get() + g.remote_walks.get();
+                self.m.gmmu_local_walks += g.local_walks.get();
+                self.m.gmmu_remote_walks += g.remote_walks.get();
+                self.m.coalesced_translations += g.coalesced.get();
+            }
+        }
+        self.m.ptw_busy_cycles = io.ptw_busy.get();
+        self.m.pw_queue_rejections = io.queue_rejections.get();
+        self.m.pcie_bytes = self.pcie_up.total_bytes() + self.pcie_down.total_bytes();
+        self.m.mesh_bytes =
+            self.mesh.total_bytes() + self.filter_vc.iter().map(Link::total_bytes).sum::<u64>();
+        self.m
+    }
+}
+
+/// Extension used by the machine to flatten CU ids (CU index within a
+/// chiplet).
+trait TopoExt {
+    fn cu_index_flat(&self, cu: u16) -> usize;
+}
+
+impl TopoExt for barre_gpu::Topology {
+    fn cu_index_flat(&self, cu: u16) -> usize {
+        cu as usize
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-run measurements — everything the paper's figures are plotted from.
+
+use barre_sim::Histogram;
+
+/// Measurements of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Total simulated cycles to drain every CTA.
+    pub total_cycles: u64,
+    /// Warp-level instructions executed (memory + compute), the MPKI
+    /// denominator.
+    pub warp_instructions: u64,
+    /// Warp memory instructions executed.
+    pub warp_mem_instructions: u64,
+    /// Page translations requested of L1 TLBs (post warp-coalescing).
+    pub l1_tlb_lookups: u64,
+    /// L1 TLB misses.
+    pub l1_tlb_misses: u64,
+    /// L2 TLB demand lookups.
+    pub l2_tlb_lookups: u64,
+    /// L2 TLB demand misses.
+    pub l2_tlb_misses: u64,
+    /// ATS packets sent to the IOMMU (requests).
+    pub ats_requests: u64,
+    /// Page table walks performed (IOMMU or GMMU).
+    pub walks: u64,
+    /// Translations served by PEC calculation at the IOMMU/GMMU.
+    pub coalesced_translations: u64,
+    /// Translations resolved *inside* the MCM: locally via LCF or via a
+    /// peer chiplet (F-Barre), or via a remote L2 TLB (Least).
+    pub intra_mcm_translations: u64,
+    /// … of which resolved locally through the LCF.
+    pub lcf_translations: u64,
+    /// Peer probes sent (F-Barre RCF hits / Least tracker hits).
+    pub peer_probes: u64,
+    /// Peer probes that failed (filter false positive / stale entry).
+    pub peer_probe_nacks: u64,
+    /// Valkyrie sibling-L1 probe hits.
+    pub l1_peer_hits: u64,
+    /// Prefetch ATS requests issued (Valkyrie).
+    pub prefetches: u64,
+    /// Filter-update messages sent / dropped (best-effort path).
+    pub filter_updates_sent: u64,
+    /// Dropped filter updates.
+    pub filter_updates_dropped: u64,
+    /// Data accesses served by remote chiplets.
+    pub remote_data_accesses: u64,
+    /// Total data accesses.
+    pub data_accesses: u64,
+    /// Pages migrated.
+    pub migrations: u64,
+    /// Demand-paging far faults taken.
+    pub page_faults: u64,
+    /// Pages mapped by the fault handler (group fetch maps several per
+    /// fault).
+    pub demand_pages_mapped: u64,
+    /// GMMU walks that crossed the mesh (MGvm remote walks).
+    pub gmmu_remote_walks: u64,
+    /// GMMU walks served locally.
+    pub gmmu_local_walks: u64,
+    /// End-to-end ATS turnaround distribution (cycles).
+    pub ats_latency: Histogram,
+    /// VPN gap between consecutive IOMMU requests (Fig 5).
+    pub vpn_gap: Histogram,
+    /// Bytes moved over PCIe (both directions).
+    pub pcie_bytes: u64,
+    /// Bytes moved over the mesh.
+    pub mesh_bytes: u64,
+    /// Total PTW-occupied cycles at the IOMMU.
+    pub ptw_busy_cycles: u64,
+    /// ATS packets bounced off a full PW-queue.
+    pub pw_queue_rejections: u64,
+    /// Remote hit rate numerator/denominator for Fig 17a (peer probes
+    /// that returned a translation / peer translation attempts).
+    pub rcf_remote_attempts: u64,
+    /// Successful remote translations (Fig 17a numerator).
+    pub rcf_remote_hits: u64,
+    /// LCF probes that led to a real local coalescing translation.
+    pub lcf_true_hits: u64,
+    /// LCF probes that hit the filter.
+    pub lcf_hits: u64,
+}
+
+impl RunMetrics {
+    /// L2 TLB misses per kilo warp instruction — Table I's metric.
+    pub fn mpki(&self) -> f64 {
+        if self.warp_instructions == 0 {
+            0.0
+        } else {
+            self.l2_tlb_misses as f64 * 1000.0 / self.warp_instructions as f64
+        }
+    }
+
+    /// Fraction of IOMMU/GMMU translations served by calculation
+    /// (Fig 16b).
+    pub fn coalescing_rate(&self) -> f64 {
+        let total = self.walks + self.coalesced_translations;
+        if total == 0 {
+            0.0
+        } else {
+            self.coalesced_translations as f64 / total as f64
+        }
+    }
+
+    /// Fraction of data accesses that crossed the mesh.
+    pub fn remote_access_rate(&self) -> f64 {
+        if self.data_accesses == 0 {
+            0.0
+        } else {
+            self.remote_data_accesses as f64 / self.data_accesses as f64
+        }
+    }
+
+    /// Remote (RCF) hit rate, Fig 17a.
+    pub fn remote_hit_rate(&self) -> f64 {
+        if self.rcf_remote_attempts == 0 {
+            0.0
+        } else {
+            self.rcf_remote_hits as f64 / self.rcf_remote_attempts as f64
+        }
+    }
+
+    /// Local (LCF) true-positive rate, Fig 17a.
+    pub fn local_hit_rate(&self) -> f64 {
+        if self.lcf_hits == 0 {
+            0.0
+        } else {
+            self.lcf_true_hits as f64 / self.lcf_hits as f64
+        }
+    }
+
+    /// Mean ATS turnaround in cycles (Fig 16a).
+    pub fn mean_ats_latency(&self) -> f64 {
+        self.ats_latency.mean()
+    }
+}
+
+/// Speedup of `new` over `base` by total cycles.
+pub fn speedup(base: &RunMetrics, new: &RunMetrics) -> f64 {
+    if new.total_cycles == 0 {
+        0.0
+    } else {
+        base.total_cycles as f64 / new.total_cycles as f64
+    }
+}
+
+/// Geometric mean of an iterator of positive ratios.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_uses_warp_instructions() {
+        let m = RunMetrics {
+            warp_instructions: 10_000,
+            l2_tlb_misses: 50,
+            ..Default::default()
+        };
+        assert!((m.mpki() - 5.0).abs() < 1e-12);
+        assert_eq!(RunMetrics::default().mpki(), 0.0);
+    }
+
+    #[test]
+    fn rates_are_bounded() {
+        let m = RunMetrics {
+            walks: 40,
+            coalesced_translations: 60,
+            data_accesses: 100,
+            remote_data_accesses: 25,
+            ..Default::default()
+        };
+        assert!((m.coalescing_rate() - 0.6).abs() < 1e-12);
+        assert!((m.remote_access_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_geomean() {
+        let base = RunMetrics { total_cycles: 200, ..Default::default() };
+        let new = RunMetrics { total_cycles: 100, ..Default::default() };
+        assert!((speedup(&base, &new) - 2.0).abs() < 1e-12);
+        let g = geomean([1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+}

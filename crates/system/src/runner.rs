@@ -1,0 +1,254 @@
+//! Building and running experiments.
+//!
+//! [`build_machine`] performs everything the host software stack would:
+//! virtual allocation per data object, policy planning (LASP & friends),
+//! driver page mapping (Barre-enforced or default), page-table and
+//! PEC-record construction, CTA creation and scheduling. [`run_app`] /
+//! [`run_spec`] / [`run_pair`] are the one-call entry points every bench
+//! uses.
+
+use barre_core::driver::{BarreAllocator, MappingPlan};
+use barre_core::{CoalMode, PecEntry};
+use barre_gpu::{Cta, CtaId, CtaScheduler};
+use barre_mem::{FrameAllocator, GlobalPfn, PageTable, Pte, PteFlags, VirtAddr, VirtAllocator};
+use barre_workloads::{AppId, AppPair, WorkloadSpec};
+
+use crate::config::{SystemConfig, TranslationMode};
+use crate::machine::Machine;
+use crate::metrics::RunMetrics;
+
+/// The PTE coalescing layout a configuration implies.
+pub fn coal_mode_of(cfg: &SystemConfig) -> CoalMode {
+    if cfg.topology.n_chiplets > 8 {
+        // Beyond 8 chiplets only the §VI wide layout fits the PTE bits;
+        // it cannot express merged runs, so callers must use
+        // `max_merged == 1` there.
+        return CoalMode::Wide;
+    }
+    match cfg.mode {
+        TranslationMode::FBarre(f) if f.max_merged > 1 => CoalMode::Expanded,
+        _ => CoalMode::Base,
+    }
+}
+
+/// Builds a ready-to-run machine executing `specs` concurrently (one
+/// address space each).
+///
+/// # Panics
+///
+/// Panics if a chiplet runs out of physical frames (auto-sizing leaves
+/// ample headroom, so this indicates a configuration error).
+pub fn build_machine(specs: &[WorkloadSpec], cfg: &SystemConfig, seed: u64) -> Machine {
+    let n = cfg.topology.n_chiplets;
+    let shift = cfg.page_size.shift();
+    let total_pages: u64 = specs
+        .iter()
+        .flat_map(|s| s.datasets())
+        .map(|d| d.bytes.div_ceil(1 << shift))
+        .sum();
+    let frames_per_chiplet = cfg
+        .frames_per_chiplet
+        .unwrap_or(((total_pages * 2 / n as u64) + 512) as usize);
+    let mut frames: Vec<FrameAllocator> =
+        (0..n).map(|_| FrameAllocator::new(frames_per_chiplet)).collect();
+
+    let use_barre = cfg.mode.uses_barre();
+    let demand = cfg.demand_paging.is_some();
+    let mut driver = BarreAllocator::new(coal_mode_of(cfg), cfg.mode.max_merged());
+    let mut page_tables = Vec::new();
+    let mut master_pecs: Vec<PecEntry> = Vec::new();
+    let mut plans: Vec<MappingPlan> = Vec::new();
+    let mut ctas = Vec::new();
+    let mut next_cta = 0u32;
+
+    for (asid, spec) in specs.iter().enumerate() {
+        let asid = asid as u16;
+        let mut va = VirtAllocator::new();
+        let mut pt = PageTable::new(asid);
+        let mut bases = Vec::new();
+        for decl in spec.datasets() {
+            let pages = decl.bytes.div_ceil(1 << shift).max(1);
+            let (_, range) = va.alloc(pages);
+            bases.push(range.start.base_addr(shift));
+            let hint = decl.hint(shift, n);
+            let plan: MappingPlan = cfg.policy.plan(asid, range, hint, n);
+            if demand {
+                // On-demand paging: nothing premapped; the PEC record is
+                // still programmed (the driver knows the layout).
+                if use_barre {
+                    master_pecs.push(plan.pec_entry());
+                }
+            } else if use_barre {
+                let out = driver
+                    .allocate(&plan, &mut frames)
+                    .expect("chiplet out of frames");
+                for (v, pte) in out.ptes {
+                    pt.map(v, pte);
+                }
+                master_pecs.push(out.pec);
+            } else {
+                allocate_plain(&plan, &mut frames, &mut pt);
+            }
+            plans.push(plan);
+        }
+        let n_ctas = spec.n_ctas(cfg.topology.total_cus());
+        for cta in 0..n_ctas {
+            let home = cfg.policy.cta_home(cta, n_ctas, n).chiplet;
+            let pattern = spec.cta_pattern(cta, n_ctas, &bases, seed ^ ((asid as u64) << 32));
+            ctas.push(Cta {
+                id: CtaId(next_cta),
+                asid,
+                home,
+                pattern,
+            });
+            next_cta += 1;
+        }
+        page_tables.push(pt);
+    }
+    // Interleave multi-app CTAs so co-running kernels share CUs
+    // fine-grained (§VII-I) rather than running back to back.
+    if specs.len() > 1 {
+        ctas.sort_by_key(|c| (c.id.0 % 97, c.id.0));
+    }
+    let sched = CtaScheduler::new(n, ctas);
+    Machine::assemble(cfg.clone(), page_tables, frames, master_pecs, plans, sched)
+}
+
+/// Default driver allocation: each page individually on its planned
+/// chiplet, no coalescing bits.
+fn allocate_plain(plan: &MappingPlan, frames: &mut [FrameAllocator], pt: &mut PageTable) {
+    for vpn in plan.range.iter() {
+        let chiplet = plan.chiplet_of(vpn).expect("vpn inside plan");
+        let local = frames[chiplet.index()]
+            .alloc_any()
+            .expect("chiplet out of frames");
+        let pfn = GlobalPfn::compose(chiplet, local);
+        pt.map(vpn, Pte::new(pfn, PteFlags::default()));
+    }
+}
+
+/// Runs one application under `cfg`.
+pub fn run_app(app: AppId, cfg: &SystemConfig, seed: u64) -> RunMetrics {
+    run_spec(app.spec(), cfg, seed)
+}
+
+/// Runs one workload spec under `cfg`.
+pub fn run_spec(spec: WorkloadSpec, cfg: &SystemConfig, seed: u64) -> RunMetrics {
+    build_machine(&[spec], cfg, seed).run()
+}
+
+/// Runs an application pair concurrently (multi-programming, §VII-I).
+pub fn run_pair(pair: AppPair, cfg: &SystemConfig, seed: u64) -> RunMetrics {
+    build_machine(&[pair.a.spec(), pair.b.spec()], cfg, seed).run()
+}
+
+/// A tiny smoke workload used by unit/integration tests: a strided kernel
+/// small enough to finish in well under a second in debug builds.
+pub fn smoke_config() -> SystemConfig {
+    let mut cfg = SystemConfig::scaled();
+    cfg.topology = barre_gpu::Topology {
+        n_chiplets: 4,
+        sas_per_chiplet: 1,
+        cus_per_sa: 2,
+    };
+    cfg.cu_slots = 6;
+    cfg.max_warps_per_cta = Some(120);
+    cfg
+}
+
+/// Ignore-the-details helper for examples: pretty-prints a metrics
+/// one-liner.
+pub fn summary_line(label: &str, m: &RunMetrics) -> String {
+    format!(
+        "{label:<18} cycles={:<12} MPKI={:<8.2} ATS={:<8} walks={:<8} coalesced={:<8} intra-MCM={:<8} remote-data={:.1}%",
+        m.total_cycles,
+        m.mpki(),
+        m.ats_requests,
+        m.walks,
+        m.coalesced_translations,
+        m.intra_mcm_translations,
+        m.remote_access_rate() * 100.0
+    )
+}
+
+// `VirtAddr` is used in doc examples.
+#[allow(unused_imports)]
+use barre_mem::Vpn;
+const _: fn() -> VirtAddr = || VirtAddr(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FBarreConfig;
+    use crate::metrics::speedup;
+
+    #[test]
+    fn baseline_smoke_run_completes() {
+        let cfg = smoke_config();
+        let m = run_app(AppId::Gemv, &cfg, 1);
+        assert!(m.total_cycles > 0);
+        assert!(m.warp_instructions > 0);
+        assert!(m.data_accesses > 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let cfg = smoke_config();
+        let a = run_app(AppId::Jac2d, &cfg, 5);
+        let b = run_app(AppId::Jac2d, &cfg, 5);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.l2_tlb_misses, b.l2_tlb_misses);
+        assert_eq!(a.ats_requests, b.ats_requests);
+    }
+
+    #[test]
+    fn barre_coalesces_on_synchronized_app() {
+        // Stencil slices progress in lockstep across chiplets, so group
+        // members reach the PW-queue together — the condition Barre's
+        // IOMMU-side coalescing exploits (§IV-B). Needs enough run
+        // length for the queue to back up, so use the scaled config with
+        // a modest warp cap.
+        let mut cfg = crate::config::SystemConfig::scaled();
+        cfg.max_warps_per_cta = Some(400);
+        let barre = run_app(
+            AppId::St2d,
+            &cfg.clone().with_mode(TranslationMode::Barre),
+            2,
+        );
+        assert!(barre.coalesced_translations > 0, "no coalescing happened");
+        assert_eq!(
+            barre.walks + barre.coalesced_translations,
+            barre.ats_requests,
+            "every ATS answered by exactly one walk or calculation"
+        );
+    }
+
+    #[test]
+    fn fbarre_cuts_ats_traffic() {
+        let cfg = smoke_config();
+        let base = run_app(AppId::Bicg, &cfg, 3);
+        let fb = run_app(
+            AppId::Bicg,
+            &cfg
+                .clone()
+                .with_mode(TranslationMode::FBarre(FBarreConfig::default())),
+            3,
+        );
+        assert!(fb.intra_mcm_translations > 0, "no intra-MCM translations");
+        assert!(
+            fb.ats_requests < base.ats_requests,
+            "ATS {} !< {}",
+            fb.ats_requests,
+            base.ats_requests
+        );
+        assert!(speedup(&base, &fb) > 0.5);
+    }
+
+    #[test]
+    fn multi_app_pair_runs() {
+        let cfg = smoke_config();
+        let pair = AppPair { a: AppId::Gemv, b: AppId::Gups };
+        let m = run_pair(pair, &cfg, 4);
+        assert!(m.total_cycles > 0);
+    }
+}

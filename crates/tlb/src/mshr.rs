@@ -1,0 +1,180 @@
+//! Miss-status holding registers.
+//!
+//! An MSHR file tracks outstanding misses and merges duplicate requests for
+//! the same key, so one in-flight translation serves every waiting warp.
+//! The L2 TLB's 16 MSHRs (Table II) bound how many distinct translations a
+//! chiplet can have outstanding — Fig 4 shows that scaling this number
+//! barely helps, which is the paper's argument that the bottleneck is
+//! translation *processing*, not miss *tracking*.
+
+/// Result of trying to allocate an MSHR for a missing key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// First miss for this key: caller must issue the downstream request.
+    Primary,
+    /// Another miss for an already-pending key: merged, no new request.
+    Merged,
+    /// No MSHR available: the requester must stall and retry.
+    Full,
+}
+
+/// An MSHR file keyed by `K` with waiter records `T`.
+///
+/// # Example
+///
+/// ```
+/// use barre_tlb::{MshrFile, MshrOutcome};
+///
+/// let mut m: MshrFile<u64, &str> = MshrFile::new(2);
+/// assert_eq!(m.allocate(7, "warp-a"), MshrOutcome::Primary);
+/// assert_eq!(m.allocate(7, "warp-b"), MshrOutcome::Merged);
+/// assert_eq!(m.complete(7), vec!["warp-a", "warp-b"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile<K, T> {
+    entries: Vec<(K, Vec<T>)>,
+    capacity: usize,
+    merges: u64,
+    stalls: u64,
+    peak: usize,
+}
+
+impl<K: PartialEq + Copy, T> MshrFile<K, T> {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one register");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            merges: 0,
+            stalls: 0,
+            peak: 0,
+        }
+    }
+
+    /// Registers a miss on `key` with waiter `waiter`.
+    pub fn allocate(&mut self, key: K, waiter: T) -> MshrOutcome {
+        if let Some((_, waiters)) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            waiters.push(waiter);
+            self.merges += 1;
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() == self.capacity {
+            self.stalls += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.push((key, vec![waiter]));
+        self.peak = self.peak.max(self.entries.len());
+        MshrOutcome::Primary
+    }
+
+    /// Whether `key` has an in-flight miss.
+    pub fn is_pending(&self, key: K) -> bool {
+        self.entries.iter().any(|(k, _)| *k == key)
+    }
+
+    /// Completes the miss on `key`, returning all merged waiters
+    /// (empty if the key was not pending).
+    pub fn complete(&mut self, key: K) -> Vec<T> {
+        match self.entries.iter().position(|(k, _)| *k == key) {
+            Some(i) => self.entries.swap_remove(i).1,
+            None => Vec::new(),
+        }
+    }
+
+    /// Registers currently in use.
+    pub fn in_use(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every register is occupied.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Misses merged into an existing register.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Allocation attempts rejected because the file was full.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Peak simultaneous occupancy.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Drops all pending entries (shootdown), returning their waiters.
+    pub fn drain(&mut self) -> Vec<(K, Vec<T>)> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_merge() {
+        let mut m: MshrFile<u32, u32> = MshrFile::new(4);
+        assert_eq!(m.allocate(1, 100), MshrOutcome::Primary);
+        assert_eq!(m.allocate(1, 101), MshrOutcome::Merged);
+        assert_eq!(m.allocate(2, 200), MshrOutcome::Primary);
+        assert!(m.is_pending(1));
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.complete(1), vec![100, 101]);
+        assert!(!m.is_pending(1));
+        assert_eq!(m.in_use(), 1);
+    }
+
+    #[test]
+    fn full_rejects_new_keys_but_merges_existing() {
+        let mut m: MshrFile<u32, u32> = MshrFile::new(1);
+        assert_eq!(m.allocate(1, 0), MshrOutcome::Primary);
+        assert_eq!(m.allocate(2, 0), MshrOutcome::Full);
+        assert_eq!(m.allocate(1, 1), MshrOutcome::Merged);
+        assert_eq!(m.stalls(), 1);
+        assert!(m.is_full());
+    }
+
+    #[test]
+    fn complete_unknown_is_empty() {
+        let mut m: MshrFile<u32, u32> = MshrFile::new(2);
+        assert!(m.complete(9).is_empty());
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut m: MshrFile<u32, ()> = MshrFile::new(8);
+        for k in 0..5 {
+            m.allocate(k, ());
+        }
+        m.complete(0);
+        m.complete(1);
+        assert_eq!(m.peak(), 5);
+        assert_eq!(m.in_use(), 3);
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let mut m: MshrFile<u32, u8> = MshrFile::new(4);
+        m.allocate(1, 10);
+        m.allocate(1, 11);
+        m.allocate(2, 20);
+        let drained = m.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(m.in_use(), 0);
+    }
+}

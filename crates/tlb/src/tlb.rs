@@ -1,0 +1,277 @@
+//! Set-associative translation cache.
+
+use barre_mem::Vpn;
+use barre_sim::RatioStat;
+
+/// Key of a TLB entry: address-space id plus virtual page number.
+/// Barre Chord "considers the process ID associated to each page" (§VII-I),
+/// so entries are ASID-tagged rather than flushed between applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TlbKey {
+    /// Address-space (process) id.
+    pub asid: u16,
+    /// Virtual page number.
+    pub vpn: Vpn,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<P> {
+    key: TlbKey,
+    payload: P,
+    last_use: u64,
+}
+
+/// A set-associative, LRU TLB with payload `P`.
+///
+/// `entries` must be divisible by `ways`; a fully-associative TLB is
+/// `ways == entries`.
+///
+/// # Example
+///
+/// ```
+/// use barre_tlb::{Tlb, TlbKey};
+/// use barre_mem::Vpn;
+///
+/// let mut tlb: Tlb<u64> = Tlb::new(64, 64); // fully associative L1
+/// let k = TlbKey { asid: 0, vpn: Vpn(0xA1) };
+/// assert!(tlb.lookup(k).is_none());
+/// tlb.insert(k, 0x75);
+/// assert_eq!(tlb.lookup(k), Some(&0x75));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb<P> {
+    sets: Vec<Vec<Slot<P>>>,
+    ways: usize,
+    clock: u64,
+    stats: RatioStat,
+    evictions: u64,
+}
+
+impl<P> Tlb<P> {
+    /// Creates a TLB with `entries` total slots and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `ways`, or the set
+    /// count is not a power of two.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries > 0, "empty TLB");
+        assert!(entries.is_multiple_of(ways), "entries must be a multiple of ways");
+        let nsets = entries / ways;
+        assert!(nsets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            sets: (0..nsets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            clock: 0,
+            stats: RatioStat::new(),
+            evictions: 0,
+        }
+    }
+
+    fn set_of(&self, key: TlbKey) -> usize {
+        // Mix the ASID into the index so co-running apps spread over sets.
+        ((key.vpn.0 ^ ((key.asid as u64) << 17)) as usize) & (self.sets.len() - 1)
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Demand lookup: updates recency and hit/miss statistics.
+    pub fn lookup(&mut self, key: TlbKey) -> Option<&P> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(key);
+        let slot = self.sets[set].iter_mut().find(|s| s.key == key);
+        let hit = slot.is_some();
+        self.stats.record(hit);
+        slot.map(|s| {
+            s.last_use = clock;
+            &s.payload
+        })
+    }
+
+    /// Side-channel probe (coalescing-VPN search, peer probes): does not
+    /// touch recency or demand statistics.
+    pub fn probe(&self, key: TlbKey) -> Option<&P> {
+        let set = self.set_of(key);
+        self.sets[set].iter().find(|s| s.key == key).map(|s| &s.payload)
+    }
+
+    /// Inserts a translation, evicting the set's LRU entry if full.
+    /// Returns the evicted `(key, payload)` if any.
+    pub fn insert(&mut self, key: TlbKey, payload: P) -> Option<(TlbKey, P)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.ways;
+        let set = self.set_of(key);
+        let slots = &mut self.sets[set];
+        if let Some(s) = slots.iter_mut().find(|s| s.key == key) {
+            s.payload = payload;
+            s.last_use = clock;
+            return None;
+        }
+        let mut evicted = None;
+        if slots.len() == ways {
+            let lru = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            let victim = slots.swap_remove(lru);
+            self.evictions += 1;
+            evicted = Some((victim.key, victim.payload));
+        }
+        slots.push(Slot {
+            key,
+            payload,
+            last_use: clock,
+        });
+        evicted
+    }
+
+    /// Removes a specific entry (single-page shootdown, migration).
+    pub fn invalidate(&mut self, key: TlbKey) -> Option<P> {
+        let set = self.set_of(key);
+        let slots = &mut self.sets[set];
+        let idx = slots.iter().position(|s| s.key == key)?;
+        Some(slots.swap_remove(idx).payload)
+    }
+
+    /// Drops every entry (full shootdown). Returns the evicted keys so
+    /// attached filters can be synchronized.
+    pub fn shootdown(&mut self) -> Vec<TlbKey> {
+        let mut keys = Vec::with_capacity(self.len());
+        for set in &mut self.sets {
+            keys.extend(set.drain(..).map(|s| s.key));
+        }
+        keys
+    }
+
+    /// Iterates over resident `(key, payload)` pairs (set order).
+    pub fn iter(&self) -> impl Iterator<Item = (TlbKey, &P)> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|s| (s.key, &s.payload)))
+    }
+
+    /// Demand hit/miss statistics.
+    pub fn stats(&self) -> RatioStat {
+        self.stats
+    }
+
+    /// Number of capacity/conflict evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(vpn: u64) -> TlbKey {
+        TlbKey { asid: 0, vpn: Vpn(vpn) }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut t: Tlb<u32> = Tlb::new(8, 2);
+        t.insert(k(1), 10);
+        assert_eq!(t.lookup(k(1)), Some(&10));
+        assert_eq!(t.lookup(k(2)), None);
+        assert_eq!(t.stats().hits(), 1);
+        assert_eq!(t.stats().total(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // Fully associative with 2 ways.
+        let mut t: Tlb<u32> = Tlb::new(2, 2);
+        t.insert(k(1), 1);
+        t.insert(k(2), 2);
+        t.lookup(k(1)); // make 2 the LRU
+        let ev = t.insert(k(3), 3).unwrap();
+        assert_eq!(ev.0, k(2));
+        assert!(t.probe(k(1)).is_some());
+        assert!(t.probe(k(3)).is_some());
+        assert_eq!(t.evictions(), 1);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru_or_stats() {
+        let mut t: Tlb<u32> = Tlb::new(2, 2);
+        t.insert(k(1), 1);
+        t.insert(k(2), 2);
+        t.probe(k(1)); // not a use
+        let ev = t.insert(k(3), 3).unwrap();
+        assert_eq!(ev.0, k(1)); // 1 is still LRU despite the probe
+        assert_eq!(t.stats().total(), 0);
+    }
+
+    #[test]
+    fn reinsert_updates_payload() {
+        let mut t: Tlb<u32> = Tlb::new(4, 4);
+        t.insert(k(1), 1);
+        assert!(t.insert(k(1), 42).is_none());
+        assert_eq!(t.lookup(k(1)), Some(&42));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn asid_isolation() {
+        let mut t: Tlb<u32> = Tlb::new(16, 4);
+        let a = TlbKey { asid: 1, vpn: Vpn(9) };
+        let b = TlbKey { asid: 2, vpn: Vpn(9) };
+        t.insert(a, 100);
+        assert!(t.probe(b).is_none());
+        t.insert(b, 200);
+        assert_eq!(t.probe(a), Some(&100));
+        assert_eq!(t.probe(b), Some(&200));
+    }
+
+    #[test]
+    fn invalidate_and_shootdown() {
+        let mut t: Tlb<u32> = Tlb::new(8, 4);
+        t.insert(k(1), 1);
+        t.insert(k(2), 2);
+        assert_eq!(t.invalidate(k(1)), Some(1));
+        assert_eq!(t.invalidate(k(1)), None);
+        let keys = t.shootdown();
+        assert_eq!(keys, vec![k(2)]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn set_mapping_respects_associativity() {
+        // 8 entries, 2-way => 4 sets. VPNs congruent mod 4 conflict.
+        let mut t: Tlb<u32> = Tlb::new(8, 2);
+        t.insert(k(0), 0);
+        t.insert(k(4), 4);
+        t.insert(k(8), 8); // evicts one of the set-0 residents
+        let resident = [k(0), k(4), k(8)]
+            .iter()
+            .filter(|&&key| t.probe(key).is_some())
+            .count();
+        assert_eq!(resident, 2);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_panics() {
+        let _: Tlb<u8> = Tlb::new(10, 4);
+    }
+}

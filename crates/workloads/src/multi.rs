@@ -1,0 +1,93 @@
+//! Multi-programming pairs (§VII-I).
+//!
+//! The paper evaluates fine-grained CTA-level sharing of two concurrent
+//! applications with different IOMMU intensities: Low-Low, Low-Mid,
+//! Low-High, Mid-Mid, Mid-High, High-High. Each member runs in its own
+//! address space (ASID) and the CTA scheduler interleaves both kernels'
+//! CTAs on the same CUs.
+
+use crate::apps::{AppId, Category};
+
+/// A co-scheduled application pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppPair {
+    /// First application (ASID 0).
+    pub a: AppId,
+    /// Second application (ASID 1).
+    pub b: AppId,
+}
+
+impl AppPair {
+    /// The representative pair for each intensity combination, chosen
+    /// deterministically from Table I's classes.
+    pub fn representative(c1: Category, c2: Category) -> AppPair {
+        let pick = |c: Category, which: usize| -> AppId {
+            let pool: Vec<AppId> = AppId::all()
+                .into_iter()
+                .filter(|a| a.category() == c)
+                .collect();
+            pool[which % pool.len()]
+        };
+        AppPair {
+            a: pick(c1, 0),
+            b: pick(c2, 1),
+        }
+    }
+
+    /// The six combinations evaluated in Fig 27a.
+    pub fn fig27_pairs() -> Vec<(String, AppPair)> {
+        use Category::*;
+        [
+            (Low, Low),
+            (Low, Mid),
+            (Low, High),
+            (Mid, Mid),
+            (Mid, High),
+            (High, High),
+        ]
+        .into_iter()
+        .map(|(c1, c2)| {
+            (
+                format!("{c1}-{c2}"),
+                AppPair::representative(c1, c2),
+            )
+        })
+        .collect()
+    }
+
+    /// Label like `gemv+fwt`.
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representatives_match_classes() {
+        let p = AppPair::representative(Category::Low, Category::High);
+        assert_eq!(p.a.category(), Category::Low);
+        assert_eq!(p.b.category(), Category::High);
+    }
+
+    #[test]
+    fn six_fig27_pairs() {
+        let pairs = AppPair::fig27_pairs();
+        assert_eq!(pairs.len(), 6);
+        assert_eq!(pairs[0].0, "low-low");
+        // Same-class pairs pick two distinct apps.
+        for (_, p) in &pairs {
+            if p.a.category() == p.b.category() {
+                assert_ne!(p.a, p.b);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        let p = AppPair { a: AppId::Gemv, b: AppId::Gups };
+        assert_eq!(p.label(), "gemv+gups");
+    }
+}

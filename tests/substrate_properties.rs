@@ -1,0 +1,179 @@
+//! Property-based tests on the substrate data structures: cuckoo-filter
+//! membership, event-queue ordering, link timing monotonicity, and frame
+//! allocator conservation.
+
+use proptest::prelude::*;
+
+use barre_chord::filters::{CuckooFilter, Filter, IdealFilter};
+use barre_chord::mem::{FrameAllocator, LocalPfn};
+use barre_chord::sim::{EventQueue, Link};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A cuckoo filter never produces false negatives for keys it
+    /// actually stored, under arbitrary interleavings of inserts and
+    /// deletes.
+    #[test]
+    fn cuckoo_no_false_negatives(ops in prop::collection::vec((0u64..500, any::<bool>()), 1..300)) {
+        let mut f = CuckooFilter::paper_default(7);
+        let mut model = IdealFilter::unbounded();
+        for (key, insert) in ops {
+            if insert {
+                if f.insert(key) {
+                    model.insert(key);
+                }
+            } else if model.contains(key) {
+                // The model says one copy exists; the filter must agree
+                // and be able to delete it.
+                prop_assert!(f.contains(key), "false negative on {key}");
+                prop_assert!(f.remove(key));
+                model.remove(key);
+            }
+        }
+        // Everything still in the model is still findable.
+        for key in 0u64..500 {
+            if model.contains(key) {
+                prop_assert!(f.contains(key), "lost {key}");
+            }
+        }
+    }
+
+    /// Events always pop in nondecreasing time order with FIFO ties.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    // FIFO among equal timestamps ⇒ insertion index grows.
+                    prop_assert!(i > li, "tie broken out of order");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Link arrivals are monotone in send order and never precede
+    /// `now + serialization + latency`.
+    #[test]
+    fn link_timing_monotone(
+        latency in 0u64..200,
+        bw in 1u64..64,
+        sends in prop::collection::vec((0u64..1_000, 1u64..512), 1..100),
+    ) {
+        let mut l = Link::new(latency, bw);
+        let mut sorted = sends.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        let mut last_arrival = 0;
+        for (now, bytes) in sorted {
+            let arr = l.send(now, bytes);
+            prop_assert!(arr >= now + l.serialization(bytes) + latency);
+            prop_assert!(arr >= last_arrival, "arrivals reordered");
+            last_arrival = arr;
+        }
+    }
+
+    /// The frame allocator conserves frames: free count + live
+    /// allocations always equals capacity, and no frame is handed out
+    /// twice.
+    #[test]
+    fn frame_allocator_conserves(
+        cap in 1usize..256,
+        ops in prop::collection::vec(any::<bool>(), 1..400),
+    ) {
+        let mut a = FrameAllocator::new(cap);
+        let mut live: Vec<LocalPfn> = Vec::new();
+        for alloc in ops {
+            if alloc {
+                if let Some(f) = a.alloc_any() {
+                    prop_assert!(!live.contains(&f), "double allocation of {f}");
+                    live.push(f);
+                }
+            } else if let Some(f) = live.pop() {
+                a.free(f);
+            }
+            prop_assert_eq!(a.free_frames() as usize + live.len(), cap);
+        }
+    }
+}
+
+/// A naive reference model of an LRU set-associative TLB.
+mod tlb_reference {
+    use barre_chord::mem::Vpn;
+    use barre_chord::tlb::{Tlb, TlbKey};
+    use proptest::prelude::*;
+
+    /// Reference: per-set vector ordered by recency (front = MRU).
+    struct RefTlb {
+        sets: Vec<Vec<(TlbKey, u32)>>,
+        ways: usize,
+    }
+
+    impl RefTlb {
+        fn new(sets: usize, ways: usize) -> Self {
+            Self {
+                sets: (0..sets).map(|_| Vec::new()).collect(),
+                ways,
+            }
+        }
+
+        fn set_of(&self, key: TlbKey) -> usize {
+            ((key.vpn.0 ^ ((key.asid as u64) << 17)) as usize) & (self.sets.len() - 1)
+        }
+
+        fn lookup(&mut self, key: TlbKey) -> Option<u32> {
+            let s = self.set_of(key);
+            let set = &mut self.sets[s];
+            if let Some(pos) = set.iter().position(|(k, _)| *k == key) {
+                let e = set.remove(pos);
+                let v = e.1;
+                set.insert(0, e);
+                Some(v)
+            } else {
+                None
+            }
+        }
+
+        fn insert(&mut self, key: TlbKey, val: u32) {
+            let s = self.set_of(key);
+            let set = &mut self.sets[s];
+            if let Some(pos) = set.iter().position(|(k, _)| *k == key) {
+                set.remove(pos);
+            } else if set.len() == self.ways {
+                set.pop();
+            }
+            set.insert(0, (key, val));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The production TLB's hit/miss behaviour matches a naive
+        /// MRU-list LRU model operation for operation.
+        #[test]
+        fn tlb_matches_reference_lru(
+            ops in prop::collection::vec((0u64..64, any::<bool>(), 0u32..1000), 1..400)
+        ) {
+            let mut t: Tlb<u32> = Tlb::new(32, 4);
+            let mut r = RefTlb::new(8, 4);
+            for (vpn, is_insert, val) in ops {
+                let key = TlbKey { asid: 0, vpn: Vpn(vpn) };
+                if is_insert {
+                    t.insert(key, val);
+                    r.insert(key, val);
+                } else {
+                    let got = t.lookup(key).copied();
+                    let want = r.lookup(key);
+                    prop_assert_eq!(got, want, "divergence at vpn {}", vpn);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Structural validation of the 19 synthetic kernels: each app's address
+//! stream must exhibit the *pattern* its real counterpart has — that is
+//! the whole basis of the workload substitution (DESIGN.md).
+
+use std::collections::BTreeSet;
+
+use barre_chord::gpu::pattern::{AccessPattern, WarpAccess};
+use barre_chord::mem::VirtAddr;
+use barre_chord::workloads::{AppId, WorkloadSpec};
+
+/// Builds CTA `cta`'s stream with synthetic disjoint bases.
+fn stream(spec: WorkloadSpec, cta: u64) -> (Vec<WarpAccess>, Vec<(u64, u64)>) {
+    let ds = spec.datasets();
+    let mut next = 1u64 << 32;
+    let mut bases = Vec::new();
+    let mut ranges = Vec::new();
+    for d in &ds {
+        bases.push(VirtAddr(next));
+        ranges.push((next, next + d.bytes));
+        next += d.bytes + (1 << 24);
+    }
+    let n = spec.n_ctas(32);
+    let mut p = spec.cta_pattern(cta, n, &bases, 7);
+    let mut out = Vec::new();
+    while let Some(w) = p.next_warp() {
+        out.push(w);
+        if out.len() > 200_000 {
+            break;
+        }
+    }
+    (out, ranges)
+}
+
+fn pages_of(w: &WarpAccess) -> BTreeSet<u64> {
+    w.addrs.iter().map(|a| a.0 >> 12).collect()
+}
+
+#[test]
+fn streaming_apps_are_page_coalesced() {
+    // gemv/cov/fwt-class streams: a warp instruction touches at most 2
+    // pages (256 B contiguous).
+    for app in [AppId::Gemv, AppId::Cov, AppId::Fwt, AppId::Fft] {
+        let (ws, _) = stream(app.spec(), 1);
+        assert!(!ws.is_empty());
+        for w in &ws {
+            assert!(
+                pages_of(w).len() <= 2,
+                "{app}: streaming warp touched {} pages",
+                pages_of(w).len()
+            );
+        }
+    }
+}
+
+#[test]
+fn gather_apps_touch_many_pages_per_warp() {
+    for app in [AppId::Gups, AppId::Spmv, AppId::Gesm] {
+        let (ws, _) = stream(app.spec(), 2);
+        let wide = ws.iter().filter(|w| pages_of(w).len() >= 16).count();
+        assert!(
+            wide * 2 > ws.len(),
+            "{app}: only {wide}/{} warps are page-wide gathers",
+            ws.len()
+        );
+    }
+}
+
+#[test]
+fn stencil_apps_revisit_rows() {
+    // jac2d: each offset is touched by 4 phases (3 reads + 1 write),
+    // and the write goes to the second grid.
+    let (ws, ranges) = stream(AppId::Jac2d.spec(), 3);
+    let writes = ws.iter().filter(|w| w.write).count();
+    assert!(writes * 5 > ws.len(), "too few writes: {writes}/{}", ws.len());
+    let (b_lo, b_hi) = ranges[1];
+    for w in ws.iter().filter(|w| w.write) {
+        assert!(
+            w.addrs.iter().all(|a| (b_lo..b_hi).contains(&a.0)),
+            "jac2d write outside grid B"
+        );
+    }
+}
+
+#[test]
+fn transpose_writes_are_scattered() {
+    let (ws, ranges) = stream(AppId::Matr.spec(), 0);
+    let (b_lo, b_hi) = ranges[1];
+    let scattered_writes = ws
+        .iter()
+        .filter(|w| w.write && pages_of(w).len() >= 16)
+        .count();
+    assert!(scattered_writes > 0, "matr has no scattered writes");
+    // And the writes land in the output matrix.
+    for w in ws.iter().filter(|w| w.write) {
+        assert!(w.addrs.iter().all(|a| (b_lo..b_hi).contains(&a.0)));
+    }
+}
+
+#[test]
+fn graph_apps_have_hot_head() {
+    // Zipf-distributed gathers concentrate on low offsets.
+    for app in [AppId::Pr, AppId::Sssp] {
+        let (ws, ranges) = stream(app.spec(), 4);
+        let (lo, hi) = ranges[0];
+        let len = hi - lo;
+        let (mut head, mut total) = (0u64, 0u64);
+        for w in &ws {
+            for a in &w.addrs {
+                if (lo..hi).contains(&a.0) {
+                    total += 1;
+                    if a.0 - lo < len / 8 {
+                        head += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            head * 2 > total,
+            "{app}: head {head}/{total} — no power-law skew"
+        );
+    }
+}
+
+#[test]
+fn slices_partition_blocked_data() {
+    // Different CTAs' row slices of a Blocked matrix are disjoint
+    // (ignoring shared vectors/halos).
+    let spec = AppId::Gemv.spec();
+    let (w0, ranges) = stream(spec, 0);
+    let (w9, _) = stream(spec, 9);
+    let (a_lo, a_hi) = ranges[0];
+    let pages = |ws: &[WarpAccess]| -> BTreeSet<u64> {
+        ws.iter()
+            .flat_map(|w| w.addrs.iter())
+            .filter(|a| (a_lo..a_hi).contains(&a.0))
+            .map(|a| a.0 >> 12)
+            .collect()
+    };
+    let p0 = pages(&w0);
+    let p9 = pages(&w9);
+    assert!(!p0.is_empty() && !p9.is_empty());
+    assert!(
+        p0.intersection(&p9).count() <= 1,
+        "row slices overlap: {} shared pages",
+        p0.intersection(&p9).count()
+    );
+}
+
+#[test]
+fn wavefront_covers_distinct_tiles() {
+    let spec = AppId::Nw.spec();
+    let (w0, _) = stream(spec, 0);
+    let (w1, _) = stream(spec, 1);
+    let p0: BTreeSet<u64> = w0.iter().flat_map(|w| pages_of(w)).collect();
+    let p1: BTreeSet<u64> = w1.iter().flat_map(|w| pages_of(w)).collect();
+    assert!(p0.intersection(&p1).count() == 0, "nw tiles must be disjoint");
+}
+
+#[test]
+fn scale16_footprint_grows() {
+    for app in [AppId::Gups, AppId::Jac2d] {
+        let b1: u64 = app.spec().datasets().iter().map(|d| d.bytes).sum();
+        let b16: u64 = WorkloadSpec { app, scale: 16 }
+            .datasets()
+            .iter()
+            .map(|d| d.bytes)
+            .sum();
+        assert!(b16 >= 12 * b1, "{app}: 16x scale grew only {b1}->{b16}");
+    }
+}
+
+#[test]
+fn all_apps_emit_bounded_lanes() {
+    for app in AppId::all() {
+        let (ws, ranges) = stream(app.spec(), 5);
+        for w in &ws {
+            assert!(
+                (1..=32).contains(&w.addrs.len()),
+                "{app}: warp with {} lanes",
+                w.addrs.len()
+            );
+            for a in &w.addrs {
+                assert!(
+                    ranges.iter().any(|(lo, hi)| (*lo..*hi).contains(&a.0)),
+                    "{app}: address {a} outside all datasets"
+                );
+            }
+        }
+    }
+}
