@@ -17,10 +17,11 @@ fn main() {
     );
     let base = SystemConfig::scaled();
     let fb = |oracle: bool| {
-        base.clone().with_mode(TranslationMode::FBarre(FBarreConfig {
-            oracle_traffic: oracle,
-            ..FBarreConfig::default()
-        }))
+        base.clone()
+            .with_mode(TranslationMode::FBarre(FBarreConfig {
+                oracle_traffic: oracle,
+                ..FBarreConfig::default()
+            }))
     };
     let cfgs = vec![
         cfg("baseline", base.clone()),
@@ -40,6 +41,10 @@ fn main() {
     println!("oracle      geomean speedup : {:.3}x", geomean(sp_or));
     println!(
         "filter updates dropped      : {drops}/{sent} ({:.2}%)",
-        if sent > 0 { drops as f64 / sent as f64 * 100.0 } else { 0.0 }
+        if sent > 0 {
+            drops as f64 / sent as f64 * 100.0
+        } else {
+            0.0
+        }
     );
 }

@@ -20,7 +20,13 @@ fn main() {
         "design choice of §IV-B (multicast rejected)",
     );
     // Coalescing-friendly apps where multicast has the most to push.
-    let apps = vec![AppId::Jac2d, AppId::St2d, AppId::Fdtd2d, AppId::Fwt, AppId::Gups];
+    let apps = vec![
+        AppId::Jac2d,
+        AppId::St2d,
+        AppId::Fdtd2d,
+        AppId::Fwt,
+        AppId::Gups,
+    ];
     let base = SystemConfig::scaled();
     let barre = base.clone().with_mode(TranslationMode::Barre);
     let mut multicast = base.clone().with_mode(TranslationMode::Barre);

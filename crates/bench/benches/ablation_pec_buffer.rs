@@ -16,7 +16,13 @@ fn main() {
         "design choice of §IV-E (5-entry PEC buffer)",
     );
     // Multi-dataset apps stress the buffer.
-    let apps = vec![AppId::Fdtd2d, AppId::Jac2d, AppId::Atax, AppId::Bicg, AppId::Spmv];
+    let apps = vec![
+        AppId::Fdtd2d,
+        AppId::Jac2d,
+        AppId::Atax,
+        AppId::Bicg,
+        AppId::Spmv,
+    ];
     println!("{:<10} {:>14} {:>14}", "entries", "geomean sp", "coalesced");
     for entries in [1usize, 2, 3, 5, 8] {
         let base = SystemConfig::scaled();

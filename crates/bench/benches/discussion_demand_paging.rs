@@ -7,9 +7,7 @@
 //! faults vs group-granular fetch.
 
 use barre_bench::{banner, cfg, sweep, SEED};
-use barre_system::{
-    geomean, speedup, DemandPagingConfig, SystemConfig, TranslationMode,
-};
+use barre_system::{geomean, speedup, DemandPagingConfig, SystemConfig, TranslationMode};
 use barre_workloads::AppId;
 
 fn main() {
@@ -18,13 +16,25 @@ fn main() {
         "on-demand paging: single-page faults vs coalescing-group fetch",
         "Discussion §VI (Support for on-demand paging & migration)",
     );
-    let apps = vec![AppId::Jac2d, AppId::St2d, AppId::Fwt, AppId::Lu, AppId::Gups];
+    let apps = vec![
+        AppId::Jac2d,
+        AppId::St2d,
+        AppId::Fwt,
+        AppId::Lu,
+        AppId::Gups,
+    ];
     let fb = TranslationMode::FBarre(Default::default());
     let premap = SystemConfig::scaled().with_mode(fb);
     let mut single = premap.clone();
-    single.demand_paging = Some(DemandPagingConfig { fault_latency: 20_000, group_fetch: false });
+    single.demand_paging = Some(DemandPagingConfig {
+        fault_latency: 20_000,
+        group_fetch: false,
+    });
     let mut grouped = premap.clone();
-    grouped.demand_paging = Some(DemandPagingConfig { fault_latency: 20_000, group_fetch: true });
+    grouped.demand_paging = Some(DemandPagingConfig {
+        fault_latency: 20_000,
+        group_fetch: true,
+    });
     let cfgs = vec![
         cfg("premapped", premap),
         cfg("demand-single", single),
@@ -39,7 +49,7 @@ fn main() {
     for (a, row) in apps.iter().zip(&results) {
         let sp1 = speedup(&row[1], &row[0]); // premap over single-page
         let sp2 = speedup(&row[2], &row[0]); // premap over grouped
-        // Report how much of the demand-paging penalty group fetch recovers.
+                                             // Report how much of the demand-paging penalty group fetch recovers.
         s1.push(speedup(&row[0], &row[1]));
         s2.push(speedup(&row[0], &row[2]));
         let ppf = if row[2].page_faults > 0 {

@@ -22,7 +22,7 @@ fn main() {
                 SystemConfig::scaled().with_mode(TranslationMode::SharedL2Ideal),
             ),
         ] {
-            let m = run_app(app, &cfg, SEED);
+            let m = run_app(app, &cfg, SEED).expect("Fig 5 run failed");
             println!("\n{} / {label}: {}", app.name(), m.vpn_gap);
             print!("  gap<=: ");
             for (bound, count) in m.vpn_gap.buckets() {

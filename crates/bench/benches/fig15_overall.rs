@@ -26,7 +26,10 @@ fn main() {
     };
     let cfgs = vec![
         cfg("baseline", base.clone()),
-        cfg("Valkyrie", base.clone().with_mode(TranslationMode::Valkyrie)),
+        cfg(
+            "Valkyrie",
+            base.clone().with_mode(TranslationMode::Valkyrie),
+        ),
         cfg("Least", base.clone().with_mode(TranslationMode::Least)),
         cfg("Barre", base.clone().with_mode(TranslationMode::Barre)),
         cfg("F-Barre-NoMerge", base.clone().with_mode(fb(1))),

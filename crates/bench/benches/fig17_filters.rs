@@ -45,7 +45,11 @@ fn main() {
         );
     }
     let avg = |v: &[f64]| {
-        if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
     };
     println!(
         "average: remote {:.1}%  local {:.1}%",

@@ -24,10 +24,12 @@ fn main() {
     for n in [2usize, 4, 8, 16] {
         let mut base = SystemConfig::scaled();
         base.topology = base.topology.with_chiplets(n);
-        let fbarre = base.clone().with_mode(TranslationMode::FBarre(FBarreConfig {
-            max_merged: 1,
-            ..FBarreConfig::default()
-        }));
+        let fbarre = base
+            .clone()
+            .with_mode(TranslationMode::FBarre(FBarreConfig {
+                max_merged: 1,
+                ..FBarreConfig::default()
+            }));
         let cfgs = vec![cfg("base", base), cfg("fb", fbarre)];
         let results = sweep(&apps, &cfgs, SEED);
         let sps: Vec<f64> = results.iter().map(|r| speedup(&r[0], &r[1])).collect();

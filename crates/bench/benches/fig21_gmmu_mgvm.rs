@@ -43,6 +43,10 @@ fn main() {
     println!("\ngeomean speedup: {:.3}x", geomean(sps));
     println!(
         "total remote page-table walks removed: {:.1}%",
-        if rw0 > 0 { (1.0 - rw1 as f64 / rw0 as f64) * 100.0 } else { 0.0 }
+        if rw0 > 0 {
+            (1.0 - rw1 as f64 / rw0 as f64) * 100.0
+        } else {
+            0.0
+        }
     );
 }

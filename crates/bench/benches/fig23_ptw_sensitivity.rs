@@ -29,7 +29,10 @@ fn main() {
             rows[i].push_str(&format!(" {sp:>9.3}"));
         }
     }
-    println!("{:<8} {:>10} {:>10} {:>10}", "app", "8 PTWs", "16 PTWs", "32 PTWs");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "app", "8 PTWs", "16 PTWs", "32 PTWs"
+    );
     for (a, r) in apps.iter().zip(&rows) {
         println!("{:<8}{r}", a.name());
     }

@@ -16,7 +16,11 @@ fn main() {
         "Fig 26 (§VII-H6)",
     );
     let apps = apps_all();
-    let policies = [PolicyKind::RoundRobin, PolicyKind::Chunking, PolicyKind::Coda];
+    let policies = [
+        PolicyKind::RoundRobin,
+        PolicyKind::Chunking,
+        PolicyKind::Coda,
+    ];
     println!(
         "{:<8} {:>14} {:>14} {:>14}",
         "app", "round-robin", "chunking", "CODA"

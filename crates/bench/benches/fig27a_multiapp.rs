@@ -22,8 +22,8 @@ fn main() {
     println!("{:<12} {:<14} {:>10}", "classes", "pair", "speedup");
     let mut sps = Vec::new();
     for (label, pair) in AppPair::fig27_pairs() {
-        let b = run_pair(pair, &base, SEED);
-        let f = run_pair(pair, &fb, SEED);
+        let b = run_pair(pair, &base, SEED).expect("baseline pair run failed");
+        let f = run_pair(pair, &fb, SEED).expect("F-Barre pair run failed");
         let sp = speedup(&b, &f);
         sps.push(sp);
         println!("{label:<12} {:<14} {sp:>9.3}x", pair.label());

@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks for the core hardware structures:
-//! cuckoo-filter operations, TLB lookups, PEC PFN calculation, and
-//! 4-level page-table walks. These measure the simulator's own data
-//! structures (host-side nanoseconds, not simulated cycles).
+//! Microbenchmarks for the core hardware structures: cuckoo-filter
+//! operations, TLB lookups, PEC PFN calculation, and 4-level page-table
+//! walks. These measure the simulator's own data structures (host-side
+//! nanoseconds, not simulated cycles).
+//!
+//! Hand-rolled timing harness (median of repeated timed batches) — the
+//! workspace builds with path-only dependencies, so criterion is out.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use barre_core::driver::{BarreAllocator, MappingPlan};
 use barre_core::{CoalInfo, CoalMode, PecLogic};
@@ -13,54 +16,80 @@ use barre_mem::virt_alloc::VpnRange;
 use barre_mem::{ChipletId, FrameAllocator, PageTable, Vpn};
 use barre_tlb::{Tlb, TlbKey};
 
-fn bench_cuckoo(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cuckoo_filter");
-    g.bench_function("insert_remove", |b| {
-        let mut f = CuckooFilter::paper_default(1);
-        let mut k = 0u64;
-        b.iter(|| {
-            f.insert(black_box(k));
-            f.remove(black_box(k));
-            k = k.wrapping_add(1);
-        });
-    });
-    g.bench_function("contains_hit", |b| {
-        let mut f = CuckooFilter::paper_default(2);
-        for k in 0..512u64 {
-            f.insert(k);
-        }
-        let mut k = 0u64;
-        b.iter(|| {
-            let hit = f.contains(black_box(k % 512));
-            k += 1;
-            black_box(hit)
-        });
-    });
-    g.finish();
+/// Times `op` over `iters` calls per batch, repeating `batches` times;
+/// prints the median per-call nanoseconds.
+fn bench(name: &str, iters: u64, mut op: impl FnMut()) {
+    const BATCHES: usize = 9;
+    // Warm-up batch.
+    for _ in 0..iters {
+        op();
+    }
+    let mut per_call: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_call.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "{name:<40} {:>10.1} ns/op (median of {BATCHES})",
+        per_call[BATCHES / 2]
+    );
 }
 
-fn bench_tlb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("l2_tlb");
-    g.bench_function("lookup_hit_512e_16w", |b| {
-        let mut t: Tlb<u64> = Tlb::new(512, 16);
-        for v in 0..512u64 {
-            t.insert(TlbKey { asid: 0, vpn: Vpn(v) }, v);
-        }
-        let mut v = 0u64;
-        b.iter(|| {
-            let r = t.lookup(black_box(TlbKey { asid: 0, vpn: Vpn(v % 512) }));
-            v += 1;
-            black_box(r.copied())
-        });
+fn bench_cuckoo() {
+    let mut f = CuckooFilter::paper_default(1);
+    let mut k = 0u64;
+    bench("cuckoo_filter/insert_remove", 100_000, || {
+        f.insert(black_box(k));
+        f.remove(black_box(k));
+        k = k.wrapping_add(1);
     });
-    g.finish();
+    let mut f = CuckooFilter::paper_default(2);
+    for k in 0..512u64 {
+        f.insert(k);
+    }
+    let mut k = 0u64;
+    bench("cuckoo_filter/contains_hit", 100_000, || {
+        let hit = f.contains(black_box(k % 512));
+        k += 1;
+        black_box(hit);
+    });
+}
+
+fn bench_tlb() {
+    let mut t: Tlb<u64> = Tlb::new(512, 16);
+    for v in 0..512u64 {
+        t.insert(
+            TlbKey {
+                asid: 0,
+                vpn: Vpn(v),
+            },
+            v,
+        );
+    }
+    let mut v = 0u64;
+    bench("l2_tlb/lookup_hit_512e_16w", 100_000, || {
+        let r = t.lookup(black_box(TlbKey {
+            asid: 0,
+            vpn: Vpn(v % 512),
+        }));
+        v += 1;
+        black_box(r.copied());
+    });
 }
 
 fn fig7a() -> (PecLogic, barre_core::PecEntry, barre_mem::Pte) {
     let mut frames: Vec<FrameAllocator> = (0..4).map(|_| FrameAllocator::new(4096)).collect();
     let mut d = BarreAllocator::new(CoalMode::Base, 1);
     let plan = MappingPlan::interleaved(
-        VpnRange { start: Vpn(0x1), pages: 12 },
+        VpnRange {
+            start: Vpn(0x1),
+            pages: 12,
+        },
         3,
         &[ChipletId(0), ChipletId(1), ChipletId(2), ChipletId(3)],
     );
@@ -69,28 +98,24 @@ fn fig7a() -> (PecLogic, barre_core::PecEntry, barre_mem::Pte) {
     (PecLogic::new(CoalMode::Base), out.pec, pte)
 }
 
-fn bench_pec(c: &mut Criterion) {
+fn bench_pec() {
     let (logic, entry, pte) = fig7a();
     let info = CoalInfo::decode(pte.coal_bits(), CoalMode::Base).unwrap();
-    let mut g = c.benchmark_group("pec_logic");
-    g.bench_function("calc_pfn", |b| {
-        b.iter(|| {
-            logic.calc_pfn(
-                black_box(Vpn(0x4)),
-                black_box(pte.pfn()),
-                &info,
-                &entry,
-                black_box(Vpn(0xA)),
-            )
-        });
+    bench("pec_logic/calc_pfn", 100_000, || {
+        black_box(logic.calc_pfn(
+            black_box(Vpn(0x4)),
+            black_box(pte.pfn()),
+            &info,
+            &entry,
+            black_box(Vpn(0xA)),
+        ));
     });
-    g.bench_function("coalescing_candidates", |b| {
-        b.iter(|| logic.coalescing_candidates(&entry, black_box(Vpn(0x4)), 2));
+    bench("pec_logic/coalescing_candidates", 100_000, || {
+        black_box(logic.coalescing_candidates(&entry, black_box(Vpn(0x4)), 2));
     });
-    g.finish();
 }
 
-fn bench_page_table(c: &mut Criterion) {
+fn bench_page_table() {
     let mut pt = PageTable::new(0);
     for v in 0..4096u64 {
         pt.map(
@@ -101,17 +126,18 @@ fn bench_page_table(c: &mut Criterion) {
             ),
         );
     }
-    let mut g = c.benchmark_group("page_table");
-    g.bench_function("walk_4_levels", |b| {
-        let mut v = 0u64;
-        b.iter(|| {
-            let r = pt.walk(black_box(Vpn((v % 4096) * 7)));
-            v += 1;
-            black_box(r)
-        });
+    let mut v = 0u64;
+    bench("page_table/walk_4_levels", 100_000, || {
+        let r = pt.walk(black_box(Vpn((v % 4096) * 7)));
+        v += 1;
+        black_box(r);
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_cuckoo, bench_tlb, bench_pec, bench_page_table);
-criterion_main!(benches);
+fn main() {
+    println!("micro_structures: host-side structure microbenchmarks");
+    bench_cuckoo();
+    bench_tlb();
+    bench_pec();
+    bench_page_table();
+}

@@ -11,12 +11,31 @@ use barre_filters::CuckooFilter;
 fn main() {
     banner("§VII-K", "hardware overhead accounting", "§VII-K");
     let r = OverheadReport::paper_default();
-    println!("cuckoo filter           : {} bits (256 rows x 4 ways x 9 b)", r.filter_bits);
-    println!("filters per chiplet     : {} (1 LCF + {} RCFs)", r.filters_per_chiplet, r.filters_per_chiplet - 1);
-    println!("PEC buffer              : {} bits (5 x 118 b)", r.pec_buffer_bits);
-    println!("per-chiplet storage     : {:.2} KiB   (paper: 4.57 KiB)", r.per_chiplet_kib());
-    println!("ratio to L2 TLB         : {:.2}%     (paper: 4.21–4.22%)", r.ratio_to_l2_tlb * 100.0);
-    println!("ATS response extra bits : {}        (paper: 10 + 118)", r.ats_extra_bits);
+    println!(
+        "cuckoo filter           : {} bits (256 rows x 4 ways x 9 b)",
+        r.filter_bits
+    );
+    println!(
+        "filters per chiplet     : {} (1 LCF + {} RCFs)",
+        r.filters_per_chiplet,
+        r.filters_per_chiplet - 1
+    );
+    println!(
+        "PEC buffer              : {} bits (5 x 118 b)",
+        r.pec_buffer_bits
+    );
+    println!(
+        "per-chiplet storage     : {:.2} KiB   (paper: 4.57 KiB)",
+        r.per_chiplet_kib()
+    );
+    println!(
+        "ratio to L2 TLB         : {:.2}%     (paper: 4.21–4.22%)",
+        r.ratio_to_l2_tlb * 100.0
+    );
+    println!(
+        "ATS response extra bits : {}        (paper: 10 + 118)",
+        r.ats_extra_bits
+    );
     let f = CuckooFilter::paper_default(1);
     println!(
         "filter theoretical FP    : {:.2}%     (paper: 1.53%)",
@@ -24,9 +43,14 @@ fn main() {
     );
     println!("\nscaling with chiplet count:");
     for n in [2u64, 4, 8, 16] {
-        let mut p = OverheadParams::default();
-        p.n_chiplets = n;
+        let p = OverheadParams {
+            n_chiplets: n,
+            ..OverheadParams::default()
+        };
         let r = OverheadReport::compute(p);
-        println!("  {n:>2} chiplets: {:.2} KiB per chiplet", r.per_chiplet_kib());
+        println!(
+            "  {n:>2} chiplets: {:.2} KiB per chiplet",
+            r.per_chiplet_kib()
+        );
     }
 }

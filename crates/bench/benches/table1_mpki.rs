@@ -22,7 +22,7 @@ fn main() {
     let mut class_matches = 0;
     let apps = apps_all();
     for app in &apps {
-        let m = run_app(*app, &cfg, SEED);
+        let m = run_app(*app, &cfg, SEED).expect("Table I run failed");
         let measured = m.mpki();
         let class_of = |mpki: f64| {
             if mpki < 2.0 {

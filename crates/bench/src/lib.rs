@@ -49,6 +49,11 @@ pub fn sweep(apps: &[AppId], cfgs: &[(String, SystemConfig)], seed: u64) -> Vec<
 }
 
 /// Runs `specs × cfgs`, returning `results[spec][cfg]`.
+///
+/// # Panics
+///
+/// The experiment harness runs hand-checked configurations, so any
+/// [`barre_system::SimError`] here is a bug worth aborting on.
 pub fn sweep_specs(
     specs: &[WorkloadSpec],
     cfgs: &[(String, SystemConfig)],
@@ -58,7 +63,9 @@ pub fn sweep_specs(
         .iter()
         .map(|spec| {
             cfgs.iter()
-                .map(|(_, cfg)| run_spec(*spec, cfg, seed))
+                .map(|(label, cfg)| {
+                    run_spec(*spec, cfg, seed).unwrap_or_else(|e| panic!("config {label}: {e}"))
+                })
                 .collect()
         })
         .collect()
@@ -66,7 +73,11 @@ pub fn sweep_specs(
 
 /// Prints a speedup table: one row per app, one column per non-baseline
 /// config (speedup over column 0), plus a geometric-mean footer row.
-pub fn print_speedups(apps: &[AppId], cfgs: &[(String, SystemConfig)], results: &[Vec<RunMetrics>]) {
+pub fn print_speedups(
+    apps: &[AppId],
+    cfgs: &[(String, SystemConfig)],
+    results: &[Vec<RunMetrics>],
+) {
     print!("{:<8}", "app");
     for (label, _) in &cfgs[1..] {
         print!("{label:>18}");

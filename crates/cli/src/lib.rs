@@ -11,13 +11,15 @@
 //! barre run   --app gups --mode fbarre [--seed 7] [--ptws 8] [--paper]
 //! barre sweep --mode barre [--apps gups,spmv] [--policy coda]
 //! barre pair  --a gemv --b gups --mode fbarre
+//! barre chaos --app gups --mode barre [--rates 0.001,0.01,0.05]
 //! ```
 
 use barre_mapping::PolicyKind;
 use barre_mem::PageSize;
+use barre_sim::FaultPlan;
 use barre_system::{
     run_app, run_pair, run_spec, speedup, summary_line, FBarreConfig, MmuKind, RunMetrics,
-    SystemConfig, TranslationMode,
+    SimError, SystemConfig, TranslationMode,
 };
 use barre_workloads::{AppId, AppPair};
 
@@ -46,6 +48,13 @@ pub enum Command {
         pair: AppPair,
         cfg: Box<SystemConfig>,
         seed: u64,
+    },
+    /// `barre chaos` — sweep ATS fault-injection rates for one app.
+    Chaos {
+        app: AppId,
+        cfg: Box<SystemConfig>,
+        seed: u64,
+        rates: Vec<f64>,
     },
     /// `barre help`.
     Help,
@@ -131,6 +140,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut pair_a = None;
     let mut pair_b = None;
     let mut baseline = false;
+    let mut rates: Option<Vec<f64>> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -166,8 +176,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     let mut list = Vec::new();
                     for part in v.split(',') {
                         list.push(
-                            app_by_name(part)
-                                .ok_or_else(|| err(format!("unknown app {part}")))?,
+                            app_by_name(part).ok_or_else(|| err(format!("unknown app {part}")))?,
                         );
                     }
                     apps = Some(list);
@@ -175,8 +184,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             "--mode" => {
                 let v = value(&mut i)?;
-                cfg.mode =
-                    mode_by_name(&v).ok_or_else(|| err(format!("unknown mode {v}")))?;
+                cfg.mode = mode_by_name(&v).ok_or_else(|| err(format!("unknown mode {v}")))?;
             }
             "--policy" => {
                 let v = value(&mut i)?;
@@ -185,8 +193,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             "--page-size" => {
                 let v = value(&mut i)?;
-                cfg.page_size = page_size_by_name(&v)
-                    .ok_or_else(|| err(format!("unknown page size {v}")))?;
+                cfg.page_size =
+                    page_size_by_name(&v).ok_or_else(|| err(format!("unknown page size {v}")))?;
             }
             "--ptws" => {
                 let v = value(&mut i)?;
@@ -198,12 +206,28 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             "--chiplets" => {
                 let v = value(&mut i)?;
-                let n: usize = v.parse().map_err(|_| err(format!("bad chiplet count {v}")))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| err(format!("bad chiplet count {v}")))?;
                 cfg.topology = cfg.topology.with_chiplets(n);
             }
             "--seed" => {
                 let v = value(&mut i)?;
                 seed = v.parse().map_err(|_| err(format!("bad seed {v}")))?;
+            }
+            "--rates" => {
+                let v = value(&mut i)?;
+                let mut list = Vec::new();
+                for part in v.split(',') {
+                    let r: f64 = part
+                        .parse()
+                        .map_err(|_| err(format!("bad fault rate {part}")))?;
+                    if !(0.0..=1.0).contains(&r) {
+                        return Err(err(format!("fault rate {part} outside [0, 1]")));
+                    }
+                    list.push(r);
+                }
+                rates = Some(list);
             }
             other => return Err(err(format!("unknown flag {other}"))),
         }
@@ -233,6 +257,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             cfg: Box::new(cfg),
             seed,
         }),
+        "chaos" => Ok(Command::Chaos {
+            app: app.ok_or_else(|| err("chaos needs --app <name>"))?,
+            cfg: Box::new(cfg),
+            seed,
+            rates: rates.unwrap_or_else(|| vec![0.0, 0.001, 0.01, 0.05]),
+        }),
         other => Err(err(format!("unknown command {other}"))),
     }
 }
@@ -247,6 +277,7 @@ USAGE:
   barre run   --app <name> [flags]        run one app (baseline compare with --baseline)
   barre sweep [--apps a,b,c|all] [flags]  speedups vs baseline per app
   barre pair  --a <name> --b <name>       co-run two apps (multi-programming)
+  barre chaos --app <name> [flags]        sweep ATS drop rates (fault injection)
 
 FLAGS:
   --mode <baseline|valkyrie|least|shared-l2|barre|fbarre|fbarre1|fbarre4>
@@ -254,10 +285,18 @@ FLAGS:
   --ptws <n|inf>                       --chiplets <n>
   --gmmu                               --migration
   --paper                              --seed <n>
+  --rates <r1,r2,...>                  chaos drop-rate sweep (default 0,0.001,0.01,0.05)
 ";
 
+/// Reports a simulation failure on stderr and yields the error exit code.
+fn report(err: &SimError) -> i32 {
+    eprintln!("error: {err}");
+    1
+}
+
 /// Executes a parsed command, printing to stdout. Returns the process
-/// exit code.
+/// exit code (0 on success, 1 when the simulation reports a
+/// [`SimError`]).
 pub fn execute(cmd: Command) -> i32 {
     match cmd {
         Command::Help => {
@@ -284,12 +323,26 @@ pub fn execute(cmd: Command) -> i32 {
             print!("{}", cfg.table2());
             0
         }
-        Command::Run { app, cfg, seed, baseline } => {
-            let m = run_app(app, &cfg, seed);
-            println!("{}", summary_line(&format!("{app}/{}", cfg.mode.label()), &m));
+        Command::Run {
+            app,
+            cfg,
+            seed,
+            baseline,
+        } => {
+            let m = match run_app(app, &cfg, seed) {
+                Ok(m) => m,
+                Err(e) => return report(&e),
+            };
+            println!(
+                "{}",
+                summary_line(&format!("{app}/{}", cfg.mode.label()), &m)
+            );
             if baseline {
                 let base_cfg = (*cfg.clone()).with_mode(TranslationMode::Baseline);
-                let b = run_app(app, &base_cfg, seed);
+                let b = match run_app(app, &base_cfg, seed) {
+                    Ok(b) => b,
+                    Err(e) => return report(&e),
+                };
                 println!("{}", summary_line(&format!("{app}/baseline"), &b));
                 println!("speedup: {:.3}x", speedup(&b, &m));
             }
@@ -306,8 +359,14 @@ pub fn execute(cmd: Command) -> i32 {
             );
             let mut ratios = Vec::new();
             for app in apps {
-                let b = run_spec(app.spec(), &base_cfg, seed);
-                let m = run_spec(app.spec(), &cfg, seed);
+                let b = match run_spec(app.spec(), &base_cfg, seed) {
+                    Ok(b) => b,
+                    Err(e) => return report(&e),
+                };
+                let m = match run_spec(app.spec(), &cfg, seed) {
+                    Ok(m) => m,
+                    Err(e) => return report(&e),
+                };
                 let sp = speedup(&b, &m);
                 ratios.push(sp);
                 println!(
@@ -325,8 +384,43 @@ pub fn execute(cmd: Command) -> i32 {
             0
         }
         Command::Pair { pair, cfg, seed } => {
-            let m: RunMetrics = run_pair(pair, &cfg, seed);
+            let m: RunMetrics = match run_pair(pair, &cfg, seed) {
+                Ok(m) => m,
+                Err(e) => return report(&e),
+            };
             println!("{}", summary_line(&pair.label(), &m));
+            0
+        }
+        Command::Chaos {
+            app,
+            cfg,
+            seed,
+            rates,
+        } => {
+            println!(
+                "{:<8} {:>10} {:>8} {:>8} {:>9} {:>10} {:>12}",
+                "drop", "cycles", "faults", "retries", "timeouts", "fallbacks", "ATS"
+            );
+            for rate in rates {
+                let plan = FaultPlan {
+                    ats_request_drop: rate,
+                    ..FaultPlan::none()
+                };
+                let chaos_cfg = (*cfg.clone()).with_fault_plan(plan);
+                match run_app(app, &chaos_cfg, seed) {
+                    Ok(m) => println!(
+                        "{:<8} {:>10} {:>8} {:>8} {:>9} {:>10} {:>12}",
+                        format!("{rate}"),
+                        m.total_cycles,
+                        m.faults_injected,
+                        m.ats_retries,
+                        m.ats_timeouts,
+                        m.fallback_translations,
+                        m.ats_requests
+                    ),
+                    Err(e) => return report(&e),
+                }
+            }
             0
         }
     }
@@ -378,6 +472,25 @@ mod tests {
     }
 
     #[test]
+    fn parses_chaos_rates() {
+        let cmd = p(&["chaos", "--app", "gups", "--rates", "0,0.01"]).unwrap();
+        match cmd {
+            Command::Chaos { app, rates, .. } => {
+                assert_eq!(app, AppId::Gups);
+                assert_eq!(rates, vec![0.0, 0.01]);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults kick in without --rates; bad rates are rejected.
+        assert!(matches!(
+            p(&["chaos", "--app", "gups"]).unwrap(),
+            Command::Chaos { .. }
+        ));
+        assert!(p(&["chaos", "--app", "gups", "--rates", "1.5"]).is_err());
+        assert!(p(&["chaos", "--rates", "0.1"]).is_err());
+    }
+
+    #[test]
     fn rejects_unknowns() {
         assert!(p(&["run", "--app", "nosuch"]).is_err());
         assert!(p(&["run"]).is_err());
@@ -388,7 +501,16 @@ mod tests {
 
     #[test]
     fn flag_helpers_cover_all_labels() {
-        for m in ["baseline", "valkyrie", "least", "shared-l2", "barre", "fbarre", "fbarre1", "fbarre4"] {
+        for m in [
+            "baseline",
+            "valkyrie",
+            "least",
+            "shared-l2",
+            "barre",
+            "fbarre",
+            "fbarre1",
+            "fbarre4",
+        ] {
             assert!(mode_by_name(m).is_some(), "{m}");
         }
         for pol in ["lasp", "coda", "rr", "chunking"] {

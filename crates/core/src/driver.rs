@@ -249,9 +249,8 @@ impl BarreAllocator {
                         for &k in &holders {
                             let chiplet = plan.cycle[k as usize];
                             for j in 0..len {
-                                let vpn = plan
-                                    .range
-                                    .vpn_at((first_chunk + k) * plan.gran + pos + j);
+                                let vpn =
+                                    plan.range.vpn_at((first_chunk + k) * plan.gran + pos + j);
                                 let pfn = GlobalPfn::compose(chiplet, LocalPfn(base.0 + j));
                                 let info = self.make_info(
                                     info_bitmap,
@@ -369,9 +368,7 @@ impl BarreAllocator {
             .collect();
         let mut ptes = Vec::new();
         if group_fetch && holders.len() >= 2 {
-            if let Some(base) =
-                common_free_run(frames, &plan.cycle, &holders, LocalPfn(0), 1)
-            {
+            if let Some(base) = common_free_run(frames, &plan.cycle, &holders, LocalPfn(0), 1) {
                 let info_bitmap: u8 = holders
                     .iter()
                     .map(|&k| plan.cycle[k as usize])
@@ -382,13 +379,9 @@ impl BarreAllocator {
                     let claimed = frames[chiplet.index()].alloc_specific(base);
                     debug_assert!(claimed, "common-free frame raced");
                     let member = plan.range.vpn_at((first_chunk + k) * plan.gran + pos);
-                    let info =
-                        self.make_info(info_bitmap, holders.len() as u8, k as u8, 0, 1);
-                    let pte = Pte::new(
-                        GlobalPfn::compose(chiplet, base),
-                        PteFlags::default(),
-                    )
-                    .with_coal_bits(info.map_or(0, |i| i.encode()));
+                    let info = self.make_info(info_bitmap, holders.len() as u8, k as u8, 0, 1);
+                    let pte = Pte::new(GlobalPfn::compose(chiplet, base), PteFlags::default())
+                        .with_coal_bits(info.map_or(0, |i| i.encode()));
                     ptes.push((member, pte));
                 }
                 return Ok(ptes);
@@ -488,7 +481,10 @@ mod tests {
         let mut frames = fresh_frames(4, 1024);
         let mut d = BarreAllocator::new(CoalMode::Base, 1);
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x1), pages: 12 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 12,
+            },
             3,
             &chiplets(4),
         );
@@ -500,7 +496,10 @@ mod tests {
             let locals: Vec<LocalPfn> = (0..4u64)
                 .map(|k| pte_of(&out, 0x1 + k * 3 + g).pfn().local())
                 .collect();
-            assert!(locals.windows(2).all(|w| w[0] == w[1]), "group {g}: {locals:?}");
+            assert!(
+                locals.windows(2).all(|w| w[0] == w[1]),
+                "group {g}: {locals:?}"
+            );
             let chips: Vec<ChipletId> = (0..4u64)
                 .map(|k| pte_of(&out, 0x1 + k * 3 + g).pfn().chiplet())
                 .collect();
@@ -517,7 +516,10 @@ mod tests {
         let mut frames = fresh_frames(4, 256);
         let mut d = BarreAllocator::new(CoalMode::Base, 1);
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x1), pages: 12 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 12,
+            },
             3,
             &chiplets(4),
         );
@@ -534,7 +536,10 @@ mod tests {
         let mut frames = fresh_frames(4, 256);
         let mut d = BarreAllocator::new(CoalMode::Expanded, 2);
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x1), pages: 12 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 12,
+            },
             3,
             &chiplets(4),
         );
@@ -565,7 +570,10 @@ mod tests {
         }
         let mut d = BarreAllocator::new(CoalMode::Expanded, 4);
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x10), pages: 6 },
+            VpnRange {
+                start: Vpn(0x10),
+                pages: 6,
+            },
             3,
             &chiplets(2),
         );
@@ -589,7 +597,10 @@ mod tests {
         }
         let mut d = BarreAllocator::new(CoalMode::Base, 1);
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x1), pages: 4 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 4,
+            },
             2,
             &chiplets(2),
         );
@@ -606,7 +617,10 @@ mod tests {
         let mut frames = fresh_frames(2, 2);
         let mut d = BarreAllocator::new(CoalMode::Base, 1);
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x1), pages: 12 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 12,
+            },
             3,
             &chiplets(2),
         );
@@ -622,7 +636,10 @@ mod tests {
         let mut frames = fresh_frames(2, 64);
         let mut d = BarreAllocator::new(CoalMode::Base, 1);
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x1), pages: 7 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 7,
+            },
             2,
             &chiplets(2),
         );
@@ -648,7 +665,10 @@ mod tests {
         let mut frames = fresh_frames(2, 64);
         let mut d = BarreAllocator::new(CoalMode::Base, 1);
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x1), pages: 8 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 8,
+            },
             1,
             &chiplets(2),
         );
@@ -668,7 +688,10 @@ mod tests {
         }
         let mut d = BarreAllocator::new(CoalMode::Base, 1);
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x1), pages: 64 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 64,
+            },
             4,
             &chiplets(4),
         );
@@ -681,7 +704,10 @@ mod tests {
     #[test]
     fn plan_accessors() {
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x10), pages: 10 },
+            VpnRange {
+                start: Vpn(0x10),
+                pages: 10,
+            },
             3,
             &chiplets(2),
         );
@@ -714,7 +740,10 @@ mod wide_tests {
         let mut d = BarreAllocator::new(CoalMode::Wide, 1);
         let cycle: Vec<ChipletId> = (0..n).map(ChipletId).collect();
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x100), pages: 64 },
+            VpnRange {
+                start: Vpn(0x100),
+                pages: 64,
+            },
             2,
             &cycle,
         );
@@ -747,7 +776,10 @@ mod fault_tests {
 
     fn plan4() -> MappingPlan {
         MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x1), pages: 12 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 12,
+            },
             3,
             &[ChipletId(0), ChipletId(1), ChipletId(2), ChipletId(3)],
         )
@@ -755,8 +787,7 @@ mod fault_tests {
 
     #[test]
     fn group_fetch_maps_whole_group() {
-        let mut frames: Vec<FrameAllocator> =
-            (0..4).map(|_| FrameAllocator::new(64)).collect();
+        let mut frames: Vec<FrameAllocator> = (0..4).map(|_| FrameAllocator::new(64)).collect();
         let mut d = BarreAllocator::new(CoalMode::Base, 1);
         let ptes = d
             .allocate_on_fault(&plan4(), Vpn(0x4), &mut frames, true)
@@ -775,8 +806,7 @@ mod fault_tests {
 
     #[test]
     fn single_page_fault_maps_one() {
-        let mut frames: Vec<FrameAllocator> =
-            (0..4).map(|_| FrameAllocator::new(64)).collect();
+        let mut frames: Vec<FrameAllocator> = (0..4).map(|_| FrameAllocator::new(64)).collect();
         let mut d = BarreAllocator::new(CoalMode::Base, 1);
         let ptes = d
             .allocate_on_fault(&plan4(), Vpn(0x4), &mut frames, false)
@@ -789,8 +819,7 @@ mod fault_tests {
 
     #[test]
     fn fault_outside_plan_is_empty() {
-        let mut frames: Vec<FrameAllocator> =
-            (0..4).map(|_| FrameAllocator::new(64)).collect();
+        let mut frames: Vec<FrameAllocator> = (0..4).map(|_| FrameAllocator::new(64)).collect();
         let mut d = BarreAllocator::new(CoalMode::Base, 1);
         let ptes = d
             .allocate_on_fault(&plan4(), Vpn(0x99), &mut frames, true)
@@ -800,8 +829,7 @@ mod fault_tests {
 
     #[test]
     fn fault_group_fetch_falls_back_without_common_frames() {
-        let mut frames: Vec<FrameAllocator> =
-            (0..2).map(|_| FrameAllocator::new(8)).collect();
+        let mut frames: Vec<FrameAllocator> = (0..2).map(|_| FrameAllocator::new(8)).collect();
         for f in 0..8 {
             if f % 2 == 0 {
                 frames[0].alloc_specific(LocalPfn(f));
@@ -810,7 +838,10 @@ mod fault_tests {
             }
         }
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x1), pages: 4 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 4,
+            },
             2,
             &[ChipletId(0), ChipletId(1)],
         );

@@ -138,9 +138,16 @@ impl CoalInfo {
     /// page from coalescing". The wide format cannot exclude a single
     /// chiplet, so the whole group is conservatively de-coalesced.
     pub fn exclude(&self, chiplet: ChipletId) -> CoalInfo {
-        let clear = if chiplet.0 < 8 { !(1u8 << chiplet.0) } else { 0xFF };
+        let clear = if chiplet.0 < 8 {
+            !(1u8 << chiplet.0)
+        } else {
+            0xFF
+        };
         match *self {
-            CoalInfo::Base { bitmap, inter_order } => CoalInfo::Base {
+            CoalInfo::Base {
+                bitmap,
+                inter_order,
+            } => CoalInfo::Base {
                 bitmap: bitmap & clear,
                 inter_order,
             },
@@ -177,7 +184,10 @@ impl CoalInfo {
     /// `intra_order ≤ 7`, `merged ≤ 3`, and `intra_order ≤ merged`).
     pub fn encode(&self) -> u16 {
         match *self {
-            CoalInfo::Base { bitmap, inter_order } => {
+            CoalInfo::Base {
+                bitmap,
+                inter_order,
+            } => {
                 assert!(inter_order < 8, "inter_order exceeds 3 bits");
                 (bitmap as u16) | ((inter_order as u16) << 8)
             }
@@ -284,7 +294,10 @@ mod tests {
 
     #[test]
     fn single_participant_is_not_coalesced() {
-        let solo = CoalInfo::Base { bitmap: 0b0100, inter_order: 0 };
+        let solo = CoalInfo::Base {
+            bitmap: 0b0100,
+            inter_order: 0,
+        };
         assert!(!solo.is_coalesced());
         assert_eq!(CoalInfo::decode(solo.encode(), CoalMode::Base), None);
     }
@@ -293,7 +306,10 @@ mod tests {
     fn base_roundtrip_all_fields() {
         for bitmap in [0b11u8, 0b1010, 0xFF, 0b1100_0001] {
             for inter in 0..8u8 {
-                let i = CoalInfo::Base { bitmap, inter_order: inter };
+                let i = CoalInfo::Base {
+                    bitmap,
+                    inter_order: inter,
+                };
                 assert_eq!(CoalInfo::decode(i.encode(), CoalMode::Base), Some(i));
             }
         }
@@ -311,10 +327,7 @@ mod tests {
                             intra_order: intra,
                             merged,
                         };
-                        assert_eq!(
-                            CoalInfo::decode(i.encode(), CoalMode::Expanded),
-                            Some(i)
-                        );
+                        assert_eq!(CoalInfo::decode(i.encode(), CoalMode::Expanded), Some(i));
                     }
                 }
             }
@@ -323,7 +336,10 @@ mod tests {
 
     #[test]
     fn encodings_fit_eleven_bits() {
-        let base = CoalInfo::Base { bitmap: 0xFF, inter_order: 7 };
+        let base = CoalInfo::Base {
+            bitmap: 0xFF,
+            inter_order: 7,
+        };
         assert!(base.encode() < (1 << 11));
         let exp = CoalInfo::Expanded {
             bitmap: 0xF,
@@ -336,7 +352,10 @@ mod tests {
 
     #[test]
     fn exclude_clears_participation() {
-        let info = CoalInfo::Base { bitmap: 0b1111, inter_order: 1 };
+        let info = CoalInfo::Base {
+            bitmap: 0b1111,
+            inter_order: 1,
+        };
         let after = info.exclude(ChipletId(2));
         assert_eq!(after.bitmap(), 0b1011);
         assert!(after.is_coalesced());
@@ -361,12 +380,18 @@ mod tests {
     fn wide_roundtrip_and_semantics() {
         for count in 2..=16u8 {
             for inter in 0..count.min(16) {
-                let i = CoalInfo::Wide { count, inter_order: inter };
+                let i = CoalInfo::Wide {
+                    count,
+                    inter_order: inter,
+                };
                 assert_eq!(CoalInfo::decode(i.encode(), CoalMode::Wide), Some(i));
                 assert!(i.encode() < (1 << 11));
             }
         }
-        let i = CoalInfo::Wide { count: 16, inter_order: 15 };
+        let i = CoalInfo::Wide {
+            count: 16,
+            inter_order: 15,
+        };
         assert_eq!(i.participants(), 16);
         assert!(i.participates_position(15, ChipletId(15)));
         assert!(!i.participates_position(16, ChipletId(0)));
@@ -374,14 +399,24 @@ mod tests {
         assert!(!i.exclude(ChipletId(3)).is_coalesced());
         // count <= 1 is not coalesced.
         assert_eq!(
-            CoalInfo::decode(CoalInfo::Wide { count: 1, inter_order: 0 }.encode(), CoalMode::Wide),
+            CoalInfo::decode(
+                CoalInfo::Wide {
+                    count: 1,
+                    inter_order: 0
+                }
+                .encode(),
+                CoalMode::Wide
+            ),
             None
         );
     }
 
     #[test]
     fn accessors_cover_both_variants() {
-        let b = CoalInfo::Base { bitmap: 0b11, inter_order: 1 };
+        let b = CoalInfo::Base {
+            bitmap: 0b11,
+            inter_order: 1,
+        };
         assert_eq!(b.intra_order(), 0);
         assert_eq!(b.merged_groups(), 1);
         let e = CoalInfo::Expanded {

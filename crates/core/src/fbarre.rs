@@ -65,9 +65,7 @@ impl FilterBank {
         assert!(chiplet.index() < n_chiplets, "chiplet outside the MCM");
         let mk = |salt: u64| CuckooFilter::new(rows, 4, 9, seed ^ salt);
         let rcfs = (0..n_chiplets)
-            .map(|p| {
-                (p != chiplet.index()).then(|| mk(0x1000 + p as u64))
-            })
+            .map(|p| (p != chiplet.index()).then(|| mk(0x1000 + p as u64)))
             .collect();
         Self {
             chiplet,
@@ -265,6 +263,6 @@ mod tests {
     fn update_message_is_43_bits_plus_asid() {
         // 1 (cmd) + 3 (sender) + 40 (VPN) = 44 bits on the wire; the paper
         // rounds to 43 by folding the command into packet framing.
-        assert!(FILTER_UPDATE_BITS <= 48);
+        const { assert!(FILTER_UPDATE_BITS <= 48) };
     }
 }

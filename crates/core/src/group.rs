@@ -35,10 +35,7 @@ impl GpuMap {
         assert!(!order.is_empty(), "GPU map cannot be empty");
         assert!(order.len() <= 16, "GPU map supports at most 16 chiplets");
         for (i, a) in order.iter().enumerate() {
-            assert!(
-                !order[..i].contains(a),
-                "duplicate chiplet {a} in GPU map"
-            );
+            assert!(!order[..i].contains(a), "duplicate chiplet {a} in GPU map");
         }
         Self { order }
     }
@@ -208,7 +205,10 @@ mod tests {
         // gran 3, linear GPU map over 4 chiplets.
         PecEntry::new(
             0,
-            VpnRange { start: Vpn(0x1), pages: 12 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 12,
+            },
             3,
             GpuMap::linear(4),
         )
@@ -245,7 +245,11 @@ mod tests {
         }
         // Past-the-end position.
         assert_eq!(
-            e.vpn_at(GroupCoords { round: 1, inter: 0, intra: 0 }),
+            e.vpn_at(GroupCoords {
+                round: 1,
+                inter: 0,
+                intra: 0
+            }),
             None
         );
     }
@@ -255,7 +259,10 @@ mod tests {
         // 2 chiplets, gran 2, 12 pages => 3 rounds.
         let e = PecEntry::new(
             0,
-            VpnRange { start: Vpn(0x100), pages: 12 },
+            VpnRange {
+                start: Vpn(0x100),
+                pages: 12,
+            },
             2,
             GpuMap::linear(2),
         );

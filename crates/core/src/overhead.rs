@@ -111,7 +111,11 @@ mod tests {
         // PEC buffer: 5 × 118 = 590 bits.
         assert_eq!(r.pec_buffer_bits, 590);
         // 4 filters + PEC = 37454 bits = 4.57 KiB.
-        assert!((r.per_chiplet_kib() - 4.57).abs() < 0.01, "{}", r.per_chiplet_kib());
+        assert!(
+            (r.per_chiplet_kib() - 4.57).abs() < 0.01,
+            "{}",
+            r.per_chiplet_kib()
+        );
     }
 
     #[test]
@@ -132,8 +136,10 @@ mod tests {
 
     #[test]
     fn scaling_with_chiplets() {
-        let mut p = OverheadParams::default();
-        p.n_chiplets = 8;
+        let p = OverheadParams {
+            n_chiplets: 8,
+            ..OverheadParams::default()
+        };
         let r = OverheadReport::compute(p);
         assert_eq!(r.filters_per_chiplet, 8);
         assert!(r.per_chiplet_kib() > OverheadReport::paper_default().per_chiplet_kib());

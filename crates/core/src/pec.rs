@@ -108,6 +108,19 @@ impl PecBuffer {
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
+
+    /// Forcibly discards the resident record at `index % len`, returning
+    /// it. Fault injection uses this to model PEC-buffer corruption —
+    /// affected pages fall back to conventional walks until the record
+    /// is re-learned. Returns `None` on an empty buffer.
+    pub fn evict_at(&mut self, index: usize) -> Option<PecEntry> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let i = index % self.entries.len();
+        self.evictions += 1;
+        Some(self.entries.remove(i))
+    }
 }
 
 /// The PEC calculation unit: two comparators and a small ALU in hardware;
@@ -153,7 +166,8 @@ impl PecLogic {
         }
         // First VPN of the (merged) group: VPN_PTE − intra_order −
         // interlv_gran × inter_order (§V-B), generalized to any round.
-        let Some(first) = pte_vpn.offset(-((intra_pte + entry.gran * info.inter_order() as u64) as i64))
+        let Some(first) =
+            pte_vpn.offset(-((intra_pte + entry.gran * info.inter_order() as u64) as i64))
         else {
             return Vec::new();
         };
@@ -234,12 +248,7 @@ impl PecLogic {
     /// under group expansion: run alignment is unknown until a PTE is
     /// seen, so every offset below the merge limit is a candidate.
     /// `vpn` itself is excluded.
-    pub fn coalescing_candidates(
-        &self,
-        entry: &PecEntry,
-        vpn: Vpn,
-        max_merged: u8,
-    ) -> Vec<Vpn> {
+    pub fn coalescing_candidates(&self, entry: &PecEntry, vpn: Vpn, max_merged: u8) -> Vec<Vpn> {
         let Some(c) = entry.coords(vpn) else {
             return Vec::new();
         };
@@ -276,13 +285,7 @@ impl PecLogic {
     /// only the data's PEC record and the platform's merge limit? Used by
     /// coalescing-aware PTW scheduling to de-prioritize requests that an
     /// in-flight walk will cover.
-    pub fn likely_same_group(
-        &self,
-        entry: &PecEntry,
-        a: Vpn,
-        b: Vpn,
-        max_merged: u8,
-    ) -> bool {
+    pub fn likely_same_group(&self, entry: &PecEntry, a: Vpn, b: Vpn, max_merged: u8) -> bool {
         let (Some(ca), Some(cb)) = (entry.coords(a), entry.coords(b)) else {
             return false;
         };
@@ -311,7 +314,10 @@ mod tests {
         // Fig 7a / Example 3: VPNs 0x1..=0xC, gran 3, linear over 4 GPUs.
         PecEntry::new(
             0,
-            VpnRange { start: Vpn(0x1), pages: 12 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 12,
+            },
             3,
             GpuMap::linear(4),
         )
@@ -326,7 +332,10 @@ mod tests {
         // Paper Example 4: a PTW translates VPN 0x4 -> GPU1 local 0x75.
         // Pending 0xA is in the same group; its PFN must be GPU3 + 0x75.
         let entry = data1();
-        let info = CoalInfo::Base { bitmap: 0b1111, inter_order: 1 };
+        let info = CoalInfo::Base {
+            bitmap: 0b1111,
+            inter_order: 1,
+        };
         let pte_pfn = GlobalPfn::compose(ChipletId(1), LocalPfn(0x75));
         let pfn = logic()
             .calc_pfn(Vpn(0x4), pte_pfn, &info, &entry, Vpn(0xA))
@@ -337,7 +346,10 @@ mod tests {
     #[test]
     fn example4_membership_enumeration() {
         let entry = data1();
-        let info = CoalInfo::Base { bitmap: 0b1111, inter_order: 1 };
+        let info = CoalInfo::Base {
+            bitmap: 0b1111,
+            inter_order: 1,
+        };
         let members = logic().members(Vpn(0x4), &info, &entry);
         let vpns: Vec<u64> = members.iter().map(|m| m.vpn.0).collect();
         // Group of 0x4 (chunk offset 0): 0x1, 0x4, 0x7, 0xA.
@@ -349,7 +361,10 @@ mod tests {
     #[test]
     fn non_member_is_rejected() {
         let entry = data1();
-        let info = CoalInfo::Base { bitmap: 0b1111, inter_order: 1 };
+        let info = CoalInfo::Base {
+            bitmap: 0b1111,
+            inter_order: 1,
+        };
         let pte_pfn = GlobalPfn::compose(ChipletId(1), LocalPfn(0x75));
         // 0x5 is in the data but a different group (chunk offset 1).
         assert!(logic()
@@ -365,7 +380,10 @@ mod tests {
     fn excluded_chiplet_is_not_calculated() {
         let entry = data1();
         // GPU3 migrated its page away: bit 3 cleared.
-        let info = CoalInfo::Base { bitmap: 0b0111, inter_order: 1 };
+        let info = CoalInfo::Base {
+            bitmap: 0b0111,
+            inter_order: 1,
+        };
         let pte_pfn = GlobalPfn::compose(ChipletId(1), LocalPfn(0x75));
         assert!(logic()
             .calc_pfn(Vpn(0x4), pte_pfn, &info, &entry, Vpn(0xA))
@@ -380,7 +398,10 @@ mod tests {
     fn stale_entry_declines_calculation() {
         let entry = data1();
         // inter_order disagrees with the VPN's actual position.
-        let info = CoalInfo::Base { bitmap: 0b1111, inter_order: 2 };
+        let info = CoalInfo::Base {
+            bitmap: 0b1111,
+            inter_order: 2,
+        };
         assert!(logic().members(Vpn(0x4), &info, &entry).is_empty());
     }
 
@@ -424,7 +445,10 @@ mod tests {
         // 2 chiplets, gran 2, but only 3 pages: GPU1's chunk has 1 page.
         let entry = PecEntry::new(
             0,
-            VpnRange { start: Vpn(0x10), pages: 3 },
+            VpnRange {
+                start: Vpn(0x10),
+                pages: 3,
+            },
             2,
             GpuMap::linear(2),
         );
@@ -446,11 +470,17 @@ mod tests {
         // 2 chiplets, gran 1, 4 pages => rounds 0 and 1.
         let entry = PecEntry::new(
             0,
-            VpnRange { start: Vpn(0x20), pages: 4 },
+            VpnRange {
+                start: Vpn(0x20),
+                pages: 4,
+            },
             1,
             GpuMap::linear(2),
         );
-        let info = CoalInfo::Base { bitmap: 0b11, inter_order: 0 };
+        let info = CoalInfo::Base {
+            bitmap: 0b11,
+            inter_order: 0,
+        };
         // PTE for 0x20 (round 0): group is {0x20, 0x21} only — 0x22/0x23
         // are round 1 and must not be claimed.
         let members = logic().members(Vpn(0x20), &info, &entry);
@@ -506,9 +536,33 @@ mod tests {
     #[test]
     fn buffer_insert_lookup_evict() {
         let mut buf = PecBuffer::new(2);
-        let small = PecEntry::new(0, VpnRange { start: Vpn(0x100), pages: 2 }, 1, GpuMap::linear(2));
-        let mid = PecEntry::new(0, VpnRange { start: Vpn(0x200), pages: 8 }, 2, GpuMap::linear(2));
-        let big = PecEntry::new(0, VpnRange { start: Vpn(0x300), pages: 64 }, 8, GpuMap::linear(2));
+        let small = PecEntry::new(
+            0,
+            VpnRange {
+                start: Vpn(0x100),
+                pages: 2,
+            },
+            1,
+            GpuMap::linear(2),
+        );
+        let mid = PecEntry::new(
+            0,
+            VpnRange {
+                start: Vpn(0x200),
+                pages: 8,
+            },
+            2,
+            GpuMap::linear(2),
+        );
+        let big = PecEntry::new(
+            0,
+            VpnRange {
+                start: Vpn(0x300),
+                pages: 64,
+            },
+            8,
+            GpuMap::linear(2),
+        );
         assert!(buf.insert(small.clone()));
         assert!(buf.insert(mid));
         // Full: the big data overwrites the smallest record.
@@ -524,8 +578,24 @@ mod tests {
     #[test]
     fn buffer_replaces_same_range_in_place() {
         let mut buf = PecBuffer::paper_default();
-        let a = PecEntry::new(0, VpnRange { start: Vpn(0x1), pages: 12 }, 3, GpuMap::linear(4));
-        let a2 = PecEntry::new(0, VpnRange { start: Vpn(0x1), pages: 12 }, 3, GpuMap::linear(2));
+        let a = PecEntry::new(
+            0,
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 12,
+            },
+            3,
+            GpuMap::linear(4),
+        );
+        let a2 = PecEntry::new(
+            0,
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 12,
+            },
+            3,
+            GpuMap::linear(2),
+        );
         buf.insert(a);
         buf.insert(a2.clone());
         assert_eq!(buf.len(), 1);
@@ -535,7 +605,15 @@ mod tests {
     #[test]
     fn buffer_respects_asid() {
         let mut buf = PecBuffer::paper_default();
-        let a = PecEntry::new(7, VpnRange { start: Vpn(0x1), pages: 4 }, 1, GpuMap::linear(4));
+        let a = PecEntry::new(
+            7,
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 4,
+            },
+            1,
+            GpuMap::linear(4),
+        );
         buf.insert(a);
         assert!(buf.lookup(0, Vpn(0x1)).is_none());
         assert!(buf.lookup(7, Vpn(0x1)).is_some());

@@ -37,7 +37,10 @@ impl TagCache {
     /// Panics unless the geometry divides evenly into a power-of-two set
     /// count.
     pub fn new(bytes: u64, ways: usize, line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = bytes / line_bytes;
         assert!(
             (lines as usize).is_multiple_of(ways),

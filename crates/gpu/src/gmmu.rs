@@ -139,9 +139,17 @@ impl GmmuUnit {
                 .map(|h| h != self.chiplet)
                 .unwrap_or(false);
             let latency = self.cfg.local_walk_latency
-                + if remote { self.cfg.remote_walk_penalty } else { 0 };
+                + if remote {
+                    self.cfg.remote_walk_penalty
+                } else {
+                    0
+                };
             let done_at = now + latency;
-            self.walks[slot] = Some(GmmuWalk { req, done_at, remote });
+            self.walks[slot] = Some(GmmuWalk {
+                req,
+                done_at,
+                remote,
+            });
             started.push((slot, done_at));
         }
         started
@@ -156,7 +164,9 @@ impl GmmuUnit {
         now: Cycle,
         lookup: impl Fn(u16, Vpn) -> Option<Pte>,
     ) -> Vec<(Cycle, AtsResponse)> {
-        let walk = self.walks[walker].take().expect("completion on idle walker");
+        let walk = self.walks[walker]
+            .take()
+            .expect("completion on idle walker");
         debug_assert!(now >= walk.done_at);
         if walk.remote {
             self.remote_walks.inc();
@@ -237,11 +247,13 @@ mod tests {
     use barre_mem::{FrameAllocator, PageTable};
 
     fn fig7a() -> (PageTable, PecEntry) {
-        let mut frames: Vec<FrameAllocator> =
-            (0..4).map(|_| FrameAllocator::new(256)).collect();
+        let mut frames: Vec<FrameAllocator> = (0..4).map(|_| FrameAllocator::new(256)).collect();
         let mut d = BarreAllocator::new(CoalMode::Base, 1);
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x1), pages: 12 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 12,
+            },
             3,
             &[ChipletId(0), ChipletId(1), ChipletId(2), ChipletId(3)],
         );

@@ -100,7 +100,7 @@ mod tests {
         let a = m.send(0, ChipletId(0), ChipletId(1), 50);
         let b = m.send(0, ChipletId(1), ChipletId(2), 50);
         assert_eq!(a, b); // no cross-port contention
-        // Same port queues.
+                          // Same port queues.
         let c = m.send(0, ChipletId(0), ChipletId(2), 50);
         assert!(c > a);
     }

@@ -38,7 +38,10 @@ impl WarpAccess {
         if last != base.0 {
             addrs.push(VirtAddr(last));
         }
-        Self { addrs, write: false }
+        Self {
+            addrs,
+            write: false,
+        }
     }
 
     /// Marks the instruction as a store.

@@ -68,7 +68,7 @@ mod tests {
 
     #[test]
     fn packet_sizes_are_pcie_plausible() {
-        assert!(ATS_REQUEST_BYTES >= 12);
-        assert!(ATS_RESPONSE_BYTES > ATS_REQUEST_BYTES);
+        const { assert!(ATS_REQUEST_BYTES >= 12) };
+        const { assert!(ATS_RESPONSE_BYTES > ATS_REQUEST_BYTES) };
     }
 }

@@ -199,7 +199,10 @@ impl Iommu {
             // it in front of the walk.
             let (latency, tlb_hit) = match (&mut self.iommu_tlb, self.cfg.iommu_tlb) {
                 (Some(tlb), Some((_, _, tlat))) => {
-                    let key = TlbKey { asid: req.asid, vpn: req.vpn };
+                    let key = TlbKey {
+                        asid: req.asid,
+                        vpn: req.vpn,
+                    };
                     if tlb.lookup(key).is_some() {
                         self.stats.iommu_tlb.record(true);
                         (tlat, true)
@@ -211,7 +214,12 @@ impl Iommu {
                 _ => (self.cfg.walk_latency, false),
             };
             let done_at = now + latency;
-            self.walks[ptw] = Some(Walk { req, started_at: now, done_at, tlb_hit });
+            self.walks[ptw] = Some(Walk {
+                req,
+                started_at: now,
+                done_at,
+                tlb_hit,
+            });
             started.push((ptw, done_at));
         }
         started
@@ -295,7 +303,10 @@ impl Iommu {
         if let (Some(tlb), Some(p)) = (&mut self.iommu_tlb, pte) {
             if !walk.tlb_hit {
                 tlb.insert(
-                    TlbKey { asid: walk.req.asid, vpn: walk.req.vpn },
+                    TlbKey {
+                        asid: walk.req.asid,
+                        vpn: walk.req.vpn,
+                    },
                     p,
                 );
             }
@@ -333,13 +344,8 @@ impl Iommu {
             while let Some(pending) = self.queue.pop_front() {
                 let calculated = (pending.asid == walk.req.asid)
                     .then(|| {
-                        self.pec_logic.calc_pfn(
-                            walk.req.vpn,
-                            pte.pfn(),
-                            &info,
-                            &entry,
-                            pending.vpn,
-                        )
+                        self.pec_logic
+                            .calc_pfn(walk.req.vpn, pte.pfn(), &info, &entry, pending.vpn)
                     })
                     .flatten();
                 match calculated {
@@ -378,18 +384,13 @@ impl Iommu {
             // wanted it — the reason the paper rejects this design.
             if self.cfg.multicast {
                 for m in self.pec_logic.members(walk.req.vpn, &info, &entry) {
-                    if m.vpn == walk.req.vpn
-                        || out.iter().any(|(_, r)| r.req.vpn == m.vpn)
-                    {
+                    if m.vpn == walk.req.vpn || out.iter().any(|(_, r)| r.req.vpn == m.vpn) {
                         continue;
                     }
-                    let Some(pfn) = self.pec_logic.calc_pfn(
-                        walk.req.vpn,
-                        pte.pfn(),
-                        &info,
-                        &entry,
-                        m.vpn,
-                    ) else {
+                    let Some(pfn) =
+                        self.pec_logic
+                            .calc_pfn(walk.req.vpn, pte.pfn(), &info, &entry, m.vpn)
+                    else {
                         continue;
                     };
                     extra += 1;
@@ -502,11 +503,13 @@ mod tests {
     /// Builds a Barre-mapped page table for the Fig 7a data-1 layout and
     /// returns (page table, PEC entry).
     fn fig7a_table(mode: CoalMode, max_merged: u8) -> (PageTable, PecEntry) {
-        let mut frames: Vec<FrameAllocator> =
-            (0..4).map(|_| FrameAllocator::new(1024)).collect();
+        let mut frames: Vec<FrameAllocator> = (0..4).map(|_| FrameAllocator::new(1024)).collect();
         let mut d = BarreAllocator::new(mode, max_merged);
         let plan = MappingPlan::interleaved(
-            VpnRange { start: Vpn(0x1), pages: 12 },
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 12,
+            },
             3,
             &[ChipletId(0), ChipletId(1), ChipletId(2), ChipletId(3)],
         );
@@ -646,7 +649,9 @@ mod tests {
         // walk 0x2 instead.
         let rsp = io.complete_walk(s1[0].0, 500, |_, v| pt.lookup(v));
         // 0x4 got coalesced already by the completing walk...
-        assert!(rsp.iter().any(|(_, r)| r.req.vpn == Vpn(0x4) && r.coalesced));
+        assert!(rsp
+            .iter()
+            .any(|(_, r)| r.req.vpn == Vpn(0x4) && r.coalesced));
         let s2 = io.dispatch(500);
         assert_eq!(s2.len(), 1);
         // ...so the next walk is 0x2 regardless; but the rotation stat
@@ -654,10 +659,12 @@ mod tests {
         // still active. Exercise that path directly:
         io.enqueue(req(4, 0x5, 501)); // same group as in-flight 0x2
         io.enqueue(req(5, 0xA1, 501)); // unrelated
-        // no free PTWs -> nothing started
+                                       // no free PTWs -> nothing started
         assert!(io.dispatch(501).is_empty());
         let rsp2 = io.complete_walk(s2[0].0, 1000, |_, v| pt.lookup(v));
-        assert!(rsp2.iter().any(|(_, r)| r.req.vpn == Vpn(0x5) && r.coalesced));
+        assert!(rsp2
+            .iter()
+            .any(|(_, r)| r.req.vpn == Vpn(0x5) && r.coalesced));
     }
 
     #[test]

@@ -131,9 +131,7 @@ mod tests {
     fn local_accesses_never_trigger() {
         let mut a = Acud::new(1, 2);
         for _ in 0..100 {
-            assert!(a
-                .record(0, Vpn(1), ChipletId(0), ChipletId(0))
-                .is_none());
+            assert!(a.record(0, Vpn(1), ChipletId(0), ChipletId(0)).is_none());
         }
         assert_eq!(a.remote_accesses(), 0);
     }

@@ -148,7 +148,10 @@ mod tests {
     use barre_mem::Vpn;
 
     fn range(pages: u64) -> VpnRange {
-        VpnRange { start: Vpn(0x100), pages }
+        VpnRange {
+            start: Vpn(0x100),
+            pages,
+        }
     }
 
     #[test]
@@ -210,7 +213,10 @@ mod tests {
             assert!(a.chiplet.0 < 4);
         }
         // Last CTA lands on the last chiplet.
-        assert_eq!(PolicyKind::Chunking.cta_home(9, 10, 4).chiplet, ChipletId(3));
+        assert_eq!(
+            PolicyKind::Chunking.cta_home(9, 10, 4).chiplet,
+            ChipletId(3)
+        );
     }
 
     #[test]

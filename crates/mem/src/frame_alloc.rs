@@ -58,10 +58,7 @@ impl FrameAllocator {
 
     /// Whether `pfn` is in range and unallocated.
     pub fn is_free(&self, pfn: LocalPfn) -> bool {
-        self.used
-            .get(pfn.0 as usize)
-            .map(|&u| !u)
-            .unwrap_or(false)
+        self.used.get(pfn.0 as usize).map(|&u| !u).unwrap_or(false)
     }
 
     /// Allocates any free frame (first-fit from a roving cursor, which

@@ -98,7 +98,10 @@ impl PageTable {
     ///
     /// Panics if `vpn` exceeds the 36-bit space covered by four levels.
     pub fn map(&mut self, vpn: Vpn, pte: Pte) -> Option<Pte> {
-        assert!(vpn.0 < (1u64 << (BITS_PER_LEVEL * LEVELS)), "VPN out of range");
+        assert!(
+            vpn.0 < (1u64 << (BITS_PER_LEVEL * LEVELS)),
+            "VPN out of range"
+        );
         let mut node = &mut self.root;
         for level in 0..LEVELS - 1 {
             let idx = Self::index_at(vpn, level);
@@ -142,7 +145,10 @@ impl PageTable {
     /// after `k+1` accesses.
     pub fn walk(&self, vpn: Vpn) -> WalkResult {
         if vpn.0 >= (1u64 << (BITS_PER_LEVEL * LEVELS)) {
-            return WalkResult { pte: None, levels: 1 };
+            return WalkResult {
+                pte: None,
+                levels: 1,
+            };
         }
         let mut node = &self.root;
         for level in 0..LEVELS - 1 {
@@ -160,7 +166,9 @@ impl PageTable {
                 }
             }
         }
-        let Node::Leaf(ptes) = node else { unreachable!() };
+        let Node::Leaf(ptes) = node else {
+            unreachable!()
+        };
         let pte = ptes[Self::index_at(vpn, LEVELS - 1)];
         WalkResult {
             pte: pte.is_present().then_some(pte),
@@ -301,7 +309,11 @@ mod tests {
         for v in [3u64, 1, 7] {
             pt.map(Vpn(v), pte(0, v));
         }
-        let got: Vec<u64> = pt.iter_range(Vpn(0), Vpn(8)).iter().map(|(v, _)| v.0).collect();
+        let got: Vec<u64> = pt
+            .iter_range(Vpn(0), Vpn(8))
+            .iter()
+            .map(|(v, _)| v.0)
+            .collect();
         assert_eq!(got, vec![1, 3, 7]);
     }
 

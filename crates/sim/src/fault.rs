@@ -1,0 +1,387 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] declares *what* can go wrong (drop rates, latency
+//! spikes, walker stalls, PEC corruption) and a [`FaultInjector`] decides
+//! *when*, by drawing from per-fault-kind streams forked off the
+//! simulation seed. Two runs with the same seed and the same plan make
+//! bit-identical decisions; a disabled fault kind makes **zero** RNG
+//! draws, so the empty plan perturbs nothing — a fault-free run with an
+//! injector attached is cycle-identical to a run without one.
+//!
+//! The injector is deliberately passive: it only answers questions
+//! ("should this message drop?", "how long does this walk stall?") and
+//! counts what it injected. The machine owns recovery — retry/backoff,
+//! fallback translation, watchdog — so the fault model stays independent
+//! of the translation pipeline it stresses.
+
+use crate::{Cycle, Rng};
+
+/// Declarative description of the faults to inject during a run.
+///
+/// All rates are probabilities in `[0, 1]`, applied independently per
+/// opportunity (per message, per walk dispatch, per PEC fill). The
+/// default plan is empty: every rate zero, every duration zero.
+///
+/// # Example
+///
+/// ```
+/// use barre_sim::fault::FaultPlan;
+/// let plan = FaultPlan {
+///     ats_request_drop: 0.05,
+///     ..FaultPlan::default()
+/// };
+/// assert!(plan.validate().is_ok());
+/// assert!(!plan.is_empty());
+/// assert!(plan.affects_ats());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probability that an ATS translation request vanishes on the PCIe
+    /// upstream link (sent, never delivered).
+    pub ats_request_drop: f64,
+    /// Probability that an ATS translation response vanishes on the PCIe
+    /// downstream link.
+    pub ats_response_drop: f64,
+    /// Probability that a PCIe message suffers an extra latency spike.
+    pub pcie_spike_rate: f64,
+    /// Extra propagation delay, in cycles, added to a spiked message.
+    pub pcie_spike_cycles: Cycle,
+    /// Probability that a page-table-walker dispatch stalls (models DRAM
+    /// refresh collisions, host memory contention).
+    pub walker_stall_rate: f64,
+    /// Extra walk latency, in cycles, for a stalled walker dispatch.
+    pub walker_stall_cycles: Cycle,
+    /// Probability that a PEC-buffer fill is corrupted: the incoming
+    /// entry is discarded and a random resident entry evicted, forcing
+    /// later requests back onto the full translation path.
+    pub pec_corrupt_rate: f64,
+}
+
+impl FaultPlan {
+    /// The plan that injects nothing (same as `Default`).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no fault kind is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.ats_request_drop == 0.0
+            && self.ats_response_drop == 0.0
+            && self.pcie_spike_rate == 0.0
+            && self.walker_stall_rate == 0.0
+            && self.pec_corrupt_rate == 0.0
+    }
+
+    /// True when the plan can lose or abnormally delay ATS traffic, i.e.
+    /// when the machine must arm retry deadlines. Kept separate from
+    /// [`is_empty`](Self::is_empty) so deadline events are only scheduled
+    /// when they can matter — an always-armed timer would shift the final
+    /// event horizon and break empty-plan cycle identity.
+    pub fn affects_ats(&self) -> bool {
+        self.ats_request_drop > 0.0
+            || self.ats_response_drop > 0.0
+            || self.pcie_spike_rate > 0.0
+            || self.walker_stall_rate > 0.0
+    }
+
+    /// Checks that every rate is a probability and spike/stall durations
+    /// are present when their rates are.
+    pub fn validate(&self) -> Result<(), String> {
+        let rates = [
+            ("ats_request_drop", self.ats_request_drop),
+            ("ats_response_drop", self.ats_response_drop),
+            ("pcie_spike_rate", self.pcie_spike_rate),
+            ("walker_stall_rate", self.walker_stall_rate),
+            ("pec_corrupt_rate", self.pec_corrupt_rate),
+        ];
+        for (name, r) in rates {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("{name} = {r} is not a probability in [0, 1]"));
+            }
+        }
+        if self.pcie_spike_rate > 0.0 && self.pcie_spike_cycles == 0 {
+            return Err("pcie_spike_rate set but pcie_spike_cycles is 0".into());
+        }
+        if self.walker_stall_rate > 0.0 && self.walker_stall_cycles == 0 {
+            return Err("walker_stall_rate set but walker_stall_cycles is 0".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-kind tally of injected faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// ATS requests dropped in flight.
+    pub requests_dropped: u64,
+    /// ATS responses dropped in flight.
+    pub responses_dropped: u64,
+    /// PCIe messages delayed by a latency spike.
+    pub pcie_spikes: u64,
+    /// Walker dispatches stalled.
+    pub walker_stalls: u64,
+    /// PEC-buffer fills corrupted.
+    pub pec_corruptions: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected across all kinds.
+    pub fn total(&self) -> u64 {
+        self.requests_dropped
+            + self.responses_dropped
+            + self.pcie_spikes
+            + self.walker_stalls
+            + self.pec_corruptions
+    }
+}
+
+/// Stateful decision engine executing a [`FaultPlan`].
+///
+/// Each fault kind draws from its own RNG stream (forked from
+/// `seed`), so enabling one kind never shifts the decisions of another.
+/// A kind whose rate is zero never touches its stream.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    req_rng: Rng,
+    resp_rng: Rng,
+    spike_rng: Rng,
+    stall_rng: Rng,
+    pec_rng: Rng,
+    counts: FaultCounts,
+}
+
+/// Per-kind salts keep the streams independent even for adjacent seeds.
+const SALT_REQ: u64 = 0x6661_756c_745f_7271; // "fault_rq"
+const SALT_RESP: u64 = 0x6661_756c_745f_7273;
+const SALT_SPIKE: u64 = 0x6661_756c_745f_7370;
+const SALT_STALL: u64 = 0x6661_756c_745f_7374;
+const SALT_PEC: u64 = 0x6661_756c_745f_7065;
+
+impl FaultInjector {
+    /// Builds an injector for `plan`, with all decision streams derived
+    /// from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`]; validate at the
+    /// configuration boundary first.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        Self {
+            plan,
+            req_rng: Rng::new(seed ^ SALT_REQ),
+            resp_rng: Rng::new(seed ^ SALT_RESP),
+            spike_rng: Rng::new(seed ^ SALT_SPIKE),
+            stall_rng: Rng::new(seed ^ SALT_STALL),
+            pec_rng: Rng::new(seed ^ SALT_PEC),
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// What has been injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// Should this ATS request be dropped in flight?
+    pub fn drop_request(&mut self) -> bool {
+        if self.plan.ats_request_drop == 0.0 {
+            return false;
+        }
+        let hit = self.req_rng.chance(self.plan.ats_request_drop);
+        if hit {
+            self.counts.requests_dropped += 1;
+        }
+        hit
+    }
+
+    /// Should this ATS response be dropped in flight?
+    pub fn drop_response(&mut self) -> bool {
+        if self.plan.ats_response_drop == 0.0 {
+            return false;
+        }
+        let hit = self.resp_rng.chance(self.plan.ats_response_drop);
+        if hit {
+            self.counts.responses_dropped += 1;
+        }
+        hit
+    }
+
+    /// Extra PCIe propagation delay for this message (0 = no spike).
+    pub fn pcie_spike(&mut self) -> Cycle {
+        if self.plan.pcie_spike_rate == 0.0 {
+            return 0;
+        }
+        if self.spike_rng.chance(self.plan.pcie_spike_rate) {
+            self.counts.pcie_spikes += 1;
+            self.plan.pcie_spike_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Extra walk latency for this walker dispatch (0 = no stall).
+    pub fn walker_stall(&mut self) -> Cycle {
+        if self.plan.walker_stall_rate == 0.0 {
+            return 0;
+        }
+        if self.stall_rng.chance(self.plan.walker_stall_rate) {
+            self.counts.walker_stalls += 1;
+            self.plan.walker_stall_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Should this PEC-buffer fill be corrupted? On `true` the caller
+    /// discards the fill and evicts the entry at the returned index
+    /// (modulo the buffer's occupancy).
+    pub fn corrupt_pec(&mut self) -> Option<u64> {
+        if self.plan.pec_corrupt_rate == 0.0 {
+            return None;
+        }
+        if self.pec_rng.chance(self.plan.pec_corrupt_rate) {
+            self.counts.pec_corruptions += 1;
+            Some(self.pec_rng.next_u64())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing_and_draws_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 42);
+        let before = inj.req_rng.clone().next_u64();
+        for _ in 0..1000 {
+            assert!(!inj.drop_request());
+            assert!(!inj.drop_response());
+            assert_eq!(inj.pcie_spike(), 0);
+            assert_eq!(inj.walker_stall(), 0);
+            assert!(inj.corrupt_pec().is_none());
+        }
+        assert_eq!(inj.counts().total(), 0);
+        // The streams were never advanced.
+        assert_eq!(inj.req_rng.next_u64(), before);
+    }
+
+    #[test]
+    fn same_seed_same_plan_same_decisions() {
+        let plan = FaultPlan {
+            ats_request_drop: 0.3,
+            ats_response_drop: 0.2,
+            pcie_spike_rate: 0.1,
+            pcie_spike_cycles: 500,
+            walker_stall_rate: 0.15,
+            walker_stall_cycles: 200,
+            pec_corrupt_rate: 0.05,
+        };
+        let mut a = FaultInjector::new(plan, 7);
+        let mut b = FaultInjector::new(plan, 7);
+        for _ in 0..2000 {
+            assert_eq!(a.drop_request(), b.drop_request());
+            assert_eq!(a.drop_response(), b.drop_response());
+            assert_eq!(a.pcie_spike(), b.pcie_spike());
+            assert_eq!(a.walker_stall(), b.walker_stall());
+            assert_eq!(a.corrupt_pec(), b.corrupt_pec());
+        }
+        assert_eq!(a.counts(), b.counts());
+        assert!(a.counts().total() > 0);
+    }
+
+    #[test]
+    fn kinds_draw_from_independent_streams() {
+        let drops_only = FaultPlan {
+            ats_request_drop: 0.5,
+            ..FaultPlan::default()
+        };
+        let drops_and_spikes = FaultPlan {
+            ats_request_drop: 0.5,
+            pcie_spike_rate: 0.5,
+            pcie_spike_cycles: 100,
+            ..FaultPlan::default()
+        };
+        let mut a = FaultInjector::new(drops_only, 11);
+        let mut b = FaultInjector::new(drops_and_spikes, 11);
+        // Enabling spikes must not change the request-drop decisions.
+        for _ in 0..500 {
+            b.pcie_spike();
+            assert_eq!(a.drop_request(), b.drop_request());
+        }
+    }
+
+    #[test]
+    fn rates_observed_approximately() {
+        let plan = FaultPlan {
+            ats_request_drop: 0.25,
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, 3);
+        let n = 100_000;
+        let dropped = (0..n).filter(|_| inj.drop_request()).count();
+        let frac = dropped as f64 / n as f64;
+        assert!((0.23..0.27).contains(&frac), "observed {frac}");
+        assert_eq!(inj.counts().requests_dropped, dropped as u64);
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        assert!(FaultPlan {
+            ats_request_drop: 1.5,
+            ..FaultPlan::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            ats_response_drop: -0.1,
+            ..FaultPlan::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            pcie_spike_rate: 0.1,
+            ..FaultPlan::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            walker_stall_rate: 0.1,
+            walker_stall_cycles: 0,
+            ..FaultPlan::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan::none().validate().is_ok());
+    }
+
+    #[test]
+    fn is_empty_and_affects_ats() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::none().affects_ats());
+        let pec_only = FaultPlan {
+            pec_corrupt_rate: 0.1,
+            ..FaultPlan::default()
+        };
+        assert!(!pec_only.is_empty());
+        // PEC corruption can't lose ATS traffic — no deadlines needed.
+        assert!(!pec_only.affects_ats());
+        let spikes = FaultPlan {
+            pcie_spike_rate: 0.1,
+            pcie_spike_cycles: 10,
+            ..FaultPlan::default()
+        };
+        assert!(spikes.affects_ats());
+    }
+}

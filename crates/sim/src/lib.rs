@@ -26,11 +26,13 @@
 //! assert_eq!(q.pop(), Some((10, Ev::Pong)));
 //! ```
 
+pub mod fault;
 pub mod link;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
+pub use fault::{FaultCounts, FaultInjector, FaultPlan};
 pub use link::Link;
 pub use queue::EventQueue;
 pub use rng::Rng;

@@ -56,13 +56,31 @@ impl Link {
     /// Sends `bytes` at time `now`; returns the arrival cycle at the far
     /// end. Accounts for queueing behind earlier messages.
     pub fn send(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        self.send_jittered(now, bytes, 0)
+    }
+
+    /// Like [`send`](Self::send), but with `jitter` extra propagation
+    /// cycles for this one message (a transient latency spike, as
+    /// injected by `barre_sim::fault`). Jitter affects only the victim's
+    /// propagation leg: the link head is still occupied for the normal
+    /// serialization time, so later messages queue exactly as without
+    /// the spike — a spiked message may be *overtaken* in delivery, which
+    /// is why consumers of out-of-order-capable channels must key, not
+    /// count, their in-flight state.
+    ///
+    /// All arithmetic saturates, so a degenerate configuration (huge
+    /// latency or jitter near `Cycle::MAX`) pins at the horizon rather
+    /// than wrapping into the past.
+    pub fn send_jittered(&mut self, now: Cycle, bytes: u64, jitter: Cycle) -> Cycle {
         let start = now.max(self.next_free);
         let ser = self.serialization(bytes);
-        self.next_free = start + ser;
-        self.total_bytes += bytes;
+        self.next_free = start.saturating_add(ser);
+        self.total_bytes = self.total_bytes.saturating_add(bytes);
         self.total_msgs += 1;
-        self.busy_cycles += ser;
-        self.next_free + self.latency
+        self.busy_cycles = self.busy_cycles.saturating_add(ser);
+        self.next_free
+            .saturating_add(self.latency)
+            .saturating_add(jitter)
     }
 
     /// Serialization time for a message of `bytes` (at least one cycle).
@@ -152,6 +170,53 @@ mod tests {
         assert_eq!(l.backlog(0), 100);
         assert_eq!(l.backlog(60), 40);
         assert_eq!(l.backlog(200), 0);
+    }
+
+    #[test]
+    fn jitter_delays_only_the_victim() {
+        let mut l = Link::new(10, 1);
+        let a = l.send_jittered(0, 4, 500);
+        // The spiked message arrives late…
+        assert_eq!(a, 4 + 10 + 500);
+        // …but the link head frees at the normal time, so the next
+        // message is NOT pushed out by the spike and overtakes it.
+        let b = l.send(0, 4);
+        assert_eq!(b, 8 + 10);
+        assert!(b < a, "follower should overtake the spiked message");
+    }
+
+    #[test]
+    fn zero_jitter_matches_plain_send() {
+        let mut a = Link::new(7, 3);
+        let mut b = Link::new(7, 3);
+        for (t, bytes) in [(0, 10), (2, 64), (50, 1)] {
+            assert_eq!(a.send(t, bytes), b.send_jittered(t, bytes, 0));
+        }
+        assert_eq!(a.backlog(0), b.backlog(0));
+    }
+
+    #[test]
+    fn send_saturates_instead_of_wrapping() {
+        let mut l = Link::new(Cycle::MAX - 5, 1);
+        // latency alone nearly overflows; jitter pushes past MAX.
+        let arr = l.send_jittered(Cycle::MAX - 100, 64, Cycle::MAX);
+        assert_eq!(arr, Cycle::MAX);
+        // The link remains usable and monotone afterwards.
+        assert!(l.send(Cycle::MAX - 100, 1) >= Cycle::MAX - 100);
+    }
+
+    #[test]
+    fn serialization_order_is_fifo_under_spikes() {
+        // Even when jitter reorders deliveries, head-of-link occupancy
+        // (and therefore backlog accounting) stays first-come-first-served.
+        let mut l = Link::new(20, 2);
+        let mut next_free_seen = 0;
+        for (i, jitter) in [0u64, 900, 0, 300, 0].iter().enumerate() {
+            l.send_jittered(i as Cycle, 16, *jitter);
+            let nf = l.backlog(0);
+            assert!(nf >= next_free_seen, "occupancy must grow FIFO");
+            next_free_seen = nf;
+        }
     }
 
     #[test]

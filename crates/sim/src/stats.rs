@@ -97,7 +97,13 @@ impl RatioStat {
 
 impl fmt::Display for RatioStat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} ({:.1}%)", self.hits, self.total, self.rate() * 100.0)
+        write!(
+            f,
+            "{}/{} ({:.1}%)",
+            self.hits,
+            self.total,
+            self.rate() * 100.0
+        )
     }
 }
 
@@ -182,7 +188,13 @@ impl Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "n={} mean={:.1} max={}", self.count, self.mean(), self.max)
+        write!(
+            f,
+            "n={} mean={:.1} max={}",
+            self.count,
+            self.mean(),
+            self.max
+        )
     }
 }
 

@@ -3,7 +3,9 @@
 use barre_gpu::Topology;
 use barre_mapping::PolicyKind;
 use barre_mem::PageSize;
-use barre_sim::Cycle;
+use barre_sim::{Cycle, FaultPlan};
+
+use crate::error::SimError;
 
 /// F-Barre feature toggles (the §VII-D breakdown and §VII-E oracle are
 /// expressed by switching these).
@@ -140,6 +142,39 @@ impl Default for MigrationConfig {
     }
 }
 
+/// ATS timeout/retry with capped exponential backoff (the graceful-
+/// degradation layer the fault model exercises). A request outstanding
+/// past `deadline` cycles is retried; the wait doubles per attempt up to
+/// `max_backoff`; after `max_retries` retries the chiplet gives up on
+/// ATS for that page and resolves it through the uncoalesced
+/// conventional-walk fallback path.
+///
+/// Deadline timers are only armed when the active [`FaultPlan`] can
+/// actually lose or delay ATS traffic — on a fault-free run the retry
+/// machinery schedules no events, preserving cycle identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtsRetryConfig {
+    /// Cycles an ATS request may stay outstanding before the first retry.
+    pub deadline: Cycle,
+    /// Retries before degrading to the conventional-walk fallback.
+    pub max_retries: u8,
+    /// Cap on the exponentially growing retry deadline.
+    pub max_backoff: Cycle,
+}
+
+impl Default for AtsRetryConfig {
+    fn default() -> Self {
+        Self {
+            // Generous vs. the ~800-cycle fault-free ATS turnaround
+            // (PCIe RTT + walk + queueing): spurious timeouts are rare
+            // even under load, real losses are detected quickly.
+            deadline: 4_000,
+            max_retries: 3,
+            max_backoff: 32_000,
+        }
+    }
+}
+
 /// Full machine configuration. Defaults reproduce Table II.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -220,6 +255,16 @@ pub struct SystemConfig {
     /// Safety cap on simulated warp memory instructions per CTA stream
     /// (`None` = run to completion).
     pub max_warps_per_cta: Option<u64>,
+    /// Faults to inject during the run (default: none).
+    pub fault_plan: FaultPlan,
+    /// ATS timeout/retry/fallback; `None` disables the recovery layer
+    /// (faulted runs then surface as a watchdog diagnostic).
+    pub ats_retry: Option<AtsRetryConfig>,
+    /// Abort with a state dump when no warp memory instruction retires
+    /// for this many cycles (`None` disables; the event-budget guard
+    /// still catches runaway loops). The check is observation-only — it
+    /// schedules no events, so it never perturbs cycle counts.
+    pub watchdog_cycles: Option<Cycle>,
 }
 
 impl SystemConfig {
@@ -261,6 +306,9 @@ impl SystemConfig {
             frames_per_chiplet: None,
             seed: 0xBA22E,
             max_warps_per_cta: None,
+            fault_plan: FaultPlan::default(),
+            ats_retry: Some(AtsRetryConfig::default()),
+            watchdog_cycles: Some(10_000_000),
         }
     }
 
@@ -316,6 +364,92 @@ impl SystemConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Builder-style fault-plan override.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Builder-style ATS retry override.
+    pub fn with_ats_retry(mut self, retry: Option<AtsRetryConfig>) -> Self {
+        self.ats_retry = retry;
+        self
+    }
+
+    /// Builder-style watchdog override.
+    pub fn with_watchdog(mut self, cycles: Option<Cycle>) -> Self {
+        self.watchdog_cycles = cycles;
+        self
+    }
+
+    /// Rejects internally inconsistent configurations before any
+    /// component constructor can assert on them.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |why: String| Err(SimError::InvalidConfig(why));
+        if self.topology.n_chiplets == 0 || self.topology.total_cus() == 0 {
+            return bad("topology has no chiplets or no CUs".into());
+        }
+        if self.l1_tlb_entries == 0 {
+            return bad("l1_tlb_entries must be nonzero".into());
+        }
+        if self.l2_tlb_entries == 0 || self.l2_tlb_ways == 0 {
+            return bad("L2 TLB entries/ways must be nonzero".into());
+        }
+        if !self.l2_tlb_entries.is_multiple_of(self.l2_tlb_ways)
+            || !(self.l2_tlb_entries / self.l2_tlb_ways).is_power_of_two()
+        {
+            return bad(format!(
+                "L2 TLB geometry {}e/{}w does not give a power-of-two set count",
+                self.l2_tlb_entries, self.l2_tlb_ways
+            ));
+        }
+        if self.l2_tlb_mshrs == 0 {
+            return bad("l2_tlb_mshrs must be nonzero".into());
+        }
+        if self.pw_queue_entries == 0 {
+            return bad("pw_queue_entries must be nonzero".into());
+        }
+        if self.ptws == Some(0) {
+            return bad("ptws must be nonzero (use None for infinite)".into());
+        }
+        if self.pec_buffer_entries == 0 {
+            return bad("pec_buffer_entries must be nonzero".into());
+        }
+        if self.pcie_bytes_per_cycle == 0
+            || self.mesh_bytes_per_cycle == 0
+            || self.dram_bytes_per_cycle == 0
+        {
+            return bad("link/DRAM bandwidth must be nonzero".into());
+        }
+        if self.line_bytes == 0
+            || self.l1d_bytes < self.line_bytes
+            || self.l2d_bytes < self.line_bytes
+        {
+            return bad("cache sizes must hold at least one line".into());
+        }
+        if self.cu_slots == 0 {
+            return bad("cu_slots must be nonzero".into());
+        }
+        if self.frames_per_chiplet == Some(0) {
+            return bad("frames_per_chiplet must be nonzero (use None to auto-size)".into());
+        }
+        if let Err(why) = self.fault_plan.validate() {
+            return bad(format!("fault plan: {why}"));
+        }
+        if let Some(r) = self.ats_retry {
+            if r.deadline == 0 {
+                return bad("ats_retry.deadline must be nonzero".into());
+            }
+            if r.max_backoff < r.deadline {
+                return bad("ats_retry.max_backoff must be >= deadline".into());
+            }
+        }
+        if self.watchdog_cycles == Some(0) {
+            return bad("watchdog_cycles must be nonzero (use None to disable)".into());
+        }
+        Ok(())
     }
 
     /// Renders the Table II parameter dump (the `table2_config` bench).
@@ -442,5 +576,41 @@ mod tests {
         assert_eq!(c.mode, TranslationMode::Barre);
         assert_eq!(c.ptws, None);
         assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn default_configs_validate() {
+        assert!(SystemConfig::paper().validate().is_ok());
+        assert!(SystemConfig::scaled().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_misconfigurations() {
+        let mut c = SystemConfig::scaled();
+        c.l2_tlb_ways = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::scaled();
+        c.l2_tlb_entries = 100; // 100/8 is not a power-of-two set count
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::scaled();
+        c.ptws = Some(0);
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::scaled();
+        c.fault_plan.ats_request_drop = 2.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::scaled();
+        c.ats_retry = Some(AtsRetryConfig {
+            deadline: 0,
+            ..Default::default()
+        });
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::scaled();
+        c.watchdog_cycles = Some(0);
+        assert!(c.validate().is_err());
     }
 }

@@ -1,0 +1,109 @@
+//! The failure taxonomy of the build/run pipeline.
+//!
+//! Everything that used to panic on the `build_machine` → `Machine::run`
+//! path — frame exhaustion, misconfiguration, unmapped translations,
+//! deadlock — now surfaces as a [`SimError`], so harnesses (the CLI, the
+//! chaos sweep, property tests) can observe failures instead of dying.
+
+use barre_mem::Vpn;
+use barre_sim::Cycle;
+
+use crate::metrics::RunMetrics;
+
+/// Why a simulation could not be built or could not finish.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// A chiplet's frame allocator ran dry while mapping a workload (or
+    /// serving a demand-paging fault / migration).
+    OutOfFrames {
+        /// Chiplet whose allocator was exhausted.
+        chiplet: u8,
+    },
+    /// A mapping plan was asked about a VPN outside its range — a driver
+    /// or policy bug surfaced at build time.
+    VpnOutsidePlan {
+        /// Address space of the stray VPN.
+        asid: u16,
+        /// The VPN that no plan covers.
+        vpn: Vpn,
+    },
+    /// The configuration is internally inconsistent (zero-sized
+    /// structure, bad fault plan, impossible TLB geometry…).
+    InvalidConfig(String),
+    /// A workload touched an unmapped page with demand paging disabled.
+    TranslationFault {
+        /// Address space of the faulting access.
+        asid: u16,
+        /// The unmapped VPN.
+        vpn: Vpn,
+    },
+    /// The watchdog saw no forward progress (no warp memory instruction
+    /// retired) for the configured window, or the event queue drained
+    /// with live state left behind. Carries the metrics collected up to
+    /// the abort (with `watchdog_fired` set) and a state dump.
+    NoProgress {
+        /// Cycle at which the watchdog gave up.
+        cycle: Cycle,
+        /// Human-readable machine-state summary for diagnosis.
+        dump: String,
+        /// Metrics up to the abort; `watchdog_fired == 1`.
+        metrics: Box<RunMetrics>,
+    },
+    /// The deadlock-guard event budget was exceeded — a runaway event
+    /// loop rather than a quiet hang.
+    EventBudgetExceeded {
+        /// Events processed when the guard tripped.
+        processed: u64,
+        /// Simulated cycle at that point.
+        cycle: Cycle,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::OutOfFrames { chiplet } => {
+                write!(f, "chiplet {chiplet} is out of physical frames")
+            }
+            SimError::VpnOutsidePlan { asid, vpn } => {
+                write!(f, "vpn {vpn} (asid {asid}) lies outside every mapping plan")
+            }
+            SimError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            SimError::TranslationFault { asid, vpn } => write!(
+                f,
+                "translation fault for {vpn} asid {asid} — workload touched an unmapped page \
+                 and demand paging is disabled"
+            ),
+            SimError::NoProgress { cycle, dump, .. } => {
+                write!(f, "no forward progress by cycle {cycle}; {dump}")
+            }
+            SimError::EventBudgetExceeded { processed, cycle } => write!(
+                f,
+                "event budget exceeded ({processed} events by cycle {cycle}) — \
+                 deadlock or runaway workload"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::OutOfFrames { chiplet: 3 };
+        assert!(e.to_string().contains("chiplet 3"));
+        let e = SimError::InvalidConfig("l2_tlb_ways = 0".into());
+        assert!(e.to_string().contains("l2_tlb_ways"));
+        let e = SimError::NoProgress {
+            cycle: 99,
+            dump: "2 MSHRs pending".into(),
+            metrics: Box::default(),
+        };
+        assert!(e.to_string().contains("cycle 99"));
+        assert!(e.to_string().contains("MSHRs"));
+    }
+}

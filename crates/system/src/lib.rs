@@ -7,7 +7,9 @@
 //! * [`TranslationMode`] — baseline, Valkyrie, Least, ideal shared L2,
 //!   Barre, and F-Barre with its feature toggles;
 //! * [`run_app`] / [`run_spec`] / [`run_pair`] — build and run one
-//!   experiment, returning [`RunMetrics`];
+//!   experiment, returning `Result<RunMetrics, SimError>`;
+//! * [`SimError`] — the failure taxonomy (misconfiguration, frame
+//!   exhaustion, translation faults, watchdog aborts);
 //! * [`speedup`] / [`geomean`] — the ratios the figures plot.
 //!
 //! # Example
@@ -17,17 +19,22 @@
 //! use barre_workloads::AppId;
 //!
 //! let cfg = smoke_config();
-//! let base = run_app(AppId::Gups, &cfg, 42);
-//! let barre = run_app(AppId::Gups, &cfg.clone().with_mode(TranslationMode::Barre), 42);
+//! let base = run_app(AppId::Gups, &cfg, 42).unwrap();
+//! let barre = run_app(AppId::Gups, &cfg.clone().with_mode(TranslationMode::Barre), 42).unwrap();
 //! assert!(speedup(&base, &barre) > 0.0);
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod machine;
 pub mod metrics;
 pub mod runner;
 
-pub use config::{DemandPagingConfig, FBarreConfig, MigrationConfig, MmuKind, SystemConfig, TranslationMode};
+pub use config::{
+    AtsRetryConfig, DemandPagingConfig, FBarreConfig, MigrationConfig, MmuKind, SystemConfig,
+    TranslationMode,
+};
+pub use error::SimError;
 pub use machine::{L2Payload, Machine};
 pub use metrics::{geomean, speedup, RunMetrics};
 pub use runner::{build_machine, run_app, run_pair, run_spec, smoke_config, summary_line};

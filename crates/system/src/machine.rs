@@ -18,15 +18,16 @@ use barre_core::{CoalInfo, CoalMode, PecBuffer, PecEntry, PecLogic};
 use barre_filters::{Filter, IdealFilter};
 use barre_gpu::pattern::AccessPattern;
 use barre_gpu::{CtaScheduler, GmmuConfig, GmmuUnit, Mesh, TagCache};
-use barre_iommu::{AtsRequest, AtsResponse, Iommu, IommuConfig, ATS_REQUEST_BYTES, ATS_RESPONSE_BYTES};
-use barre_mapping::Acud;
-use barre_mem::{
-    ChipletId, FrameAllocator, GlobalPfn, PageTable, Vpn,
+use barre_iommu::{
+    AtsRequest, AtsResponse, Iommu, IommuConfig, ATS_REQUEST_BYTES, ATS_RESPONSE_BYTES,
 };
-use barre_sim::{Cycle, EventQueue, Link};
+use barre_mapping::Acud;
+use barre_mem::{ChipletId, FrameAllocator, GlobalPfn, PageTable, Vpn};
+use barre_sim::{Cycle, EventQueue, FaultInjector, Link};
 use barre_tlb::{MshrFile, MshrOutcome, Tlb, TlbKey};
 
 use crate::config::{MmuKind, SystemConfig, TranslationMode};
+use crate::error::SimError;
 use crate::metrics::RunMetrics;
 
 /// Payload of an L2 TLB entry: the frame plus the coalescing bits the ATS
@@ -54,18 +55,72 @@ const CHIPLET_PEC_CALC: Cycle = 2;
 
 #[derive(Debug)]
 enum Ev {
-    Issue { chiplet: u8, cu: u16, slot: u8 },
-    Translate { page: u32 },
-    AtsArrive { req: AtsRequest },
-    WalkDone { ptw: usize },
-    GmmuWalkDone { chiplet: u8, walker: usize },
-    RespArrive { resp: AtsResponse },
-    PeerProbe { page: u32, at: u8 },
-    PeerReply { page: u32, result: Option<L2Payload> },
-    FilterUpd { at: u8, upds: Vec<FilterUpdate> },
-    MemStart { page: u32 },
-    MemDone { page: u32 },
-    MshrRetry { page: u32 },
+    Issue {
+        chiplet: u8,
+        cu: u16,
+        slot: u8,
+    },
+    Translate {
+        page: u32,
+    },
+    AtsArrive {
+        req: AtsRequest,
+    },
+    WalkDone {
+        ptw: usize,
+    },
+    GmmuWalkDone {
+        chiplet: u8,
+        walker: usize,
+    },
+    RespArrive {
+        resp: AtsResponse,
+    },
+    PeerProbe {
+        page: u32,
+        at: u8,
+    },
+    PeerReply {
+        page: u32,
+        result: Option<L2Payload>,
+    },
+    FilterUpd {
+        at: u8,
+        upds: Vec<FilterUpdate>,
+    },
+    MemStart {
+        page: u32,
+    },
+    MemDone {
+        page: u32,
+    },
+    MshrRetry {
+        page: u32,
+    },
+    /// ATS retry deadline for an outstanding `(chiplet, key)` attempt.
+    /// Stale timers (epoch mismatch, or already-filled key) no-op.
+    AtsDeadline {
+        chiplet: u8,
+        key: TlbKey,
+        epoch: u64,
+    },
+    /// Conventional-walk fallback completes after retries are exhausted.
+    FallbackDone {
+        chiplet: u8,
+        key: TlbKey,
+    },
+}
+
+/// In-flight ATS bookkeeping for the retry/fallback layer. Keyed access
+/// only (the map is never iterated), so `HashMap` order cannot leak into
+/// simulation results.
+#[derive(Debug, Clone, Copy)]
+struct PendingAts {
+    /// Timeouts already taken for this key.
+    attempts: u8,
+    /// Identifies the newest send; older deadline timers are stale.
+    epoch: u64,
+    prefetch: bool,
 }
 
 struct Stream {
@@ -158,6 +213,18 @@ pub struct Machine {
     queue: EventQueue<Ev>,
     now: Cycle,
     m: RunMetrics,
+    /// Fault decision engine; `None` on fault-free runs (so they make no
+    /// extra RNG draws and stay cycle-identical to pre-fault builds).
+    injector: Option<FaultInjector>,
+    /// Whether ATS sends arm retry deadlines: requires a retry config
+    /// AND a plan that can lose/delay ATS traffic. On fault-free runs no
+    /// timer events are scheduled — an always-armed timer would extend
+    /// the final event horizon and break cycle identity.
+    arm_deadlines: bool,
+    ats_pending: HashMap<(u8, TlbKey), PendingAts>,
+    ats_epoch: u64,
+    /// Cycle of the last retired warp memory access (watchdog input).
+    last_progress: Cycle,
 }
 
 impl Machine {
@@ -169,6 +236,7 @@ impl Machine {
         master_pecs: Vec<PecEntry>,
         plans: Vec<barre_core::MappingPlan>,
         sched: CtaScheduler,
+        seed: u64,
     ) -> Self {
         let n = cfg.topology.n_chiplets;
         let page_shift = cfg.page_size.shift();
@@ -201,7 +269,12 @@ impl Machine {
             (cfg.mesh_bytes_per_cycle / n as u64).max(1),
         );
         let filter_vc = (0..n)
-            .map(|_| Link::new(cfg.mesh_latency, (cfg.mesh_bytes_per_cycle / (8 * n as u64)).max(1)))
+            .map(|_| {
+                Link::new(
+                    cfg.mesh_latency,
+                    (cfg.mesh_bytes_per_cycle / (8 * n as u64)).max(1),
+                )
+            })
             .collect();
         let gmmu_cfg = GmmuConfig {
             walkers: (cfg.ptws.unwrap_or(16) / n).max(1),
@@ -243,20 +316,17 @@ impl Machine {
                         .collect(),
                     l2d: TagCache::new(cfg.l2d_bytes, 16, cfg.line_bytes),
                     dram_free: 0,
-                    filters: fbarre.filter(|f| f.peer_sharing).map(|f| {
-                        FilterBank::new(cid, n, f.filter_rows, cfg.seed ^ 0xF117)
-                    }),
+                    filters: fbarre
+                        .filter(|f| f.peer_sharing)
+                        .map(|f| FilterBank::new(cid, n, f.filter_rows, cfg.seed ^ 0xF117)),
                     pec_buffer,
                     gmmu,
                 }
             })
             .collect();
-        let shared_l2 = matches!(cfg.mode, TranslationMode::SharedL2Ideal).then(|| {
-            Tlb::new(cfg.l2_tlb_entries * n, cfg.l2_tlb_ways)
-        });
-        let least_trackers = (0..n)
-            .map(|_| IdealFilter::with_capacity(1024))
-            .collect();
+        let shared_l2 = matches!(cfg.mode, TranslationMode::SharedL2Ideal)
+            .then(|| Tlb::new(cfg.l2_tlb_entries * n, cfg.l2_tlb_ways));
+        let least_trackers = (0..n).map(|_| IdealFilter::with_capacity(1024)).collect();
         let cus = (0..n)
             .map(|_| {
                 (0..cfg.topology.cus_per_chiplet())
@@ -266,9 +336,7 @@ impl Machine {
                     .collect()
             })
             .collect();
-        let acud = cfg
-            .migration
-            .map(|mc| Acud::new(mc.threshold, n));
+        let acud = cfg.migration.map(|mc| Acud::new(mc.threshold, n));
         Self {
             pec_logic: PecLogic::new(coal_mode),
             page_shift,
@@ -303,17 +371,29 @@ impl Machine {
             queue: EventQueue::new(),
             now: 0,
             m: RunMetrics::default(),
+            injector: (!cfg.fault_plan.is_empty())
+                .then(|| FaultInjector::new(cfg.fault_plan, seed ^ 0xFA01_7FA0)),
+            arm_deadlines: cfg.ats_retry.is_some() && cfg.fault_plan.affects_ats(),
+            ats_pending: HashMap::new(),
+            ats_epoch: 0,
+            last_progress: 0,
             cfg,
         }
     }
 
     /// Runs the machine to completion and returns the measurements.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the simulation exceeds an internal event budget
-    /// (deadlock guard) or a translation faults (unmapped page).
-    pub fn run(mut self) -> RunMetrics {
+    /// [`SimError::NoProgress`] when the watchdog sees no warp memory
+    /// instruction retire within `cfg.watchdog_cycles`, or the event
+    /// queue drains with live state behind (pending MSHRs, undispatched
+    /// CTAs, outstanding ATS) — both carry a state dump and the metrics
+    /// collected so far. [`SimError::EventBudgetExceeded`] on a runaway
+    /// event loop, [`SimError::TranslationFault`] on an unmapped access
+    /// without demand paging, [`SimError::OutOfFrames`] when a
+    /// demand-paging fault cannot be served.
+    pub fn run(mut self) -> Result<RunMetrics, SimError> {
         // Prime every CU slot, staggered: real kernels ramp up as blocks
         // arrive over thousands of cycles; starting every stream at t=0
         // phase-locks the whole machine into translation/memory waves.
@@ -338,23 +418,38 @@ impl Machine {
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
-            self.handle(ev);
-            assert!(
-                self.queue.processed() < budget,
-                "event budget exceeded — deadlock or runaway workload"
-            );
+            // Watchdog: observation only — it schedules nothing, so an
+            // armed watchdog never perturbs cycle counts.
+            if let Some(k) = self.cfg.watchdog_cycles {
+                if self.now.saturating_sub(self.last_progress) > k {
+                    return Err(self.no_progress(format!(
+                        "watchdog: no warp memory instruction retired in {k} cycles"
+                    )));
+                }
+            }
+            self.handle(ev)?;
+            if self.queue.processed() >= budget {
+                return Err(SimError::EventBudgetExceeded {
+                    processed: self.queue.processed(),
+                    cycle: self.now,
+                });
+            }
         }
-        self.finalize()
+        // The queue drained; a healthy machine leaves no live state.
+        if let Some(leftovers) = self.leftover_state() {
+            return Err(self.no_progress(format!("event queue drained with {leftovers}")));
+        }
+        Ok(self.finalize())
     }
 
-    fn handle(&mut self, ev: Ev) {
+    fn handle(&mut self, ev: Ev) -> Result<(), SimError> {
         match ev {
             Ev::Issue { chiplet, cu, slot } => self.issue(chiplet, cu, slot),
             Ev::Translate { page } => self.translate(page),
             Ev::AtsArrive { req } => self.ats_arrive(req),
             Ev::WalkDone { ptw } => self.walk_done(ptw),
             Ev::GmmuWalkDone { chiplet, walker } => self.gmmu_walk_done(chiplet, walker),
-            Ev::RespArrive { resp } => self.resp_arrive(resp),
+            Ev::RespArrive { resp } => return self.resp_arrive(resp),
             Ev::PeerProbe { page, at } => self.peer_probe(page, at),
             Ev::PeerReply { page, result } => self.peer_reply(page, result),
             Ev::FilterUpd { at, upds } => {
@@ -367,7 +462,55 @@ impl Machine {
             Ev::MemStart { page } => self.mem_start(page),
             Ev::MemDone { page } => self.mem_done(page),
             Ev::MshrRetry { page } => self.l2_miss_path(page),
+            Ev::AtsDeadline {
+                chiplet,
+                key,
+                epoch,
+            } => return self.ats_deadline(chiplet, key, epoch),
+            Ev::FallbackDone { chiplet, key } => self.fallback_done(chiplet, key),
         }
+        Ok(())
+    }
+
+    /// Builds the watchdog's abort error: state dump plus the metrics
+    /// collected so far (marked `watchdog_fired`).
+    fn no_progress(&mut self, detail: String) -> SimError {
+        self.harvest();
+        self.m.watchdog_fired = 1;
+        let pending_mshrs: usize = self.chiplets.iter().map(|c| c.l2_mshr.in_use()).sum();
+        let undispensed: usize = (0..self.chiplets.len())
+            .map(|c| self.sched.pending(ChipletId(c as u8)))
+            .sum();
+        let dump = format!(
+            "{detail} [cycle={} pending_mshrs={pending_mshrs} outstanding_ats={} \
+             undispensed_ctas={undispensed} iommu_overflow={} events_processed={}]",
+            self.now,
+            self.ats_pending.len(),
+            self.iommu_overflow.len(),
+            self.queue.processed(),
+        );
+        SimError::NoProgress {
+            cycle: self.now,
+            dump,
+            metrics: Box::new(self.m.clone()),
+        }
+    }
+
+    /// Live state remaining after the queue drained, if any — the quiet
+    /// hang the watchdog window can miss when nothing is scheduled at
+    /// all (e.g. every retry exhausted with recovery disabled).
+    fn leftover_state(&self) -> Option<String> {
+        let pending_mshrs: usize = self.chiplets.iter().map(|c| c.l2_mshr.in_use()).sum();
+        let undispensed = !self.sched.is_drained();
+        if pending_mshrs == 0 && !undispensed && self.ats_pending.is_empty() {
+            return None;
+        }
+        Some(format!(
+            "live state: pending_mshrs={pending_mshrs} outstanding_ats={} \
+             scheduler_drained={}",
+            self.ats_pending.len(),
+            !undispensed,
+        ))
     }
 
     // ----- CU issue -----
@@ -375,8 +518,7 @@ impl Machine {
     fn issue(&mut self, chiplet: u8, cu: u16, slot: u8) {
         let now = self.now;
         loop {
-            let slot_ref =
-                &mut self.cus[chiplet as usize][cu as usize].slots[slot as usize];
+            let slot_ref = &mut self.cus[chiplet as usize][cu as usize].slots[slot as usize];
             if slot_ref.is_none() {
                 match self.sched.next_for(ChipletId(chiplet)) {
                     Some(cta) => {
@@ -396,7 +538,11 @@ impl Machine {
                 .cfg
                 .max_warps_per_cta
                 .is_some_and(|cap| stream.warps >= cap);
-            let warp = if capped { None } else { stream.pattern.next_warp() };
+            let warp = if capped {
+                None
+            } else {
+                stream.pattern.next_warp()
+            };
             match warp {
                 None => {
                     // CTA finished; loop to fetch the next one.
@@ -448,7 +594,10 @@ impl Machine {
     fn translate(&mut self, page: u32) {
         let now = self.now;
         let p = self.pages[page as usize].clone();
-        let key = TlbKey { asid: p.asid, vpn: p.vpn };
+        let key = TlbKey {
+            asid: p.asid,
+            vpn: p.vpn,
+        };
         self.m.l1_tlb_lookups += 1;
         let cu_idx = self.cfg.topology.cu_index_flat(p.cu);
         let cu_l1 = &mut self.chiplets[p.chiplet as usize].l1_tlbs[cu_idx];
@@ -488,12 +637,18 @@ impl Machine {
     fn l2_miss_path(&mut self, page: u32) {
         let now = self.now;
         let p = self.pages[page as usize].clone();
-        let key = TlbKey { asid: p.asid, vpn: p.vpn };
+        let key = TlbKey {
+            asid: p.asid,
+            vpn: p.vpn,
+        };
         let t1 = now + self.cfg.l1_tlb_latency + self.cfg.l2_tlb_latency;
         self.m.l2_tlb_lookups += 1;
         let hit = match &mut self.shared_l2 {
             Some(shared) => shared.lookup(key).copied(),
-            None => self.chiplets[p.chiplet as usize].l2_tlb.lookup(key).copied(),
+            None => self.chiplets[p.chiplet as usize]
+                .l2_tlb
+                .lookup(key)
+                .copied(),
         };
         if let Some(payload) = hit {
             self.fill_l1(p.chiplet, p.cu, key, payload.pfn);
@@ -557,7 +712,10 @@ impl Machine {
         if !confirmed {
             return;
         }
-        let next = TlbKey { asid: key.asid, vpn: Vpn(key.vpn.0 + 1) };
+        let next = TlbKey {
+            asid: key.asid,
+            vpn: Vpn(key.vpn.0 + 1),
+        };
         {
             let ch = &self.chiplets[chiplet as usize];
             if ch.l2_tlb.probe(next).is_some() || ch.l2_mshr.is_pending(next) {
@@ -565,7 +723,10 @@ impl Machine {
             }
         }
         // Only prefetch mapped pages.
-        if self.page_tables[next.asid as usize].lookup(next.vpn).is_none() {
+        if self.page_tables[next.asid as usize]
+            .lookup(next.vpn)
+            .is_none()
+        {
             return;
         }
         if self.chiplets[chiplet as usize].l2_mshr.allocate(next, None) == MshrOutcome::Primary {
@@ -615,7 +776,13 @@ impl Machine {
                     // Like F-Barre's probes, Least's tracker probes are
                     // small control messages on their own traffic class.
                     let at = self.filter_vc[p.chiplet as usize].send(t, PEER_MSG_BYTES);
-                    self.queue.push(at, Ev::PeerProbe { page, at: peer as u8 });
+                    self.queue.push(
+                        at,
+                        Ev::PeerProbe {
+                            page,
+                            at: peer as u8,
+                        },
+                    );
                 } else {
                     self.send_ats(page, key, t);
                 }
@@ -646,7 +813,10 @@ impl Machine {
                     continue;
                 }
                 lcf_hits += 1;
-                let ckey = TlbKey { asid: key.asid, vpn: cand };
+                let ckey = TlbKey {
+                    asid: key.asid,
+                    vpn: cand,
+                };
                 let Some(payload) = ch.l2_tlb.probe(ckey).copied() else {
                     continue; // filter false positive
                 };
@@ -660,7 +830,10 @@ impl Machine {
                     let bits = self
                         .member_bits(cand, &info, &entry, key.vpn)
                         .unwrap_or(payload.coal_bits);
-                    found = Some(L2Payload { pfn, coal_bits: bits });
+                    found = Some(L2Payload {
+                        pfn,
+                        coal_bits: bits,
+                    });
                     break;
                 }
             }
@@ -707,6 +880,54 @@ impl Machine {
     }
 
     fn send_ats_inner(&mut self, chiplet: u8, key: TlbKey, t: Cycle, prefetch: bool) {
+        // Retry layer: every attempt (re)arms a deadline under a fresh
+        // epoch; timers for superseded epochs or already-filled keys
+        // no-op. The wait doubles per timeout taken, capped.
+        if self.arm_deadlines {
+            let retry = self
+                .cfg
+                .ats_retry
+                .expect("arm_deadlines implies retry config");
+            self.ats_epoch += 1;
+            let epoch = self.ats_epoch;
+            let e = self
+                .ats_pending
+                .entry((chiplet, key))
+                .or_insert(PendingAts {
+                    attempts: 0,
+                    epoch,
+                    prefetch,
+                });
+            e.epoch = epoch;
+            e.prefetch = prefetch;
+            let wait = retry
+                .deadline
+                .checked_shl(e.attempts as u32)
+                .unwrap_or(Cycle::MAX)
+                .min(retry.max_backoff);
+            self.queue.push(
+                t.saturating_add(wait),
+                Ev::AtsDeadline {
+                    chiplet,
+                    key,
+                    epoch,
+                },
+            );
+        }
+        // Fault: the request vanishes in flight. The TLP left the
+        // chiplet (upstream bandwidth is consumed) but never reaches the
+        // translation service, so it is not a serviced request and does
+        // not count toward `ats_requests`.
+        if self
+            .injector
+            .as_mut()
+            .is_some_and(FaultInjector::drop_request)
+        {
+            if self.cfg.mmu == MmuKind::Iommu {
+                self.pcie_up.send(t, ATS_REQUEST_BYTES);
+            }
+            return;
+        }
         let id = self.next_req_id;
         self.next_req_id += 1;
         self.req_origin.insert(
@@ -727,7 +948,8 @@ impl Machine {
         self.m.ats_requests += 1;
         match self.cfg.mmu {
             MmuKind::Iommu => {
-                let at = self.pcie_up.send(t, ATS_REQUEST_BYTES);
+                let spike = self.injector.as_mut().map_or(0, FaultInjector::pcie_spike);
+                let at = self.pcie_up.send_jittered(t, ATS_REQUEST_BYTES, spike);
                 self.queue.push(at, Ev::AtsArrive { req });
             }
             MmuKind::Gmmu => {
@@ -735,6 +957,73 @@ impl Machine {
                 self.queue.push(t, Ev::AtsArrive { req });
             }
         }
+    }
+
+    /// An ATS deadline fired. Retry with backoff while attempts remain;
+    /// then degrade to the uncoalesced conventional-walk path (the
+    /// reliability analogue of the paper's coalesced → conventional
+    /// fallback) so a lossy link cannot wedge the chiplet.
+    fn ats_deadline(&mut self, chiplet: u8, key: TlbKey, epoch: u64) -> Result<(), SimError> {
+        let now = self.now;
+        let Some(p) = self.ats_pending.get(&(chiplet, key)) else {
+            return Ok(()); // already filled
+        };
+        if p.epoch != epoch {
+            return Ok(()); // superseded by a newer attempt
+        }
+        let retry = self
+            .cfg
+            .ats_retry
+            .expect("deadline armed without retry config");
+        self.m.ats_timeouts += 1;
+        let (attempts, prefetch) = (p.attempts, p.prefetch);
+        if attempts < retry.max_retries {
+            self.ats_pending
+                .get_mut(&(chiplet, key))
+                .expect("checked above")
+                .attempts = attempts + 1;
+            self.m.ats_retries += 1;
+            self.send_ats_inner(chiplet, key, now, prefetch);
+            return Ok(());
+        }
+        self.ats_pending.remove(&(chiplet, key));
+        if self.page_tables[key.asid as usize]
+            .lookup(key.vpn)
+            .is_none()
+        {
+            // Unmapped page: with demand paging the far fault maps it
+            // (and restarts the ATS cycle); without, it is a genuine
+            // translation fault.
+            if self.cfg.demand_paging.is_some() {
+                return self.page_fault(key.asid, key.vpn, chiplet, now);
+            }
+            return Err(SimError::TranslationFault {
+                asid: key.asid,
+                vpn: key.vpn,
+            });
+        }
+        // The fallback is a synchronous slow-path walk over a clean
+        // channel: full PCIe round trip plus an uncoalesced walk.
+        let done = now + 2 * self.cfg.pcie_latency + self.cfg.walk_latency;
+        self.queue.push(done, Ev::FallbackDone { chiplet, key });
+        Ok(())
+    }
+
+    /// The conventional-walk fallback resolves: fill from the current
+    /// PTE with no coalescing bits. Counts as one serviced translation
+    /// (`ats_requests`) answered by `fallback_translations`, keeping
+    /// `walks + coalesced + fallback == ats_requests`.
+    fn fallback_done(&mut self, chiplet: u8, key: TlbKey) {
+        let now = self.now;
+        let Some(pfn) = self.page_tables[key.asid as usize]
+            .lookup(key.vpn)
+            .map(|p| p.pfn())
+        else {
+            return;
+        };
+        self.m.fallback_translations += 1;
+        self.m.ats_requests += 1;
+        self.finish_l2_miss_at(chiplet, key, L2Payload { pfn, coal_bits: 0 }, now);
     }
 
     fn ats_arrive(&mut self, req: AtsRequest) {
@@ -759,13 +1048,24 @@ impl Machine {
     fn iommu_dispatch(&mut self) {
         let now = self.now;
         for (ptw, done) in self.iommu.dispatch(now) {
-            self.queue.push(done, Ev::WalkDone { ptw });
+            // Fault: host-side walker stall (DRAM refresh collisions,
+            // host memory contention) extends this walk.
+            let stall = self
+                .injector
+                .as_mut()
+                .map_or(0, FaultInjector::walker_stall);
+            self.queue
+                .push(done.saturating_add(stall), Ev::WalkDone { ptw });
         }
     }
 
     fn gmmu_dispatch(&mut self, c: usize) {
         let now = self.now;
-        let Machine { chiplets, page_tables, .. } = self;
+        let Machine {
+            chiplets,
+            page_tables,
+            ..
+        } = self;
         let g = chiplets[c].gmmu.as_mut().expect("GMMU configured");
         let started = g.dispatch(now, |asid, vpn| {
             page_tables
@@ -774,17 +1074,24 @@ impl Machine {
                 .map(|pte| pte.pfn().chiplet())
         });
         let queue = &mut self.queue;
+        let injector = &mut self.injector;
         for (walker, done) in started {
+            let stall = injector.as_mut().map_or(0, FaultInjector::walker_stall);
             queue.push(
-                done,
-                Ev::GmmuWalkDone { chiplet: c as u8, walker },
+                done.saturating_add(stall),
+                Ev::GmmuWalkDone {
+                    chiplet: c as u8,
+                    walker,
+                },
             );
         }
     }
 
     fn walk_done(&mut self, ptw: usize) {
         let now = self.now;
-        let Machine { iommu, page_tables, .. } = self;
+        let Machine {
+            iommu, page_tables, ..
+        } = self;
         let responses = iommu.complete_walk(ptw, now, |asid, vpn| {
             page_tables.get(asid as usize).and_then(|pt| pt.lookup(vpn))
         });
@@ -796,7 +1103,21 @@ impl Machine {
         }
         self.iommu_dispatch();
         for (ready, resp) in responses {
-            let at = self.pcie_down.send(ready, ATS_RESPONSE_BYTES);
+            // Fault: the response vanishes on the downstream link (it
+            // still occupies bandwidth). The chiplet's deadline timer
+            // recovers via retry/fallback.
+            if self
+                .injector
+                .as_mut()
+                .is_some_and(FaultInjector::drop_response)
+            {
+                self.pcie_down.send(ready, ATS_RESPONSE_BYTES);
+                continue;
+            }
+            let spike = self.injector.as_mut().map_or(0, FaultInjector::pcie_spike);
+            let at = self
+                .pcie_down
+                .send_jittered(ready, ATS_RESPONSE_BYTES, spike);
             self.queue.push(at, Ev::RespArrive { resp });
         }
     }
@@ -804,7 +1125,11 @@ impl Machine {
     fn gmmu_walk_done(&mut self, chiplet: u8, walker: usize) {
         let now = self.now;
         let c = chiplet as usize;
-        let Machine { chiplets, page_tables, .. } = self;
+        let Machine {
+            chiplets,
+            page_tables,
+            ..
+        } = self;
         let g = chiplets[c].gmmu.as_mut().expect("GMMU configured");
         let responses = g.complete_walk(walker, now, |asid, vpn| {
             page_tables.get(asid as usize).and_then(|pt| pt.lookup(vpn))
@@ -824,21 +1149,43 @@ impl Machine {
         }
         self.gmmu_dispatch(c);
         for (ready, resp) in responses {
+            // GMMU responses stay on package (no PCIe spike leg) but a
+            // corrupted response is still droppable.
+            if self
+                .injector
+                .as_mut()
+                .is_some_and(FaultInjector::drop_response)
+            {
+                continue;
+            }
             self.queue.push(ready, Ev::RespArrive { resp });
         }
     }
 
-    fn resp_arrive(&mut self, resp: AtsResponse) {
+    fn resp_arrive(&mut self, resp: AtsResponse) -> Result<(), SimError> {
         let now = self.now;
         let Some(pfn) = resp.pfn else {
-            return self.page_fault(resp.req, now);
+            return self.page_fault(resp.req.asid, resp.req.vpn, resp.req.chiplet.0, now);
         };
         let chiplet = resp.req.chiplet.index();
-        // F-Barre: learn the data's PEC record from the response.
+        // F-Barre: learn the data's PEC record from the response — unless
+        // the fault model corrupts the fill, in which case the incoming
+        // record is discarded and a resident one evicted (affected pages
+        // fall back to walks until the record is re-learned).
         if let Some(entry) = &resp.pec_entry {
-            self.chiplets[chiplet].pec_buffer.insert(entry.clone());
+            match self.injector.as_mut().and_then(FaultInjector::corrupt_pec) {
+                Some(victim) => {
+                    self.chiplets[chiplet].pec_buffer.evict_at(victim as usize);
+                }
+                None => {
+                    self.chiplets[chiplet].pec_buffer.insert(entry.clone());
+                }
+            }
         }
-        let key = TlbKey { asid: resp.req.asid, vpn: resp.req.vpn };
+        let key = TlbKey {
+            asid: resp.req.asid,
+            vpn: resp.req.vpn,
+        };
         let was_prefetch = matches!(
             self.req_origin.remove(&resp.req.id),
             Some(ReqOrigin::Prefetch)
@@ -851,58 +1198,64 @@ impl Machine {
             .map(|p| p.pfn());
         if current != Some(pfn) {
             self.send_ats_inner(chiplet as u8, key, now, was_prefetch);
-            return;
+            return Ok(());
         }
         // Prefetch and demand responses fill identically: a prefetch's
         // MSHR simply has no waiters.
         self.finish_l2_miss_at(
             chiplet as u8,
             key,
-            L2Payload { pfn, coal_bits: resp.coal_bits },
+            L2Payload {
+                pfn,
+                coal_bits: resp.coal_bits,
+            },
             now,
         );
+        Ok(())
     }
 
     /// Demand-paging far fault (§VI): the driver maps the faulting page —
     /// or, under group fetch, its whole coalescing group — and the
     /// translation retries after the fault latency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when demand paging is disabled (premapped workloads never
-    /// fault) or physical memory is exhausted.
-    fn page_fault(&mut self, req: AtsRequest, now: Cycle) {
+    /// [`SimError::TranslationFault`] when demand paging is disabled
+    /// (premapped workloads never fault legitimately),
+    /// [`SimError::VpnOutsidePlan`] when no data object owns the VPN,
+    /// [`SimError::OutOfFrames`] when physical memory is exhausted.
+    fn page_fault(&mut self, asid: u16, vpn: Vpn, chiplet: u8, now: Cycle) -> Result<(), SimError> {
         let Some(dp) = self.cfg.demand_paging else {
-            panic!(
-                "translation fault for {} asid {} — workload touched an unmapped page",
-                req.vpn, req.asid
-            );
+            return Err(SimError::TranslationFault { asid, vpn });
         };
         self.m.page_faults += 1;
         // A concurrent fault may already have mapped it.
-        if self.page_tables[req.asid as usize].lookup(req.vpn).is_none() {
+        if self.page_tables[asid as usize].lookup(vpn).is_none() {
             let group_fetch = dp.group_fetch && self.cfg.mode.uses_barre();
             let plan = self
                 .plans
                 .iter()
-                .find(|p| p.asid == req.asid && p.range.contains(req.vpn))
+                .find(|p| p.asid == asid && p.range.contains(vpn))
                 .cloned()
-                .expect("faulting page belongs to a data object");
+                .ok_or(SimError::VpnOutsidePlan { asid, vpn })?;
             let ptes = self
                 .driver
-                .allocate_on_fault(&plan, req.vpn, &mut self.frames, group_fetch)
-                .expect("out of physical frames");
+                .allocate_on_fault(&plan, vpn, &mut self.frames, group_fetch)
+                .map_err(|barre_core::driver::AllocError::OutOfMemory(c)| {
+                    SimError::OutOfFrames { chiplet: c.0 }
+                })?;
             for (v, pte) in ptes {
                 // Group fetch can touch members another fault already
                 // mapped; keep the first mapping.
-                if self.page_tables[req.asid as usize].lookup(v).is_none() {
-                    self.page_tables[req.asid as usize].map(v, pte);
+                if self.page_tables[asid as usize].lookup(v).is_none() {
+                    self.page_tables[asid as usize].map(v, pte);
                     self.m.demand_pages_mapped += 1;
                 }
             }
         }
-        let key = TlbKey { asid: req.asid, vpn: req.vpn };
-        self.send_ats_inner(req.chiplet.0, key, now + dp.fault_latency, false);
+        let key = TlbKey { asid, vpn };
+        self.send_ats_inner(chiplet, key, now + dp.fault_latency, false);
+        Ok(())
     }
 
     // ----- peer sharing -----
@@ -910,13 +1263,13 @@ impl Machine {
     fn peer_probe(&mut self, page: u32, at: u8) {
         let now = self.now;
         let p = self.pages[page as usize].clone();
-        let key = TlbKey { asid: p.asid, vpn: p.vpn };
+        let key = TlbKey {
+            asid: p.asid,
+            vpn: p.vpn,
+        };
         let reply_ready = now + 1 + self.cfg.l2_tlb_latency + CHIPLET_PEC_CALC;
         let result: Option<L2Payload> = match self.cfg.mode {
-            TranslationMode::Least => self.chiplets[at as usize]
-                .l2_tlb
-                .probe(key)
-                .copied(),
+            TranslationMode::Least => self.chiplets[at as usize].l2_tlb.probe(key).copied(),
             _ => {
                 // F-Barre peer-side translation: exact entry, else any
                 // coalescing VPN present locally.
@@ -925,9 +1278,7 @@ impl Machine {
             }
         };
         let back = match self.cfg.mode {
-            TranslationMode::FBarre(f) if f.oracle_traffic => {
-                reply_ready + self.cfg.mesh_latency
-            }
+            TranslationMode::FBarre(f) if f.oracle_traffic => reply_ready + self.cfg.mesh_latency,
             TranslationMode::FBarre(_) => {
                 self.filter_vc[at as usize].send(reply_ready, PEER_MSG_BYTES)
             }
@@ -950,21 +1301,27 @@ impl Machine {
                     continue;
                 }
             }
-            let ckey = TlbKey { asid: key.asid, vpn: cand };
+            let ckey = TlbKey {
+                asid: key.asid,
+                vpn: cand,
+            };
             let Some(payload) = ch.l2_tlb.probe(ckey).copied() else {
                 continue;
             };
             let Some(info) = CoalInfo::decode(payload.coal_bits, self.coal_mode) else {
                 continue;
             };
-            if let Some(pfn) =
-                self.pec_logic
-                    .calc_pfn(cand, payload.pfn, &info, &entry, key.vpn)
+            if let Some(pfn) = self
+                .pec_logic
+                .calc_pfn(cand, payload.pfn, &info, &entry, key.vpn)
             {
                 let bits = self
                     .member_bits(cand, &info, &entry, key.vpn)
                     .unwrap_or(payload.coal_bits);
-                return Some(L2Payload { pfn, coal_bits: bits });
+                return Some(L2Payload {
+                    pfn,
+                    coal_bits: bits,
+                });
             }
         }
         None
@@ -973,7 +1330,10 @@ impl Machine {
     fn peer_reply(&mut self, page: u32, result: Option<L2Payload>) {
         let now = self.now;
         let p = self.pages[page as usize].clone();
-        let key = TlbKey { asid: p.asid, vpn: p.vpn };
+        let key = TlbKey {
+            asid: p.asid,
+            vpn: p.vpn,
+        };
         let current = self.page_tables[key.asid as usize]
             .lookup(key.vpn)
             .map(|pte| pte.pfn());
@@ -1014,6 +1374,9 @@ impl Machine {
             self.send_ats_inner(chiplet, key, t, false);
             return;
         }
+        // The key is answered: retire any outstanding retry state so
+        // in-flight deadline timers become stale no-ops.
+        self.ats_pending.remove(&(chiplet, key));
         let c = chiplet as usize;
         let evicted = match &mut self.shared_l2 {
             Some(shared) => shared.insert(key, payload),
@@ -1217,9 +1580,7 @@ impl Machine {
         let new = GlobalPfn::compose(decision.to, local);
         self.frames[old.chiplet().index()].free(old.local());
         // Rewrite the PTE: new frame, excluded from its coalescing group.
-        self.page_tables[p.asid as usize].update(p.vpn, |pte| {
-            pte.with_pfn(new).with_coal_bits(0)
-        });
+        self.page_tables[p.asid as usize].update(p.vpn, |pte| pte.with_pfn(new).with_coal_bits(0));
         // Remaining group members drop the leaving chiplet from their
         // bitmaps (§VI). Their cached translations still carry the old
         // bitmap, so the shootdown must cover the whole group — a member
@@ -1250,9 +1611,7 @@ impl Machine {
             ch.l2d.invalidate_range(old_base, old_end);
         }
         // Copy cost: the page crosses the mesh, plus fixed overhead.
-        let copy_done = self
-            .mesh
-            .send(now, old.chiplet(), decision.to, page_bytes);
+        let copy_done = self.mesh.send(now, old.chiplet(), decision.to, page_bytes);
         let overhead = self.cfg.migration.map(|mc| mc.overhead).unwrap_or(0);
         Some(copy_done + overhead)
     }
@@ -1295,6 +1654,7 @@ impl Machine {
 
     fn mem_done(&mut self, page: u32) {
         let now = self.now;
+        self.last_progress = now;
         let p = self.pages[page as usize].clone();
         self.free_page(page);
         let inst = &mut self.insts[p.inst as usize];
@@ -1318,7 +1678,8 @@ impl Machine {
                 .wrapping_add(warps)
                 .wrapping_mul(0xBF58_476D_1CE4_E5B9);
             let jitter = mix % (gap / 2 + 8);
-            self.queue.push(now + gap + jitter, Ev::Issue { chiplet, cu, slot });
+            self.queue
+                .push(now + gap + jitter, Ev::Issue { chiplet, cu, slot });
         }
     }
 
@@ -1360,13 +1721,18 @@ impl Machine {
 
     // ----- finalization -----
 
-    fn finalize(mut self) -> RunMetrics {
+    /// Copies component statistics into `self.m`. Idempotent (every
+    /// field is assigned, not accumulated), so both the clean-finish and
+    /// the watchdog-abort paths can call it.
+    fn harvest(&mut self) {
         self.m.total_cycles = self.now;
         let io = self.iommu.stats();
         self.m.walks = io.walks.get();
         self.m.coalesced_translations = io.coalesced.get();
         self.m.ats_latency = io.ats_latency.clone();
         self.m.vpn_gap = io.vpn_gap.clone();
+        self.m.gmmu_local_walks = 0;
+        self.m.gmmu_remote_walks = 0;
         for ch in &self.chiplets {
             if let Some(g) = &ch.gmmu {
                 self.m.walks += g.local_walks.get() + g.remote_walks.get();
@@ -1380,6 +1746,11 @@ impl Machine {
         self.m.pcie_bytes = self.pcie_up.total_bytes() + self.pcie_down.total_bytes();
         self.m.mesh_bytes =
             self.mesh.total_bytes() + self.filter_vc.iter().map(Link::total_bytes).sum::<u64>();
+        self.m.faults_injected = self.injector.as_ref().map_or(0, |i| i.counts().total());
+    }
+
+    fn finalize(mut self) -> RunMetrics {
+        self.harvest();
         self.m
     }
 }

@@ -79,6 +79,18 @@ pub struct RunMetrics {
     pub lcf_true_hits: u64,
     /// LCF probes that hit the filter.
     pub lcf_hits: u64,
+    /// Faults injected by the active `FaultPlan` (all kinds).
+    pub faults_injected: u64,
+    /// ATS requests re-sent after a timeout.
+    pub ats_retries: u64,
+    /// ATS deadline expirations observed (retries + fallbacks).
+    pub ats_timeouts: u64,
+    /// Translations resolved through the conventional-walk fallback
+    /// after exhausting ATS retries.
+    pub fallback_translations: u64,
+    /// 1 when the no-progress watchdog aborted the run (such metrics
+    /// arrive inside `SimError::NoProgress`, never from a clean return).
+    pub watchdog_fired: u64,
 }
 
 impl RunMetrics {
@@ -191,8 +203,14 @@ mod tests {
 
     #[test]
     fn speedup_and_geomean() {
-        let base = RunMetrics { total_cycles: 200, ..Default::default() };
-        let new = RunMetrics { total_cycles: 100, ..Default::default() };
+        let base = RunMetrics {
+            total_cycles: 200,
+            ..Default::default()
+        };
+        let new = RunMetrics {
+            total_cycles: 100,
+            ..Default::default()
+        };
         assert!((speedup(&base, &new) - 2.0).abs() < 1e-12);
         let g = geomean([1.0, 4.0]);
         assert!((g - 2.0).abs() < 1e-12);

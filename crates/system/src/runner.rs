@@ -7,13 +7,14 @@
 //! [`run_spec`] / [`run_pair`] are the one-call entry points every bench
 //! uses.
 
-use barre_core::driver::{BarreAllocator, MappingPlan};
+use barre_core::driver::{AllocError, BarreAllocator, MappingPlan};
 use barre_core::{CoalMode, PecEntry};
 use barre_gpu::{Cta, CtaId, CtaScheduler};
 use barre_mem::{FrameAllocator, GlobalPfn, PageTable, Pte, PteFlags, VirtAddr, VirtAllocator};
 use barre_workloads::{AppId, AppPair, WorkloadSpec};
 
 use crate::config::{SystemConfig, TranslationMode};
+use crate::error::SimError;
 use crate::machine::Machine;
 use crate::metrics::RunMetrics;
 
@@ -34,11 +35,18 @@ pub fn coal_mode_of(cfg: &SystemConfig) -> CoalMode {
 /// Builds a ready-to-run machine executing `specs` concurrently (one
 /// address space each).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a chiplet runs out of physical frames (auto-sizing leaves
-/// ample headroom, so this indicates a configuration error).
-pub fn build_machine(specs: &[WorkloadSpec], cfg: &SystemConfig, seed: u64) -> Machine {
+/// [`SimError::InvalidConfig`] for an inconsistent configuration,
+/// [`SimError::OutOfFrames`] when a chiplet runs out of physical frames
+/// during premapping (auto-sizing leaves ample headroom, so this
+/// indicates undersized `frames_per_chiplet`).
+pub fn build_machine(
+    specs: &[WorkloadSpec],
+    cfg: &SystemConfig,
+    seed: u64,
+) -> Result<Machine, SimError> {
+    cfg.validate()?;
     let n = cfg.topology.n_chiplets;
     let shift = cfg.page_size.shift();
     let total_pages: u64 = specs
@@ -49,8 +57,9 @@ pub fn build_machine(specs: &[WorkloadSpec], cfg: &SystemConfig, seed: u64) -> M
     let frames_per_chiplet = cfg
         .frames_per_chiplet
         .unwrap_or(((total_pages * 2 / n as u64) + 512) as usize);
-    let mut frames: Vec<FrameAllocator> =
-        (0..n).map(|_| FrameAllocator::new(frames_per_chiplet)).collect();
+    let mut frames: Vec<FrameAllocator> = (0..n)
+        .map(|_| FrameAllocator::new(frames_per_chiplet))
+        .collect();
 
     let use_barre = cfg.mode.uses_barre();
     let demand = cfg.demand_paging.is_some();
@@ -81,13 +90,13 @@ pub fn build_machine(specs: &[WorkloadSpec], cfg: &SystemConfig, seed: u64) -> M
             } else if use_barre {
                 let out = driver
                     .allocate(&plan, &mut frames)
-                    .expect("chiplet out of frames");
+                    .map_err(|AllocError::OutOfMemory(c)| SimError::OutOfFrames { chiplet: c.0 })?;
                 for (v, pte) in out.ptes {
                     pt.map(v, pte);
                 }
                 master_pecs.push(out.pec);
             } else {
-                allocate_plain(&plan, &mut frames, &mut pt);
+                allocate_plain(&plan, &mut frames, &mut pt)?;
             }
             plans.push(plan);
         }
@@ -111,35 +120,63 @@ pub fn build_machine(specs: &[WorkloadSpec], cfg: &SystemConfig, seed: u64) -> M
         ctas.sort_by_key(|c| (c.id.0 % 97, c.id.0));
     }
     let sched = CtaScheduler::new(n, ctas);
-    Machine::assemble(cfg.clone(), page_tables, frames, master_pecs, plans, sched)
+    Ok(Machine::assemble(
+        cfg.clone(),
+        page_tables,
+        frames,
+        master_pecs,
+        plans,
+        sched,
+        seed,
+    ))
 }
 
 /// Default driver allocation: each page individually on its planned
 /// chiplet, no coalescing bits.
-fn allocate_plain(plan: &MappingPlan, frames: &mut [FrameAllocator], pt: &mut PageTable) {
+fn allocate_plain(
+    plan: &MappingPlan,
+    frames: &mut [FrameAllocator],
+    pt: &mut PageTable,
+) -> Result<(), SimError> {
     for vpn in plan.range.iter() {
-        let chiplet = plan.chiplet_of(vpn).expect("vpn inside plan");
+        let chiplet = plan.chiplet_of(vpn).ok_or(SimError::VpnOutsidePlan {
+            asid: plan.asid,
+            vpn,
+        })?;
         let local = frames[chiplet.index()]
             .alloc_any()
-            .expect("chiplet out of frames");
+            .ok_or(SimError::OutOfFrames { chiplet: chiplet.0 })?;
         let pfn = GlobalPfn::compose(chiplet, local);
         pt.map(vpn, Pte::new(pfn, PteFlags::default()));
     }
+    Ok(())
 }
 
 /// Runs one application under `cfg`.
-pub fn run_app(app: AppId, cfg: &SystemConfig, seed: u64) -> RunMetrics {
+///
+/// # Errors
+///
+/// Everything [`build_machine`] and [`Machine::run`] can report.
+pub fn run_app(app: AppId, cfg: &SystemConfig, seed: u64) -> Result<RunMetrics, SimError> {
     run_spec(app.spec(), cfg, seed)
 }
 
 /// Runs one workload spec under `cfg`.
-pub fn run_spec(spec: WorkloadSpec, cfg: &SystemConfig, seed: u64) -> RunMetrics {
-    build_machine(&[spec], cfg, seed).run()
+///
+/// # Errors
+///
+/// Everything [`build_machine`] and [`Machine::run`] can report.
+pub fn run_spec(spec: WorkloadSpec, cfg: &SystemConfig, seed: u64) -> Result<RunMetrics, SimError> {
+    build_machine(&[spec], cfg, seed)?.run()
 }
 
 /// Runs an application pair concurrently (multi-programming, §VII-I).
-pub fn run_pair(pair: AppPair, cfg: &SystemConfig, seed: u64) -> RunMetrics {
-    build_machine(&[pair.a.spec(), pair.b.spec()], cfg, seed).run()
+///
+/// # Errors
+///
+/// Everything [`build_machine`] and [`Machine::run`] can report.
+pub fn run_pair(pair: AppPair, cfg: &SystemConfig, seed: u64) -> Result<RunMetrics, SimError> {
+    build_machine(&[pair.a.spec(), pair.b.spec()], cfg, seed)?.run()
 }
 
 /// A tiny smoke workload used by unit/integration tests: a strided kernel
@@ -178,9 +215,17 @@ const _: fn() -> VirtAddr = || VirtAddr(0);
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::{run_app as try_run_app, run_pair as try_run_pair, *};
     use crate::config::FBarreConfig;
     use crate::metrics::speedup;
+
+    fn run_app(app: AppId, cfg: &SystemConfig, seed: u64) -> RunMetrics {
+        try_run_app(app, cfg, seed).expect("run failed")
+    }
+
+    fn run_pair(pair: AppPair, cfg: &SystemConfig, seed: u64) -> RunMetrics {
+        try_run_pair(pair, cfg, seed).expect("run failed")
+    }
 
     #[test]
     fn baseline_smoke_run_completes() {
@@ -229,8 +274,7 @@ mod tests {
         let base = run_app(AppId::Bicg, &cfg, 3);
         let fb = run_app(
             AppId::Bicg,
-            &cfg
-                .clone()
+            &cfg.clone()
                 .with_mode(TranslationMode::FBarre(FBarreConfig::default())),
             3,
         );
@@ -247,8 +291,27 @@ mod tests {
     #[test]
     fn multi_app_pair_runs() {
         let cfg = smoke_config();
-        let pair = AppPair { a: AppId::Gemv, b: AppId::Gups };
+        let pair = AppPair {
+            a: AppId::Gemv,
+            b: AppId::Gups,
+        };
         let m = run_pair(pair, &cfg, 4);
         assert!(m.total_cycles > 0);
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let mut cfg = smoke_config();
+        cfg.l2_tlb_ways = 0;
+        let err = try_run_app(AppId::Gemv, &cfg, 1).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn frame_exhaustion_is_an_error_not_a_panic() {
+        let mut cfg = smoke_config();
+        cfg.frames_per_chiplet = Some(1); // far too small for any app
+        let err = try_run_app(AppId::Gemv, &cfg, 1).unwrap_err();
+        assert!(matches!(err, SimError::OutOfFrames { .. }), "{err}");
     }
 }

@@ -56,7 +56,10 @@ impl<P> Tlb<P> {
     /// count is not a power of two.
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(ways > 0 && entries > 0, "empty TLB");
-        assert!(entries.is_multiple_of(ways), "entries must be a multiple of ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must be a multiple of ways"
+        );
         let nsets = entries / ways;
         assert!(nsets.is_power_of_two(), "set count must be a power of two");
         Self {
@@ -106,7 +109,10 @@ impl<P> Tlb<P> {
     /// touch recency or demand statistics.
     pub fn probe(&self, key: TlbKey) -> Option<&P> {
         let set = self.set_of(key);
-        self.sets[set].iter().find(|s| s.key == key).map(|s| &s.payload)
+        self.sets[set]
+            .iter()
+            .find(|s| s.key == key)
+            .map(|s| &s.payload)
     }
 
     /// Inserts a translation, evicting the set's LRU entry if full.
@@ -183,7 +189,10 @@ mod tests {
     use super::*;
 
     fn k(vpn: u64) -> TlbKey {
-        TlbKey { asid: 0, vpn: Vpn(vpn) }
+        TlbKey {
+            asid: 0,
+            vpn: Vpn(vpn),
+        }
     }
 
     #[test]
@@ -233,8 +242,14 @@ mod tests {
     #[test]
     fn asid_isolation() {
         let mut t: Tlb<u32> = Tlb::new(16, 4);
-        let a = TlbKey { asid: 1, vpn: Vpn(9) };
-        let b = TlbKey { asid: 2, vpn: Vpn(9) };
+        let a = TlbKey {
+            asid: 1,
+            vpn: Vpn(9),
+        };
+        let b = TlbKey {
+            asid: 2,
+            vpn: Vpn(9),
+        };
         t.insert(a, 100);
         assert!(t.probe(b).is_none());
         t.insert(b, 200);

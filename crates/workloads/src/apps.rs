@@ -193,7 +193,10 @@ impl AppId {
 
     /// The default (scale-1) workload.
     pub fn spec(self) -> WorkloadSpec {
-        WorkloadSpec { app: self, scale: 1 }
+        WorkloadSpec {
+            app: self,
+            scale: 1,
+        }
     }
 }
 
@@ -227,25 +230,120 @@ impl WorkloadSpec {
     fn dims(&self) -> AppDims {
         let s = self.s();
         match self.app {
-            AppId::Gemv => AppDims { rows: 256 * s, cols: 256 * s, aux: 2 << 10, passes: 12 },
-            AppId::Corr => AppDims { rows: 128 * s, cols: 128 * s, aux: 0, passes: 1 },
-            AppId::Adi => AppDims { rows: 256 * s, cols: 256 * s, aux: 0, passes: 8 },
-            AppId::Fft => AppDims { rows: 0, cols: 0, aux: (2 << 20) * self.scale, passes: 1 },
-            AppId::Pr => AppDims { rows: 0, cols: 0, aux: (1 << 20) * self.scale, passes: 1 },
-            AppId::Fwt => AppDims { rows: 0, cols: 0, aux: (4 << 20) * self.scale, passes: 1 },
-            AppId::Cov => AppDims { rows: 1536 * s, cols: 512 * s, aux: 0, passes: 2 },
-            AppId::Sssp => AppDims { rows: 0, cols: 0, aux: (1 << 20) * self.scale, passes: 1 },
-            AppId::Jac2d => AppDims { rows: 1024 * s, cols: 512 * s, aux: 0, passes: 1 },
-            AppId::Fdtd2d => AppDims { rows: 1024 * s, cols: 512 * s, aux: 0, passes: 1 },
-            AppId::Lu => AppDims { rows: 3072 * s, cols: 256 * s, aux: 0, passes: 2 },
-            AppId::Nw => AppDims { rows: 64, cols: 64, aux: 96, passes: 1 },
-            AppId::Atax => AppDims { rows: 2048 * s, cols: 256 * s, aux: 256 * s * ELEM, passes: 1 },
-            AppId::St2d => AppDims { rows: 2048 * s, cols: 256 * s, aux: 0, passes: 1 },
-            AppId::Matr => AppDims { rows: 2048 * s, cols: 512 * s, aux: 0, passes: 1 },
-            AppId::Gups => AppDims { rows: 0, cols: 0, aux: (8 << 20) * self.scale, passes: 1 },
-            AppId::Bicg => AppDims { rows: 2048 * s, cols: 512 * s, aux: 512 * s * ELEM, passes: 1 },
-            AppId::Spmv => AppDims { rows: 0, cols: 0, aux: (16 << 20) * self.scale, passes: 1 },
-            AppId::Gesm => AppDims { rows: 2048 * s, cols: 512 * s, aux: 0, passes: 1 },
+            AppId::Gemv => AppDims {
+                rows: 256 * s,
+                cols: 256 * s,
+                aux: 2 << 10,
+                passes: 12,
+            },
+            AppId::Corr => AppDims {
+                rows: 128 * s,
+                cols: 128 * s,
+                aux: 0,
+                passes: 1,
+            },
+            AppId::Adi => AppDims {
+                rows: 256 * s,
+                cols: 256 * s,
+                aux: 0,
+                passes: 8,
+            },
+            AppId::Fft => AppDims {
+                rows: 0,
+                cols: 0,
+                aux: (2 << 20) * self.scale,
+                passes: 1,
+            },
+            AppId::Pr => AppDims {
+                rows: 0,
+                cols: 0,
+                aux: (1 << 20) * self.scale,
+                passes: 1,
+            },
+            AppId::Fwt => AppDims {
+                rows: 0,
+                cols: 0,
+                aux: (4 << 20) * self.scale,
+                passes: 1,
+            },
+            AppId::Cov => AppDims {
+                rows: 1536 * s,
+                cols: 512 * s,
+                aux: 0,
+                passes: 2,
+            },
+            AppId::Sssp => AppDims {
+                rows: 0,
+                cols: 0,
+                aux: (1 << 20) * self.scale,
+                passes: 1,
+            },
+            AppId::Jac2d => AppDims {
+                rows: 1024 * s,
+                cols: 512 * s,
+                aux: 0,
+                passes: 1,
+            },
+            AppId::Fdtd2d => AppDims {
+                rows: 1024 * s,
+                cols: 512 * s,
+                aux: 0,
+                passes: 1,
+            },
+            AppId::Lu => AppDims {
+                rows: 3072 * s,
+                cols: 256 * s,
+                aux: 0,
+                passes: 2,
+            },
+            AppId::Nw => AppDims {
+                rows: 64,
+                cols: 64,
+                aux: 96,
+                passes: 1,
+            },
+            AppId::Atax => AppDims {
+                rows: 2048 * s,
+                cols: 256 * s,
+                aux: 256 * s * ELEM,
+                passes: 1,
+            },
+            AppId::St2d => AppDims {
+                rows: 2048 * s,
+                cols: 256 * s,
+                aux: 0,
+                passes: 1,
+            },
+            AppId::Matr => AppDims {
+                rows: 2048 * s,
+                cols: 512 * s,
+                aux: 0,
+                passes: 1,
+            },
+            AppId::Gups => AppDims {
+                rows: 0,
+                cols: 0,
+                aux: (8 << 20) * self.scale,
+                passes: 1,
+            },
+            AppId::Bicg => AppDims {
+                rows: 2048 * s,
+                cols: 512 * s,
+                aux: 512 * s * ELEM,
+                passes: 1,
+            },
+            AppId::Spmv => AppDims {
+                rows: 0,
+                cols: 0,
+                aux: (16 << 20) * self.scale,
+                passes: 1,
+            },
+            AppId::Gesm => AppDims {
+                rows: 2048 * s,
+                cols: 512 * s,
+                aux: 0,
+                passes: 1,
+            },
         }
     }
 
@@ -256,61 +354,154 @@ impl WorkloadSpec {
         let mat = d.rows * d.cols * ELEM;
         match self.app {
             AppId::Gemv => vec![
-                DatasetDecl { bytes: mat, class: Blocked },
-                DatasetDecl { bytes: d.aux, class: Blocked },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Blocked,
+                },
+                DatasetDecl {
+                    bytes: d.aux,
+                    class: Blocked,
+                },
             ],
-            AppId::Corr => vec![DatasetDecl { bytes: mat, class: Strided }],
-            AppId::Adi => vec![DatasetDecl { bytes: mat, class: Blocked }],
-            AppId::Fft => vec![DatasetDecl { bytes: d.aux, class: Blocked }],
+            AppId::Corr => vec![DatasetDecl {
+                bytes: mat,
+                class: Strided,
+            }],
+            AppId::Adi => vec![DatasetDecl {
+                bytes: mat,
+                class: Blocked,
+            }],
+            AppId::Fft => vec![DatasetDecl {
+                bytes: d.aux,
+                class: Blocked,
+            }],
             AppId::Pr => vec![
-                DatasetDecl { bytes: d.aux, class: Irregular },
-                DatasetDecl { bytes: 512 << 10, class: Blocked },
+                DatasetDecl {
+                    bytes: d.aux,
+                    class: Irregular,
+                },
+                DatasetDecl {
+                    bytes: 512 << 10,
+                    class: Blocked,
+                },
             ],
-            AppId::Fwt => vec![DatasetDecl { bytes: d.aux, class: Blocked }],
-            AppId::Cov => vec![DatasetDecl { bytes: mat, class: Blocked }],
+            AppId::Fwt => vec![DatasetDecl {
+                bytes: d.aux,
+                class: Blocked,
+            }],
+            AppId::Cov => vec![DatasetDecl {
+                bytes: mat,
+                class: Blocked,
+            }],
             AppId::Sssp => vec![
-                DatasetDecl { bytes: d.aux, class: Irregular },
-                DatasetDecl { bytes: 512 << 10, class: Blocked },
+                DatasetDecl {
+                    bytes: d.aux,
+                    class: Irregular,
+                },
+                DatasetDecl {
+                    bytes: 512 << 10,
+                    class: Blocked,
+                },
             ],
             AppId::Jac2d => vec![
-                DatasetDecl { bytes: mat, class: Blocked },
-                DatasetDecl { bytes: mat, class: Blocked },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Blocked,
+                },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Blocked,
+                },
             ],
             AppId::Fdtd2d => vec![
-                DatasetDecl { bytes: mat, class: Blocked },
-                DatasetDecl { bytes: mat, class: Blocked },
-                DatasetDecl { bytes: mat, class: Blocked },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Blocked,
+                },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Blocked,
+                },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Blocked,
+                },
             ],
-            AppId::Lu => vec![DatasetDecl { bytes: mat, class: Blocked }],
+            AppId::Lu => vec![DatasetDecl {
+                bytes: mat,
+                class: Blocked,
+            }],
             AppId::Nw => {
                 // One DP tile per CTA wave; `aux` holds the tile count.
                 let tile = d.rows * d.cols * ELEM;
-                vec![DatasetDecl { bytes: tile * d.aux, class: Strided }]
+                vec![DatasetDecl {
+                    bytes: tile * d.aux,
+                    class: Strided,
+                }]
             }
             AppId::Atax => vec![
-                DatasetDecl { bytes: mat, class: Strided },
-                DatasetDecl { bytes: d.aux, class: Blocked },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Strided,
+                },
+                DatasetDecl {
+                    bytes: d.aux,
+                    class: Blocked,
+                },
             ],
             AppId::St2d => vec![
-                DatasetDecl { bytes: mat, class: Blocked },
-                DatasetDecl { bytes: mat, class: Blocked },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Blocked,
+                },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Blocked,
+                },
             ],
             AppId::Matr => vec![
-                DatasetDecl { bytes: mat, class: Blocked },
-                DatasetDecl { bytes: mat, class: Strided },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Blocked,
+                },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Strided,
+                },
             ],
-            AppId::Gups => vec![DatasetDecl { bytes: d.aux, class: Irregular }],
+            AppId::Gups => vec![DatasetDecl {
+                bytes: d.aux,
+                class: Irregular,
+            }],
             AppId::Bicg => vec![
-                DatasetDecl { bytes: mat, class: Strided },
-                DatasetDecl { bytes: d.aux, class: Blocked },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Strided,
+                },
+                DatasetDecl {
+                    bytes: d.aux,
+                    class: Blocked,
+                },
             ],
             AppId::Spmv => vec![
-                DatasetDecl { bytes: 512 << 10, class: Blocked },
-                DatasetDecl { bytes: d.aux, class: Irregular },
+                DatasetDecl {
+                    bytes: 512 << 10,
+                    class: Blocked,
+                },
+                DatasetDecl {
+                    bytes: d.aux,
+                    class: Irregular,
+                },
             ],
             AppId::Gesm => vec![
-                DatasetDecl { bytes: mat, class: Strided },
-                DatasetDecl { bytes: mat, class: Strided },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Strided,
+                },
+                DatasetDecl {
+                    bytes: mat,
+                    class: Strided,
+                },
             ],
         }
     }
@@ -406,8 +597,7 @@ impl WorkloadSpec {
                                 .with_grid_rows(d.rows),
                         ),
                         Box::new(
-                            ColStream::new(bases[0], d.rows, d.cols)
-                                .with_rows(r0, r0 + rn.max(1)),
+                            ColStream::new(bases[0], d.rows, d.cols).with_rows(r0, r0 + rn.max(1)),
                         ),
                     ],
                     insns,
@@ -415,9 +605,7 @@ impl WorkloadSpec {
             }
             AppId::Fft | AppId::Fwt => {
                 let seg = (d.aux / n_ctas).max(4096);
-                Box::new(
-                    Butterfly::new(VirtAddr(bases[0].0 + cta * seg), seg).with_insns(insns),
-                )
+                Box::new(Butterfly::new(VirtAddr(bases[0].0 + cta * seg), seg).with_insns(insns))
             }
             AppId::Pr => Box::new(Chain::new(
                 vec![
@@ -471,8 +659,7 @@ impl WorkloadSpec {
                 let tile_bytes = d.rows * d.cols * ELEM;
                 let t = cta % d.aux;
                 Box::new(
-                    Wavefront::new(VirtAddr(bases[0].0 + t * tile_bytes), d.rows)
-                        .with_insns(insns),
+                    Wavefront::new(VirtAddr(bases[0].0 + t * tile_bytes), d.rows).with_insns(insns),
                 )
             }
             AppId::Atax => {
@@ -527,9 +714,7 @@ impl WorkloadSpec {
                     insns,
                 ))
             }
-            AppId::Gups => {
-                Box::new(RandGather::new(bases[0], d.aux, 96, rng).with_insns(insns))
-            }
+            AppId::Gups => Box::new(RandGather::new(bases[0], d.aux, 96, rng).with_insns(insns)),
             AppId::Bicg => {
                 // q = A p (streaming rows) then s = Aᵀ r (page-wide
                 // gather over the transposed layout).
@@ -584,7 +769,6 @@ struct AppDims {
 fn row_slice_with_insns(p: Box<dyn AccessPattern>, insns: u64) -> Box<dyn AccessPattern> {
     Box::new(Chain::new(vec![p], insns))
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -662,9 +846,10 @@ mod tests {
                 let mut seen = 0;
                 while let Some(w) = p.next_warp() {
                     for a in &w.addrs {
-                        let inside = ds.iter().zip(&bases).any(|(d, b)| {
-                            (b.0..b.0 + d.bytes).contains(&a.0)
-                        });
+                        let inside = ds
+                            .iter()
+                            .zip(&bases)
+                            .any(|(d, b)| (b.0..b.0 + d.bytes).contains(&a.0));
                         assert!(inside, "{app}: cta {cta} addr {a} outside datasets");
                     }
                     seen += 1;
@@ -694,23 +879,35 @@ mod tests {
     #[test]
     fn scale_grows_footprint() {
         let d1: u64 = AppId::Bicg.spec().datasets().iter().map(|d| d.bytes).sum();
-        let d16: u64 = WorkloadSpec { app: AppId::Bicg, scale: 16 }
-            .datasets()
-            .iter()
-            .map(|d| d.bytes)
-            .sum();
+        let d16: u64 = WorkloadSpec {
+            app: AppId::Bicg,
+            scale: 16,
+        }
+        .datasets()
+        .iter()
+        .map(|d| d.bytes)
+        .sum();
         assert!(d16 >= 12 * d1, "16x scale should grow footprint ~16x");
     }
 
     #[test]
     fn hints_follow_access_class() {
-        let blocked = DatasetDecl { bytes: 1 << 20, class: AccessClass::Blocked };
+        let blocked = DatasetDecl {
+            bytes: 1 << 20,
+            class: AccessClass::Blocked,
+        };
         let h = blocked.hint(12, 4);
         assert_eq!(h.locality_gran, Some(64));
         assert!(!h.irregular);
-        let strided = DatasetDecl { bytes: 1 << 20, class: AccessClass::Strided };
+        let strided = DatasetDecl {
+            bytes: 1 << 20,
+            class: AccessClass::Strided,
+        };
         assert_eq!(strided.hint(12, 4).locality_gran, Some(1));
-        let irr = DatasetDecl { bytes: 1 << 20, class: AccessClass::Irregular };
+        let irr = DatasetDecl {
+            bytes: 1 << 20,
+            class: AccessClass::Irregular,
+        };
         assert!(irr.hint(12, 4).irregular);
     }
 }

@@ -46,12 +46,7 @@ impl AppPair {
             (High, High),
         ]
         .into_iter()
-        .map(|(c1, c2)| {
-            (
-                format!("{c1}-{c2}"),
-                AppPair::representative(c1, c2),
-            )
-        })
+        .map(|(c1, c2)| (format!("{c1}-{c2}"), AppPair::representative(c1, c2)))
         .collect()
     }
 
@@ -87,7 +82,10 @@ mod tests {
 
     #[test]
     fn labels_are_readable() {
-        let p = AppPair { a: AppId::Gemv, b: AppId::Gups };
+        let p = AppPair {
+            a: AppId::Gemv,
+            b: AppId::Gups,
+        };
         assert_eq!(p.label(), "gemv+gups");
     }
 }

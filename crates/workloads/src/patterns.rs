@@ -310,7 +310,10 @@ impl AccessPattern for ZipfGather {
         let addrs = (0..WARP_LANES)
             .map(|_| VirtAddr(self.base + self.rng.zipf_like(slots) * ELEM))
             .collect();
-        Some(WarpAccess { addrs, write: false })
+        Some(WarpAccess {
+            addrs,
+            write: false,
+        })
     }
 
     fn insns_per_access(&self) -> u64 {

@@ -13,18 +13,22 @@ use barre_chord::mem::{ChipletId, FrameAllocator, Vpn};
 
 fn main() {
     // Four chiplets, fresh memories.
-    let mut frames: Vec<FrameAllocator> =
-        (0..4).map(|_| FrameAllocator::new(1 << 16)).collect();
+    let mut frames: Vec<FrameAllocator> = (0..4).map(|_| FrameAllocator::new(1 << 16)).collect();
 
     // Data 1 of Fig 7a: 12 pages, LASP interleaves 3 consecutive VPNs
     // per chiplet.
     let plan = MappingPlan::interleaved(
-        VpnRange { start: Vpn(0x1), pages: 12 },
+        VpnRange {
+            start: Vpn(0x1),
+            pages: 12,
+        },
         3,
         &[ChipletId(0), ChipletId(1), ChipletId(2), ChipletId(3)],
     );
     let mut driver = BarreAllocator::new(CoalMode::Expanded, 2);
-    let alloc = driver.allocate(&plan, &mut frames).expect("frames available");
+    let alloc = driver
+        .allocate(&plan, &mut frames)
+        .expect("frames available");
 
     println!("driver mapping for data 1 (12 pages, interlv_gran = 3):\n");
     println!("{:>6} {:>14} {:>22}", "VPN", "PFN", "coalescing info");

@@ -10,9 +10,7 @@
 //! cargo run --release --example demand_paging
 //! ```
 
-use barre_chord::system::{
-    run_app, speedup, DemandPagingConfig, SystemConfig, TranslationMode,
-};
+use barre_chord::system::{run_app, speedup, DemandPagingConfig, SystemConfig, TranslationMode};
 use barre_chord::workloads::AppId;
 
 fn main() {
@@ -30,10 +28,13 @@ fn main() {
         group_fetch: true,
     });
 
-    println!("on-demand paging on `{}` (F-Barre, 20 us faults)\n", app.name());
-    let base = run_app(app, &premap, 3);
-    let s = run_app(app, &single, 3);
-    let g = run_app(app, &grouped, 3);
+    println!(
+        "on-demand paging on `{}` (F-Barre, 20 us faults)\n",
+        app.name()
+    );
+    let base = run_app(app, &premap, 3).expect("premapped run failed");
+    let s = run_app(app, &single, 3).expect("single-page demand run failed");
+    let g = run_app(app, &grouped, 3).expect("group demand run failed");
     println!(
         "{:<16} {:>10} {:>12} {:>12} {:>10}",
         "mode", "faults", "pages mapped", "cycles", "vs premap"

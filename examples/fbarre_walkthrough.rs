@@ -19,7 +19,10 @@ fn main() {
     // coalescing group, as in Fig 12.
     let mut frames: Vec<FrameAllocator> = (0..2).map(|_| FrameAllocator::new(256)).collect();
     let plan = MappingPlan::interleaved(
-        VpnRange { start: Vpn(0xA1), pages: 2 },
+        VpnRange {
+            start: Vpn(0xA1),
+            pages: 2,
+        },
         1,
         &[ChipletId(0), ChipletId(1)],
     );
@@ -34,9 +37,18 @@ fn main() {
     // [steps 0-1] GPU0 receives the ATS response for 0xA1: TLB fill +
     // LCF update.
     let (vpn_a1, pte_a1) = alloc.ptes[0];
-    gpu0_tlb.insert(TlbKey { asid: 0, vpn: vpn_a1 }, pte_a1);
+    gpu0_tlb.insert(
+        TlbKey {
+            asid: 0,
+            vpn: vpn_a1,
+        },
+        pte_a1,
+    );
     gpu0.lcf_insert(0, vpn_a1);
-    println!("step 0-1: GPU0 fills TLB[{vpn_a1}] = {} and updates its LCF", pte_a1.pfn());
+    println!(
+        "step 0-1: GPU0 fills TLB[{vpn_a1}] = {} and updates its LCF",
+        pte_a1.pfn()
+    );
 
     // [step 2] GPU0 advertises the exact VPN and every coalescing VPN in
     // GPU1's RCF0.
@@ -66,9 +78,15 @@ fn main() {
         .find(|&v| gpu0.lcf_contains(0, v))
         .expect("LCF must hit 0xA1");
     let pte = *gpu0_tlb
-        .probe(TlbKey { asid: 0, vpn: provider })
+        .probe(TlbKey {
+            asid: 0,
+            vpn: provider,
+        })
         .expect("provider resident");
-    println!("step 5:   LCF hits {provider}; TLB probe returns {}", pte.pfn());
+    println!(
+        "step 5:   LCF hits {provider}; TLB probe returns {}",
+        pte.pfn()
+    );
 
     // [steps 6-8] GPU0 calculates 0xA2's frame and replies; GPU1 fills.
     let info = CoalInfo::decode(pte.coal_bits(), CoalMode::Base).unwrap();

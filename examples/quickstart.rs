@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use barre_chord::system::{
-    run_app, summary_line, SystemConfig, TranslationMode,
-};
+use barre_chord::system::{run_app, summary_line, SystemConfig, TranslationMode};
 use barre_chord::workloads::AppId;
 
 fn main() {
@@ -22,10 +20,11 @@ fn main() {
         cfg.topology.n_chiplets
     );
 
-    let base = run_app(app, &cfg, 42);
+    let base = run_app(app, &cfg, 42).expect("baseline run failed");
     println!("{}", summary_line("baseline", &base));
 
-    let barre = run_app(app, &cfg.clone().with_mode(TranslationMode::Barre), 42);
+    let barre =
+        run_app(app, &cfg.clone().with_mode(TranslationMode::Barre), 42).expect("Barre run failed");
     println!("{}", summary_line("Barre", &barre));
 
     let fbarre = run_app(
@@ -33,7 +32,8 @@ fn main() {
         &cfg.clone()
             .with_mode(TranslationMode::FBarre(Default::default())),
         42,
-    );
+    )
+    .expect("F-Barre run failed");
     println!("{}", summary_line("F-Barre-2Merge", &fbarre));
 
     println!(

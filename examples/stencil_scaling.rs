@@ -21,13 +21,14 @@ fn main() {
     for n in [2usize, 4, 8] {
         let mut cfg = SystemConfig::scaled();
         cfg.topology = cfg.topology.with_chiplets(n);
-        let base = run_app(AppId::Jac2d, &cfg, 7);
+        let base = run_app(AppId::Jac2d, &cfg, 7).expect("baseline run failed");
         let fb = run_app(
             AppId::Jac2d,
             &cfg.clone()
                 .with_mode(TranslationMode::FBarre(Default::default())),
             7,
-        );
+        )
+        .expect("F-Barre run failed");
         println!(
             "{n:>8} {:>14} {:>14} {:>9.3}x {:>12}",
             base.total_cycles,

@@ -27,7 +27,7 @@ fn main() {
         TranslationMode::FBarre(Default::default()),
     ];
     for mode in modes {
-        let m = run_app(app, &cfg.clone().with_mode(mode), 11);
+        let m = run_app(app, &cfg.clone().with_mode(mode), 11).expect("run failed");
         println!(
             "{:<18} {:>10} {:>8} {:>10} {:>10} {:>10} {:>10}",
             mode.label(),

@@ -15,7 +15,7 @@
 //! use barre_chord::workloads::AppId;
 //!
 //! let cfg = smoke_config().with_mode(TranslationMode::FBarre(Default::default()));
-//! let metrics = run_app(AppId::Gups, &cfg, 42);
+//! let metrics = run_app(AppId::Gups, &cfg, 42).expect("simulation failed");
 //! assert!(metrics.total_cycles > 0);
 //! ```
 //!

@@ -2,8 +2,16 @@
 //! metrics; different seeds actually change the stochastic workloads;
 //! and configuration knobs change only what they should.
 
-use barre_chord::system::{run_app, smoke_config, FBarreConfig, RunMetrics, TranslationMode};
+use barre_chord::system::{
+    run_app as try_run_app, smoke_config, FBarreConfig, RunMetrics, SystemConfig, TranslationMode,
+};
 use barre_chord::workloads::AppId;
+
+/// These tests exercise well-formed configurations, so any `SimError`
+/// is itself a failure worth panicking on.
+fn run_app(app: AppId, cfg: &SystemConfig, seed: u64) -> RunMetrics {
+    try_run_app(app, cfg, seed).expect("run failed")
+}
 
 fn fingerprint(m: &RunMetrics) -> Vec<u64> {
     vec![
@@ -68,12 +76,14 @@ fn mode_changes_translation_but_not_work() {
     ] {
         let m = run_app(AppId::St2d, &smoke_config().with_mode(mode), 5);
         assert_eq!(
-            m.warp_instructions, base.warp_instructions,
+            m.warp_instructions,
+            base.warp_instructions,
             "{} changed the executed work",
             mode.label()
         );
         assert_eq!(
-            m.data_accesses, base.data_accesses,
+            m.data_accesses,
+            base.data_accesses,
             "{} changed the data accesses",
             mode.label()
         );

@@ -5,10 +5,20 @@
 //! machine).
 
 use barre_chord::system::{
-    run_app, run_pair, smoke_config, speedup, FBarreConfig, MmuKind, SystemConfig,
-    TranslationMode,
+    run_app as try_run_app, run_pair as try_run_pair, smoke_config, speedup, FBarreConfig, MmuKind,
+    RunMetrics, SystemConfig, TranslationMode,
 };
 use barre_chord::workloads::{AppId, AppPair};
+
+/// These tests exercise well-formed configurations, so any `SimError`
+/// is itself a failure worth panicking on.
+fn run_app(app: AppId, cfg: &SystemConfig, seed: u64) -> RunMetrics {
+    try_run_app(app, cfg, seed).expect("run failed")
+}
+
+fn run_pair(pair: AppPair, cfg: &SystemConfig, seed: u64) -> RunMetrics {
+    try_run_pair(pair, cfg, seed).expect("run failed")
+}
 
 fn modes() -> Vec<TranslationMode> {
     vec![
@@ -127,7 +137,10 @@ fn gmmu_barre_removes_remote_walks() {
 fn multi_app_isolation() {
     // A pair run completes and executes both kernels' instructions.
     let cfg = smoke_config();
-    let pair = AppPair { a: AppId::Gemv, b: AppId::Gups };
+    let pair = AppPair {
+        a: AppId::Gemv,
+        b: AppId::Gups,
+    };
     let solo_a = run_app(AppId::Gemv, &cfg, 4);
     let both = run_pair(pair, &cfg, 4);
     assert!(both.warp_mem_instructions > solo_a.warp_mem_instructions);
@@ -166,7 +179,10 @@ fn migration_runs_and_moves_pages() {
     use barre_chord::system::MigrationConfig;
     let mut cfg = smoke_config();
     // Low threshold so the short smoke run triggers migrations.
-    cfg.migration = Some(MigrationConfig { threshold: 4, overhead: 500 });
+    cfg.migration = Some(MigrationConfig {
+        threshold: 4,
+        overhead: 500,
+    });
     cfg.policy = barre_chord::mapping::PolicyKind::RoundRobin; // many remote accesses
     let m = run_app(AppId::Gups, &cfg, 10);
     assert!(m.migrations > 0, "no migrations triggered");
@@ -191,21 +207,41 @@ fn scaled_config_matches_paper_ratios() {
     let scaled_streams = scaled.topology.total_cus() * scaled.cu_slots;
     let pr = paper_streams as f64 / paper.ptws.unwrap() as f64;
     let sr = scaled_streams as f64 / scaled.ptws.unwrap() as f64;
-    assert!(sr >= pr / 8.0 && sr <= pr * 8.0, "pressure ratio drifted: {pr} vs {sr}");
+    assert!(
+        sr >= pr / 8.0 && sr <= pr * 8.0,
+        "pressure ratio drifted: {pr} vs {sr}"
+    );
 }
 
 #[test]
 fn demand_paging_group_fetch_cuts_faults() {
     use barre_chord::system::DemandPagingConfig;
     let mut cfg = smoke_config();
-    cfg.demand_paging = Some(DemandPagingConfig { fault_latency: 5_000, group_fetch: false });
+    cfg.demand_paging = Some(DemandPagingConfig {
+        fault_latency: 5_000,
+        group_fetch: false,
+    });
     // Single-page faults under plain demand paging.
-    let single = run_app(AppId::Jac2d, &cfg.clone().with_mode(TranslationMode::Barre), 12);
+    let single = run_app(
+        AppId::Jac2d,
+        &cfg.clone().with_mode(TranslationMode::Barre),
+        12,
+    );
     assert!(single.page_faults > 0, "no faults under demand paging");
-    assert_eq!(single.demand_pages_mapped, single.page_faults.min(single.demand_pages_mapped));
+    assert_eq!(
+        single.demand_pages_mapped,
+        single.page_faults.min(single.demand_pages_mapped)
+    );
     // Group fetch maps several pages per fault (§VI).
-    cfg.demand_paging = Some(DemandPagingConfig { fault_latency: 5_000, group_fetch: true });
-    let grouped = run_app(AppId::Jac2d, &cfg.clone().with_mode(TranslationMode::Barre), 12);
+    cfg.demand_paging = Some(DemandPagingConfig {
+        fault_latency: 5_000,
+        group_fetch: true,
+    });
+    let grouped = run_app(
+        AppId::Jac2d,
+        &cfg.clone().with_mode(TranslationMode::Barre),
+        12,
+    );
     assert!(grouped.page_faults > 0);
     assert!(
         grouped.demand_pages_mapped > grouped.page_faults,

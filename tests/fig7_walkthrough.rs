@@ -27,12 +27,29 @@ fn build() -> (PageTable, Vec<barre_chord::core::PecEntry>, Vec<Vpn>) {
 
     let plans = [
         // Data 1: VPNs 0x1..=0xC, three pages per chiplet.
-        MappingPlan::interleaved(VpnRange { start: Vpn(0x1), pages: 12 }, 3, &chiplets()),
+        MappingPlan::interleaved(
+            VpnRange {
+                start: Vpn(0x1),
+                pages: 12,
+            },
+            3,
+            &chiplets(),
+        ),
         // Data 2: VPNs 0xA1..=0xA4, one page per chiplet.
-        MappingPlan::interleaved(VpnRange { start: Vpn(0xA1), pages: 4 }, 1, &chiplets()),
+        MappingPlan::interleaved(
+            VpnRange {
+                start: Vpn(0xA1),
+                pages: 4,
+            },
+            1,
+            &chiplets(),
+        ),
         // Data 3: VPNs 0xB4..=0xB6, one page on each of three chiplets.
         MappingPlan::interleaved(
-            VpnRange { start: Vpn(0xB4), pages: 3 },
+            VpnRange {
+                start: Vpn(0xB4),
+                pages: 3,
+            },
             1,
             &chiplets()[..3],
         ),
@@ -81,9 +98,7 @@ fn five_translations_cover_nineteen_pages() {
         for (ptw, done) in started {
             walks += 1;
             now = done;
-            served += iommu
-                .complete_walk(ptw, now, |_, v| pt.lookup(v))
-                .len();
+            served += iommu.complete_walk(ptw, now, |_, v| pt.lookup(v)).len();
         }
     }
     assert_eq!(served, 19, "every page translated");

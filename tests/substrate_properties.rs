@@ -1,104 +1,114 @@
-//! Property-based tests on the substrate data structures: cuckoo-filter
-//! membership, event-queue ordering, link timing monotonicity, and frame
-//! allocator conservation.
-
-use proptest::prelude::*;
+//! Randomized property tests on the substrate data structures:
+//! cuckoo-filter membership, event-queue ordering, link timing
+//! monotonicity, and frame allocator conservation.
+//!
+//! Driven by the workspace's deterministic [`Rng`] rather than an
+//! external property-testing crate so the build stays path-only.
 
 use barre_chord::filters::{CuckooFilter, Filter, IdealFilter};
 use barre_chord::mem::{FrameAllocator, LocalPfn};
-use barre_chord::sim::{EventQueue, Link};
+use barre_chord::sim::{EventQueue, Link, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A cuckoo filter never produces false negatives for keys it
-    /// actually stored, under arbitrary interleavings of inserts and
-    /// deletes.
-    #[test]
-    fn cuckoo_no_false_negatives(ops in prop::collection::vec((0u64..500, any::<bool>()), 1..300)) {
+/// A cuckoo filter never produces false negatives for keys it actually
+/// stored, under arbitrary interleavings of inserts and deletes.
+#[test]
+fn cuckoo_no_false_negatives() {
+    for case in 0..64u64 {
+        let mut g = Rng::new(0xF11E ^ case);
+        let n_ops = 1 + g.next_below(299) as usize;
         let mut f = CuckooFilter::paper_default(7);
         let mut model = IdealFilter::unbounded();
-        for (key, insert) in ops {
-            if insert {
+        for _ in 0..n_ops {
+            let key = g.next_below(500);
+            if g.chance(0.5) {
                 if f.insert(key) {
                     model.insert(key);
                 }
             } else if model.contains(key) {
                 // The model says one copy exists; the filter must agree
                 // and be able to delete it.
-                prop_assert!(f.contains(key), "false negative on {key}");
-                prop_assert!(f.remove(key));
+                assert!(f.contains(key), "case {case}: false negative on {key}");
+                assert!(f.remove(key));
                 model.remove(key);
             }
         }
         // Everything still in the model is still findable.
         for key in 0u64..500 {
             if model.contains(key) {
-                prop_assert!(f.contains(key), "lost {key}");
+                assert!(f.contains(key), "case {case}: lost {key}");
             }
         }
     }
+}
 
-    /// Events always pop in nondecreasing time order with FIFO ties.
-    #[test]
-    fn event_queue_total_order(times in prop::collection::vec(0u64..10_000, 1..200)) {
+/// Events always pop in nondecreasing time order with FIFO ties.
+#[test]
+fn event_queue_total_order() {
+    for case in 0..64u64 {
+        let mut g = Rng::new(0xE0E0 ^ case);
+        let n = 1 + g.next_below(199) as usize;
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.push(t, i);
+        for i in 0..n {
+            q.push(g.next_below(10_000), i);
         }
         let mut last: Option<(u64, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t >= lt, "time went backwards");
+                assert!(t >= lt, "case {case}: time went backwards");
                 if t == lt {
                     // FIFO among equal timestamps ⇒ insertion index grows.
-                    prop_assert!(i > li, "tie broken out of order");
+                    assert!(i > li, "case {case}: tie broken out of order");
                 }
             }
             last = Some((t, i));
         }
     }
+}
 
-    /// Link arrivals are monotone in send order and never precede
-    /// `now + serialization + latency`.
-    #[test]
-    fn link_timing_monotone(
-        latency in 0u64..200,
-        bw in 1u64..64,
-        sends in prop::collection::vec((0u64..1_000, 1u64..512), 1..100),
-    ) {
+/// Link arrivals are monotone in send order and never precede
+/// `now + serialization + latency`.
+#[test]
+fn link_timing_monotone() {
+    for case in 0..64u64 {
+        let mut g = Rng::new(0x117C ^ case);
+        let latency = g.next_below(200);
+        let bw = 1 + g.next_below(63);
+        let n = 1 + g.next_below(99) as usize;
+        let mut sends: Vec<(u64, u64)> = (0..n)
+            .map(|_| (g.next_below(1_000), 1 + g.next_below(511)))
+            .collect();
+        sends.sort_by_key(|(t, _)| *t);
         let mut l = Link::new(latency, bw);
-        let mut sorted = sends.clone();
-        sorted.sort_by_key(|(t, _)| *t);
         let mut last_arrival = 0;
-        for (now, bytes) in sorted {
+        for (now, bytes) in sends {
             let arr = l.send(now, bytes);
-            prop_assert!(arr >= now + l.serialization(bytes) + latency);
-            prop_assert!(arr >= last_arrival, "arrivals reordered");
+            assert!(arr >= now + l.serialization(bytes) + latency, "case {case}");
+            assert!(arr >= last_arrival, "case {case}: arrivals reordered");
             last_arrival = arr;
         }
     }
+}
 
-    /// The frame allocator conserves frames: free count + live
-    /// allocations always equals capacity, and no frame is handed out
-    /// twice.
-    #[test]
-    fn frame_allocator_conserves(
-        cap in 1usize..256,
-        ops in prop::collection::vec(any::<bool>(), 1..400),
-    ) {
+/// The frame allocator conserves frames: free count + live allocations
+/// always equals capacity, and no frame is handed out twice.
+#[test]
+fn frame_allocator_conserves() {
+    for case in 0..64u64 {
+        let mut g = Rng::new(0xF4A3 ^ case);
+        let cap = 1 + g.next_below(255) as usize;
+        let n_ops = 1 + g.next_below(399) as usize;
         let mut a = FrameAllocator::new(cap);
         let mut live: Vec<LocalPfn> = Vec::new();
-        for alloc in ops {
-            if alloc {
+        for _ in 0..n_ops {
+            if g.chance(0.5) {
                 if let Some(f) = a.alloc_any() {
-                    prop_assert!(!live.contains(&f), "double allocation of {f}");
+                    assert!(!live.contains(&f), "case {case}: double allocation of {f}");
                     live.push(f);
                 }
             } else if let Some(f) = live.pop() {
                 a.free(f);
             }
-            prop_assert_eq!(a.free_frames() as usize + live.len(), cap);
+            assert_eq!(a.free_frames() as usize + live.len(), cap, "case {case}");
         }
     }
 }
@@ -106,8 +116,8 @@ proptest! {
 /// A naive reference model of an LRU set-associative TLB.
 mod tlb_reference {
     use barre_chord::mem::Vpn;
+    use barre_chord::sim::Rng;
     use barre_chord::tlb::{Tlb, TlbKey};
-    use proptest::prelude::*;
 
     /// Reference: per-set vector ordered by recency (front = MRU).
     struct RefTlb {
@@ -152,26 +162,28 @@ mod tlb_reference {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// The production TLB's hit/miss behaviour matches a naive
-        /// MRU-list LRU model operation for operation.
-        #[test]
-        fn tlb_matches_reference_lru(
-            ops in prop::collection::vec((0u64..64, any::<bool>(), 0u32..1000), 1..400)
-        ) {
+    /// The production TLB's hit/miss behaviour matches a naive MRU-list
+    /// LRU model operation for operation.
+    #[test]
+    fn tlb_matches_reference_lru() {
+        for case in 0..48u64 {
+            let mut g = Rng::new(0x71B0 ^ case);
+            let n_ops = 1 + g.next_below(399) as usize;
             let mut t: Tlb<u32> = Tlb::new(32, 4);
             let mut r = RefTlb::new(8, 4);
-            for (vpn, is_insert, val) in ops {
-                let key = TlbKey { asid: 0, vpn: Vpn(vpn) };
-                if is_insert {
+            for _ in 0..n_ops {
+                let key = TlbKey {
+                    asid: 0,
+                    vpn: Vpn(g.next_below(64)),
+                };
+                if g.chance(0.5) {
+                    let val = g.next_below(1000) as u32;
                     t.insert(key, val);
                     r.insert(key, val);
                 } else {
                     let got = t.lookup(key).copied();
                     let want = r.lookup(key);
-                    prop_assert_eq!(got, want, "divergence at vpn {}", vpn);
+                    assert_eq!(got, want, "case {case}: divergence at {}", key.vpn);
                 }
             }
         }

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeSet;
 
-use barre_chord::gpu::pattern::{AccessPattern, WarpAccess};
+use barre_chord::gpu::pattern::WarpAccess;
 use barre_chord::mem::VirtAddr;
 use barre_chord::workloads::{AppId, WorkloadSpec};
 
@@ -71,7 +71,11 @@ fn stencil_apps_revisit_rows() {
     // and the write goes to the second grid.
     let (ws, ranges) = stream(AppId::Jac2d.spec(), 3);
     let writes = ws.iter().filter(|w| w.write).count();
-    assert!(writes * 5 > ws.len(), "too few writes: {writes}/{}", ws.len());
+    assert!(
+        writes * 5 > ws.len(),
+        "too few writes: {writes}/{}",
+        ws.len()
+    );
     let (b_lo, b_hi) = ranges[1];
     for w in ws.iter().filter(|w| w.write) {
         assert!(
@@ -151,9 +155,12 @@ fn wavefront_covers_distinct_tiles() {
     let spec = AppId::Nw.spec();
     let (w0, _) = stream(spec, 0);
     let (w1, _) = stream(spec, 1);
-    let p0: BTreeSet<u64> = w0.iter().flat_map(|w| pages_of(w)).collect();
-    let p1: BTreeSet<u64> = w1.iter().flat_map(|w| pages_of(w)).collect();
-    assert!(p0.intersection(&p1).count() == 0, "nw tiles must be disjoint");
+    let p0: BTreeSet<u64> = w0.iter().flat_map(pages_of).collect();
+    let p1: BTreeSet<u64> = w1.iter().flat_map(pages_of).collect();
+    assert!(
+        p0.intersection(&p1).count() == 0,
+        "nw tiles must be disjoint"
+    );
 }
 
 #[test]
