@@ -1,0 +1,446 @@
+//! A minimal Rust lexer — just enough structure for the rule engine.
+//!
+//! The lexer's one job is to distinguish *code* from *not-code*: line and
+//! (nested) block comments, string/char/byte literals, raw strings with
+//! arbitrary `#` fences, raw identifiers, and lifetimes all need to be
+//! recognized so that rule tokens appearing inside them never fire. It
+//! deliberately does not build an AST; the rules below are token-pattern
+//! matchers.
+//!
+//! Comments are not discarded entirely: `// barre:allow(RULE) reason`
+//! waivers are parsed out of them and reported alongside the tokens.
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `as`, `unwrap`, …).
+    Ident,
+    /// Numeric literal (lexed loosely; digits and alphanumeric suffix).
+    Number,
+    /// A single punctuation character (`.`, `!`, `[`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (for `Punct`, exactly one character).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A `// barre:allow(RULE[,RULE…]) reason` waiver found in a comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line the waiver comment starts on.
+    pub line: u32,
+    /// Rule IDs the waiver names (e.g. `["D001", "P001"]`).
+    pub rules: Vec<String>,
+    /// Whether a non-empty justification follows the rule list.
+    pub has_reason: bool,
+}
+
+/// Lexer output: the token stream plus every waiver comment.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Waivers parsed from comments, in source order.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Marker that introduces a waiver inside a comment.
+const WAIVER_MARK: &str = "barre:allow(";
+
+/// Lexes `src` into tokens and waivers.
+pub fn lex(src: &str) -> LexOut {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: LexOut::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: LexOut,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> LexOut {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.quote(),
+                'r' | 'b' if self.raw_or_byte_prefix() => {}
+                c if is_ident_start(c) => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    if !c.is_whitespace() {
+                        self.out.tokens.push(Token {
+                            kind: TokKind::Punct,
+                            text: c.to_string(),
+                            line,
+                        });
+                    }
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `b'…'`, `br#"…"#`.
+    /// Returns `true` when it consumed something; `false` means the `r`/`b`
+    /// starts a plain identifier and the caller should lex it normally.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let c0 = self.peek(0);
+        let (skip, next) = match (c0, self.peek(1)) {
+            (Some('b'), Some('r')) => (2, self.peek(2)),
+            (Some('r') | Some('b'), n) => (1, n),
+            _ => return false,
+        };
+        match next {
+            // Raw string r"…" / r#"…"# / br"…".
+            Some('"') | Some('#') if c0 == Some('r') || skip == 2 || next == Some('"') => {
+                // Distinguish raw identifiers (r#foo) from raw strings
+                // (r#"…): look past the run of #.
+                let mut hashes = 0;
+                while self.peek(skip + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(skip + hashes) != Some('"') {
+                    if c0 == Some('r') && hashes == 1 {
+                        return self.raw_ident();
+                    }
+                    return false;
+                }
+                for _ in 0..skip + hashes + 1 {
+                    self.bump();
+                }
+                self.raw_string_tail(hashes);
+                true
+            }
+            // Byte string b"…" handled above; byte char b'…'.
+            Some('\'') if c0 == Some('b') => {
+                self.bump(); // b
+                self.char_literal();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes `r#ident`, emitting the identifier.
+    fn raw_ident(&mut self) -> bool {
+        if !self.peek(2).is_some_and(is_ident_start) {
+            return false;
+        }
+        let line = self.line;
+        self.bump(); // r
+        self.bump(); // #
+        let mut text = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            if let Some(ch) = self.bump() {
+                text.push(ch);
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokKind::Ident,
+            text,
+            line,
+        });
+        true
+    }
+
+    /// Consumes the body of a raw string whose opener had `hashes` fences.
+    fn raw_string_tail(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c != '"' {
+                continue;
+            }
+            let mut ok = true;
+            for k in 0..hashes {
+                if self.peek(k) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                return;
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.scan_waiver(&text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        self.bump();
+        self.bump();
+        let mut depth = 1;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.scan_waiver(&text, line);
+    }
+
+    /// Parses `barre:allow(R1[,R2…]) reason` out of a comment body.
+    fn scan_waiver(&mut self, comment: &str, line: u32) {
+        let Some(at) = comment.find(WAIVER_MARK) else {
+            return;
+        };
+        let rest = &comment[at + WAIVER_MARK.len()..];
+        let Some(close) = rest.find(')') else {
+            // Unclosed waiver: record as malformed (no rules, no reason).
+            self.out.waivers.push(Waiver {
+                line,
+                rules: Vec::new(),
+                has_reason: false,
+            });
+            return;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = rest[close + 1..].trim_start_matches([':', '-', ' ']).trim();
+        self.out.waivers.push(Waiver {
+            line,
+            rules,
+            has_reason: !reason.is_empty(),
+        });
+    }
+
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// A `'`: either a lifetime (`'a`, `'static`, `'_`) or a char literal.
+    fn quote(&mut self) {
+        // Lifetime: 'ident not closed by another quote right after one char.
+        if self.peek(1).is_some_and(is_ident_start)
+            && self.peek(2) != Some('\'')
+            && self.peek(1) != Some('\\')
+        {
+            self.bump(); // '
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            return;
+        }
+        self.char_literal();
+    }
+
+    fn char_literal(&mut self) {
+        self.bump(); // opening '
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => return,
+                _ => {}
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            if let Some(ch) = self.bump() {
+                text.push(ch);
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokKind::Ident,
+            text,
+            line,
+        });
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            if let Some(ch) = self.bump() {
+                text.push(ch);
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokKind::Number,
+            text,
+            line,
+        });
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn skips_comments_and_strings() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashSet in /* a nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"unwrap() inside raw "quoted" string"#;
+            let real = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap" || i == "HashSet"));
+        assert!(!ids.iter().any(|i| i == "unwrap"));
+        assert!(ids.iter().any(|i| i == "BTreeMap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let q = '\\''; x }";
+        let ids = idents(src);
+        // 'a never shows up as a stray token; the idents after char
+        // literals still lex.
+        assert!(ids.iter().any(|i| i == "str"));
+        assert!(ids.iter().any(|i| i == "q"));
+        assert!(!ids.iter().any(|i| i == "a"));
+    }
+
+    #[test]
+    fn byte_and_raw_literals() {
+        let src = r##"let a = b"unwrap"; let b = br#"panic!"#; let c = b'u'; let d = r#type;"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap" || i == "panic"));
+        // Raw identifier r#type lexes as `type`.
+        assert!(ids.iter().any(|i| i == "type"));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "let a = 1;\nlet b = 2;\n\nlet c = 3;";
+        let toks = lex(src).tokens;
+        let c = toks.iter().find(|t| t.is_ident("c")).map(|t| t.line);
+        assert_eq!(c, Some(4));
+    }
+
+    #[test]
+    fn waivers_parse_rules_and_reason() {
+        let src = "
+            // barre:allow(D001) keyed access only, never iterated
+            let m = HashMap::new();
+            // barre:allow(P001,C001): two rules
+            // barre:allow(D002)
+        ";
+        let out = lex(src);
+        assert_eq!(out.waivers.len(), 3);
+        assert_eq!(out.waivers[0].rules, vec!["D001"]);
+        assert!(out.waivers[0].has_reason);
+        assert_eq!(out.waivers[1].rules, vec!["P001", "C001"]);
+        assert!(out.waivers[1].has_reason);
+        assert!(!out.waivers[2].has_reason, "bare waiver has no reason");
+    }
+
+    #[test]
+    fn strings_track_newlines() {
+        let src = "let s = \"line\nbreak\";\nlet after = 1;";
+        let toks = lex(src).tokens;
+        let after = toks.iter().find(|t| t.is_ident("after")).map(|t| t.line);
+        assert_eq!(after, Some(3));
+    }
+}

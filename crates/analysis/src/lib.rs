@@ -1,0 +1,116 @@
+//! `barre-analysis`: in-tree determinism & panic-safety linter.
+//!
+//! The paper's headline property is bit-for-bit reproducible simulation;
+//! this crate is the static pass that keeps the codebase honest about it.
+//! A small hand-rolled lexer ([`lexer`]) strips comments/strings/raw
+//! strings so rule tokens inside them never fire, and a token-pattern
+//! rule engine ([`rules`]) reports violations with file:line, rule ID,
+//! and a suggested fix. Zero external dependencies by design — the
+//! workspace builds offline.
+//!
+//! Run it via `barre lint` (human output) or `barre lint --json`.
+//! See DESIGN.md "Determinism & panic-safety rules" for the rule table
+//! and waiver syntax.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::{render_human, render_json};
+pub use rules::{lint_source, Diagnostic, FileLint};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Aggregated result of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unwaived violations, ordered by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Violations silenced by justified waivers.
+    pub waived: usize,
+}
+
+impl LintReport {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Directories never descended into: build output, VCS metadata, and the
+/// linter's own rule fixtures (which contain violations on purpose).
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
+
+/// Lints every `.rs` file under `root` (a workspace checkout).
+///
+/// Files are visited in sorted path order so the report is deterministic.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walking or file reads. A file
+/// that is not valid UTF-8 is reported as an `InvalidData` error.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut report = LintReport::default();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_str()
+            .map(|s| s.replace('\\', "/"))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 path"))?;
+        let fl = lint_source(&rel_str, &src);
+        report.files_scanned += 1;
+        report.waived += fl.waived;
+        report.diagnostics.extend(fl.diagnostics);
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files below `dir`, storing paths relative
+/// to `root`. Directory entries are sorted before descending so the walk
+/// order never depends on the filesystem.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_starts_clean() {
+        let r = LintReport::default();
+        assert!(r.is_clean());
+        assert_eq!(r.files_scanned, 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Rendering a [`LintReport`](crate::LintReport) for humans and machines.
+//!
+//! The JSON writer is hand-rolled (the workspace is dependency-free); the
+//! output shape is stable:
+//!
+//! ```json
+//! {
+//!   "files_scanned": 42,
+//!   "waived": 3,
+//!   "diagnostics": [
+//!     {"file": "crates/x/src/y.rs", "line": 7, "rule": "D001",
+//!      "message": "…", "suggestion": "…"}
+//!   ]
+//! }
+//! ```
+
+use crate::LintReport;
+use std::fmt::Write as _;
+
+/// Human-readable report: one `file:line: [RULE] message` block per
+/// diagnostic, then a summary line.
+pub fn render_human(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(out, "{}:{}: [{}] {}", d.file, d.line, d.rule, d.message);
+        let _ = writeln!(out, "    fix: {}", d.suggestion);
+    }
+    let _ = writeln!(
+        out,
+        "{} file(s) scanned, {} violation(s), {} waived",
+        report.files_scanned,
+        report.diagnostics.len(),
+        report.waived
+    );
+    out
+}
+
+/// Machine-readable report (single JSON object, trailing newline).
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(out, "  \"waived\": {},", report.waived);
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let _ = write!(
+            out,
+            "\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"suggestion\": {}",
+            json_str(&d.file),
+            d.line,
+            json_str(d.rule),
+            json_str(&d.message),
+            json_str(d.suggestion)
+        );
+        out.push('}');
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    fn sample() -> LintReport {
+        LintReport {
+            diagnostics: vec![Diagnostic {
+                file: "crates/x/src/y.rs".to_string(),
+                line: 7,
+                rule: "D001",
+                message: "a \"quoted\" message".to_string(),
+                suggestion: "fix it",
+            }],
+            files_scanned: 3,
+            waived: 1,
+        }
+    }
+
+    #[test]
+    fn human_report_mentions_rule_and_location() {
+        let s = render_human(&sample());
+        assert!(s.contains("crates/x/src/y.rs:7: [D001]"));
+        assert!(s.contains("3 file(s) scanned, 1 violation(s), 1 waived"));
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let s = render_json(&sample());
+        assert!(s.contains("\"files_scanned\": 3"));
+        assert!(s.contains("\"rule\": \"D001\""));
+        assert!(s.contains("a \\\"quoted\\\" message"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn json_empty_diagnostics_is_an_empty_array() {
+        let r = LintReport {
+            diagnostics: Vec::new(),
+            files_scanned: 0,
+            waived: 0,
+        };
+        let s = render_json(&r);
+        assert!(s.contains("\"diagnostics\": []"));
+    }
+}

@@ -1,0 +1,457 @@
+//! The rule engine: walks a token stream and reports diagnostics.
+//!
+//! | Rule | What it catches |
+//! |------|-----------------|
+//! | D001 | hash-based collections in sim-facing crates (iteration order) |
+//! | D002 | wall-clock reads outside bench/cli code |
+//! | D003 | ambient entropy (anything but the in-tree seeded RNG) |
+//! | P001 | panicking calls in non-test library code |
+//! | C001 | lossy `as` casts on cycle/address-typed expressions |
+//! | W001 | a `barre:allow` waiver without a justification |
+//!
+//! Any rule can be silenced with `// barre:allow(RULE) <reason>` on the
+//! same line or the line directly above the violation.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Rule ID (`D001`, `P001`, …).
+    pub rule: &'static str,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: &'static str,
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// Violations that were not waived.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Violations silenced by a justified waiver.
+    pub waived: usize,
+}
+
+/// Where a file sits in the workspace, which decides rule applicability.
+#[derive(Debug, Clone, Copy)]
+struct FileScope {
+    /// Crate is in the deterministic-simulation set (D001 applies).
+    sim_facing: bool,
+    /// Bench or CLI code (wall-clock reads allowed).
+    bench_or_cli: bool,
+    /// Integration test / example file (panic rules do not apply).
+    test_file: bool,
+}
+
+/// Crates whose state feeds simulation outcomes; hash-order
+/// nondeterminism here can flip a fingerprint.
+const SIM_FACING: &[&str] = &[
+    "sim",
+    "mem",
+    "filters",
+    "tlb",
+    "mapping",
+    "iommu",
+    "gpu",
+    "workloads",
+    "core",
+    "system",
+];
+
+fn scope_for(path: &str) -> FileScope {
+    let crate_name = path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("");
+    let test_file = path.contains("/tests/")
+        || path.starts_with("tests/")
+        || path.contains("/examples/")
+        || path.starts_with("examples/");
+    let bench = path.contains("/benches/") || path.starts_with("benches/");
+    FileScope {
+        sim_facing: SIM_FACING.contains(&crate_name),
+        bench_or_cli: bench || crate_name == "cli" || crate_name == "bench",
+        test_file,
+    }
+}
+
+/// Lints one source file given its workspace-relative `path`.
+pub fn lint_source(path: &str, src: &str) -> FileLint {
+    let scope = scope_for(path);
+    let out = lex(src);
+    let masked = test_mask(&out.tokens);
+    let mut raw: Vec<(u32, &'static str, String, &'static str)> = Vec::new();
+
+    for (i, t) in out.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let in_test = masked[i] || scope.test_file;
+
+        // D001: hash-based collections in sim-facing crates.
+        if scope.sim_facing && !in_test && (t.text == "HashMap" || t.text == "HashSet") {
+            raw.push((
+                t.line,
+                "D001",
+                format!(
+                    "{} in a sim-facing crate (iteration order is nondeterministic)",
+                    t.text
+                ),
+                "use BTreeMap/BTreeSet or a sorted Vec, or add `// barre:allow(D001) <reason>` \
+                 if the container is provably never iterated",
+            ));
+        }
+
+        // D002: wall-clock reads outside bench/cli.
+        if !scope.bench_or_cli && !in_test && (t.text == "Instant" || t.text == "SystemTime") {
+            raw.push((
+                t.line,
+                "D002",
+                format!("wall-clock read ({}) outside bench/cli code", t.text),
+                "derive timing from the simulated clock; wall-clock time is only \
+                 meaningful in bench/cli frontends",
+            ));
+        }
+
+        // D003: ambient entropy. The in-tree seeded RNG is the only
+        // randomness source allowed anywhere in the workspace.
+        if matches!(
+            t.text.as_str(),
+            "thread_rng"
+                | "ThreadRng"
+                | "OsRng"
+                | "from_entropy"
+                | "getrandom"
+                | "RandomState"
+                | "DefaultHasher"
+                | "rand"
+        ) {
+            raw.push((
+                t.line,
+                "D003",
+                format!("ambient entropy source ({})", t.text),
+                "use the in-tree seeded RNG so every run is reproducible from its seed",
+            ));
+        }
+
+        // P001: panicking calls in non-test library code.
+        if !in_test && !scope.bench_or_cli {
+            let after_dot = i > 0 && out.tokens[i - 1].is_punct('.');
+            let before_bang = out.tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            let hit = (after_dot && (t.text == "unwrap" || t.text == "expect"))
+                || (before_bang && (t.text == "panic" || t.text == "unreachable"));
+            if hit {
+                raw.push((
+                    t.line,
+                    "P001",
+                    format!("panicking call ({}) in non-test library code", t.text),
+                    "return an error through the SimError taxonomy, restructure so the \
+                     invariant is expressed in types, or add `// barre:allow(P001) <reason>`",
+                ));
+            }
+        }
+
+        // C001: lossy `as` cast on a cycle/address-typed expression.
+        if !scope.test_file && !masked[i] && t.text == "as" {
+            if let Some((name, target)) = lossy_cast_at(&out.tokens, i) {
+                raw.push((
+                    t.line,
+                    "C001",
+                    format!("lossy cast: `{name} as {target}` may truncate a cycle/address value"),
+                    "keep cycle and address arithmetic in u64, or use try_from with an \
+                     explicit error path",
+                ));
+            }
+        }
+    }
+
+    // Apply waivers: a waiver on line L silences matching rules on L and L+1.
+    let mut filelint = FileLint::default();
+    for (line, rule, message, suggestion) in raw {
+        let covered = out.waivers.iter().any(|w| {
+            (w.line == line || w.line + 1 == line)
+                && w.has_reason
+                && w.rules.iter().any(|r| r == rule)
+        });
+        if covered {
+            filelint.waived += 1;
+        } else {
+            filelint.diagnostics.push(Diagnostic {
+                file: path.to_string(),
+                line,
+                rule,
+                message,
+                suggestion,
+            });
+        }
+    }
+
+    // W001: every waiver must carry a justification (and name a rule).
+    for w in &out.waivers {
+        if !w.has_reason || w.rules.is_empty() {
+            filelint.diagnostics.push(Diagnostic {
+                file: path.to_string(),
+                line: w.line,
+                rule: "W001",
+                message: "waiver without a justification".to_string(),
+                suggestion: "write `// barre:allow(RULE) <one-line reason>` — the reason \
+                     is mandatory",
+            });
+        }
+    }
+
+    filelint
+        .diagnostics
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    filelint
+}
+
+/// Matches `IDENT as TY` or `IDENT.0 as TY` where `TY` is a narrowing
+/// integer type and `IDENT` smells like a cycle/address quantity.
+fn lossy_cast_at(tokens: &[Token], as_idx: usize) -> Option<(String, String)> {
+    const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+    let target = tokens.get(as_idx + 1)?;
+    if target.kind != TokKind::Ident || !NARROW.contains(&target.text.as_str()) {
+        return None;
+    }
+    // Walk back over an optional `.0` tuple projection.
+    let mut j = as_idx.checked_sub(1)?;
+    if tokens[j].kind == TokKind::Number
+        && tokens[j].text == "0"
+        && j >= 2
+        && tokens[j - 1].is_punct('.')
+    {
+        j -= 2;
+    }
+    let src = &tokens[j];
+    if src.kind != TokKind::Ident {
+        return None;
+    }
+    let lower = src.text.to_lowercase();
+    let smells = ["cycle", "vpn", "pfn", "addr", "deadline"]
+        .iter()
+        .any(|s| lower.contains(s))
+        || lower == "now"
+        || lower == "latency";
+    if smells {
+        Some((src.text.clone(), target.text.clone()))
+    } else {
+        None
+    }
+}
+
+/// Marks every token that belongs to a `#[test]` / `#[cfg(test)]` item
+/// (attribute through the end of the item body) so panic/collection rules
+/// skip test code embedded in library files.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        let Some(end_attr) = attribute_at(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !attr_is_test(&tokens[i..=end_attr]) {
+            i = end_attr + 1;
+            continue;
+        }
+        // Mask the attribute, any stacked attributes after it, and the
+        // item they decorate (up to `;` or the matching close brace).
+        let start = i;
+        let mut j = end_attr + 1;
+        while let Some(e) = attribute_at(tokens, j) {
+            j = e + 1;
+        }
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                break;
+            }
+            j += 1;
+        }
+        let end = j.min(tokens.len().saturating_sub(1));
+        for m in mask.iter_mut().take(end + 1).skip(start) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// If `tokens[i]` starts an attribute (`#[ … ]`), returns the index of the
+/// closing bracket.
+fn attribute_at(tokens: &[Token], i: usize) -> Option<usize> {
+    if !tokens.get(i)?.is_punct('#') || !tokens.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(i + 1) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Whether an attribute token slice is `#[test]`, `#[cfg(test)]`, or any
+/// cfg combination that *enables* test-only compilation. `#[cfg(not(test))]`
+/// is production code and returns false.
+fn attr_is_test(attr: &[Token]) -> bool {
+    let mut saw_test = false;
+    for t in attr {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "test" => saw_test = true,
+            "not" => return false,
+            _ => {}
+        }
+    }
+    saw_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(path: &str, src: &str) -> Vec<&'static str> {
+        lint_source(path, src)
+            .diagnostics
+            .iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn d001_fires_in_sim_facing_crate_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_of("crates/tlb/src/tlb.rs", src), vec!["D001"]);
+        assert!(rules_of("crates/analysis/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d001_waiver_with_reason_silences() {
+        let src = "// barre:allow(D001) keyed access only, never iterated\n\
+                   use std::collections::HashMap;\n";
+        let fl = lint_source("crates/mem/src/x.rs", src);
+        assert!(fl.diagnostics.is_empty(), "{:?}", fl.diagnostics);
+        assert_eq!(fl.waived, 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_w001_and_does_not_silence() {
+        let src = "// barre:allow(D001)\nuse std::collections::HashMap;\n";
+        let rules = rules_of("crates/mem/src/x.rs", src);
+        assert!(rules.contains(&"D001"));
+        assert!(rules.contains(&"W001"));
+    }
+
+    #[test]
+    fn same_line_waiver_covers() {
+        let src = "let m: HashMap<u64, u32> = x; // barre:allow(D001) test double\n";
+        let fl = lint_source("crates/sim/src/x.rs", src);
+        assert!(fl.diagnostics.is_empty());
+        assert_eq!(fl.waived, 1);
+    }
+
+    #[test]
+    fn p001_catches_all_four_forms() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); unreachable!(); }";
+        let rules = rules_of("crates/core/src/x.rs", src);
+        assert_eq!(rules, vec!["P001"; 4]);
+    }
+
+    #[test]
+    fn p001_skips_cfg_test_items_and_test_files() {
+        let src = "#[cfg(test)]\nmod tests {\n fn g() { x.unwrap(); }\n}\n\
+                   #[test]\nfn t() { y.expect(\"z\"); }\n";
+        assert!(rules_of("crates/core/src/x.rs", src).is_empty());
+        let prod = "fn f() { a.unwrap(); }";
+        assert!(rules_of("crates/core/tests/it.rs", prod).is_empty());
+        assert!(rules_of("tests/fault_injection.rs", prod).is_empty());
+    }
+
+    #[test]
+    fn p001_cfg_not_test_is_production() {
+        let src = "#[cfg(not(test))]\nfn f() { a.unwrap(); }";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec!["P001"]);
+    }
+
+    #[test]
+    fn p001_ignores_unwrap_or_family() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_default(); c.unwrap_or_else(d); }";
+        assert!(rules_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_allowed_in_bench_and_cli() {
+        let src = "let t = Instant::now();";
+        assert_eq!(rules_of("crates/system/src/x.rs", src), vec!["D002"]);
+        assert!(rules_of("crates/cli/src/lib.rs", src).is_empty());
+        assert!(rules_of("crates/system/benches/b.rs", src).is_empty());
+        assert!(rules_of("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d003_fires_everywhere() {
+        let src = "let r = thread_rng();";
+        assert_eq!(rules_of("crates/cli/src/lib.rs", src), vec!["D003"]);
+    }
+
+    #[test]
+    fn c001_catches_narrowing_casts_on_suspicious_names() {
+        let src = "let a = total_cycles as u32; let b = vpn.0 as u16; let c = len as u32;";
+        let fl = lint_source("crates/sim/src/x.rs", src);
+        let rules: Vec<_> = fl.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["C001", "C001"], "{:?}", fl.diagnostics);
+    }
+
+    #[test]
+    fn c001_allows_widening() {
+        let src = "let a = cycle as u64; let b = deadline as i64;";
+        assert!(rules_of("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tokens_inside_literals_never_fire() {
+        let src = r##"
+            // HashMap unwrap panic! Instant::now()
+            /* thread_rng SystemTime */
+            fn f() -> &'static str {
+                let a = "HashMap::new().unwrap()";
+                let b = r#"panic!("Instant")"#;
+                a
+            }
+        "##;
+        assert!(rules_of("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_carry_line_numbers() {
+        let src = "\n\nuse std::collections::HashSet;\n";
+        let fl = lint_source("crates/mem/src/x.rs", src);
+        assert_eq!(fl.diagnostics.len(), 1);
+        assert_eq!(fl.diagnostics[0].line, 3);
+        assert_eq!(fl.diagnostics[0].rule, "D001");
+    }
+}

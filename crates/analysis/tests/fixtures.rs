@@ -1,0 +1,72 @@
+//! Runs the rule engine over the fixture corpus. Each fixture is linted
+//! under a synthetic sim-facing path (`crates/tlb/src/<name>`) so every
+//! rule's scope condition is satisfied; the fixtures directory itself is
+//! excluded from workspace walks.
+
+use std::fs;
+use std::path::Path;
+
+use barre_analysis::lint_source;
+
+fn lint_fixture(name: &str) -> barre_analysis::FileLint {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = fs::read_to_string(&path).expect("fixture readable");
+    lint_source(&format!("crates/tlb/src/{name}"), &src)
+}
+
+fn rules(fl: &barre_analysis::FileLint) -> Vec<&'static str> {
+    fl.diagnostics.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn d001_positive_hits_each_collection() {
+    let fl = lint_fixture("d001_hit.rs");
+    assert_eq!(rules(&fl), vec!["D001"; 4], "{:?}", fl.diagnostics);
+    // Diagnostics carry the offending line: the `use` on line 2.
+    assert_eq!(fl.diagnostics[0].line, 2);
+}
+
+#[test]
+fn d001_waived_is_silent_but_counted() {
+    let fl = lint_fixture("d001_waived.rs");
+    assert!(fl.diagnostics.is_empty(), "{:?}", fl.diagnostics);
+    assert_eq!(fl.waived, 2);
+}
+
+#[test]
+fn p001_fires_in_production_not_tests() {
+    let fl = lint_fixture("p001_hit.rs");
+    assert_eq!(rules(&fl), vec!["P001"; 4], "{:?}", fl.diagnostics);
+}
+
+#[test]
+fn d002_and_d003_fire() {
+    let fl = lint_fixture("d002_d003_hit.rs");
+    let r = rules(&fl);
+    assert!(r.contains(&"D002"), "{:?}", fl.diagnostics);
+    assert!(r.contains(&"D003"), "{:?}", fl.diagnostics);
+}
+
+#[test]
+fn c001_fires_on_narrowing_only() {
+    let fl = lint_fixture("c001_hit.rs");
+    assert_eq!(rules(&fl), vec!["C001"; 2], "{:?}", fl.diagnostics);
+}
+
+#[test]
+fn lexer_tricky_cases_never_fire() {
+    let fl = lint_fixture("lexer_tricky.rs");
+    assert!(fl.diagnostics.is_empty(), "{:?}", fl.diagnostics);
+    assert_eq!(fl.waived, 0);
+}
+
+#[test]
+fn reasonless_waiver_reports_w001_and_does_not_silence() {
+    let fl = lint_fixture("w001_bad_waiver.rs");
+    let r = rules(&fl);
+    assert!(r.contains(&"W001"), "{:?}", fl.diagnostics);
+    assert!(r.contains(&"D001"), "{:?}", fl.diagnostics);
+    assert_eq!(fl.waived, 0);
+}

@@ -1,0 +1,9 @@
+// Fixture: C001 positive — narrowing casts on cycle/address values.
+pub fn truncate(total_cycles: u64, vpn: (u64,)) -> (u32, u16) {
+    (total_cycles as u32, vpn.0 as u16)
+}
+
+pub fn fine(total_cycles: u64, len: u64) -> (u64, u32) {
+    // Widening and non-suspicious names never fire.
+    (total_cycles as u64, len as u32)
+}

@@ -1,0 +1,7 @@
+// Fixture: D001 positive — hash collections in sim-facing code.
+use std::collections::{HashMap, HashSet};
+
+pub struct Tracker {
+    seen: HashSet<u64>,
+    counts: HashMap<u64, u32>,
+}

@@ -1,0 +1,7 @@
+// Fixture: D001 waived — justified waivers silence the rule.
+// barre:allow(D001) keyed access only; the map is never iterated
+use std::collections::HashMap;
+
+pub struct Cache {
+    entries: HashMap<u64, u64>, // barre:allow(D001) keyed access only
+}

@@ -1,0 +1,14 @@
+// Fixture: D002 (wall clock) and D003 (ambient entropy) positives.
+use std::time::Instant;
+
+pub fn measure() -> u64 {
+    let t = Instant::now();
+    let _ = t;
+    0
+}
+
+pub fn roll() -> u64 {
+    let mut h = std::collections::hash_map::RandomState::new();
+    let _ = &mut h;
+    0
+}

@@ -1,0 +1,12 @@
+// Fixture: rule tokens inside literals/comments must NOT fire.
+// HashMap::new().unwrap() — just a comment
+/* Instant::now() and thread_rng() in /* nested */ blocks */
+
+pub fn literals<'a>(x: &'a str) -> String {
+    let s = "HashMap::new().unwrap()";
+    let raw = r#"panic!("SystemTime") and "quoted" unreachable!()"#;
+    let byte = b"HashSet thread_rng";
+    let ch = 'u';
+    let esc = '\'';
+    format!("{s}{raw}{byte:?}{ch}{esc}{x}")
+}

@@ -1,0 +1,24 @@
+// Fixture: P001 positive in production code, negative in test code.
+pub fn hot_path(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn also_hot(x: Option<u32>) -> u32 {
+    x.expect("value present")
+}
+
+pub fn boom() {
+    panic!("should not survive review");
+}
+
+pub fn cold() {
+    unreachable!();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: W001 — a waiver without a justification reports AND the
+// waived rule still fires.
+// barre:allow(D001)
+use std::collections::HashMap;
+
+pub type T = HashMap<u64, u64>;

@@ -1,0 +1,18 @@
+//! The linter must run clean over its own workspace: zero unwaived
+//! violations. Failing this test means a determinism/panic-safety
+//! regression slipped in (or a new rule needs a burndown pass).
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = barre_analysis::lint_workspace(&root).expect("workspace walk failed");
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    assert!(
+        report.is_clean(),
+        "workspace has {} unwaived lint violation(s):\n{}",
+        report.diagnostics.len(),
+        barre_analysis::render_human(&report)
+    );
+}

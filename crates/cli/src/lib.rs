@@ -56,6 +56,11 @@ pub enum Command {
         seed: u64,
         rates: Vec<f64>,
     },
+    /// `barre lint` — run the determinism & panic-safety linter.
+    Lint {
+        root: std::path::PathBuf,
+        json: bool,
+    },
     /// `barre help`.
     Help,
 }
@@ -141,6 +146,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut pair_b = None;
     let mut baseline = false;
     let mut rates: Option<Vec<f64>> = None;
+    let mut json = false;
+    let mut root: Option<std::path::PathBuf> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -154,6 +161,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         match flag {
             "--paper" => cfg = SystemConfig::paper().with_mode(cfg.mode),
             "--baseline" => baseline = true,
+            "--json" => json = true,
+            "--root" => root = Some(std::path::PathBuf::from(value(&mut i)?)),
             "--gmmu" => cfg.mmu = MmuKind::Gmmu,
             "--migration" => cfg.migration = Some(Default::default()),
             "--app" => {
@@ -263,6 +272,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             seed,
             rates: rates.unwrap_or_else(|| vec![0.0, 0.001, 0.01, 0.05]),
         }),
+        "lint" => Ok(Command::Lint {
+            root: root.unwrap_or_else(|| std::path::PathBuf::from(".")),
+            json,
+        }),
         other => Err(err(format!("unknown command {other}"))),
     }
 }
@@ -278,6 +291,7 @@ USAGE:
   barre sweep [--apps a,b,c|all] [flags]  speedups vs baseline per app
   barre pair  --a <name> --b <name>       co-run two apps (multi-programming)
   barre chaos --app <name> [flags]        sweep ATS drop rates (fault injection)
+  barre lint  [--json] [--root <dir>]     determinism & panic-safety lint (exit 1 on violations)
 
 FLAGS:
   --mode <baseline|valkyrie|least|shared-l2|barre|fbarre|fbarre1|fbarre4>
@@ -390,6 +404,21 @@ pub fn execute(cmd: Command) -> i32 {
             };
             println!("{}", summary_line(&pair.label(), &m));
             0
+        }
+        Command::Lint { root, json } => {
+            let report = match barre_analysis::lint_workspace(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: lint walk failed under {}: {e}", root.display());
+                    return 2;
+                }
+            };
+            if json {
+                print!("{}", barre_analysis::render_json(&report));
+            } else {
+                print!("{}", barre_analysis::render_human(&report));
+            }
+            i32::from(!report.is_clean())
         }
         Command::Chaos {
             app,
@@ -535,5 +564,24 @@ mod tests {
     #[test]
     fn empty_args_is_help() {
         assert!(matches!(p(&[]).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn parses_lint() {
+        match p(&["lint"]).unwrap() {
+            Command::Lint { root, json } => {
+                assert_eq!(root, std::path::PathBuf::from("."));
+                assert!(!json);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match p(&["lint", "--json", "--root", "/tmp/ws"]).unwrap() {
+            Command::Lint { root, json } => {
+                assert_eq!(root, std::path::PathBuf::from("/tmp/ws"));
+                assert!(json);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(p(&["lint", "--root"]).is_err());
     }
 }

@@ -1,0 +1,84 @@
+//! End-to-end tests for `barre lint`: exit codes and output shape, run
+//! against synthetic workspaces built under the cargo tmpdir.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn make_tree(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clear stale tree");
+    }
+    for (rel, body) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(&path, body).expect("write fixture file");
+    }
+    root
+}
+
+fn run_lint(root: &Path, json: bool) -> (i32, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_barre"));
+    cmd.arg("lint").arg("--root").arg(root);
+    if json {
+        cmd.arg("--json");
+    }
+    let out = cmd.output().expect("spawn barre");
+    let code = out.status.code().expect("exit code");
+    (code, String::from_utf8(out.stdout).expect("utf8 stdout"))
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let root = make_tree(
+        "lint_clean",
+        &[(
+            "crates/tlb/src/lib.rs",
+            "use std::collections::BTreeMap;\npub type T = BTreeMap<u64, u64>;\n",
+        )],
+    );
+    let (code, stdout) = run_lint(&root, false);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("0 violation(s)"), "{stdout}");
+}
+
+#[test]
+fn violation_exits_one_with_rule_and_line() {
+    let root = make_tree(
+        "lint_dirty",
+        &[(
+            "crates/tlb/src/lib.rs",
+            "// simulator state\nuse std::collections::HashMap;\npub type T = HashMap<u64, u64>;\n",
+        )],
+    );
+    let (code, stdout) = run_lint(&root, false);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[D001]"), "{stdout}");
+    assert!(stdout.contains("lib.rs:2"), "{stdout}");
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let root = make_tree(
+        "lint_json",
+        &[(
+            "crates/tlb/src/lib.rs",
+            "use std::collections::HashMap;\npub type T = HashMap<u64, u64>;\n",
+        )],
+    );
+    let (code, stdout) = run_lint(&root, true);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("\"rule\": \"D001\""), "{stdout}");
+    assert!(stdout.contains("\"line\": 1"), "{stdout}");
+    assert!(stdout.contains("\"files_scanned\": 1"), "{stdout}");
+}
+
+#[test]
+fn missing_root_exits_two() {
+    let bogus = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_no_such_dir");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_barre"));
+    cmd.arg("lint").arg("--root").arg(&bogus);
+    let out = cmd.output().expect("spawn barre");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -116,12 +116,23 @@ pub struct AllocStats {
 pub enum AllocError {
     /// A chiplet ran out of frames entirely.
     OutOfMemory(ChipletId),
+    /// A VPN was inside a plan's range but the plan could not name its
+    /// chiplet — an internally inconsistent [`MappingPlan`].
+    VpnOutsidePlan {
+        /// Address space of the offending plan.
+        asid: u16,
+        /// The page that could not be placed.
+        vpn: Vpn,
+    },
 }
 
 impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AllocError::OutOfMemory(c) => write!(f, "chiplet {c} is out of physical frames"),
+            AllocError::VpnOutsidePlan { asid, vpn } => {
+                write!(f, "plan for asid {asid} cannot place vpn {vpn:?}")
+            }
         }
     }
 }
@@ -388,7 +399,10 @@ impl BarreAllocator {
             }
         }
         // Single-page fault (or no common frame available).
-        let chiplet = plan.chiplet_of(vpn).expect("vpn inside plan");
+        let chiplet = plan.chiplet_of(vpn).ok_or(AllocError::VpnOutsidePlan {
+            asid: plan.asid,
+            vpn,
+        })?;
         let local = frames[chiplet.index()]
             .alloc_any()
             .ok_or(AllocError::OutOfMemory(chiplet))?;

@@ -71,6 +71,7 @@ impl CoalInfo {
     pub fn bitmap(&self) -> u8 {
         match *self {
             CoalInfo::Base { bitmap, .. } | CoalInfo::Expanded { bitmap, .. } => bitmap,
+            // barre:allow(P001) documented-panic API (see # Panics above)
             CoalInfo::Wide { .. } => panic!("wide format has no bitmap"),
         }
     }

@@ -61,13 +61,18 @@ impl PecBuffer {
             self.entries.push(entry);
             return true;
         }
-        let (idx, smallest) = self
+        // The buffer is at capacity here, and capacity is nonzero, so a
+        // smallest entry exists; treat an empty buffer as room to push.
+        let Some((idx, smallest)) = self
             .entries
             .iter()
             .enumerate()
             .min_by_key(|(_, e)| e.pages())
             .map(|(i, e)| (i, e.pages()))
-            .expect("buffer nonempty");
+        else {
+            self.entries.push(entry);
+            return true;
+        };
         if entry.pages() >= smallest {
             self.entries[idx] = entry;
             self.evictions += 1;

@@ -5,7 +5,7 @@
 //! local TLB tracker". [`IdealFilter`] provides that: exact membership with
 //! multiplicity, optionally capacity-bounded.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::Filter;
 
@@ -27,7 +27,7 @@ use crate::Filter;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct IdealFilter {
-    counts: HashMap<u64, u32>,
+    counts: BTreeMap<u64, u32>,
     len: usize,
     capacity: Option<usize>,
     dropped: u64,

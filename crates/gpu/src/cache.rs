@@ -75,12 +75,14 @@ impl TagCache {
         }
         self.stats.record(false);
         if set.len() == self.ways {
+            // `set.len() == ways > 0`, so the min always exists; fall
+            // back to slot 0 rather than panicking.
             let lru = set
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, (_, u))| *u)
                 .map(|(i, _)| i)
-                .expect("nonempty set");
+                .unwrap_or(0);
             set.swap_remove(lru);
         }
         set.push((line, self.clock));

@@ -164,9 +164,12 @@ impl GmmuUnit {
         now: Cycle,
         lookup: impl Fn(u16, Vpn) -> Option<Pte>,
     ) -> Vec<(Cycle, AtsResponse)> {
-        let walk = self.walks[walker]
-            .take()
-            .expect("completion on idle walker");
+        // A completion event for an idle or out-of-range walker is a
+        // scheduling bug upstream; respond with no translations instead
+        // of tearing the simulation down.
+        let Some(walk) = self.walks.get_mut(walker).and_then(Option::take) else {
+            return Vec::new();
+        };
         debug_assert!(now >= walk.done_at);
         if walk.remote {
             self.remote_walks.inc();

@@ -266,8 +266,11 @@ impl Iommu {
                         })
             });
             if covered {
-                let r = self.queue.pop_front().expect("nonempty");
-                self.queue.push_back(r);
+                // The front was just peeked, so the pop cannot miss; the
+                // if-let keeps this path panic-free regardless.
+                if let Some(r) = self.queue.pop_front() {
+                    self.queue.push_back(r);
+                }
                 self.stats.sched_rotations.inc();
                 rotations += 1;
             } else {
@@ -292,7 +295,12 @@ impl Iommu {
         now: Cycle,
         lookup: impl Fn(u16, Vpn) -> Option<Pte>,
     ) -> Vec<(Cycle, AtsResponse)> {
-        let walk = self.walks[ptw].take().expect("completion on idle PTW");
+        // A completion event for an idle or out-of-range PTW is a
+        // scheduling bug upstream; respond with no translations instead
+        // of tearing the simulation down.
+        let Some(walk) = self.walks.get_mut(ptw).and_then(Option::take) else {
+            return Vec::new();
+        };
         debug_assert!(now >= walk.done_at, "completion fired early");
         self.stats.ptw_busy.add(now - walk.started_at);
         if !walk.tlb_hit {

@@ -6,7 +6,7 @@
 //! counters; the system model charges the copy/shootdown costs and rewrites
 //! the PTE (excluding the page from its coalescing group per §VI).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use barre_mem::{ChipletId, Vpn};
 
@@ -44,7 +44,7 @@ pub struct MigrationDecision {
 pub struct Acud {
     threshold: u32,
     n_chiplets: usize,
-    counters: HashMap<(u16, Vpn), Vec<u32>>,
+    counters: BTreeMap<(u16, Vpn), Vec<u32>>,
     migrations: u64,
     remote_hits_tracked: u64,
 }
@@ -61,7 +61,7 @@ impl Acud {
         Self {
             threshold,
             n_chiplets,
-            counters: HashMap::new(),
+            counters: BTreeMap::new(),
             migrations: 0,
             remote_hits_tracked: 0,
         }

@@ -56,6 +56,13 @@ impl FrameAllocator {
         self.free_count
     }
 
+    /// Currently allocated frames, counted from the bitmap (not the
+    /// cached free counter) — the conservation sanitizer compares the
+    /// two to catch accounting drift.
+    pub fn allocated_frames(&self) -> u64 {
+        self.used.iter().filter(|&&u| u).count() as u64
+    }
+
     /// Whether `pfn` is in range and unallocated.
     pub fn is_free(&self, pfn: LocalPfn) -> bool {
         self.used.get(pfn.0 as usize).map(|&u| !u).unwrap_or(false)
@@ -102,6 +109,7 @@ impl FrameAllocator {
         let slot = self
             .used
             .get_mut(pfn.0 as usize)
+            // barre:allow(P001) documented-panic API (see # Panics above)
             .expect("freeing out-of-range frame");
         assert!(*slot, "double free of {pfn}");
         *slot = false;

@@ -106,6 +106,7 @@ impl PageTable {
         for level in 0..LEVELS - 1 {
             let idx = Self::index_at(vpn, level);
             let Node::Interior(children) = node else {
+                // barre:allow(P001) tree shape invariant upheld by this function
                 unreachable!("leaf encountered above the bottom level")
             };
             node = children[idx].get_or_insert_with(|| {
@@ -117,6 +118,7 @@ impl PageTable {
             });
         }
         let Node::Leaf(ptes) = node else {
+            // barre:allow(P001) tree shape invariant upheld by this function
             unreachable!("interior node at leaf level")
         };
         let idx = Self::index_at(vpn, LEVELS - 1);
@@ -154,7 +156,12 @@ impl PageTable {
         for level in 0..LEVELS - 1 {
             let idx = Self::index_at(vpn, level);
             let Node::Interior(children) = node else {
-                unreachable!()
+                // Shape corruption cannot happen (`map` maintains it);
+                // degrade to a hole at this level rather than panic.
+                return WalkResult {
+                    pte: None,
+                    levels: level + 1,
+                };
             };
             match &children[idx] {
                 Some(next) => node = next,
@@ -167,7 +174,12 @@ impl PageTable {
             }
         }
         let Node::Leaf(ptes) = node else {
-            unreachable!()
+            // Same degradation as above: a malformed bottom level reads
+            // as unmapped.
+            return WalkResult {
+                pte: None,
+                levels: LEVELS,
+            };
         };
         let pte = ptes[Self::index_at(vpn, LEVELS - 1)];
         WalkResult {

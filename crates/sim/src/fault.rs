@@ -168,6 +168,7 @@ impl FaultInjector {
     /// configuration boundary first.
     pub fn new(plan: FaultPlan, seed: u64) -> Self {
         if let Err(e) = plan.validate() {
+            // barre:allow(P001) documented-panic API (see # Panics above)
             panic!("invalid fault plan: {e}");
         }
         Self {

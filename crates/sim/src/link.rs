@@ -100,6 +100,11 @@ impl Link {
         self.latency
     }
 
+    /// Serialization bandwidth in bytes per cycle.
+    pub fn bytes_per_cycle(&self) -> u64 {
+        self.bytes_per_cycle
+    }
+
     /// Total bytes ever sent.
     pub fn total_bytes(&self) -> u64 {
         self.total_bytes

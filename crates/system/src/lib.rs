@@ -29,6 +29,8 @@ pub mod error;
 pub mod machine;
 pub mod metrics;
 pub mod runner;
+#[cfg(feature = "sanitizer")]
+pub mod sanitizer;
 
 pub use config::{
     AtsRetryConfig, DemandPagingConfig, FBarreConfig, MigrationConfig, MmuKind, SystemConfig,
@@ -38,3 +40,5 @@ pub use error::SimError;
 pub use machine::{L2Payload, Machine};
 pub use metrics::{geomean, speedup, RunMetrics};
 pub use runner::{build_machine, run_app, run_pair, run_spec, smoke_config, summary_line};
+#[cfg(feature = "sanitizer")]
+pub use sanitizer::{SanitizerReport, Violation};

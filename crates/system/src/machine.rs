@@ -11,7 +11,7 @@
 //! [`barre_sim::EventQueue`]; with a fixed seed, every run is
 //! cycle-reproducible.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use barre_core::fbarre::{FilterBank, FilterCmd, FilterUpdate};
 use barre_core::{CoalInfo, CoalMode, PecBuffer, PecEntry, PecLogic};
@@ -208,7 +208,7 @@ pub struct Machine {
     free_insts: Vec<u32>,
     pages: Vec<PageReq>,
     free_pages: Vec<u32>,
-    req_origin: HashMap<u64, ReqOrigin>,
+    req_origin: BTreeMap<u64, ReqOrigin>,
     next_req_id: u64,
     queue: EventQueue<Ev>,
     now: Cycle,
@@ -221,10 +221,13 @@ pub struct Machine {
     /// timer events are scheduled — an always-armed timer would extend
     /// the final event horizon and break cycle identity.
     arm_deadlines: bool,
-    ats_pending: HashMap<(u8, TlbKey), PendingAts>,
+    ats_pending: BTreeMap<(u8, TlbKey), PendingAts>,
     ats_epoch: u64,
     /// Cycle of the last retired warp memory access (watchdog input).
     last_progress: Cycle,
+    /// Accumulated conservation-law violations (sanitizer builds only).
+    #[cfg(feature = "sanitizer")]
+    san: crate::sanitizer::SanitizerReport,
 }
 
 impl Machine {
@@ -366,7 +369,7 @@ impl Machine {
             free_insts: Vec::new(),
             pages: Vec::new(),
             free_pages: Vec::new(),
-            req_origin: HashMap::new(),
+            req_origin: BTreeMap::new(),
             next_req_id: 0,
             queue: EventQueue::new(),
             now: 0,
@@ -374,9 +377,11 @@ impl Machine {
             injector: (!cfg.fault_plan.is_empty())
                 .then(|| FaultInjector::new(cfg.fault_plan, seed ^ 0xFA01_7FA0)),
             arm_deadlines: cfg.ats_retry.is_some() && cfg.fault_plan.affects_ats(),
-            ats_pending: HashMap::new(),
+            ats_pending: BTreeMap::new(),
             ats_epoch: 0,
             last_progress: 0,
+            #[cfg(feature = "sanitizer")]
+            san: crate::sanitizer::SanitizerReport::default(),
             cfg,
         }
     }
@@ -428,6 +433,10 @@ impl Machine {
                 }
             }
             self.handle(ev)?;
+            #[cfg(feature = "sanitizer")]
+            if self.queue.processed().is_multiple_of(SANITIZER_EPOCH) {
+                self.sanitizer_check(false);
+            }
             if self.queue.processed() >= budget {
                 return Err(SimError::EventBudgetExceeded {
                     processed: self.queue.processed(),
@@ -439,6 +448,8 @@ impl Machine {
         if let Some(leftovers) = self.leftover_state() {
             return Err(self.no_progress(format!("event queue drained with {leftovers}")));
         }
+        #[cfg(feature = "sanitizer")]
+        self.sanitizer_check(true);
         Ok(self.finalize())
     }
 
@@ -531,9 +542,13 @@ impl Machine {
                     None => return, // slot retires
                 }
             }
-            let stream = self.cus[chiplet as usize][cu as usize].slots[slot as usize]
-                .as_mut()
-                .expect("stream present");
+            // The slot was just (re)filled above; an empty slot here
+            // would be a scheduler bug — retire it instead of panicking.
+            let Some(stream) =
+                self.cus[chiplet as usize][cu as usize].slots[slot as usize].as_mut()
+            else {
+                return;
+            };
             let capped = self
                 .cfg
                 .max_warps_per_cta
@@ -883,11 +898,9 @@ impl Machine {
         // Retry layer: every attempt (re)arms a deadline under a fresh
         // epoch; timers for superseded epochs or already-filled keys
         // no-op. The wait doubles per timeout taken, capped.
-        if self.arm_deadlines {
-            let retry = self
-                .cfg
-                .ats_retry
-                .expect("arm_deadlines implies retry config");
+        // `arm_deadlines` is only set when a retry config exists; the
+        // tuple pattern makes that coupling panic-free.
+        if let (true, Some(retry)) = (self.arm_deadlines, self.cfg.ats_retry) {
             self.ats_epoch += 1;
             let epoch = self.ats_epoch;
             let e = self
@@ -971,17 +984,17 @@ impl Machine {
         if p.epoch != epoch {
             return Ok(()); // superseded by a newer attempt
         }
-        let retry = self
-            .cfg
-            .ats_retry
-            .expect("deadline armed without retry config");
+        // A deadline can only have been armed under a retry config;
+        // treat its absence as the timer being disarmed.
+        let Some(retry) = self.cfg.ats_retry else {
+            return Ok(());
+        };
         self.m.ats_timeouts += 1;
         let (attempts, prefetch) = (p.attempts, p.prefetch);
         if attempts < retry.max_retries {
-            self.ats_pending
-                .get_mut(&(chiplet, key))
-                .expect("checked above")
-                .attempts = attempts + 1;
+            if let Some(pending) = self.ats_pending.get_mut(&(chiplet, key)) {
+                pending.attempts = attempts + 1;
+            }
             self.m.ats_retries += 1;
             self.send_ats_inner(chiplet, key, now, prefetch);
             return Ok(());
@@ -1036,7 +1049,11 @@ impl Machine {
             }
             MmuKind::Gmmu => {
                 let c = req.chiplet.index();
-                let g = self.chiplets[c].gmmu.as_mut().expect("GMMU configured");
+                // GMMU mode guarantees a per-chiplet GMMU; drop the
+                // request rather than panic if one is missing.
+                let Some(g) = self.chiplets[c].gmmu.as_mut() else {
+                    return;
+                };
                 if !g.enqueue(req) {
                     self.iommu_overflow.push_back(req);
                 }
@@ -1066,7 +1083,9 @@ impl Machine {
             page_tables,
             ..
         } = self;
-        let g = chiplets[c].gmmu.as_mut().expect("GMMU configured");
+        let Some(g) = chiplets[c].gmmu.as_mut() else {
+            return;
+        };
         let started = g.dispatch(now, |asid, vpn| {
             page_tables
                 .get(asid as usize)
@@ -1096,8 +1115,10 @@ impl Machine {
             page_tables.get(asid as usize).and_then(|pt| pt.lookup(vpn))
         });
         // Refill the queue from the PCIe overflow buffer.
-        while !self.iommu_overflow.is_empty() && self.iommu.has_queue_space() {
-            let r = self.iommu_overflow.pop_front().expect("nonempty");
+        while self.iommu.has_queue_space() {
+            let Some(r) = self.iommu_overflow.pop_front() else {
+                break;
+            };
             let accepted = self.iommu.enqueue(r);
             debug_assert!(accepted);
         }
@@ -1130,7 +1151,9 @@ impl Machine {
             page_tables,
             ..
         } = self;
-        let g = chiplets[c].gmmu.as_mut().expect("GMMU configured");
+        let Some(g) = chiplets[c].gmmu.as_mut() else {
+            return;
+        };
         let responses = g.complete_walk(walker, now, |asid, vpn| {
             page_tables.get(asid as usize).and_then(|pt| pt.lookup(vpn))
         });
@@ -1138,7 +1161,9 @@ impl Machine {
         while i < self.iommu_overflow.len() {
             let r = self.iommu_overflow[i];
             if r.chiplet.index() == c {
-                let g = self.chiplets[c].gmmu.as_mut().expect("GMMU configured");
+                let Some(g) = self.chiplets[c].gmmu.as_mut() else {
+                    break;
+                };
                 if g.enqueue(r) {
                     self.iommu_overflow.remove(i);
                     continue;
@@ -1241,8 +1266,13 @@ impl Machine {
             let ptes = self
                 .driver
                 .allocate_on_fault(&plan, vpn, &mut self.frames, group_fetch)
-                .map_err(|barre_core::driver::AllocError::OutOfMemory(c)| {
-                    SimError::OutOfFrames { chiplet: c.0 }
+                .map_err(|e| match e {
+                    barre_core::driver::AllocError::OutOfMemory(c) => {
+                        SimError::OutOfFrames { chiplet: c.0 }
+                    }
+                    barre_core::driver::AllocError::VpnOutsidePlan { asid, vpn } => {
+                        SimError::VpnOutsidePlan { asid, vpn }
+                    }
                 })?;
             for (v, pte) in ptes {
                 // Group fetch can touch members another fault already
@@ -1488,7 +1518,11 @@ impl Machine {
     fn mem_start(&mut self, page: u32) {
         let now = self.now;
         let p = self.pages[page as usize].clone();
-        let pfn = p.pfn.expect("translated before access");
+        // Translation always precedes the data access; an untranslated
+        // page here is an event-ordering bug — drop the access.
+        let Some(pfn) = p.pfn else {
+            return;
+        };
         // The page may have migrated while this access was in flight
         // (its TLB entry was shot down, but the access already held the
         // frame). Re-translate instead of touching the stale frame —
@@ -1573,7 +1607,7 @@ impl Machine {
         let decision = acud.record(p.asid, p.vpn, ChipletId(p.chiplet), pfn.chiplet())?;
         // Destination must have a free frame.
         let local = self.frames[decision.to.index()].alloc_any()?;
-        let acud = self.acud.as_mut().expect("present");
+        let acud = self.acud.as_mut()?;
         acud.migrated(p.asid, p.vpn);
         self.m.migrations += 1;
         let old = pfn;
@@ -1752,6 +1786,142 @@ impl Machine {
     fn finalize(mut self) -> RunMetrics {
         self.harvest();
         self.m
+    }
+}
+
+/// Events between conservation-law checks (sanitizer builds).
+#[cfg(feature = "sanitizer")]
+const SANITIZER_EPOCH: u64 = 65_536;
+
+#[cfg(feature = "sanitizer")]
+impl Machine {
+    /// Translations serviced so far — walks, coalesced calculations, and
+    /// fallback walks — from live counters (harvest-equivalent).
+    fn serviced_translations(&self) -> u64 {
+        let io = self.iommu.stats();
+        let mut serviced = io.walks.get() + io.coalesced.get() + self.m.fallback_translations;
+        for ch in &self.chiplets {
+            if let Some(g) = &ch.gmmu {
+                serviced += g.local_walks.get() + g.remote_walks.get() + g.coalesced.get();
+            }
+        }
+        serviced
+    }
+
+    /// Evaluates every conservation law against the machine's current
+    /// state. `at_drain` upgrades the translation law from `<=` to exact
+    /// equality (mid-run, serviced requests lag issued ones).
+    pub fn conservation_violations(&self, at_drain: bool) -> Vec<crate::sanitizer::Violation> {
+        use crate::sanitizer::Violation;
+        let cycle = self.now;
+        let mut v = Vec::new();
+
+        // Law 1: translation conservation. An IOMMU TLB services
+        // requests without a counted walk and speculative multicast
+        // services requests that were never issued; both decouple the
+        // two sides, so the law only holds with them off.
+        if self.cfg.iommu_tlb.is_none() && !self.cfg.barre_multicast {
+            let serviced = self.serviced_translations();
+            let requests = self.m.ats_requests;
+            let broken = if at_drain {
+                serviced != requests
+            } else {
+                serviced > requests
+            };
+            if broken {
+                v.push(Violation {
+                    law: "translation-conservation",
+                    detail: format!(
+                        "serviced {serviced} (walks + coalesced + fallback) vs \
+                         {requests} ats_requests{}",
+                        if at_drain {
+                            " at drain (must be equal)"
+                        } else {
+                            ""
+                        }
+                    ),
+                    cycle,
+                });
+            }
+        }
+
+        // Law 2: frame accounting — the allocator's bitmap and its
+        // cached free counter must agree with capacity.
+        for (i, f) in self.frames.iter().enumerate() {
+            let allocated = f.allocated_frames();
+            if allocated + f.free_frames() != f.capacity() as u64 {
+                v.push(Violation {
+                    law: "frame-accounting",
+                    detail: format!(
+                        "chiplet {i}: allocated {allocated} + free {} != capacity {}",
+                        f.free_frames(),
+                        f.capacity()
+                    ),
+                    cycle,
+                });
+            }
+        }
+
+        // Law 3: MSHR bounds — in-flight misses within the register file.
+        for (i, ch) in self.chiplets.iter().enumerate() {
+            let (in_use, cap) = (ch.l2_mshr.in_use(), ch.l2_mshr.capacity());
+            if in_use > cap {
+                v.push(Violation {
+                    law: "mshr-bounds",
+                    detail: format!(
+                        "chiplet {i}: {in_use} in-flight misses exceed {cap} registers"
+                    ),
+                    cycle,
+                });
+            }
+        }
+
+        // Law 4: link accounting — serialization takes at least one
+        // cycle per message and at least bytes/bandwidth cycles overall.
+        let mut check_link = |name: String, l: &Link| {
+            let (msgs, busy, bytes) = (l.total_msgs(), l.busy_cycles(), l.total_bytes());
+            if msgs > busy || bytes > busy.saturating_mul(l.bytes_per_cycle()) {
+                v.push(Violation {
+                    law: "link-accounting",
+                    detail: format!(
+                        "{name}: msgs={msgs} bytes={bytes} busy_cycles={busy} \
+                         bytes_per_cycle={}",
+                        l.bytes_per_cycle()
+                    ),
+                    cycle,
+                });
+            }
+        };
+        check_link("pcie-up".to_string(), &self.pcie_up);
+        check_link("pcie-down".to_string(), &self.pcie_down);
+        for (i, l) in self.filter_vc.iter().enumerate() {
+            check_link(format!("filter-vc[{i}]"), l);
+        }
+        v
+    }
+
+    /// One epoch check: records violations and `debug_assert!`s clean,
+    /// dumping the structured report on failure.
+    fn sanitizer_check(&mut self, at_drain: bool) {
+        self.san.epochs_checked += 1;
+        let found = self.conservation_violations(at_drain);
+        if !found.is_empty() {
+            self.san.violations.extend(found);
+            debug_assert!(false, "{}", self.san.render());
+        }
+    }
+
+    /// Violations recorded so far (release sanitizer builds accumulate
+    /// instead of asserting).
+    pub fn sanitizer_report(&self) -> &crate::sanitizer::SanitizerReport {
+        &self.san
+    }
+
+    /// Test hook: fabricates a serviced translation that answers no ATS
+    /// request — the accounting-bug shape the sanitizer exists to catch.
+    #[doc(hidden)]
+    pub fn sanitizer_inject_accounting_skew(&mut self) {
+        self.m.fallback_translations += 1;
     }
 }
 

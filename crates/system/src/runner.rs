@@ -88,9 +88,12 @@ pub fn build_machine(
                     master_pecs.push(plan.pec_entry());
                 }
             } else if use_barre {
-                let out = driver
-                    .allocate(&plan, &mut frames)
-                    .map_err(|AllocError::OutOfMemory(c)| SimError::OutOfFrames { chiplet: c.0 })?;
+                let out = driver.allocate(&plan, &mut frames).map_err(|e| match e {
+                    AllocError::OutOfMemory(c) => SimError::OutOfFrames { chiplet: c.0 },
+                    AllocError::VpnOutsidePlan { asid, vpn } => {
+                        SimError::VpnOutsidePlan { asid, vpn }
+                    }
+                })?;
                 for (v, pte) in out.ptes {
                     pt.map(v, pte);
                 }

@@ -1,0 +1,71 @@
+//! Conservation-law sanitizer tests (run with `--features sanitizer`).
+//!
+//! Two directions: a healthy machine passes every epoch check over a
+//! full run (the run itself would `debug_assert!` otherwise), and an
+//! injected accounting bug trips the sanitizer with a structured report
+//! naming the broken law.
+
+#![cfg(feature = "sanitizer")]
+
+use barre_system::{build_machine, run_app, smoke_config};
+use barre_workloads::AppId;
+
+#[test]
+fn clean_run_passes_every_epoch_check() {
+    // smoke_config has no IOMMU TLB and no multicast, so all four laws
+    // (including exact translation conservation at drain) are armed.
+    // Any epoch violation would debug_assert! inside run().
+    let cfg = smoke_config();
+    let m = run_app(AppId::Gemv, &cfg, 1).expect("run failed");
+    assert!(m.total_cycles > 0);
+}
+
+#[test]
+fn fresh_machine_satisfies_all_laws() {
+    let cfg = smoke_config();
+    let machine = build_machine(&[AppId::Gemv.spec()], &cfg, 1).expect("build failed");
+    let violations = machine.conservation_violations(false);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert!(machine.sanitizer_report().is_clean());
+}
+
+#[test]
+fn injected_accounting_bug_trips_with_structured_report() {
+    let cfg = smoke_config();
+    let mut machine = build_machine(&[AppId::Gemv.spec()], &cfg, 1).expect("build failed");
+    // A serviced translation that answers no request: serviced (1) now
+    // exceeds ats_requests (0).
+    machine.sanitizer_inject_accounting_skew();
+    let violations = machine.conservation_violations(false);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    let v = &violations[0];
+    assert_eq!(v.law, "translation-conservation");
+    assert!(v.detail.contains("serviced 1"), "{}", v.detail);
+    assert!(v.detail.contains("0 ats_requests"), "{}", v.detail);
+
+    // The rendered report is structured: summary header + one
+    // bracket-tagged line per violation.
+    let mut report = barre_system::SanitizerReport::default();
+    report.epochs_checked = 1;
+    report.violations = violations;
+    let text = report.render();
+    assert!(
+        text.contains("1 violation(s) over 1 epoch check(s)"),
+        "{text}"
+    );
+    assert!(
+        text.contains("[translation-conservation] cycle=0"),
+        "{text}"
+    );
+}
+
+#[test]
+fn drain_check_requires_exact_equality() {
+    let cfg = smoke_config();
+    let mut machine = build_machine(&[AppId::Gemv.spec()], &cfg, 1).expect("build failed");
+    // serviced == requests == 0: mid-run AND drain checks both pass...
+    assert!(machine.conservation_violations(true).is_empty());
+    machine.sanitizer_inject_accounting_skew();
+    // ...but any imbalance fails the drain check.
+    assert_eq!(machine.conservation_violations(true).len(), 1);
+}

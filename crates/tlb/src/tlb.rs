@@ -6,7 +6,7 @@ use barre_sim::RatioStat;
 /// Key of a TLB entry: address-space id plus virtual page number.
 /// Barre Chord "considers the process ID associated to each page" (§VII-I),
 /// so entries are ASID-tagged rather than flushed between applications.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TlbKey {
     /// Address-space (process) id.
     pub asid: u16,
@@ -130,12 +130,14 @@ impl<P> Tlb<P> {
         }
         let mut evicted = None;
         if slots.len() == ways {
+            // `slots.len() == ways > 0` here, so the min always exists;
+            // fall back to slot 0 rather than panicking.
             let lru = slots
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, s)| s.last_use)
                 .map(|(i, _)| i)
-                .expect("nonempty set");
+                .unwrap_or(0);
             let victim = slots.swap_remove(lru);
             self.evictions += 1;
             evicted = Some((victim.key, victim.payload));
