@@ -6,8 +6,10 @@
 //! `EXPERIMENTS.md` records the measured outputs next to the paper's
 //! numbers.
 
-use barre_system::{geomean, run_spec, RunMetrics, SystemConfig};
+use barre_system::{geomean, run_batch, RunMetrics, SimError, SystemConfig};
 use barre_workloads::{AppId, WorkloadSpec};
+
+pub mod wallclock;
 
 /// All 19 applications, Table I order.
 pub fn apps_all() -> Vec<AppId> {
@@ -48,7 +50,70 @@ pub fn sweep(apps: &[AppId], cfgs: &[(String, SystemConfig)], seed: u64) -> Vec<
     )
 }
 
-/// Runs `specs × cfgs`, returning `results[spec][cfg]`.
+/// A sweep failure: which configuration died, and the underlying error.
+#[derive(Debug)]
+pub struct SweepError {
+    /// Label of the offending configuration.
+    pub label: String,
+    /// What went wrong.
+    pub error: SimError,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config {}: {}", self.label, self.error)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Runs `specs × cfgs` on the run-level worker pool, returning
+/// `results[spec][cfg]`.
+///
+/// `jobs` picks the worker count (`None` → `BARRE_JOBS` env var →
+/// available parallelism); the results are identical at any count
+/// because each simulation is single-threaded and the pool returns them
+/// in input order.
+///
+/// # Errors
+///
+/// [`SweepError`] naming the first configuration (in `specs × cfgs`
+/// order) whose run failed, or the pool failure itself.
+pub fn try_sweep_specs(
+    specs: &[WorkloadSpec],
+    cfgs: &[(String, SystemConfig)],
+    seed: u64,
+    jobs: Option<usize>,
+) -> Result<Vec<Vec<RunMetrics>>, SweepError> {
+    let batch: Vec<barre_system::BatchJob> = specs
+        .iter()
+        .flat_map(|spec| cfgs.iter().map(move |(_, cfg)| (*spec, cfg.clone(), seed)))
+        .collect();
+    let threads = barre_sim::pool::resolve_jobs(jobs);
+    let flat = run_batch(batch, threads).map_err(|error| SweepError {
+        label: "<worker pool>".into(),
+        error,
+    })?;
+    let mut rows = Vec::with_capacity(specs.len());
+    let mut it = flat.into_iter().enumerate();
+    for _ in 0..specs.len() {
+        let mut row = Vec::with_capacity(cfgs.len());
+        for _ in 0..cfgs.len() {
+            // The batch is exactly specs.len()*cfgs.len() long; a short
+            // pool result is already a pool error above.
+            let Some((i, res)) = it.next() else { break };
+            row.push(res.map_err(|error| SweepError {
+                label: cfgs[i % cfgs.len()].0.clone(),
+                error,
+            })?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Runs `specs × cfgs`, returning `results[spec][cfg]`. Thin panicking
+/// shim over [`try_sweep_specs`] for the fig benches.
 ///
 /// # Panics
 ///
@@ -59,16 +124,7 @@ pub fn sweep_specs(
     cfgs: &[(String, SystemConfig)],
     seed: u64,
 ) -> Vec<Vec<RunMetrics>> {
-    specs
-        .iter()
-        .map(|spec| {
-            cfgs.iter()
-                .map(|(label, cfg)| {
-                    run_spec(*spec, cfg, seed).unwrap_or_else(|e| panic!("config {label}: {e}"))
-                })
-                .collect()
-        })
-        .collect()
+    try_sweep_specs(specs, cfgs, seed, None).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Prints a speedup table: one row per app, one column per non-baseline
@@ -132,5 +188,31 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].len(), 1);
         assert!(r[0][0].total_cycles > 0);
+    }
+
+    #[test]
+    fn try_sweep_propagates_errors_with_label() {
+        let mut bad = barre_system::smoke_config();
+        bad.cu_slots = 0;
+        let cfgs = vec![cfg("ok", barre_system::smoke_config()), cfg("broken", bad)];
+        let err = try_sweep_specs(&[AppId::Gemv.spec()], &cfgs, 1, Some(2))
+            .expect_err("bad config must surface");
+        assert_eq!(err.label, "broken");
+        assert!(err.to_string().contains("config broken:"));
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let specs = [AppId::Gemv.spec(), AppId::Gups.spec()];
+        let cfgs = vec![
+            cfg("base", barre_system::smoke_config()),
+            cfg(
+                "barre",
+                barre_system::smoke_config().with_mode(barre_system::TranslationMode::Barre),
+            ),
+        ];
+        let serial = try_sweep_specs(&specs, &cfgs, SEED, Some(1)).expect("serial");
+        let parallel = try_sweep_specs(&specs, &cfgs, SEED, Some(4)).expect("parallel");
+        assert_eq!(serial, parallel);
     }
 }

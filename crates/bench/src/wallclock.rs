@@ -1,0 +1,280 @@
+//! Wall-clock bench harness behind `barre bench`.
+//!
+//! Runs a pinned smoke sweep (the balanced 9-app subset × 3 translation
+//! modes on [`barre_system::smoke_config`]) twice — once serially, once
+//! on the worker pool — measuring wall time and events/sec per run, and
+//! cross-checks that both passes produced identical [`RunMetrics`]. The
+//! rendered report is written to `BENCH_sweep.json`, giving the repo a
+//! perf trajectory to compare commits against.
+//!
+//! Wall time never enters `RunMetrics` (that would break the
+//! serial/parallel byte-identity the harness itself asserts); it lives
+//! only in this report.
+
+use std::time::Instant;
+
+use barre_system::{run_spec, smoke_config, RunMetrics, SystemConfig, TranslationMode};
+use barre_workloads::AppId;
+
+use crate::{apps_balanced, SweepError, SEED};
+
+/// One `(app, mode)` cell of the sweep.
+#[derive(Debug)]
+pub struct BenchRun {
+    /// Application name (Table I spelling).
+    pub app: &'static str,
+    /// Translation-mode label.
+    pub mode: &'static str,
+    /// Simulated cycles (deterministic).
+    pub total_cycles: u64,
+    /// Events executed by the event loop (deterministic).
+    pub events: u64,
+    /// Wall time of this run in the serial pass, milliseconds.
+    pub wall_ms_serial: f64,
+    /// Wall time of this run in the parallel pass, milliseconds.
+    pub wall_ms_parallel: f64,
+    /// Simulator throughput: events / serial wall seconds (the serial
+    /// pass is uncontended, so it is the cleaner per-run number).
+    pub events_per_sec: f64,
+}
+
+/// The full report `barre bench` renders to `BENCH_sweep.json`.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// Worker threads used for the parallel pass.
+    pub jobs: usize,
+    /// Whether the quick (3-app) subset ran instead of the full 9.
+    pub quick: bool,
+    /// End-to-end wall time of the serial pass, milliseconds.
+    pub serial_wall_ms: f64,
+    /// End-to-end wall time of the parallel pass, milliseconds.
+    pub parallel_wall_ms: f64,
+    /// `serial_wall_ms / parallel_wall_ms`.
+    pub speedup: f64,
+    /// `app/mode` labels whose serial and parallel metrics differed.
+    /// Always empty unless determinism is broken.
+    pub divergent: Vec<String>,
+    /// Per-run measurements, sweep order.
+    pub runs: Vec<BenchRun>,
+}
+
+/// The three pinned translation modes the bench sweeps.
+pub fn bench_modes() -> Vec<(&'static str, SystemConfig)> {
+    let base = smoke_config();
+    vec![
+        ("baseline", base.clone()),
+        ("barre", base.clone().with_mode(TranslationMode::Barre)),
+        (
+            "fbarre",
+            base.with_mode(TranslationMode::FBarre(Default::default())),
+        ),
+    ]
+}
+
+/// The pinned app set: the balanced 9, or one app per MPKI class for
+/// `--quick`.
+pub fn bench_apps(quick: bool) -> Vec<AppId> {
+    if quick {
+        vec![AppId::Gemv, AppId::Jac2d, AppId::Gups]
+    } else {
+        apps_balanced()
+    }
+}
+
+fn timed_pass(
+    cases: &[(AppId, &'static str, SystemConfig)],
+    threads: usize,
+) -> Result<(f64, Vec<(f64, RunMetrics)>), SweepError> {
+    let jobs: Vec<_> = cases
+        .iter()
+        .map(|(app, _, cfg)| {
+            let spec = app.spec();
+            let cfg = cfg.clone();
+            move || {
+                let t0 = Instant::now();
+                let m = run_spec(spec, &cfg, SEED);
+                (t0.elapsed().as_secs_f64() * 1e3, m)
+            }
+        })
+        .collect();
+    let t0 = Instant::now();
+    let out = barre_sim::pool::run_ordered(jobs, threads).map_err(|e| SweepError {
+        label: "<worker pool>".into(),
+        error: e.into(),
+    })?;
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut runs = Vec::with_capacity(out.len());
+    for ((app, mode, _), (ms, res)) in cases.iter().zip(out) {
+        let m = res.map_err(|error| SweepError {
+            label: format!("{}/{mode}", app.name()),
+            error,
+        })?;
+        runs.push((ms, m));
+    }
+    Ok((total_ms, runs))
+}
+
+/// Runs the pinned sweep serially and then on `jobs` workers, returning
+/// the timed, cross-checked report.
+///
+/// # Errors
+///
+/// [`SweepError`] when any simulation fails or a pool worker dies.
+pub fn run_bench(quick: bool, jobs: usize) -> Result<BenchReport, SweepError> {
+    let modes = bench_modes();
+    let cases: Vec<(AppId, &'static str, SystemConfig)> = bench_apps(quick)
+        .into_iter()
+        .flat_map(|app| {
+            modes
+                .iter()
+                .map(move |(label, cfg)| (app, *label, cfg.clone()))
+        })
+        .collect();
+    let (serial_wall_ms, serial) = timed_pass(&cases, 1)?;
+    let (parallel_wall_ms, parallel) = timed_pass(&cases, jobs)?;
+    let mut divergent = Vec::new();
+    let mut runs = Vec::with_capacity(cases.len());
+    for (((app, mode, _), (s_ms, s_m)), (p_ms, p_m)) in cases.iter().zip(serial).zip(parallel) {
+        if s_m != p_m {
+            divergent.push(format!("{}/{mode}", app.name()));
+        }
+        let events_per_sec = if s_ms > 0.0 {
+            s_m.events_processed as f64 / (s_ms / 1e3)
+        } else {
+            0.0
+        };
+        runs.push(BenchRun {
+            app: app.name(),
+            mode,
+            total_cycles: s_m.total_cycles,
+            events: s_m.events_processed,
+            wall_ms_serial: s_ms,
+            wall_ms_parallel: p_ms,
+            events_per_sec,
+        });
+    }
+    let speedup = if parallel_wall_ms > 0.0 {
+        serial_wall_ms / parallel_wall_ms
+    } else {
+        0.0
+    };
+    Ok(BenchReport {
+        jobs,
+        quick,
+        serial_wall_ms,
+        parallel_wall_ms,
+        speedup,
+        divergent,
+        runs,
+    })
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl BenchReport {
+    /// Renders the report as the `BENCH_sweep.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"barre-bench-sweep/1\",\n");
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str(&format!(
+            "  \"serial_wall_ms\": {:.3},\n",
+            self.serial_wall_ms
+        ));
+        s.push_str(&format!(
+            "  \"parallel_wall_ms\": {:.3},\n",
+            self.parallel_wall_ms
+        ));
+        s.push_str(&format!("  \"speedup\": {:.3},\n", self.speedup));
+        s.push_str("  \"divergent\": [");
+        for (i, d) in self.divergent.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(d));
+        }
+        s.push_str("],\n");
+        s.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"app\": {}, \"mode\": {}, \"total_cycles\": {}, \"events\": {}, \
+                 \"wall_ms_serial\": {:.3}, \"wall_ms_parallel\": {:.3}, \
+                 \"events_per_sec\": {:.0}}}{}\n",
+                json_str(r.app),
+                json_str(r.mode),
+                r.total_cycles,
+                r.events,
+                r.wall_ms_serial,
+                r.wall_ms_parallel,
+                r.events_per_sec,
+                if i + 1 < self.runs.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Human-readable summary lines for the terminal.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "bench: {} runs, serial {:.0} ms, parallel {:.0} ms at {} jobs ({:.2}x)\n",
+            self.runs.len(),
+            self.serial_wall_ms,
+            self.parallel_wall_ms,
+            self.jobs,
+            self.speedup,
+        ));
+        if self.divergent.is_empty() {
+            s.push_str("serial/parallel metrics: identical\n");
+        } else {
+            s.push_str(&format!(
+                "DIVERGENCE in {} run(s): {}\n",
+                self.divergent.len(),
+                self.divergent.join(", "),
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_is_consistent_and_renders() {
+        let r = run_bench(true, 2).expect("bench run");
+        assert_eq!(r.runs.len(), 9); // 3 apps x 3 modes
+        assert!(r.divergent.is_empty(), "divergent: {:?}", r.divergent);
+        assert!(r.runs.iter().all(|x| x.events > 0 && x.total_cycles > 0));
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"barre-bench-sweep/1\""));
+        assert!(json.contains("\"divergent\": []"));
+        assert!(r.summary().contains("identical"));
+    }
+
+    #[test]
+    fn mode_labels_are_pinned() {
+        let labels: Vec<_> = bench_modes().iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, ["baseline", "barre", "fbarre"]);
+        assert_eq!(bench_apps(true).len(), 3);
+        assert_eq!(bench_apps(false).len(), 9);
+    }
+}

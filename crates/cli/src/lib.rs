@@ -12,14 +12,20 @@
 //! barre sweep --mode barre [--apps gups,spmv] [--policy coda]
 //! barre pair  --a gemv --b gups --mode fbarre
 //! barre chaos --app gups --mode barre [--rates 0.001,0.01,0.05]
+//! barre bench [--json] [--quick] [--jobs 8] [--out BENCH_sweep.json]
 //! ```
+//!
+//! Sweep-shaped commands (`sweep`, `chaos`, `bench`) fan their
+//! independent runs across the `barre_sim::pool` worker pool; `--jobs 1`
+//! (or `BARRE_JOBS=1`) forces the serial path and produces identical
+//! output.
 
 use barre_mapping::PolicyKind;
 use barre_mem::PageSize;
 use barre_sim::FaultPlan;
 use barre_system::{
-    run_app, run_pair, run_spec, speedup, summary_line, FBarreConfig, MmuKind, RunMetrics,
-    SimError, SystemConfig, TranslationMode,
+    run_app, run_batch, run_pair, speedup, summary_line, BatchJob, FBarreConfig, MmuKind,
+    RunMetrics, SimError, SystemConfig, TranslationMode,
 };
 use barre_workloads::{AppId, AppPair};
 
@@ -42,6 +48,7 @@ pub enum Command {
         apps: Vec<AppId>,
         cfg: Box<SystemConfig>,
         seed: u64,
+        jobs: Option<usize>,
     },
     /// `barre pair` — co-run two apps (§VII-I).
     Pair {
@@ -55,6 +62,14 @@ pub enum Command {
         cfg: Box<SystemConfig>,
         seed: u64,
         rates: Vec<f64>,
+        jobs: Option<usize>,
+    },
+    /// `barre bench` — timed smoke sweep with serial/parallel cross-check.
+    Bench {
+        quick: bool,
+        json: bool,
+        jobs: Option<usize>,
+        out: std::path::PathBuf,
     },
     /// `barre lint` — run the determinism & panic-safety linter.
     Lint {
@@ -148,6 +163,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut rates: Option<Vec<f64>> = None;
     let mut json = false;
     let mut root: Option<std::path::PathBuf> = None;
+    let mut jobs: Option<usize> = None;
+    let mut quick = false;
+    let mut out: Option<std::path::PathBuf> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -162,7 +180,17 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             "--paper" => cfg = SystemConfig::paper().with_mode(cfg.mode),
             "--baseline" => baseline = true,
             "--json" => json = true,
+            "--quick" => quick = true,
             "--root" => root = Some(std::path::PathBuf::from(value(&mut i)?)),
+            "--out" => out = Some(std::path::PathBuf::from(value(&mut i)?)),
+            "--jobs" => {
+                let v = value(&mut i)?;
+                let n: usize = v.parse().map_err(|_| err(format!("bad job count {v}")))?;
+                if n == 0 {
+                    return Err(err("--jobs must be at least 1"));
+                }
+                jobs = Some(n);
+            }
             "--gmmu" => cfg.mmu = MmuKind::Gmmu,
             "--migration" => cfg.migration = Some(Default::default()),
             "--app" => {
@@ -257,6 +285,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             apps: apps.unwrap_or_else(|| AppId::all().to_vec()),
             cfg: Box::new(cfg),
             seed,
+            jobs,
         }),
         "pair" => Ok(Command::Pair {
             pair: AppPair {
@@ -271,6 +300,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             cfg: Box::new(cfg),
             seed,
             rates: rates.unwrap_or_else(|| vec![0.0, 0.001, 0.01, 0.05]),
+            jobs,
+        }),
+        "bench" => Ok(Command::Bench {
+            quick,
+            json,
+            jobs,
+            out: out.unwrap_or_else(|| std::path::PathBuf::from("BENCH_sweep.json")),
         }),
         "lint" => Ok(Command::Lint {
             root: root.unwrap_or_else(|| std::path::PathBuf::from(".")),
@@ -291,6 +327,7 @@ USAGE:
   barre sweep [--apps a,b,c|all] [flags]  speedups vs baseline per app
   barre pair  --a <name> --b <name>       co-run two apps (multi-programming)
   barre chaos --app <name> [flags]        sweep ATS drop rates (fault injection)
+  barre bench [--json] [--quick] [flags]  timed smoke sweep + serial/parallel cross-check
   barre lint  [--json] [--root <dir>]     determinism & panic-safety lint (exit 1 on violations)
 
 FLAGS:
@@ -300,6 +337,10 @@ FLAGS:
   --gmmu                               --migration
   --paper                              --seed <n>
   --rates <r1,r2,...>                  chaos drop-rate sweep (default 0,0.001,0.01,0.05)
+  --jobs <n>                           worker threads for sweep/chaos/bench
+                                       (default: BARRE_JOBS env, then all cores; 1 = serial)
+  --quick                              bench: 3-app subset instead of the balanced 9
+  --out <path>                         bench: report path (default BENCH_sweep.json)
 ";
 
 /// Reports a simulation failure on stderr and yields the error exit code.
@@ -362,7 +403,12 @@ pub fn execute(cmd: Command) -> i32 {
             }
             0
         }
-        Command::Sweep { apps, cfg, seed } => {
+        Command::Sweep {
+            apps,
+            cfg,
+            seed,
+            jobs,
+        } => {
             let base_cfg = (*cfg.clone()).with_mode(TranslationMode::Baseline);
             println!(
                 "{:<8} {:>12} {:>12} {:>9}",
@@ -371,17 +417,29 @@ pub fn execute(cmd: Command) -> i32 {
                 format!("{} cy", cfg.mode.label()),
                 "speedup"
             );
+            // Two independent runs per app (baseline + mode), fanned
+            // across the pool; results come back in input order.
+            let batch: Vec<BatchJob> = apps
+                .iter()
+                .flat_map(|app| {
+                    [
+                        (app.spec(), base_cfg.clone(), seed),
+                        (app.spec(), (*cfg).clone(), seed),
+                    ]
+                })
+                .collect();
+            let threads = barre_sim::pool::resolve_jobs(jobs);
+            let results = match run_batch(batch, threads) {
+                Ok(r) => r,
+                Err(e) => return report(&e),
+            };
             let mut ratios = Vec::new();
-            for app in apps {
-                let b = match run_spec(app.spec(), &base_cfg, seed) {
-                    Ok(b) => b,
-                    Err(e) => return report(&e),
+            for (app, pair) in apps.iter().zip(results.chunks_exact(2)) {
+                let (b, m) = match (&pair[0], &pair[1]) {
+                    (Ok(b), Ok(m)) => (b, m),
+                    (Err(e), _) | (_, Err(e)) => return report(e),
                 };
-                let m = match run_spec(app.spec(), &cfg, seed) {
-                    Ok(m) => m,
-                    Err(e) => return report(&e),
-                };
-                let sp = speedup(&b, &m);
+                let sp = speedup(b, m);
                 ratios.push(sp);
                 println!(
                     "{:<8} {:>12} {:>12} {:>8.3}x",
@@ -425,18 +483,30 @@ pub fn execute(cmd: Command) -> i32 {
             cfg,
             seed,
             rates,
+            jobs,
         } => {
             println!(
                 "{:<8} {:>10} {:>8} {:>8} {:>9} {:>10} {:>12}",
                 "drop", "cycles", "faults", "retries", "timeouts", "fallbacks", "ATS"
             );
-            for rate in rates {
-                let plan = FaultPlan {
-                    ats_request_drop: rate,
-                    ..FaultPlan::none()
-                };
-                let chaos_cfg = (*cfg.clone()).with_fault_plan(plan);
-                match run_app(app, &chaos_cfg, seed) {
+            // One independent run per rate; fan them across the pool.
+            let batch: Vec<BatchJob> = rates
+                .iter()
+                .map(|&rate| {
+                    let plan = FaultPlan {
+                        ats_request_drop: rate,
+                        ..FaultPlan::none()
+                    };
+                    (app.spec(), (*cfg.clone()).with_fault_plan(plan), seed)
+                })
+                .collect();
+            let threads = barre_sim::pool::resolve_jobs(jobs);
+            let results = match run_batch(batch, threads) {
+                Ok(r) => r,
+                Err(e) => return report(&e),
+            };
+            for (rate, res) in rates.iter().zip(results) {
+                match res {
                     Ok(m) => println!(
                         "{:<8} {:>10} {:>8} {:>8} {:>9} {:>10} {:>12}",
                         format!("{rate}"),
@@ -451,6 +521,34 @@ pub fn execute(cmd: Command) -> i32 {
                 }
             }
             0
+        }
+        Command::Bench {
+            quick,
+            json,
+            jobs,
+            out,
+        } => {
+            let threads = barre_sim::pool::resolve_jobs(jobs);
+            let r = match barre_bench::wallclock::run_bench(quick, threads) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            let doc = r.to_json();
+            if let Err(e) = std::fs::write(&out, &doc) {
+                eprintln!("error: cannot write {}: {e}", out.display());
+                return 1;
+            }
+            if json {
+                print!("{doc}");
+            } else {
+                print!("{}", r.summary());
+                println!("report written to {}", out.display());
+            }
+            // Serial/parallel divergence is a determinism bug — fail.
+            i32::from(!r.divergent.is_empty())
         }
     }
 }
@@ -564,6 +662,53 @@ mod tests {
     #[test]
     fn empty_args_is_help() {
         assert!(matches!(p(&[]).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn parses_bench_and_jobs() {
+        match p(&[
+            "bench",
+            "--json",
+            "--quick",
+            "--jobs",
+            "8",
+            "--out",
+            "/tmp/b.json",
+        ])
+        .unwrap()
+        {
+            Command::Bench {
+                quick,
+                json,
+                jobs,
+                out,
+            } => {
+                assert!(quick && json);
+                assert_eq!(jobs, Some(8));
+                assert_eq!(out, std::path::PathBuf::from("/tmp/b.json"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match p(&["bench"]).unwrap() {
+            Command::Bench {
+                quick, json, jobs, ..
+            } => {
+                assert!(!quick && !json);
+                assert_eq!(jobs, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match p(&["sweep", "--apps", "gemv", "--jobs", "2"]).unwrap() {
+            Command::Sweep { jobs, .. } => assert_eq!(jobs, Some(2)),
+            other => panic!("wrong command {other:?}"),
+        }
+        match p(&["chaos", "--app", "gups", "--jobs", "4"]).unwrap() {
+            Command::Chaos { jobs, .. } => assert_eq!(jobs, Some(4)),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(p(&["bench", "--jobs", "0"]).is_err());
+        assert!(p(&["bench", "--jobs", "many"]).is_err());
+        assert!(p(&["bench", "--out"]).is_err());
     }
 
     #[test]

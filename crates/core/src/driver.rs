@@ -377,7 +377,9 @@ impl BarreAllocator {
         let holders: Vec<u64> = (0..chunks_in_round)
             .filter(|&k| plan.chunk_len(first_chunk + k) > pos)
             .collect();
-        let mut ptes = Vec::new();
+        // Group fetch maps one page per holder; the single-page path
+        // maps exactly one.
+        let mut ptes = Vec::with_capacity(holders.len().max(1));
         if group_fetch && holders.len() >= 2 {
             if let Some(base) = common_free_run(frames, &plan.cycle, &holders, LocalPfn(0), 1) {
                 let info_bitmap: u8 = holders

@@ -7,9 +7,12 @@
 //! ([`stats`]) and a seedable, wall-clock-free RNG ([`rng`]).
 //!
 //! Determinism is a hard requirement — two runs with the same seed must
-//! produce identical cycle counts — so the engine is single-threaded, events
-//! at the same cycle are ordered by insertion sequence, and no `std::time`
-//! or hash-map iteration order leaks into results.
+//! produce identical cycle counts — so each simulation is single-threaded,
+//! events at the same cycle are ordered by insertion sequence, and no
+//! `std::time` or hash-map iteration order leaks into results. Parallelism
+//! lives strictly *between* independent runs: [`pool`] fans a batch of
+//! simulation jobs across scoped worker threads and hands results back in
+//! input order, so a sweep's output is identical at any thread count.
 //!
 //! # Example
 //!
@@ -28,12 +31,14 @@
 
 pub mod fault;
 pub mod link;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
 pub use fault::{FaultCounts, FaultInjector, FaultPlan};
 pub use link::Link;
+pub use pool::PoolError;
 pub use queue::EventQueue;
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, RatioStat};

@@ -1,0 +1,210 @@
+//! A zero-dependency scoped worker pool for independent simulation jobs.
+//!
+//! Every paper figure is a sweep of independent `(spec, cfg, seed)`
+//! simulations; each simulation stays single-threaded and deterministic,
+//! and the pool only exploits the *run-level* independence between them
+//! (the split MGSim and "Parallelizing a modern GPU simulator" both
+//! identify as the safe one). Jobs are claimed from a shared atomic
+//! cursor — scheduling is racy on purpose — but results are written into
+//! per-job slots and returned **in input order**, so the output of
+//! [`run_ordered`] is byte-identical whatever the thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use barre_sim::pool;
+//! let jobs: Vec<_> = (0..8u64).map(|i| move || i * i).collect();
+//! let out = pool::run_ordered(jobs, 4).unwrap();
+//! assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// A worker thread died before finishing its jobs (it panicked). The
+/// pool never panics itself; callers fold this into their own error
+/// taxonomy (the system crate maps it to `SimError`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Number of workers that panicked.
+    pub panicked_workers: usize,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} worker thread(s) panicked before completing their jobs",
+            self.panicked_workers
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Environment variable overriding the default worker count.
+pub const JOBS_ENV: &str = "BARRE_JOBS";
+
+/// Resolves the worker count for a batch: an explicit request wins, then
+/// the [`JOBS_ENV`] environment variable, then the machine's available
+/// parallelism. Always at least 1. The returned count never influences
+/// simulation *results* — only wall-clock time — so reading the
+/// environment here cannot break reproducibility.
+pub fn resolve_jobs(requested: Option<usize>) -> usize {
+    if let Some(j) = requested {
+        return j.max(1);
+    }
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        if let Ok(j) = v.trim().parse::<usize>() {
+            return j.max(1);
+        }
+    }
+    default_jobs()
+}
+
+/// The machine's available parallelism (1 when it cannot be queried).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Locks a mutex, riding through poisoning: a poisoned slot only means
+/// another worker panicked mid-batch, which the caller already surfaces
+/// as a [`PoolError`]; the data itself is a plain value.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `jobs` across `min(threads, jobs.len())` scoped worker threads
+/// and returns the results in input order.
+///
+/// With `threads <= 1` (or zero/one job) everything runs inline on the
+/// caller's thread — the serial fallback path (`--jobs 1`) used to
+/// cross-check parallel results.
+///
+/// # Errors
+///
+/// [`PoolError`] when a worker panicked; every completed job's result is
+/// discarded so a partial batch can never masquerade as a full one.
+pub fn run_ordered<T, F>(jobs: Vec<F>, threads: usize) -> Result<Vec<T>, PoolError>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return Ok(jobs.into_iter().map(|f| f()).collect());
+    }
+    // Job intake: each `FnOnce` sits behind its own mutex so exactly one
+    // worker can take it; the atomic cursor hands out indices.
+    let tasks: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let panicked_workers = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let Some(task) = lock_unpoisoned(&tasks[i]).take() else {
+                        continue;
+                    };
+                    let out = task();
+                    *lock_unpoisoned(&slots[i]) = Some(out);
+                })
+            })
+            .collect();
+        // Joining manually consumes any panic payload, so the scope
+        // itself never re-panics — the failure becomes a value.
+        handles
+            .into_iter()
+            .map(std::thread::ScopedJoinHandle::join)
+            .filter(Result::is_err)
+            .count()
+    });
+    if panicked_workers > 0 {
+        return Err(PoolError { panicked_workers });
+    }
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            Some(v) => out.push(v),
+            // A claimed-but-unfinished job without a panicked worker
+            // cannot happen; treat it as a worker failure all the same
+            // rather than returning a short vector.
+            None => {
+                return Err(PoolError {
+                    panicked_workers: 1,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Stagger job durations so completion order differs from input
+        // order; the output must still be input-ordered.
+        let jobs: Vec<_> = (0..32u64)
+            .map(|i| {
+                move || {
+                    let mut acc = i;
+                    for _ in 0..(32 - i) * 10_000 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    (i, acc)
+                }
+            })
+            .collect();
+        let out = run_ordered(jobs, 8).expect("pool failed");
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(*i, idx as u64);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mk = || {
+            (0..16u64)
+                .map(|i| move || i.wrapping_mul(0x9E37_79B9).rotate_left(7))
+                .collect::<Vec<_>>()
+        };
+        let serial = run_ordered(mk(), 1).expect("serial");
+        let parallel = run_ordered(mk(), 4).expect("parallel");
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_job_batches() {
+        let none: Vec<fn() -> u32> = Vec::new();
+        assert_eq!(run_ordered(none, 8).expect("empty"), Vec::<u32>::new());
+        let one = vec![|| 7u32];
+        assert_eq!(run_ordered(one, 8).expect("one"), vec![7]);
+    }
+
+    #[test]
+    fn worker_panic_is_an_error_not_a_crash() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("job bug")),
+            Box::new(|| 3),
+        ];
+        let err = run_ordered(jobs, 2).expect_err("must fail");
+        assert!(err.panicked_workers >= 1);
+        assert!(err.to_string().contains("panicked"));
+    }
+
+    #[test]
+    fn resolve_jobs_prefers_explicit_request() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert_eq!(resolve_jobs(Some(0)), 1);
+        assert!(resolve_jobs(None) >= 1);
+    }
+}

@@ -1,16 +1,46 @@
 //! The central event queue.
 //!
-//! A binary heap keyed by `(cycle, sequence)`. The sequence number breaks
-//! ties between events scheduled for the same cycle in insertion order,
-//! which keeps the whole simulation deterministic regardless of heap
-//! internals.
+//! A bucketed calendar queue keyed by `(cycle, sequence)`. The sequence
+//! number breaks ties between events scheduled for the same cycle in
+//! insertion order, which keeps the whole simulation deterministic
+//! regardless of the queue's internal layout.
+//!
+//! # Why a calendar queue
+//!
+//! The previous implementation was a `BinaryHeap`; every push/pop paid
+//! `O(log n)` pointer-chasing sift costs on the hottest loop in the
+//! simulator. Almost every event the machine schedules lands a small,
+//! bounded number of cycles in the future (TLB latencies, link
+//! serialization, MSHR retries), so a calendar queue — a ring of
+//! per-cycle buckets — turns the common case into an append at the tail
+//! of a short, cache-resident `VecDeque` and a `pop_front`.
+//!
+//! Layout:
+//!
+//! * `buckets[c & mask]` holds every scheduled event whose cycle is
+//!   within the wheel horizon, sorted by `(cycle, seq)`. Distinct cycles
+//!   in one bucket differ by multiples of the wheel size, so the sort
+//!   degenerates to "append at the back" for in-horizon pushes.
+//! * Events beyond the horizon wait in a small overflow min-heap and are
+//!   re-binned into the wheel as the cursor approaches them.
+//! * `pop` advances a cycle cursor; after a full fruitless revolution it
+//!   jumps straight to the global minimum (sparse endgames), so a long
+//!   empty stretch costs one wheel scan instead of a per-cycle walk.
+//!
+//! Pop order is byte-identical to the old heap: strictly nondecreasing
+//! `(cycle, seq)`.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::Cycle;
 
-/// A deterministic min-heap of timestamped events.
+/// Default number of wheel buckets. Power of two; covers every
+/// small-latency event the machine model schedules (TLB/link/DRAM/retry
+/// delays are all well under this many cycles).
+const DEFAULT_BUCKETS: usize = 4096;
+
+/// A deterministic min-queue of timestamped events.
 ///
 /// Events popped in nondecreasing cycle order; events pushed for the same
 /// cycle come out in the order they were pushed (FIFO tie-breaking).
@@ -28,7 +58,17 @@ use crate::Cycle;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// The wheel: bucket `i` holds events with `at & mask == i`, sorted
+    /// by `(at, seq)`.
+    buckets: Vec<VecDeque<Entry<E>>>,
+    /// `buckets.len() - 1`; bucket count is a power of two.
+    mask: u64,
+    /// Events at or beyond the wheel horizon (`cur + buckets.len()`).
+    overflow: BinaryHeap<Reverse<Entry<E>>>,
+    /// Next cycle the pop scan inspects (≤ every pending event's cycle).
+    cur: Cycle,
+    /// Pending events across wheel and overflow.
+    len: usize,
     seq: u64,
     popped: u64,
 }
@@ -58,42 +98,162 @@ impl<E> Ord for Entry<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default wheel size.
     pub fn new() -> Self {
+        Self::with_buckets(DEFAULT_BUCKETS)
+    }
+
+    /// Creates an empty queue sized for roughly `pending_hint`
+    /// simultaneously scheduled events (a workload-derived capacity
+    /// hint). The wheel size still bounds per-bucket occupancy; the hint
+    /// pre-reserves bucket storage so the warm-up phase does not grow
+    /// every `VecDeque` one push at a time.
+    pub fn with_capacity(pending_hint: usize) -> Self {
+        let mut q = Self::with_buckets(DEFAULT_BUCKETS);
+        let per_bucket = pending_hint / DEFAULT_BUCKETS;
+        if per_bucket > 0 {
+            for b in &mut q.buckets {
+                b.reserve(per_bucket);
+            }
+        }
+        q
+    }
+
+    fn with_buckets(n: usize) -> Self {
+        let n = n.next_power_of_two().max(2);
         Self {
-            heap: BinaryHeap::new(),
+            buckets: (0..n).map(|_| VecDeque::new()).collect(),
+            mask: (n - 1) as u64,
+            overflow: BinaryHeap::new(),
+            cur: 0,
+            len: 0,
             seq: 0,
             popped: 0,
         }
+    }
+
+    /// Cycle at or beyond which a push bypasses the wheel.
+    fn horizon(&self) -> Cycle {
+        self.cur.saturating_add(self.buckets.len() as u64)
     }
 
     /// Schedules `ev` to fire at absolute cycle `at`.
     pub fn push(&mut self, at: Cycle, ev: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, ev }));
+        // Pushing into the past is legal for a generic queue: rewind the
+        // scan cursor so the event is still found (the simulator itself
+        // only ever schedules at or after `now`).
+        if at < self.cur {
+            self.cur = at;
+        }
+        let e = Entry { at, seq, ev };
+        if at >= self.horizon() {
+            self.overflow.push(Reverse(e));
+        } else {
+            Self::bin(&mut self.buckets, self.mask, e);
+        }
+        self.len += 1;
+    }
+
+    /// Inserts `e` into its wheel bucket, keeping the bucket sorted by
+    /// `(at, seq)`. The common case — the newest event of the bucket's
+    /// latest cycle — is an O(1) append.
+    fn bin(buckets: &mut [VecDeque<Entry<E>>], mask: u64, e: Entry<E>) {
+        let b = &mut buckets[(e.at & mask) as usize];
+        match b.back() {
+            Some(back) if (back.at, back.seq) > (e.at, e.seq) => {
+                let pos = b.partition_point(|x| (x.at, x.seq) < (e.at, e.seq));
+                b.insert(pos, e);
+            }
+            _ => b.push_back(e),
+        }
+    }
+
+    /// Moves overflow events that fell inside the wheel horizon into
+    /// their buckets.
+    fn drain_overflow(&mut self) {
+        let horizon = self.horizon();
+        while let Some(Reverse(front)) = self.overflow.peek() {
+            if front.at >= horizon {
+                break;
+            }
+            let Some(Reverse(e)) = self.overflow.pop() else {
+                break;
+            };
+            Self::bin(&mut self.buckets, self.mask, e);
+        }
+    }
+
+    /// Smallest pending cycle across wheel and overflow; `None` when
+    /// empty. O(bucket count) — used by the sparse-jump path and
+    /// [`peek_cycle`](Self::peek_cycle), never by the dense fast path.
+    fn min_pending_cycle(&self) -> Option<Cycle> {
+        let wheel_min = self.buckets.iter().filter_map(|b| b.front().map(|e| e.at));
+        let over_min = self.overflow.peek().map(|Reverse(e)| e.at);
+        wheel_min.chain(over_min).min()
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let Reverse(e) = self.heap.pop()?;
-        self.popped += 1;
-        Some((e.at, e.ev))
+        if self.len == 0 {
+            return None;
+        }
+        self.drain_overflow();
+        let mut scanned = 0usize;
+        loop {
+            // Anything the cursor is about to inspect must be on the
+            // wheel, including overflow events whose cycle the cursor
+            // just reached (cheap peek, usually one comparison).
+            while let Some(Reverse(front)) = self.overflow.peek() {
+                if front.at > self.cur {
+                    break;
+                }
+                let Some(Reverse(e)) = self.overflow.pop() else {
+                    break;
+                };
+                Self::bin(&mut self.buckets, self.mask, e);
+            }
+            let b = (self.cur & self.mask) as usize;
+            if let Some(front) = self.buckets[b].front() {
+                if front.at == self.cur {
+                    let Some(e) = self.buckets[b].pop_front() else {
+                        break None;
+                    };
+                    self.len -= 1;
+                    self.popped += 1;
+                    break Some((e.at, e.ev));
+                }
+            }
+            self.cur += 1;
+            scanned += 1;
+            if scanned >= self.buckets.len() {
+                // A full fruitless revolution: the next event is far
+                // away. Jump straight to the global minimum instead of
+                // walking every intermediate cycle.
+                let Some(min) = self.min_pending_cycle() else {
+                    break None;
+                };
+                self.cur = min;
+                self.drain_overflow();
+                scanned = 0;
+            }
+        }
     }
 
     /// Cycle of the earliest pending event, without removing it.
     pub fn peek_cycle(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        self.min_pending_cycle()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total number of events processed (popped) so far.
@@ -111,6 +271,7 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Rng;
 
     #[test]
     fn pops_in_time_order() {
@@ -157,5 +318,127 @@ mod tests {
         q.pop();
         assert_eq!(q.processed(), 1);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_horizon() {
+        // Events beyond the wheel ride the overflow heap and re-bin as
+        // the cursor approaches; order must be unaffected.
+        let mut q = EventQueue::new();
+        q.push(1_000_000, "far");
+        q.push(3, "near");
+        q.push(2_000_000_000, "very far");
+        assert_eq!(q.pop(), Some((3, "near")));
+        assert_eq!(q.pop(), Some((1_000_000, "far")));
+        assert_eq!(q.pop(), Some((2_000_000_000, "very far")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wheel_aliasing_keeps_cycle_order() {
+        // Cycles that share a bucket (differ by the wheel size) must
+        // still come out in cycle order, whatever the push order.
+        let n = 4096u64;
+        let mut q = EventQueue::new();
+        q.push(5 + 2 * n, "c");
+        q.push(5, "a");
+        q.push(5 + n, "b");
+        assert_eq!(q.pop(), Some((5, "a")));
+        assert_eq!(q.pop(), Some((5 + n, "b")));
+        assert_eq!(q.pop(), Some((5 + 2 * n, "c")));
+    }
+
+    #[test]
+    fn push_into_the_past_is_found() {
+        let mut q = EventQueue::new();
+        q.push(100, "late");
+        assert_eq!(q.pop(), Some((100, "late")));
+        q.push(40, "past");
+        q.push(120, "future");
+        assert_eq!(q.pop(), Some((40, "past")));
+        assert_eq!(q.pop(), Some((120, "future")));
+    }
+
+    #[test]
+    fn with_capacity_behaves_identically() {
+        let mut a = EventQueue::with_capacity(100_000);
+        let mut b = EventQueue::new();
+        for i in 0..1000u64 {
+            a.push(i % 37, i);
+            b.push(i % 37, i);
+        }
+        for _ in 0..1000 {
+            assert_eq!(a.pop(), b.pop());
+        }
+    }
+
+    /// Reference model: a stable sort over `(cycle, push order)`.
+    fn reference_order(pushes: &[(Cycle, u64)]) -> Vec<(Cycle, u64)> {
+        let mut v: Vec<(Cycle, u64)> = pushes.to_vec();
+        v.sort_by_key(|&(at, i)| (at, i));
+        v
+    }
+
+    #[test]
+    fn property_matches_reference_model_on_random_schedules() {
+        // Seeded random schedules spanning buckets, aliased cycles, and
+        // far-overflow delays; pop order must equal the reference
+        // stable sort for every seed.
+        for seed in 0..8u64 {
+            let mut rng = Rng::new(0xCA1E_0000 ^ seed);
+            let mut q = EventQueue::new();
+            let mut pushes: Vec<(Cycle, u64)> = Vec::new();
+            for i in 0..2000u64 {
+                // Mix of near, aliased, and far-future delays.
+                let at = match rng.next_u64() % 10 {
+                    0..=5 => rng.next_u64() % 512,
+                    6..=7 => 4096 * (1 + rng.next_u64() % 3) + rng.next_u64() % 8,
+                    8 => 100_000 + rng.next_u64() % 1000,
+                    _ => 10_000_000 + rng.next_u64() % 100,
+                };
+                q.push(at, i);
+                pushes.push((at, i));
+            }
+            let expect = reference_order(&pushes);
+            for (at, i) in expect {
+                assert_eq!(q.pop(), Some((at, i)), "seed {seed} diverged");
+            }
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn property_interleaved_pushes_respect_running_clock() {
+        // Simulator-shaped usage: every push is at or after the cycle of
+        // the last popped event. Compare against an incremental
+        // reference model (a vec re-sorted by (cycle, seq) per pop).
+        let mut rng = Rng::new(0xBEEF);
+        let mut q = EventQueue::new();
+        let mut model: Vec<(Cycle, u64)> = Vec::new();
+        let mut seq = 0u64;
+        for _ in 0..200 {
+            let at = rng.next_u64() % 64;
+            q.push(at, seq);
+            model.push((at, seq));
+            seq += 1;
+        }
+        for _ in 0..5000 {
+            model.sort_by_key(|&(at, s)| (at, s));
+            let expect = (!model.is_empty()).then(|| model.remove(0));
+            let got = q.pop();
+            assert_eq!(got, expect);
+            let Some((now, _)) = got else { break };
+            // Push 0–2 new events at or after the running clock.
+            for _ in 0..(rng.next_u64() % 3) {
+                let delay = match rng.next_u64() % 8 {
+                    0..=5 => rng.next_u64() % 300,
+                    6 => 5000 + rng.next_u64() % 5000,
+                    _ => 50_000 + rng.next_u64() % 10_000,
+                };
+                q.push(now + delay, seq);
+                model.push((now + delay, seq));
+                seq += 1;
+            }
+        }
     }
 }

@@ -113,7 +113,7 @@ impl fmt::Display for RatioStat {
 ///
 /// Bucket `i` counts samples in `[2^(i-1), 2^i)`; bucket 0 counts zeros
 /// and ones.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,

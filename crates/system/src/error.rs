@@ -57,6 +57,21 @@ pub enum SimError {
         /// Simulated cycle at that point.
         cycle: Cycle,
     },
+    /// A worker thread died while running a batch of simulations on the
+    /// run-level pool — some job panicked, so the whole batch is
+    /// discarded rather than returned incomplete.
+    WorkerPanicked {
+        /// Number of pool workers that panicked.
+        workers: usize,
+    },
+}
+
+impl From<barre_sim::PoolError> for SimError {
+    fn from(e: barre_sim::PoolError) -> Self {
+        SimError::WorkerPanicked {
+            workers: e.panicked_workers,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -81,6 +96,10 @@ impl std::fmt::Display for SimError {
                 f,
                 "event budget exceeded ({processed} events by cycle {cycle}) — \
                  deadlock or runaway workload"
+            ),
+            SimError::WorkerPanicked { workers } => write!(
+                f,
+                "{workers} sweep worker thread(s) panicked; batch discarded"
             ),
         }
     }

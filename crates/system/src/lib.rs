@@ -28,6 +28,7 @@ pub mod config;
 pub mod error;
 pub mod machine;
 pub mod metrics;
+mod reqtrack;
 pub mod runner;
 #[cfg(feature = "sanitizer")]
 pub mod sanitizer;
@@ -39,6 +40,8 @@ pub use config::{
 pub use error::SimError;
 pub use machine::{L2Payload, Machine};
 pub use metrics::{geomean, speedup, RunMetrics};
-pub use runner::{build_machine, run_app, run_pair, run_spec, smoke_config, summary_line};
+pub use runner::{
+    build_machine, run_app, run_batch, run_pair, run_spec, smoke_config, summary_line, BatchJob,
+};
 #[cfg(feature = "sanitizer")]
 pub use sanitizer::{SanitizerReport, Violation};

@@ -11,7 +11,7 @@
 //! [`barre_sim::EventQueue`]; with a fixed seed, every run is
 //! cycle-reproducible.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use barre_core::fbarre::{FilterBank, FilterCmd, FilterUpdate};
 use barre_core::{CoalInfo, CoalMode, PecBuffer, PecEntry, PecLogic};
@@ -29,6 +29,7 @@ use barre_tlb::{MshrFile, MshrOutcome, Tlb, TlbKey};
 use crate::config::{MmuKind, SystemConfig, TranslationMode};
 use crate::error::SimError;
 use crate::metrics::RunMetrics;
+use crate::reqtrack::{AtsPendingTable, PendingAts, ReqSlab};
 
 /// Payload of an L2 TLB entry: the frame plus the coalescing bits the ATS
 /// response carried (F-Barre stores them "with the PFN", §V-A3).
@@ -111,18 +112,6 @@ enum Ev {
     },
 }
 
-/// In-flight ATS bookkeeping for the retry/fallback layer. Keyed access
-/// only (the map is never iterated), so `HashMap` order cannot leak into
-/// simulation results.
-#[derive(Debug, Clone, Copy)]
-struct PendingAts {
-    /// Timeouts already taken for this key.
-    attempts: u8,
-    /// Identifies the newest send; older deadline timers are stale.
-    epoch: u64,
-    prefetch: bool,
-}
-
 struct Stream {
     pattern: Box<dyn AccessPattern>,
     asid: u16,
@@ -152,11 +141,6 @@ struct PageReq {
     pfn: Option<GlobalPfn>,
     /// MSHR-full replay attempts (drives exponential backoff).
     attempts: u8,
-}
-
-enum ReqOrigin {
-    Demand,
-    Prefetch,
 }
 
 struct ChipletState {
@@ -208,8 +192,8 @@ pub struct Machine {
     free_insts: Vec<u32>,
     pages: Vec<PageReq>,
     free_pages: Vec<u32>,
-    req_origin: BTreeMap<u64, ReqOrigin>,
-    next_req_id: u64,
+    /// In-flight ATS request provenance, indexed by the request id itself.
+    req_track: ReqSlab,
     queue: EventQueue<Ev>,
     now: Cycle,
     m: RunMetrics,
@@ -221,7 +205,7 @@ pub struct Machine {
     /// timer events are scheduled — an always-armed timer would extend
     /// the final event horizon and break cycle identity.
     arm_deadlines: bool,
-    ats_pending: BTreeMap<(u8, TlbKey), PendingAts>,
+    ats_pending: AtsPendingTable,
     ats_epoch: u64,
     /// Cycle of the last retired warp memory access (watchdog input).
     last_progress: Cycle,
@@ -340,6 +324,12 @@ impl Machine {
             })
             .collect();
         let acud = cfg.migration.map(|mc| Acud::new(mc.threshold, n));
+        // Steady-state occupancy bound: every warp slot machine-wide can
+        // hold one in-flight instruction, each touching up to four
+        // distinct pages. Sizing the slabs and the event wheel from that
+        // bound makes the hot loop allocation-free after warm-up.
+        let warp_slots = n * cfg.topology.cus_per_chiplet() * cfg.cu_slots;
+        let page_slots = warp_slots * 4;
         Self {
             pec_logic: PecLogic::new(coal_mode),
             page_shift,
@@ -353,7 +343,7 @@ impl Machine {
             ),
             plans,
             iommu,
-            iommu_overflow: VecDeque::new(),
+            iommu_overflow: VecDeque::with_capacity(64),
             filter_vc,
             pcie_up: Link::new(cfg.pcie_latency, cfg.pcie_bytes_per_cycle),
             pcie_down: Link::new(cfg.pcie_latency, cfg.pcie_bytes_per_cycle),
@@ -365,19 +355,18 @@ impl Machine {
             sched,
             cus,
             acud,
-            insts: Vec::new(),
-            free_insts: Vec::new(),
-            pages: Vec::new(),
-            free_pages: Vec::new(),
-            req_origin: BTreeMap::new(),
-            next_req_id: 0,
-            queue: EventQueue::new(),
+            insts: Vec::with_capacity(warp_slots),
+            free_insts: Vec::with_capacity(warp_slots),
+            pages: Vec::with_capacity(page_slots),
+            free_pages: Vec::with_capacity(page_slots),
+            req_track: ReqSlab::with_capacity(page_slots),
+            queue: EventQueue::with_capacity(page_slots),
             now: 0,
             m: RunMetrics::default(),
             injector: (!cfg.fault_plan.is_empty())
                 .then(|| FaultInjector::new(cfg.fault_plan, seed ^ 0xFA01_7FA0)),
             arm_deadlines: cfg.ats_retry.is_some() && cfg.fault_plan.affects_ats(),
-            ats_pending: BTreeMap::new(),
+            ats_pending: AtsPendingTable::new(n),
             ats_epoch: 0,
             last_progress: 0,
             #[cfg(feature = "sanitizer")]
@@ -494,9 +483,11 @@ impl Machine {
             .sum();
         let dump = format!(
             "{detail} [cycle={} pending_mshrs={pending_mshrs} outstanding_ats={} \
-             undispensed_ctas={undispensed} iommu_overflow={} events_processed={}]",
+             inflight_reqs={} undispensed_ctas={undispensed} iommu_overflow={} \
+             events_processed={}]",
             self.now,
             self.ats_pending.len(),
+            self.req_track.len(),
             self.iommu_overflow.len(),
             self.queue.processed(),
         );
@@ -903,14 +894,15 @@ impl Machine {
         if let (true, Some(retry)) = (self.arm_deadlines, self.cfg.ats_retry) {
             self.ats_epoch += 1;
             let epoch = self.ats_epoch;
-            let e = self
-                .ats_pending
-                .entry((chiplet, key))
-                .or_insert(PendingAts {
+            let e = self.ats_pending.upsert(
+                chiplet,
+                key,
+                PendingAts {
                     attempts: 0,
                     epoch,
                     prefetch,
-                });
+                },
+            );
             e.epoch = epoch;
             e.prefetch = prefetch;
             let wait = retry
@@ -941,16 +933,7 @@ impl Machine {
             }
             return;
         }
-        let id = self.next_req_id;
-        self.next_req_id += 1;
-        self.req_origin.insert(
-            id,
-            if prefetch {
-                ReqOrigin::Prefetch
-            } else {
-                ReqOrigin::Demand
-            },
-        );
+        let id = self.req_track.insert(prefetch);
         let req = AtsRequest {
             id,
             asid: key.asid,
@@ -978,7 +961,7 @@ impl Machine {
     /// fallback) so a lossy link cannot wedge the chiplet.
     fn ats_deadline(&mut self, chiplet: u8, key: TlbKey, epoch: u64) -> Result<(), SimError> {
         let now = self.now;
-        let Some(p) = self.ats_pending.get(&(chiplet, key)) else {
+        let Some(p) = self.ats_pending.get(chiplet, key) else {
             return Ok(()); // already filled
         };
         if p.epoch != epoch {
@@ -992,14 +975,14 @@ impl Machine {
         self.m.ats_timeouts += 1;
         let (attempts, prefetch) = (p.attempts, p.prefetch);
         if attempts < retry.max_retries {
-            if let Some(pending) = self.ats_pending.get_mut(&(chiplet, key)) {
+            if let Some(pending) = self.ats_pending.get_mut(chiplet, key) {
                 pending.attempts = attempts + 1;
             }
             self.m.ats_retries += 1;
             self.send_ats_inner(chiplet, key, now, prefetch);
             return Ok(());
         }
-        self.ats_pending.remove(&(chiplet, key));
+        self.ats_pending.remove(chiplet, key);
         if self.page_tables[key.asid as usize]
             .lookup(key.vpn)
             .is_none()
@@ -1211,10 +1194,9 @@ impl Machine {
             asid: resp.req.asid,
             vpn: resp.req.vpn,
         };
-        let was_prefetch = matches!(
-            self.req_origin.remove(&resp.req.id),
-            Some(ReqOrigin::Prefetch)
-        );
+        // Unknown ids (e.g. the IOMMU's synthetic multicast ids) miss
+        // the slab and count as demand, exactly like the old map miss.
+        let was_prefetch = self.req_track.take(resp.req.id).unwrap_or(false);
         // A response walked before a migration can arrive after it; the
         // IOMMU's invalidation makes such fills stale. Detect and retry
         // (the MSHR entry is still pending).
@@ -1406,7 +1388,7 @@ impl Machine {
         }
         // The key is answered: retire any outstanding retry state so
         // in-flight deadline timers become stale no-ops.
-        self.ats_pending.remove(&(chiplet, key));
+        self.ats_pending.remove(chiplet, key);
         let c = chiplet as usize;
         let evicted = match &mut self.shared_l2 {
             Some(shared) => shared.insert(key, payload),
@@ -1760,6 +1742,7 @@ impl Machine {
     /// the watchdog-abort paths can call it.
     fn harvest(&mut self) {
         self.m.total_cycles = self.now;
+        self.m.events_processed = self.queue.processed();
         let io = self.iommu.stats();
         self.m.walks = io.walks.get();
         self.m.coalesced_translations = io.coalesced.get();

@@ -3,7 +3,10 @@
 use barre_sim::Histogram;
 
 /// Measurements of one simulation run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` is derived so the bench harness can assert that serial and
+/// parallel sweep execution produce byte-identical results.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
     /// Total simulated cycles to drain every CTA.
     pub total_cycles: u64,
@@ -91,6 +94,11 @@ pub struct RunMetrics {
     /// 1 when the no-progress watchdog aborted the run (such metrics
     /// arrive inside `SimError::NoProgress`, never from a clean return).
     pub watchdog_fired: u64,
+    /// Simulation events executed by the event loop — the numerator of
+    /// the bench harness's events/sec throughput figure. Deterministic
+    /// (same seed → same count), unlike wall time, so it is safe to keep
+    /// in the metrics struct the equivalence checks compare.
+    pub events_processed: u64,
 }
 
 impl RunMetrics {

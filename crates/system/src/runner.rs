@@ -64,10 +64,17 @@ pub fn build_machine(
     let use_barre = cfg.mode.uses_barre();
     let demand = cfg.demand_paging.is_some();
     let mut driver = BarreAllocator::new(coal_mode_of(cfg), cfg.mode.max_merged());
-    let mut page_tables = Vec::new();
-    let mut master_pecs: Vec<PecEntry> = Vec::new();
-    let mut plans: Vec<MappingPlan> = Vec::new();
-    let mut ctas = Vec::new();
+    // One page table per app, one plan/PEC per dataset, and the CTA
+    // count is known per spec up front — size everything exactly.
+    let n_datasets: usize = specs.iter().map(|s| s.datasets().len()).sum();
+    let total_ctas: usize = specs
+        .iter()
+        .map(|s| s.n_ctas(cfg.topology.total_cus()) as usize)
+        .sum();
+    let mut page_tables = Vec::with_capacity(specs.len());
+    let mut master_pecs: Vec<PecEntry> = Vec::with_capacity(n_datasets);
+    let mut plans: Vec<MappingPlan> = Vec::with_capacity(n_datasets);
+    let mut ctas = Vec::with_capacity(total_ctas);
     let mut next_cta = 0u32;
 
     for (asid, spec) in specs.iter().enumerate() {
@@ -171,6 +178,30 @@ pub fn run_app(app: AppId, cfg: &SystemConfig, seed: u64) -> Result<RunMetrics, 
 /// Everything [`build_machine`] and [`Machine::run`] can report.
 pub fn run_spec(spec: WorkloadSpec, cfg: &SystemConfig, seed: u64) -> Result<RunMetrics, SimError> {
     build_machine(&[spec], cfg, seed)?.run()
+}
+
+/// One independent simulation job for [`run_batch`]: a workload, a
+/// configuration, and a seed.
+pub type BatchJob = (WorkloadSpec, SystemConfig, u64);
+
+/// Runs a batch of independent `(spec, cfg, seed)` simulations across
+/// `threads` pool workers ([`barre_sim::pool`]), returning each job's
+/// own `Result` in input order. Every simulation stays single-threaded
+/// and deterministic — the batch output is identical at any `threads`.
+///
+/// # Errors
+///
+/// [`SimError::WorkerPanicked`] when a pool worker died; per-job
+/// simulation failures come back inside the vector, not as an `Err`.
+pub fn run_batch(
+    jobs: Vec<BatchJob>,
+    threads: usize,
+) -> Result<Vec<Result<RunMetrics, SimError>>, SimError> {
+    let closures: Vec<_> = jobs
+        .into_iter()
+        .map(|(spec, cfg, seed)| move || run_spec(spec, &cfg, seed))
+        .collect();
+    barre_sim::pool::run_ordered(closures, threads).map_err(SimError::from)
 }
 
 /// Runs an application pair concurrently (multi-programming, §VII-I).
