@@ -62,6 +62,12 @@ pub struct LexOut {
     pub tokens: Vec<Token>,
     /// Waivers parsed from comments, in source order.
     pub waivers: Vec<Waiver>,
+    /// 1-based lines covered by *outer* doc comments (`///`, `/** */`) —
+    /// the forms that attach to the following item. Inner docs (`//!`,
+    /// `/*! */`) document the enclosing module and are excluded so they
+    /// can never stand in for a missing item doc. A multi-line block doc
+    /// contributes every line it spans.
+    pub doc_lines: Vec<u32>,
 }
 
 /// Marker that introduces a waiver inside a comment.
@@ -220,6 +226,9 @@ impl Lexer {
             text.push(c);
             self.bump();
         }
+        if text.starts_with("///") && !text.starts_with("////") {
+            self.out.doc_lines.push(line);
+        }
         self.scan_waiver(&text, line);
     }
 
@@ -247,6 +256,11 @@ impl Lexer {
                 }
                 (None, _) => break,
             }
+        }
+        // `/** … */` is an outer block doc (`/**/` is an empty plain
+        // comment: its body never received the extra `*`).
+        if text.starts_with('*') {
+            self.out.doc_lines.extend(line..=self.line);
         }
         self.scan_waiver(&text, line);
     }
@@ -434,6 +448,13 @@ mod tests {
         assert_eq!(out.waivers[1].rules, vec!["P001", "C001"]);
         assert!(out.waivers[1].has_reason);
         assert!(!out.waivers[2].has_reason, "bare waiver has no reason");
+    }
+
+    #[test]
+    fn doc_lines_cover_outer_forms_only() {
+        let src = "/// outer\n//! inner\n// plain\n//// ruler\n/** block\ndoc */\n/*! inner block */\n/* plain block */\n/**/\nlet x = 1;\n";
+        let out = lex(src);
+        assert_eq!(out.doc_lines, vec![1, 5, 6]);
     }
 
     #[test]

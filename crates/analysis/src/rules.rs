@@ -8,6 +8,7 @@
 //! | P001 | panicking calls in non-test library code |
 //! | C001 | lossy `as` casts on cycle/address-typed expressions |
 //! | W001 | a `barre:allow` waiver without a justification |
+//! | A001 | an undocumented `pub` item in the API crates (core/system) |
 //!
 //! Any rule can be silenced with `// barre:allow(RULE) <reason>` on the
 //! same line or the line directly above the violation.
@@ -47,6 +48,8 @@ struct FileScope {
     bench_or_cli: bool,
     /// Integration test / example file (panic rules do not apply).
     test_file: bool,
+    /// Library source of an API crate (A001 doc coverage applies).
+    doc_required: bool,
 }
 
 /// Crates whose state feeds simulation outcomes; hash-order
@@ -78,6 +81,8 @@ fn scope_for(path: &str) -> FileScope {
         sim_facing: SIM_FACING.contains(&crate_name),
         bench_or_cli: bench || crate_name == "cli" || crate_name == "bench",
         test_file,
+        doc_required: path.starts_with("crates/core/src/")
+            || path.starts_with("crates/system/src/"),
     }
 }
 
@@ -86,6 +91,9 @@ pub fn lint_source(path: &str, src: &str) -> FileLint {
     let scope = scope_for(path);
     let out = lex(src);
     let masked = test_mask(&out.tokens);
+    // Nondecreasing line numbers of code tokens (used by the A001 doc
+    // attachment check).
+    let code_lines: Vec<u32> = out.tokens.iter().map(|t| t.line).collect();
     let mut raw: Vec<(u32, &'static str, String, &'static str)> = Vec::new();
 
     for (i, t) in out.tokens.iter().enumerate() {
@@ -157,6 +165,22 @@ pub fn lint_source(path: &str, src: &str) -> FileLint {
             }
         }
 
+        // A001: `pub` items in the API crates must carry a doc comment.
+        if scope.doc_required && !in_test && t.text == "pub" {
+            if let Some((kind, name)) = pub_item_at(&out.tokens, i) {
+                let first = item_start_line(&out.tokens, i);
+                if !has_attached_doc(&out.doc_lines, &code_lines, first) {
+                    raw.push((
+                        t.line,
+                        "A001",
+                        format!("undocumented public item: `pub {kind} {name}`"),
+                        "add a `///` doc comment stating the item's contract, or \
+                         `// barre:allow(A001) <reason>` for intentionally bare items",
+                    ));
+                }
+            }
+        }
+
         // C001: lossy `as` cast on a cycle/address-typed expression.
         if !scope.test_file && !masked[i] && t.text == "as" {
             if let Some((name, target)) = lossy_cast_at(&out.tokens, i) {
@@ -210,6 +234,82 @@ pub fn lint_source(path: &str, src: &str) -> FileLint {
         .diagnostics
         .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     filelint
+}
+
+/// Item keywords whose `pub` form is part of a crate's documented API.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "mod", "type", "const", "static", "union",
+];
+
+/// If the `pub` at `pub_idx` introduces an API item, returns its
+/// `(keyword, name)`. Re-exports (`pub use`), restricted visibility
+/// (`pub(crate)` and friends), and `pub` struct fields return `None`.
+fn pub_item_at(tokens: &[Token], pub_idx: usize) -> Option<(String, String)> {
+    let mut j = pub_idx + 1;
+    if tokens.get(j)?.is_punct('(') {
+        return None;
+    }
+    // Skip qualifiers between `pub` and the item keyword. `const` is a
+    // qualifier only in `const fn`; otherwise it is the item keyword.
+    while tokens.get(j).is_some_and(|t| {
+        matches!(t.text.as_str(), "unsafe" | "async" | "default" | "extern")
+            || (t.text == "const" && tokens.get(j + 1).is_some_and(|n| n.is_ident("fn")))
+    }) {
+        j += 1;
+    }
+    let kw = tokens.get(j)?;
+    if kw.kind != TokKind::Ident || !ITEM_KEYWORDS.contains(&kw.text.as_str()) {
+        return None;
+    }
+    let mut k = j + 1;
+    while tokens.get(k).is_some_and(|t| t.is_ident("mut")) {
+        k += 1;
+    }
+    let name = tokens.get(k)?;
+    if name.kind != TokKind::Ident {
+        return None;
+    }
+    Some((kw.text.clone(), name.text.clone()))
+}
+
+/// First source line of the item whose `pub` sits at `pub_idx`, walking
+/// back over any stack of `#[…]` attributes so a doc comment above the
+/// attributes still counts as attached.
+fn item_start_line(tokens: &[Token], pub_idx: usize) -> u32 {
+    let mut start = pub_idx;
+    while start >= 2 && tokens[start - 1].is_punct(']') {
+        let mut depth = 0usize;
+        let mut k = start - 1;
+        let open = loop {
+            if tokens[k].is_punct(']') {
+                depth += 1;
+            } else if tokens[k].is_punct('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break Some(k);
+                }
+            }
+            if k == 0 {
+                break None;
+            }
+            k -= 1;
+        };
+        match open {
+            Some(o) if o >= 1 && tokens[o - 1].is_punct('#') => start = o - 1,
+            _ => break,
+        }
+    }
+    tokens[start].line
+}
+
+/// Whether an outer doc comment attaches to an item whose first token
+/// (attributes included) sits on `first_line`: some doc line must fall
+/// between the last preceding code token and the item — a doc separated
+/// from the item by code belongs to an earlier item.
+fn has_attached_doc(doc_lines: &[u32], code_lines: &[u32], first_line: u32) -> bool {
+    let p = code_lines.partition_point(|&l| l < first_line);
+    let prev_code = p.checked_sub(1).map_or(0, |q| code_lines[q]);
+    doc_lines.iter().any(|&d| d >= prev_code && d < first_line)
 }
 
 /// Matches `IDENT as TY` or `IDENT.0 as TY` where `TY` is a narrowing
@@ -430,6 +530,64 @@ mod tests {
     fn c001_allows_widening() {
         let src = "let a = cycle as u64; let b = deadline as i64;";
         assert!(rules_of("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn a001_fires_on_undocumented_pub_in_api_crates_only() {
+        let src = "pub fn f() {}\n";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec!["A001"]);
+        assert_eq!(rules_of("crates/system/src/x.rs", src), vec!["A001"]);
+        assert!(rules_of("crates/sim/src/x.rs", src).is_empty());
+        assert!(rules_of("crates/core/tests/it.rs", src).is_empty());
+    }
+
+    #[test]
+    fn a001_doc_above_attributes_counts() {
+        let src = "/// Documented.\n#[derive(Debug)]\n#[repr(C)]\npub struct S { pub x: u64 }\n";
+        assert!(rules_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn a001_doc_must_attach_to_the_item() {
+        let src = "/// Docs for a.\npub fn a() {}\npub fn b() {}\n";
+        let fl = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(fl.diagnostics.len(), 1, "{:?}", fl.diagnostics);
+        assert_eq!(fl.diagnostics[0].line, 3);
+        assert!(fl.diagnostics[0].message.contains("`pub fn b`"));
+    }
+
+    #[test]
+    fn a001_skips_restricted_visibility_reexports_and_tests() {
+        let src = "pub(crate) fn f() {}\npub use other::Thing;\n\
+                   #[cfg(test)]\nmod tests { pub fn t() {} }\n";
+        assert!(rules_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn a001_inner_module_docs_do_not_document_the_first_item() {
+        let src = "//! Module docs.\n\npub fn first() {}\n";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec!["A001"]);
+    }
+
+    #[test]
+    fn a001_understands_qualifiers_and_const_items() {
+        let src = "/// ok\npub const fn f() {}\npub unsafe extern \"C\" fn g() {}\n\
+                   pub const MAX: u64 = 1;\npub static mut FLAG: bool = false;\n";
+        let fl = lint_source("crates/core/src/x.rs", src);
+        let msgs: Vec<_> = fl.diagnostics.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(msgs.len(), 3, "{msgs:?}");
+        assert!(msgs[0].contains("`pub fn g`"));
+        assert!(msgs[1].contains("`pub const MAX`"));
+        assert!(msgs[2].contains("`pub static FLAG`"));
+    }
+
+    #[test]
+    fn a001_waiver_with_reason_silences() {
+        let src = "// barre:allow(A001) internal plumbing, documented at the module level\n\
+                   pub fn f() {}\n";
+        let fl = lint_source("crates/system/src/x.rs", src);
+        assert!(fl.diagnostics.is_empty(), "{:?}", fl.diagnostics);
+        assert_eq!(fl.waived, 1);
     }
 
     #[test]

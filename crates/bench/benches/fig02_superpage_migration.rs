@@ -5,7 +5,7 @@
 //! 512× the data and coarse placement concentrates hot pages on fewer
 //! chiplets.
 
-use barre_bench::{apps_all, banner, cfg, sweep_specs, SEED};
+use barre_bench::{apps_all, banner, cfg, sweep_specs_or_exit, SEED};
 use barre_mem::PageSize;
 use barre_system::{MigrationConfig, SystemConfig};
 use barre_workloads::WorkloadSpec;
@@ -31,7 +31,7 @@ fn main() {
             base.clone().with_page_size(PageSize::Size2M),
         ),
     ];
-    let results = sweep_specs(&specs, &cfgs, SEED);
+    let results = sweep_specs_or_exit(&specs, &cfgs, SEED);
     // Reuse the speedup printer via the app list.
     let apps: Vec<_> = specs.iter().map(|s| s.app).collect();
     barre_bench::print_speedups(&apps, &cfgs, &results);

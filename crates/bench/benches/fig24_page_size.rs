@@ -4,7 +4,7 @@
 //! pages already slash ATS traffic relative to the small footprints).
 //! Right: 16× inputs for a balanced app subset (paper: +67% at 64 KiB).
 
-use barre_bench::{apps_all, apps_balanced, banner, cfg, sweep_specs, SEED};
+use barre_bench::{apps_all, apps_balanced, banner, cfg, sweep_specs_or_exit, SEED};
 use barre_mem::PageSize;
 use barre_system::{geomean, speedup, SystemConfig, TranslationMode};
 use barre_workloads::WorkloadSpec;
@@ -25,7 +25,7 @@ fn run_side(title: &str, specs: &[WorkloadSpec], sizes: &[PageSize]) {
                 .clone()
                 .with_mode(TranslationMode::FBarre(Default::default()));
             let cfgs = vec![cfg("b", base), cfg("f", fb)];
-            let r = sweep_specs(&[*spec], &cfgs, SEED);
+            let r = sweep_specs_or_exit(&[*spec], &cfgs, SEED);
             let sp = speedup(&r[0][0], &r[0][1]);
             per_size[si].push(sp);
             print!("{sp:>11.3}x");

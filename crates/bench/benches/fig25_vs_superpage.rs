@@ -29,7 +29,7 @@ fn main() {
         .map(|app| barre_workloads::WorkloadSpec { app, scale: 8 })
         .collect();
     let apps: Vec<_> = specs.iter().map(|s| s.app).collect();
-    let results = barre_bench::sweep_specs(&specs, &cfgs, SEED);
+    let results = barre_bench::sweep_specs_or_exit(&specs, &cfgs, SEED);
     println!("{:<8} {:>22}", "app", "BarreChord/superpage");
     let mut sps = Vec::new();
     for (a, row) in apps.iter().zip(&results) {

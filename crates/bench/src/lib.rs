@@ -43,7 +43,7 @@ pub fn banner(figure: &str, what: &str, paper: &str) {
 
 /// Runs `apps × cfgs`, returning `results[app][cfg]`.
 pub fn sweep(apps: &[AppId], cfgs: &[(String, SystemConfig)], seed: u64) -> Vec<Vec<RunMetrics>> {
-    sweep_specs(
+    sweep_specs_or_exit(
         &apps.iter().map(|a| a.spec()).collect::<Vec<_>>(),
         cfgs,
         seed,
@@ -112,13 +112,33 @@ pub fn try_sweep_specs(
     Ok(rows)
 }
 
+/// Runs `specs × cfgs`, exiting the process with a labeled error message
+/// on failure — what the fig-bench binaries want: a `SimError` in a
+/// hand-checked configuration is fatal, but it should die as a
+/// diagnosable one-line error, not a panic with a backtrace.
+pub fn sweep_specs_or_exit(
+    specs: &[WorkloadSpec],
+    cfgs: &[(String, SystemConfig)],
+    seed: u64,
+) -> Vec<Vec<RunMetrics>> {
+    try_sweep_specs(specs, cfgs, seed, None).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// Runs `specs × cfgs`, returning `results[spec][cfg]`. Thin panicking
-/// shim over [`try_sweep_specs`] for the fig benches.
+/// shim over [`try_sweep_specs`].
 ///
 /// # Panics
 ///
-/// The experiment harness runs hand-checked configurations, so any
-/// [`barre_system::SimError`] here is a bug worth aborting on.
+/// Panics on any [`barre_system::SimError`]. No in-tree caller remains;
+/// use [`try_sweep_specs`] (callers that can report errors) or
+/// [`sweep_specs_or_exit`] (fig-bench binaries) instead.
+#[deprecated(
+    since = "0.4.0",
+    note = "panics on SimError; use try_sweep_specs or sweep_specs_or_exit"
+)]
 pub fn sweep_specs(
     specs: &[WorkloadSpec],
     cfgs: &[(String, SystemConfig)],

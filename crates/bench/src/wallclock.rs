@@ -254,9 +254,138 @@ impl BenchReport {
     }
 }
 
+/// Folds per-shard `BENCH_sweep.json` fragments into one merged report
+/// (`barre-bench-merged/1`): the union of `(app, mode)` rows in
+/// first-seen order. The deterministic fields (`total_cycles`, `events`)
+/// must agree wherever two shards cover the same cell — a mismatch means
+/// the shards came from diverging binaries or configurations and is
+/// refused. Wall-clock fields are per-shard measurements and are carried
+/// from the first shard that has the row.
+///
+/// # Errors
+///
+/// A description of the first unparsable shard or conflicting cell.
+pub fn merge_reports(docs: &[String]) -> Result<String, String> {
+    use barre_system::journal::Json;
+    use std::collections::BTreeMap;
+
+    fn num_text(v: Option<&Json>) -> String {
+        match v {
+            Some(Json::Num(t)) => t.clone(),
+            _ => "0".to_string(),
+        }
+    }
+
+    let mut order: Vec<String> = Vec::new();
+    let mut dets: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut rows: BTreeMap<String, String> = BTreeMap::new();
+    for (si, doc) in docs.iter().enumerate() {
+        let v = Json::parse(doc).map_err(|e| format!("bench shard {si}: {e}"))?;
+        let runs = v
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("bench shard {si}: no runs array"))?;
+        for r in runs {
+            let app = r
+                .get("app")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("bench shard {si}: run without app"))?;
+            let mode = r
+                .get("mode")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("bench shard {si}: run without mode"))?;
+            let cycles = r
+                .get("total_cycles")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("bench shard {si}: {app}/{mode} without total_cycles"))?;
+            let events = r
+                .get("events")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("bench shard {si}: {app}/{mode} without events"))?;
+            let key = format!("{app}\u{1f}{mode}");
+            if let Some(&(c0, e0)) = dets.get(&key) {
+                if (c0, e0) != (cycles, events) {
+                    return Err(format!(
+                        "bench merge conflict for {app}/{mode}: \
+                         total_cycles/events {c0}/{e0} vs {cycles}/{events}"
+                    ));
+                }
+                continue;
+            }
+            dets.insert(key.clone(), (cycles, events));
+            rows.insert(
+                key.clone(),
+                format!(
+                    "    {{\"app\": {}, \"mode\": {}, \"total_cycles\": {cycles}, \
+                     \"events\": {events}, \"wall_ms_serial\": {}, \"wall_ms_parallel\": {}, \
+                     \"events_per_sec\": {}}}",
+                    json_str(app),
+                    json_str(mode),
+                    num_text(r.get("wall_ms_serial")),
+                    num_text(r.get("wall_ms_parallel")),
+                    num_text(r.get("events_per_sec")),
+                ),
+            );
+            order.push(key);
+        }
+    }
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"barre-bench-merged/1\",\n");
+    s.push_str(&format!("  \"shards\": {},\n", docs.len()));
+    s.push_str("  \"runs\": [\n");
+    for (i, key) in order.iter().enumerate() {
+        if let Some(row) = rows.get(key) {
+            s.push_str(row);
+            s.push_str(if i + 1 < order.len() { ",\n" } else { "\n" });
+        }
+    }
+    s.push_str("  ]\n}\n");
+    Ok(s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn shard(rows: &str) -> String {
+        format!("{{\"schema\": \"barre-bench-sweep/1\", \"runs\": [{rows}]}}")
+    }
+
+    #[test]
+    fn merge_reports_unions_and_detects_conflicts() {
+        let a = shard(
+            "{\"app\": \"gemv\", \"mode\": \"barre\", \"total_cycles\": 100, \"events\": 10, \
+             \"wall_ms_serial\": 1.5, \"wall_ms_parallel\": 0.9, \"events_per_sec\": 6667}",
+        );
+        let b = shard(
+            "{\"app\": \"gups\", \"mode\": \"barre\", \"total_cycles\": 200, \"events\": 20, \
+             \"wall_ms_serial\": 2.5, \"wall_ms_parallel\": 1.9, \"events_per_sec\": 8000}",
+        );
+        let merged = merge_reports(&[a.clone(), b.clone()]).expect("merge");
+        assert!(merged.contains("\"schema\": \"barre-bench-merged/1\""));
+        assert!(merged.contains("\"shards\": 2"));
+        assert!(merged.contains("\"app\": \"gemv\""));
+        assert!(merged.contains("\"app\": \"gups\""));
+        // Wall times survive verbatim from the owning shard.
+        assert!(merged.contains("\"wall_ms_serial\": 1.5"));
+        // Overlapping cells with equal deterministic fields are fine
+        // (wall times may differ — they are measurements, not results).
+        let a2 = shard(
+            "{\"app\": \"gemv\", \"mode\": \"barre\", \"total_cycles\": 100, \"events\": 10, \
+             \"wall_ms_serial\": 9.9, \"wall_ms_parallel\": 9.9, \"events_per_sec\": 1}",
+        );
+        assert!(merge_reports(&[a.clone(), a2]).is_ok());
+        // Diverging cycles are a conflict.
+        let bad = shard(
+            "{\"app\": \"gemv\", \"mode\": \"barre\", \"total_cycles\": 101, \"events\": 10, \
+             \"wall_ms_serial\": 1.5, \"wall_ms_parallel\": 0.9, \"events_per_sec\": 6667}",
+        );
+        let err = merge_reports(&[a, bad]).expect_err("conflict");
+        assert!(err.contains("conflict"), "{err}");
+        // Garbage shards are rejected with the shard index.
+        assert!(merge_reports(&["not json".to_string()]).is_err());
+    }
 
     #[test]
     fn quick_bench_is_consistent_and_renders() {

@@ -13,21 +13,30 @@
 //! barre pair  --a gemv --b gups --mode fbarre
 //! barre chaos --app gups --mode barre [--rates 0.001,0.01,0.05]
 //! barre bench [--json] [--quick] [--jobs 8] [--out BENCH_sweep.json]
+//! barre merge --out merged shard-a/ shard-b/ [BENCH_a.json ...]
 //! ```
 //!
 //! Sweep-shaped commands (`sweep`, `chaos`, `bench`) fan their
 //! independent runs across the `barre_sim::pool` worker pool; `--jobs 1`
 //! (or `BARRE_JOBS=1`) forces the serial path and produces identical
 //! output.
+//!
+//! With `--supervise` (or any of `--journal`, `--resume`, `--timeout`,
+//! `--retries`), `sweep` and `chaos` instead run every job in a
+//! crash-isolated child process — see [`supervisor`] — journaling each
+//! transition so an interrupted campaign resumes with byte-identical
+//! output.
 
 use barre_mapping::PolicyKind;
 use barre_mem::PageSize;
-use barre_sim::FaultPlan;
 use barre_system::{
-    run_app, run_batch, run_pair, speedup, summary_line, BatchJob, FBarreConfig, MmuKind,
-    RunMetrics, SimError, SystemConfig, TranslationMode,
+    chaos_jobs, run_app, run_batch, run_pair, run_spec, speedup, summary_line, sweep_jobs,
+    BatchJob, FBarreConfig, LabeledJob, MmuKind, RunMetrics, SimError, SystemConfig,
+    TranslationMode,
 };
 use barre_workloads::{AppId, AppPair};
+
+pub mod supervisor;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone)]
@@ -49,6 +58,11 @@ pub enum Command {
         cfg: Box<SystemConfig>,
         seed: u64,
         jobs: Option<usize>,
+        /// Crash-isolated supervision (`--supervise` and friends).
+        sup: Option<supervisor::SuperviseOpts>,
+        /// Hidden child mode: run exactly this job of the sweep's job
+        /// list and print its metrics as canonical JSON.
+        job_index: Option<usize>,
     },
     /// `barre pair` — co-run two apps (§VII-I).
     Pair {
@@ -63,6 +77,16 @@ pub enum Command {
         seed: u64,
         rates: Vec<f64>,
         jobs: Option<usize>,
+        /// Crash-isolated supervision (`--supervise` and friends).
+        sup: Option<supervisor::SuperviseOpts>,
+        /// Hidden child mode (see [`Command::Sweep::job_index`]).
+        job_index: Option<usize>,
+    },
+    /// `barre merge` — fold per-shard journals and `BENCH_sweep.json`
+    /// fragments into one trajectory, detecting digest conflicts.
+    Merge {
+        out: std::path::PathBuf,
+        inputs: Vec<std::path::PathBuf>,
     },
     /// `barre bench` — timed smoke sweep with serial/parallel cross-check.
     Bench {
@@ -153,6 +177,39 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let Some(cmd) = args.first() else {
         return Ok(Command::Help);
     };
+    // `merge` is the one command with positional operands (the shard
+    // inputs), so it gets its own tiny parser.
+    if cmd == "merge" {
+        let mut out: Option<std::path::PathBuf> = None;
+        let mut inputs = Vec::new();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--out" => {
+                    i += 1;
+                    let v = args
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| err("flag --out needs a value"))?;
+                    out = Some(std::path::PathBuf::from(v));
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(err(format!("unknown flag {flag}")));
+                }
+                path => inputs.push(std::path::PathBuf::from(path)),
+            }
+            i += 1;
+        }
+        if inputs.is_empty() {
+            return Err(err(
+                "merge needs at least one journal or bench-report input",
+            ));
+        }
+        return Ok(Command::Merge {
+            out: out.unwrap_or_else(|| std::path::PathBuf::from("merged")),
+            inputs,
+        });
+    }
     let mut cfg = SystemConfig::scaled();
     let mut seed = 0x15CA_2024u64;
     let mut app = None;
@@ -166,6 +223,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut jobs: Option<usize> = None;
     let mut quick = false;
     let mut out: Option<std::path::PathBuf> = None;
+    let mut supervise = false;
+    let mut journal: Option<std::path::PathBuf> = None;
+    let mut resume: Option<std::path::PathBuf> = None;
+    let mut timeout: Option<std::time::Duration> = None;
+    let mut retries: Option<u32> = None;
+    let mut job_index: Option<usize> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -178,6 +241,26 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         };
         match flag {
             "--paper" => cfg = SystemConfig::paper().with_mode(cfg.mode),
+            "--smoke" => cfg = barre_system::smoke_config().with_mode(cfg.mode),
+            "--supervise" => supervise = true,
+            "--journal" => journal = Some(std::path::PathBuf::from(value(&mut i)?)),
+            "--resume" => resume = Some(std::path::PathBuf::from(value(&mut i)?)),
+            "--timeout" => {
+                let v = value(&mut i)?;
+                let secs: f64 = v.parse().map_err(|_| err(format!("bad timeout {v}")))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(err(format!("timeout {v} must be positive seconds")));
+                }
+                timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--retries" => {
+                let v = value(&mut i)?;
+                retries = Some(v.parse().map_err(|_| err(format!("bad retry count {v}")))?);
+            }
+            "--job-index" => {
+                let v = value(&mut i)?;
+                job_index = Some(v.parse().map_err(|_| err(format!("bad job index {v}")))?);
+            }
             "--baseline" => baseline = true,
             "--json" => json = true,
             "--quick" => quick = true,
@@ -271,6 +354,33 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         i += 1;
     }
 
+    // Any supervision flag opts the sweep into the crash-isolated path;
+    // `--resume` doubles as the journal location.
+    let sup = if supervise
+        || journal.is_some()
+        || resume.is_some()
+        || timeout.is_some()
+        || retries.is_some()
+    {
+        if let (Some(j), Some(r)) = (&journal, &resume) {
+            if j != r {
+                return Err(err("--journal and --resume disagree; pass just one"));
+            }
+        }
+        Some(supervisor::SuperviseOpts {
+            journal: resume
+                .clone()
+                .or(journal)
+                .unwrap_or_else(|| std::path::PathBuf::from("sweep-journal")),
+            resume: resume.is_some(),
+            timeout,
+            retries: retries.unwrap_or(2),
+            child_args: strip_supervisor_flags(args),
+        })
+    } else {
+        None
+    };
+
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "list" => Ok(Command::List),
@@ -286,6 +396,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             cfg: Box::new(cfg),
             seed,
             jobs,
+            sup,
+            job_index,
         }),
         "pair" => Ok(Command::Pair {
             pair: AppPair {
@@ -301,6 +413,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             seed,
             rates: rates.unwrap_or_else(|| vec![0.0, 0.001, 0.01, 0.05]),
             jobs,
+            sup,
+            job_index,
         }),
         "bench" => Ok(Command::Bench {
             quick,
@@ -316,6 +430,26 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
 }
 
+/// The original argument list minus supervisor-only flags — what a
+/// crash-isolated child is re-executed with (plus `--job-index <i>`).
+/// `--jobs` is stripped too: it does not change any job's simulation, so
+/// keeping it out makes job fingerprints stable across worker counts.
+fn strip_supervisor_flags(args: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--supervise" => {}
+            "--journal" | "--resume" | "--timeout" | "--retries" | "--job-index" | "--jobs" => {
+                i += 1;
+            }
+            other => out.push(other.to_string()),
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 barre — Barre Chord MCM-GPU translation model
@@ -328,6 +462,7 @@ USAGE:
   barre pair  --a <name> --b <name>       co-run two apps (multi-programming)
   barre chaos --app <name> [flags]        sweep ATS drop rates (fault injection)
   barre bench [--json] [--quick] [flags]  timed smoke sweep + serial/parallel cross-check
+  barre merge --out <dir> <inputs...>     fold shard journals / bench reports into one
   barre lint  [--json] [--root <dir>]     determinism & panic-safety lint (exit 1 on violations)
 
 FLAGS:
@@ -335,18 +470,305 @@ FLAGS:
   --policy <lasp|coda|rr|chunking>     --page-size <4k|64k|2m>
   --ptws <n|inf>                       --chiplets <n>
   --gmmu                               --migration
-  --paper                              --seed <n>
+  --paper                              --smoke (small fast configuration)
+  --seed <n>
   --rates <r1,r2,...>                  chaos drop-rate sweep (default 0,0.001,0.01,0.05)
   --jobs <n>                           worker threads for sweep/chaos/bench
                                        (default: BARRE_JOBS env, then all cores; 1 = serial)
   --quick                              bench: 3-app subset instead of the balanced 9
   --out <path>                         bench: report path (default BENCH_sweep.json)
+                                       merge: output directory (default merged/)
+
+SUPERVISOR FLAGS (sweep, chaos):
+  --supervise                          run each job in a crash-isolated child process
+  --journal <dir|file.jsonl>           write-ahead journal location (default sweep-journal/)
+  --resume <dir|file.jsonl>            skip jobs journaled as done, rerun the rest;
+                                       output is byte-identical to an uninterrupted run
+  --timeout <secs>                     per-job wall-clock budget (kill + retry on expiry)
+  --retries <n>                        transient-failure retries per job (default 2);
+                                       permanent failures (exit 64) are never retried
 ";
 
 /// Reports a simulation failure on stderr and yields the error exit code.
 fn report(err: &SimError) -> i32 {
     eprintln!("error: {err}");
     1
+}
+
+/// Hidden child mode (`--job-index i`): re-derive the sweep's job list
+/// from the same command line, run exactly job `i`, and print its
+/// metrics as one line of canonical JSON for the supervisor to journal.
+/// Failures exit with [`SimError::exit_code`] so the supervisor can tell
+/// permanent configuration bugs from transient-shaped faults.
+fn run_child_job(labeled: &[LabeledJob], index: usize) -> i32 {
+    let Some(l) = labeled.get(index) else {
+        eprintln!(
+            "error: --job-index {index} out of range ({} jobs)",
+            labeled.len()
+        );
+        return supervisor::EXIT_USAGE;
+    };
+    child_test_hooks(index);
+    let (spec, cfg, seed) = l.job.clone();
+    match run_spec(spec, &cfg, seed) {
+        Ok(m) => {
+            println!("{}", barre_system::metrics_to_json(&m));
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {}: {e}", l.label);
+            e.exit_code()
+        }
+    }
+}
+
+/// Failure-injection hooks for the supervisor's integration tests.
+/// `BARRE_TEST_KILL="<i>:<sentinel>"` SIGKILLs child `i` once (the
+/// sentinel file marks the kill as spent, so retries and resumes
+/// proceed); `BARRE_TEST_HANG="<i>"` hangs child `i` forever to exercise
+/// the watchdog timeout. No-ops unless those variables are set.
+fn child_test_hooks(index: usize) {
+    if let Ok(spec) = std::env::var("BARRE_TEST_KILL") {
+        if let Some((idx, sentinel)) = spec.split_once(':') {
+            if idx.parse() == Ok(index) && !std::path::Path::new(sentinel).exists() {
+                let _ = std::fs::write(sentinel, b"killed\n");
+                supervisor::kill_self();
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("BARRE_TEST_HANG") {
+        if v.parse() == Ok(index) {
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+    }
+}
+
+/// Runs a labeled job list either inline on the worker pool or under the
+/// crash-isolated supervisor, returning one [`RunMetrics`] per job in
+/// input order. `Err` carries the process exit code; failure details
+/// have already been printed to stderr, keeping stdout byte-identical
+/// across inline, supervised and resumed runs.
+fn collect_metrics(
+    labeled: &[LabeledJob],
+    jobs: Option<usize>,
+    sup: Option<&supervisor::SuperviseOpts>,
+) -> Result<Vec<RunMetrics>, i32> {
+    let threads = barre_sim::pool::resolve_jobs(jobs);
+    let Some(sup) = sup else {
+        let batch: Vec<BatchJob> = labeled.iter().map(|l| l.job.clone()).collect();
+        let results = run_batch(batch, threads).map_err(|e| report(&e))?;
+        let mut out = Vec::with_capacity(labeled.len());
+        for (l, res) in labeled.iter().zip(results) {
+            match res {
+                Ok(m) => out.push(m),
+                Err(e) => {
+                    eprintln!("error: {}: {e}", l.label);
+                    return Err(1);
+                }
+            }
+        }
+        return Ok(out);
+    };
+    let run = match supervisor::run_supervised(labeled, threads, sup) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Err(1);
+        }
+    };
+    let journal = supervisor::journal_file_of(&sup.journal);
+    if run.resumed > 0 {
+        eprintln!(
+            "resumed {} finished job(s) from {}",
+            run.resumed,
+            journal.display()
+        );
+    }
+    for f in &run.failures {
+        eprintln!("{f}");
+    }
+    if run.interrupted {
+        eprintln!(
+            "interrupted: in-flight jobs drained and journaled; rerun with --resume {} to finish",
+            journal.display()
+        );
+        return Err(supervisor::EXIT_INTERRUPTED);
+    }
+    if !run.failures.is_empty() {
+        eprintln!(
+            "{} of {} job(s) failed; the rest completed and are journaled in {}",
+            run.failures.len(),
+            labeled.len(),
+            journal.display()
+        );
+        return Err(1);
+    }
+    let metrics: Vec<RunMetrics> = run.results.into_iter().flatten().collect();
+    if metrics.len() != labeled.len() {
+        eprintln!(
+            "error: supervisor returned {} of {} results",
+            metrics.len(),
+            labeled.len()
+        );
+        return Err(1);
+    }
+    Ok(metrics)
+}
+
+/// Renders the sweep speedup table. One shared renderer keeps inline,
+/// supervised and resumed runs byte-identical on stdout.
+fn render_sweep(apps: &[AppId], cfg: &SystemConfig, metrics: &[RunMetrics]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<8} {:>12} {:>12} {:>9}",
+        "app",
+        "base cy",
+        format!("{} cy", cfg.mode.label()),
+        "speedup"
+    );
+    let mut ratios = Vec::new();
+    for (app, pair) in apps.iter().zip(metrics.chunks_exact(2)) {
+        let sp = speedup(&pair[0], &pair[1]);
+        ratios.push(sp);
+        let _ = writeln!(
+            s,
+            "{:<8} {:>12} {:>12} {:>8.3}x",
+            app.name(),
+            pair[0].total_cycles,
+            pair[1].total_cycles,
+            sp
+        );
+    }
+    let _ = writeln!(
+        s,
+        "geomean: {:.3}x",
+        barre_system::geomean(ratios.iter().copied())
+    );
+    s
+}
+
+/// Renders the chaos fault-injection table (shared renderer, see
+/// [`render_sweep`]).
+fn render_chaos(rates: &[f64], metrics: &[RunMetrics]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<8} {:>10} {:>8} {:>8} {:>9} {:>10} {:>12}",
+        "drop", "cycles", "faults", "retries", "timeouts", "fallbacks", "ATS"
+    );
+    for (rate, m) in rates.iter().zip(metrics) {
+        let _ = writeln!(
+            s,
+            "{:<8} {:>10} {:>8} {:>8} {:>9} {:>10} {:>12}",
+            format!("{rate}"),
+            m.total_cycles,
+            m.faults_injected,
+            m.ats_retries,
+            m.ats_timeouts,
+            m.fallback_translations,
+            m.ats_requests
+        );
+    }
+    s
+}
+
+/// `barre merge`: folds shard journals (directories or `.jsonl` files)
+/// and `BENCH_sweep.json` fragments (`.json` files) into one output
+/// directory, refusing to merge shards whose completed runs disagree.
+fn run_merge(out: &std::path::Path, inputs: &[std::path::PathBuf]) -> i32 {
+    let mut journal_shards: Vec<Vec<barre_system::JournalRecord>> = Vec::new();
+    let mut bench_docs: Vec<String> = Vec::new();
+    for p in inputs {
+        if p.extension().is_some_and(|e| e == "json") {
+            match std::fs::read_to_string(p) {
+                Ok(doc) => bench_docs.push(doc),
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", p.display());
+                    return 1;
+                }
+            }
+        } else {
+            let path = supervisor::journal_file_of(p);
+            match barre_system::read_journal(&path) {
+                Ok(recs) => journal_shards.push(recs),
+                Err(e) => {
+                    eprintln!("error: cannot read journal {}: {e}", path.display());
+                    return 1;
+                }
+            }
+        }
+    }
+    let (journal_out, bench_out) = if out.extension().is_some_and(|e| e == "jsonl") {
+        let dir = out
+            .parent()
+            .map(std::path::Path::to_path_buf)
+            .unwrap_or_default();
+        (out.to_path_buf(), dir.join("BENCH_sweep.json"))
+    } else {
+        (
+            out.join(barre_system::JOURNAL_FILE),
+            out.join("BENCH_sweep.json"),
+        )
+    };
+    if let Some(dir) = journal_out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return 1;
+        }
+    }
+    if !journal_shards.is_empty() {
+        let merged = match barre_system::merge_journals(&journal_shards) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        let mut doc = String::with_capacity(merged.len() * 256);
+        for r in &merged {
+            doc.push_str(&r.to_line());
+            doc.push('\n');
+        }
+        if let Err(e) = std::fs::write(&journal_out, doc) {
+            eprintln!("error: cannot write {}: {e}", journal_out.display());
+            return 1;
+        }
+        let done = merged
+            .iter()
+            .filter(|r| matches!(r.event, barre_system::JournalEvent::Done { .. }))
+            .count();
+        println!(
+            "merged {} journal shard(s): {} record(s), {} done -> {}",
+            journal_shards.len(),
+            merged.len(),
+            done,
+            journal_out.display()
+        );
+    }
+    if !bench_docs.is_empty() {
+        let merged = match barre_bench::wallclock::merge_reports(&bench_docs) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        if let Err(e) = std::fs::write(&bench_out, merged) {
+            eprintln!("error: cannot write {}: {e}", bench_out.display());
+            return 1;
+        }
+        println!(
+            "merged {} bench report(s) -> {}",
+            bench_docs.len(),
+            bench_out.display()
+        );
+    }
+    0
 }
 
 /// Executes a parsed command, printing to stdout. Returns the process
@@ -408,51 +830,21 @@ pub fn execute(cmd: Command) -> i32 {
             cfg,
             seed,
             jobs,
+            sup,
+            job_index,
         } => {
-            let base_cfg = (*cfg.clone()).with_mode(TranslationMode::Baseline);
-            println!(
-                "{:<8} {:>12} {:>12} {:>9}",
-                "app",
-                "base cy",
-                format!("{} cy", cfg.mode.label()),
-                "speedup"
-            );
-            // Two independent runs per app (baseline + mode), fanned
-            // across the pool; results come back in input order.
-            let batch: Vec<BatchJob> = apps
-                .iter()
-                .flat_map(|app| {
-                    [
-                        (app.spec(), base_cfg.clone(), seed),
-                        (app.spec(), (*cfg).clone(), seed),
-                    ]
-                })
-                .collect();
-            let threads = barre_sim::pool::resolve_jobs(jobs);
-            let results = match run_batch(batch, threads) {
-                Ok(r) => r,
-                Err(e) => return report(&e),
-            };
-            let mut ratios = Vec::new();
-            for (app, pair) in apps.iter().zip(results.chunks_exact(2)) {
-                let (b, m) = match (&pair[0], &pair[1]) {
-                    (Ok(b), Ok(m)) => (b, m),
-                    (Err(e), _) | (_, Err(e)) => return report(e),
-                };
-                let sp = speedup(b, m);
-                ratios.push(sp);
-                println!(
-                    "{:<8} {:>12} {:>12} {:>8.3}x",
-                    app.name(),
-                    b.total_cycles,
-                    m.total_cycles,
-                    sp
-                );
+            // Every execution path — inline pool, supervised children,
+            // `--job-index` replay — derives its work from this one job
+            // list, so a job index means the same simulation everywhere.
+            let labeled = sweep_jobs(&apps, &cfg, seed);
+            if let Some(index) = job_index {
+                return run_child_job(&labeled, index);
             }
-            println!(
-                "geomean: {:.3}x",
-                barre_system::geomean(ratios.iter().copied())
-            );
+            let metrics = match collect_metrics(&labeled, jobs, sup.as_ref()) {
+                Ok(m) => m,
+                Err(code) => return code,
+            };
+            print!("{}", render_sweep(&apps, &cfg, &metrics));
             0
         }
         Command::Pair { pair, cfg, seed } => {
@@ -484,44 +876,21 @@ pub fn execute(cmd: Command) -> i32 {
             seed,
             rates,
             jobs,
+            sup,
+            job_index,
         } => {
-            println!(
-                "{:<8} {:>10} {:>8} {:>8} {:>9} {:>10} {:>12}",
-                "drop", "cycles", "faults", "retries", "timeouts", "fallbacks", "ATS"
-            );
-            // One independent run per rate; fan them across the pool.
-            let batch: Vec<BatchJob> = rates
-                .iter()
-                .map(|&rate| {
-                    let plan = FaultPlan {
-                        ats_request_drop: rate,
-                        ..FaultPlan::none()
-                    };
-                    (app.spec(), (*cfg.clone()).with_fault_plan(plan), seed)
-                })
-                .collect();
-            let threads = barre_sim::pool::resolve_jobs(jobs);
-            let results = match run_batch(batch, threads) {
-                Ok(r) => r,
-                Err(e) => return report(&e),
-            };
-            for (rate, res) in rates.iter().zip(results) {
-                match res {
-                    Ok(m) => println!(
-                        "{:<8} {:>10} {:>8} {:>8} {:>9} {:>10} {:>12}",
-                        format!("{rate}"),
-                        m.total_cycles,
-                        m.faults_injected,
-                        m.ats_retries,
-                        m.ats_timeouts,
-                        m.fallback_translations,
-                        m.ats_requests
-                    ),
-                    Err(e) => return report(&e),
-                }
+            let labeled = chaos_jobs(app, &cfg, seed, &rates);
+            if let Some(index) = job_index {
+                return run_child_job(&labeled, index);
             }
+            let metrics = match collect_metrics(&labeled, jobs, sup.as_ref()) {
+                Ok(m) => m,
+                Err(code) => return code,
+            };
+            print!("{}", render_chaos(&rates, &metrics));
             0
         }
+        Command::Merge { out, inputs } => run_merge(&out, &inputs),
         Command::Bench {
             quick,
             json,

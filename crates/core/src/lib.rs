@@ -53,11 +53,17 @@
 //! assert_eq!(p4.pfn().chiplet(), ChipletId(1));
 //! ```
 
+/// The Barre driver modification: mapping plans to coalesced PTEs (§IV-G).
 pub mod driver;
+/// PTE coalescing-information encodings (`CoalInfo`, `CoalMode`).
 pub mod encoding;
+/// F-Barre per-chiplet filter banks (§V-A).
 pub mod fbarre;
+/// Coalescing-group vocabulary shared by driver, PEC, and filters.
 pub mod group;
+/// Hardware storage-overhead model (§VII-K).
 pub mod overhead;
+/// Page Entry Coalescing (PEC) logic and buffer (§IV-E, §IV-F).
 pub mod pec;
 
 pub use driver::{BarreAllocator, MappingPlan};

@@ -18,7 +18,7 @@
 //! assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 /// A worker thread died before finishing its jobs (it panicked). The
@@ -90,10 +90,56 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    let cancel = AtomicBool::new(false);
+    let out = run_cancellable(jobs, threads, &cancel)?;
+    let mut full = Vec::with_capacity(out.len());
+    for slot in out {
+        match slot {
+            Some(v) => full.push(v),
+            // The flag is never set, so a missing slot means a worker
+            // died without the join detecting it — surface it.
+            None => {
+                return Err(PoolError {
+                    panicked_workers: 1,
+                })
+            }
+        }
+    }
+    Ok(full)
+}
+
+/// [`run_ordered`] with cooperative cancellation: jobs that have not been
+/// claimed when `cancel` becomes `true` are skipped and come back as
+/// `None` (in-flight jobs always run to completion — a claimed simulation
+/// is never torn down mid-run). The sweep supervisor uses this to drain
+/// gracefully on SIGINT: completed results are preserved, unstarted work
+/// is left for a `--resume` pass.
+///
+/// # Errors
+///
+/// [`PoolError`] when a worker panicked; as with [`run_ordered`], a
+/// partial batch never masquerades as a full one.
+pub fn run_cancellable<T, F>(
+    jobs: Vec<F>,
+    threads: usize,
+    cancel: &AtomicBool,
+) -> Result<Vec<Option<T>>, PoolError>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
     let n = jobs.len();
     let workers = threads.min(n);
     if workers <= 1 {
-        return Ok(jobs.into_iter().map(|f| f()).collect());
+        let mut out = Vec::with_capacity(n);
+        for f in jobs {
+            if cancel.load(Ordering::SeqCst) {
+                out.push(None);
+            } else {
+                out.push(Some(f()));
+            }
+        }
+        return Ok(out);
     }
     // Job intake: each `FnOnce` sits behind its own mutex so exactly one
     // worker can take it; the atomic cursor hands out indices.
@@ -104,6 +150,9 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| loop {
+                    if cancel.load(Ordering::SeqCst) {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -127,21 +176,10 @@ where
     if panicked_workers > 0 {
         return Err(PoolError { panicked_workers });
     }
-    let mut out = Vec::with_capacity(n);
-    for slot in slots {
-        match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
-            Some(v) => out.push(v),
-            // A claimed-but-unfinished job without a panicked worker
-            // cannot happen; treat it as a worker failure all the same
-            // rather than returning a short vector.
-            None => {
-                return Err(PoolError {
-                    panicked_workers: 1,
-                })
-            }
-        }
-    }
-    Ok(out)
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect())
 }
 
 #[cfg(test)]
@@ -199,6 +237,39 @@ mod tests {
         let err = run_ordered(jobs, 2).expect_err("must fail");
         assert!(err.panicked_workers >= 1);
         assert!(err.to_string().contains("panicked"));
+    }
+
+    #[test]
+    fn cancel_skips_unstarted_jobs_serially() {
+        let cancel = AtomicBool::new(false);
+        let flag = &cancel;
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(move || {
+                flag.store(true, Ordering::SeqCst);
+                2
+            }),
+            Box::new(|| 3),
+        ];
+        let out = run_cancellable(jobs, 1, &cancel).expect("pool");
+        assert_eq!(out, vec![Some(1), Some(2), None]);
+    }
+
+    #[test]
+    fn cancel_set_up_front_skips_everything() {
+        let cancel = AtomicBool::new(true);
+        let jobs: Vec<fn() -> u32> = vec![|| 1, || 2, || 3, || 4];
+        let out = run_cancellable(jobs, 4, &cancel).expect("pool");
+        assert!(out.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn uncancelled_run_cancellable_matches_run_ordered() {
+        let mk = || (0..12u64).map(|i| move || i * 3).collect::<Vec<_>>();
+        let cancel = AtomicBool::new(false);
+        let a = run_cancellable(mk(), 4, &cancel).expect("cancellable");
+        let b = run_ordered(mk(), 4).expect("ordered");
+        assert_eq!(a.into_iter().map(Option::unwrap).collect::<Vec<_>>(), b);
     }
 
     #[test]

@@ -166,6 +166,35 @@ impl Histogram {
         self.max
     }
 
+    /// Total of all samples (exact, in u128 to survive long runs).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The raw bucket counts, including empty buckets (bucket `i` counts
+    /// samples in `[2^(i-1), 2^i)`; bucket 0 counts zeros and ones).
+    /// Together with [`Histogram::count`], [`Histogram::sum`] and
+    /// [`Histogram::max`] this is the histogram's full state, which the
+    /// run journal serializes so a resumed sweep reproduces metrics
+    /// byte-identically.
+    pub fn raw_buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from its serialized state (the inverse of
+    /// reading [`Histogram::raw_buckets`] / [`Histogram::count`] /
+    /// [`Histogram::sum`] / [`Histogram::max`]). The caller is trusted to
+    /// pass values that came from a real histogram; no cross-field
+    /// consistency is enforced.
+    pub fn from_raw(buckets: Vec<u64>, count: u64, sum: u128, max: u64) -> Self {
+        Self {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
     /// `(bucket_upper_bound, count)` pairs for nonempty buckets.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets

@@ -66,6 +66,46 @@ pub enum SimError {
     },
 }
 
+/// Child-process exit code for a *permanent* failure: the same inputs
+/// will fail the same way (bad configuration, plan/driver bug,
+/// deterministic translation fault), so the sweep supervisor must not
+/// burn retries on it.
+pub const EXIT_PERMANENT: i32 = 64;
+
+/// Child-process exit code for a *transient-shaped* failure: watchdog
+/// aborts, event-budget blowups, frame exhaustion and worker panics are
+/// worth the supervisor's bounded retry (they may be environmental, and
+/// retrying is how the ISSUE's failure policy treats any nonzero exit).
+pub const EXIT_TRANSIENT: i32 = 65;
+
+impl SimError {
+    /// Whether retrying the identical simulation is pointless: the error
+    /// is a deterministic property of the inputs, not of the run.
+    pub fn is_permanent(&self) -> bool {
+        match self {
+            SimError::InvalidConfig(_)
+            | SimError::VpnOutsidePlan { .. }
+            | SimError::TranslationFault { .. } => true,
+            SimError::OutOfFrames { .. }
+            | SimError::NoProgress { .. }
+            | SimError::EventBudgetExceeded { .. }
+            | SimError::WorkerPanicked { .. } => false,
+        }
+    }
+
+    /// The process exit code a supervised sweep child reports this error
+    /// with: [`EXIT_PERMANENT`] or [`EXIT_TRANSIENT`]. The supervisor
+    /// maps the former to an immediate labeled failure and the latter to
+    /// retry-with-backoff.
+    pub fn exit_code(&self) -> i32 {
+        if self.is_permanent() {
+            EXIT_PERMANENT
+        } else {
+            EXIT_TRANSIENT
+        }
+    }
+}
+
 impl From<barre_sim::PoolError> for SimError {
     fn from(e: barre_sim::PoolError) -> Self {
         SimError::WorkerPanicked {
@@ -124,5 +164,20 @@ mod tests {
         };
         assert!(e.to_string().contains("cycle 99"));
         assert!(e.to_string().contains("MSHRs"));
+    }
+
+    #[test]
+    fn permanence_classification_drives_exit_codes() {
+        let permanent = SimError::InvalidConfig("bad".into());
+        let transient = SimError::NoProgress {
+            cycle: 1,
+            dump: "stuck".into(),
+            metrics: Box::default(),
+        };
+        assert!(permanent.is_permanent());
+        assert!(!transient.is_permanent());
+        assert_eq!(permanent.exit_code(), EXIT_PERMANENT);
+        assert_eq!(transient.exit_code(), EXIT_TRANSIENT);
+        assert_ne!(EXIT_PERMANENT, EXIT_TRANSIENT);
     }
 }

@@ -1,0 +1,1025 @@
+//! The write-ahead run journal behind `barre sweep --resume` and
+//! `barre merge`.
+//!
+//! A supervised sweep appends one record per job transition to an
+//! append-only JSONL file (`sweep.journal.jsonl`): a `start` record
+//! *before* each attempt is dispatched (the write-ahead part), then a
+//! terminal `done` or `failed` record carrying the attempt count, exit
+//! status, a fingerprint identifying the job spec, and — for `done` —
+//! the full [`RunMetrics`] plus a digest over their canonical JSON
+//! encoding. Because the metrics round-trip exactly (every counter and
+//! both histograms), a resumed sweep renders output byte-identical to an
+//! uninterrupted run, and `barre merge` can fold per-shard journals into
+//! one trajectory while detecting digest conflicts.
+//!
+//! Everything here is hand-rolled (including the minimal JSON reader) so
+//! the workspace keeps its zero-dependency, offline build.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+
+use barre_sim::Histogram;
+
+use crate::metrics::RunMetrics;
+
+/// Default file name of the journal inside a journal directory.
+pub const JOURNAL_FILE: &str = "sweep.journal.jsonl";
+
+/// Why a journal could not be read, parsed, or written.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure (open/append/flush/read).
+    Io(String),
+    /// A record line that is not valid journal JSON. Carries the 1-based
+    /// line number. A malformed *final* line is tolerated by
+    /// [`read_journal`] (a crash mid-append truncates exactly there);
+    /// malformed interior lines are corruption and surface as this.
+    Malformed {
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// What was wrong with it.
+        why: String,
+    },
+    /// Two shards carry `done` records for the same fingerprint with
+    /// different metrics digests — the shards were produced by different
+    /// binaries/configs and must not be merged silently.
+    Conflict {
+        /// Job fingerprint both shards claim to have completed.
+        fingerprint: String,
+        /// Human label of the conflicting job.
+        label: String,
+        /// Digest recorded by the first shard.
+        digest_a: String,
+        /// Digest recorded by the second shard.
+        digest_b: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Malformed { line, why } => {
+                write!(f, "malformed journal record at line {line}: {why}")
+            }
+            JournalError::Conflict {
+                fingerprint,
+                label,
+                digest_a,
+                digest_b,
+            } => write!(
+                f,
+                "merge conflict on {label} ({fingerprint}): digests {digest_a} != {digest_b}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value reader
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers keep their source text so 64-bit (and
+/// the histogram-sum 128-bit) integers round-trip exactly — `f64` would
+/// silently lose precision above 2^53 and break the byte-identity the
+/// journal exists to guarantee. Objects preserve key order in a `Vec`
+/// (no hash maps in sim-facing crates).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw source text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as ordered `(key, value)` pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document (ignoring surrounding whitespace).
+    ///
+    /// # Errors
+    ///
+    /// A `String` describing the first syntax error, with a byte offset.
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let bytes = src.as_bytes();
+        let mut i = 0usize;
+        let v = parse_value(bytes, &mut i)?;
+        skip_ws(bytes, &mut i);
+        if i != bytes.len() {
+            return Err(format!("trailing garbage at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    /// The value under `key` when `self` is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64`, when `self` is an integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(t) => t.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u128`, when `self` is an integer number.
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Json::Num(t) => t.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, when `self` is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(t) => t.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The elements, when `self` is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The `(key, value)` pairs, when `self` is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], i: &mut usize) {
+    while let Some(c) = bytes.get(*i) {
+        if matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, i);
+    match bytes.get(*i) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_obj(bytes, i),
+        Some(b'[') => parse_arr(bytes, i),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, i)?)),
+        Some(b't') => parse_lit(bytes, i, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, i, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, i, "null", Json::Null),
+        Some(_) => parse_num(bytes, i),
+    }
+}
+
+fn parse_lit(bytes: &[u8], i: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if bytes[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn parse_num(bytes: &[u8], i: &mut usize) -> Result<Json, String> {
+    let start = *i;
+    if bytes.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while bytes
+        .get(*i)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *i += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*i]).map_err(|e| e.to_string())?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("bad number at byte {start}"));
+    }
+    Ok(Json::Num(text.to_string()))
+}
+
+fn parse_string(bytes: &[u8], i: &mut usize) -> Result<String, String> {
+    // Caller saw the opening quote.
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*i) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *i += 1;
+                match bytes.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*i + 1..*i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+                *i += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8 sequences pass through unchanged; find
+                // the char boundary via the original str slice.
+                let tail = std::str::from_utf8(&bytes[*i..]).map_err(|e| e.to_string())?;
+                let Some(c) = tail.chars().next() else {
+                    return Err("unterminated string".to_string());
+                };
+                out.push(c);
+                *i += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], i: &mut usize) -> Result<Json, String> {
+    *i += 1; // [
+    let mut items = Vec::new();
+    skip_ws(bytes, i);
+    if bytes.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, i)?);
+        skip_ws(bytes, i);
+        match bytes.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected , or ] at byte {i}")),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], i: &mut usize) -> Result<Json, String> {
+    *i += 1; // {
+    let mut pairs = Vec::new();
+    skip_ws(bytes, i);
+    if bytes.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, i);
+        if bytes.get(*i) != Some(&b'"') {
+            return Err(format!("expected object key at byte {i}"));
+        }
+        let key = parse_string(bytes, i)?;
+        skip_ws(bytes, i);
+        if bytes.get(*i) != Some(&b':') {
+            return Err(format!("expected : at byte {i}"));
+        }
+        *i += 1;
+        let value = parse_value(bytes, i)?;
+        pairs.push((key, value));
+        skip_ws(bytes, i);
+        match bytes.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => return Err(format!("expected , or }} at byte {i}")),
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints and digests
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a over `bytes` — the journal's stable, dependency-free
+/// hash for job fingerprints and metrics digests.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hashes an ordered list of string parts (length-prefixed so `["ab",
+/// "c"]` and `["a", "bc"]` differ) into a 16-hex-digit fingerprint.
+pub fn fingerprint(parts: &[&str]) -> String {
+    let mut buf = Vec::new();
+    for p in parts {
+        buf.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        buf.extend_from_slice(p.as_bytes());
+    }
+    format!("{:016x}", fnv64(&buf))
+}
+
+/// Digest of a run's metrics: FNV-1a over the canonical JSON encoding.
+/// Two runs with equal digests produced byte-identical [`RunMetrics`].
+pub fn metrics_digest(m: &RunMetrics) -> String {
+    format!("{:016x}", fnv64(metrics_to_json(m).as_bytes()))
+}
+
+// ---------------------------------------------------------------------------
+// RunMetrics <-> JSON
+// ---------------------------------------------------------------------------
+
+fn histogram_to_json(h: &Histogram) -> String {
+    let buckets: Vec<String> = h.raw_buckets().iter().map(u64::to_string).collect();
+    format!(
+        "{{\"buckets\":[{}],\"count\":{},\"sum\":{},\"max\":{}}}",
+        buckets.join(","),
+        h.count(),
+        h.sum(),
+        h.max()
+    )
+}
+
+fn histogram_from_json(v: &Json) -> Result<Histogram, String> {
+    let buckets = v
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or("histogram missing buckets")?
+        .iter()
+        .map(|b| b.as_u64().ok_or("non-integer bucket"))
+        .collect::<Result<Vec<u64>, _>>()?;
+    let count = v
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or("histogram missing count")?;
+    let sum = v
+        .get("sum")
+        .and_then(Json::as_u128)
+        .ok_or("histogram missing sum")?;
+    let max = v
+        .get("max")
+        .and_then(Json::as_u64)
+        .ok_or("histogram missing max")?;
+    Ok(Histogram::from_raw(buckets, count, sum, max))
+}
+
+/// Every `u64` counter field of [`RunMetrics`], in struct order, as
+/// `(name, getter)` — the single source of truth both serialization
+/// directions share.
+macro_rules! metrics_u64_fields {
+    ($m:ident, $f:ident) => {
+        $f!($m, total_cycles);
+        $f!($m, warp_instructions);
+        $f!($m, warp_mem_instructions);
+        $f!($m, l1_tlb_lookups);
+        $f!($m, l1_tlb_misses);
+        $f!($m, l2_tlb_lookups);
+        $f!($m, l2_tlb_misses);
+        $f!($m, ats_requests);
+        $f!($m, walks);
+        $f!($m, coalesced_translations);
+        $f!($m, intra_mcm_translations);
+        $f!($m, lcf_translations);
+        $f!($m, peer_probes);
+        $f!($m, peer_probe_nacks);
+        $f!($m, l1_peer_hits);
+        $f!($m, prefetches);
+        $f!($m, filter_updates_sent);
+        $f!($m, filter_updates_dropped);
+        $f!($m, remote_data_accesses);
+        $f!($m, data_accesses);
+        $f!($m, migrations);
+        $f!($m, page_faults);
+        $f!($m, demand_pages_mapped);
+        $f!($m, gmmu_remote_walks);
+        $f!($m, gmmu_local_walks);
+        $f!($m, pcie_bytes);
+        $f!($m, mesh_bytes);
+        $f!($m, ptw_busy_cycles);
+        $f!($m, pw_queue_rejections);
+        $f!($m, rcf_remote_attempts);
+        $f!($m, rcf_remote_hits);
+        $f!($m, lcf_true_hits);
+        $f!($m, lcf_hits);
+        $f!($m, faults_injected);
+        $f!($m, ats_retries);
+        $f!($m, ats_timeouts);
+        $f!($m, fallback_translations);
+        $f!($m, watchdog_fired);
+        $f!($m, events_processed);
+    };
+}
+
+/// Renders a run's metrics as one line of canonical JSON — fixed field
+/// order, no whitespace — so equal metrics always produce equal bytes
+/// (the property [`metrics_digest`] relies on).
+pub fn metrics_to_json(m: &RunMetrics) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push('{');
+    macro_rules! emit {
+        ($m:ident, $field:ident) => {
+            s.push_str(&format!("\"{}\":{},", stringify!($field), $m.$field));
+        };
+    }
+    metrics_u64_fields!(m, emit);
+    s.push_str(&format!(
+        "\"ats_latency\":{},",
+        histogram_to_json(&m.ats_latency)
+    ));
+    s.push_str(&format!("\"vpn_gap\":{}", histogram_to_json(&m.vpn_gap)));
+    s.push('}');
+    s
+}
+
+/// Parses metrics previously rendered by [`metrics_to_json`]. Strict:
+/// every field must be present with the right type, so a journal written
+/// by a binary with a different `RunMetrics` shape is rejected rather
+/// than silently zero-filled.
+///
+/// # Errors
+///
+/// A description of the first missing or ill-typed field.
+pub fn metrics_from_json(src: &str) -> Result<RunMetrics, String> {
+    let v = Json::parse(src)?;
+    metrics_from_value(&v)
+}
+
+/// [`metrics_from_json`] on an already-parsed [`Json`] value.
+///
+/// # Errors
+///
+/// A description of the first missing or ill-typed field.
+pub fn metrics_from_value(v: &Json) -> Result<RunMetrics, String> {
+    let mut m = RunMetrics::default();
+    macro_rules! take {
+        ($m:ident, $field:ident) => {
+            $m.$field = v
+                .get(stringify!($field))
+                .and_then(Json::as_u64)
+                .ok_or(concat!("missing or non-integer field ", stringify!($field)))?;
+        };
+    }
+    metrics_u64_fields!(m, take);
+    m.ats_latency = histogram_from_json(v.get("ats_latency").ok_or("missing ats_latency")?)?;
+    m.vpn_gap = histogram_from_json(v.get("vpn_gap").ok_or("missing vpn_gap")?)?;
+    // Completeness guard: a field added to RunMetrics without updating
+    // `metrics_u64_fields!` would round-trip as zero and silently break
+    // resume byte-identity. Destructuring without `..` turns that drift
+    // into a compile error instead.
+    let RunMetrics {
+        total_cycles: _,
+        warp_instructions: _,
+        warp_mem_instructions: _,
+        l1_tlb_lookups: _,
+        l1_tlb_misses: _,
+        l2_tlb_lookups: _,
+        l2_tlb_misses: _,
+        ats_requests: _,
+        walks: _,
+        coalesced_translations: _,
+        intra_mcm_translations: _,
+        lcf_translations: _,
+        peer_probes: _,
+        peer_probe_nacks: _,
+        l1_peer_hits: _,
+        prefetches: _,
+        filter_updates_sent: _,
+        filter_updates_dropped: _,
+        remote_data_accesses: _,
+        data_accesses: _,
+        migrations: _,
+        page_faults: _,
+        demand_pages_mapped: _,
+        gmmu_remote_walks: _,
+        gmmu_local_walks: _,
+        ats_latency: _,
+        vpn_gap: _,
+        pcie_bytes: _,
+        mesh_bytes: _,
+        ptw_busy_cycles: _,
+        pw_queue_rejections: _,
+        rcf_remote_attempts: _,
+        rcf_remote_hits: _,
+        lcf_true_hits: _,
+        lcf_hits: _,
+        faults_injected: _,
+        ats_retries: _,
+        ats_timeouts: _,
+        fallback_translations: _,
+        watchdog_fired: _,
+        events_processed: _,
+    } = &m;
+    Ok(m)
+}
+
+// ---------------------------------------------------------------------------
+// Journal records
+// ---------------------------------------------------------------------------
+
+/// What happened to a job, as recorded in the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// Appended *before* an attempt is dispatched (write-ahead): if the
+    /// supervisor dies here, resume sees an unfinished job and reruns it.
+    Start {
+        /// 1-based attempt number about to run.
+        attempt: u32,
+    },
+    /// The job completed; its metrics are stored for replay.
+    Done {
+        /// Attempts consumed (1 = first try succeeded).
+        attempts: u32,
+        /// Exit status of the successful attempt (normally `"ok"`).
+        exit: String,
+        /// [`metrics_digest`] of `metrics`.
+        digest: String,
+        /// The run's full metrics.
+        metrics: Box<RunMetrics>,
+    },
+    /// The job exhausted its retries (or failed permanently).
+    Failed {
+        /// Attempts consumed.
+        attempts: u32,
+        /// Exit status of the last attempt (`"exit:N"`, `"signal:N"`,
+        /// `"timeout"`, `"spawn:…"`).
+        exit: String,
+        /// Path of the per-job state-dump file, when one was written
+        /// (watchdog fire, timeout, or any captured crash output).
+        dump: Option<String>,
+    },
+}
+
+/// One journal line: which job, and what happened to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// Stable identity of the job spec ([`fingerprint`] over the child
+    /// command line, job index, and label).
+    pub fingerprint: String,
+    /// Human-readable job label (`"gups/fbarre"`, `"gups/drop=0.01"`).
+    pub label: String,
+    /// The transition being recorded.
+    pub event: JournalEvent,
+}
+
+impl JournalRecord {
+    /// Renders the record as one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let head = format!(
+            "\"fingerprint\":{},\"label\":{}",
+            json_escape(&self.fingerprint),
+            json_escape(&self.label)
+        );
+        match &self.event {
+            JournalEvent::Start { attempt } => {
+                format!("{{\"event\":\"start\",{head},\"attempt\":{attempt}}}")
+            }
+            JournalEvent::Done {
+                attempts,
+                exit,
+                digest,
+                metrics,
+            } => format!(
+                "{{\"event\":\"done\",{head},\"attempts\":{attempts},\"exit\":{},\"digest\":{},\"metrics\":{}}}",
+                json_escape(exit),
+                json_escape(digest),
+                metrics_to_json(metrics)
+            ),
+            JournalEvent::Failed {
+                attempts,
+                exit,
+                dump,
+            } => {
+                let dump = match dump {
+                    Some(p) => format!(",\"dump\":{}", json_escape(p)),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"event\":\"failed\",{head},\"attempts\":{attempts},\"exit\":{}{dump}}}",
+                    json_escape(exit)
+                )
+            }
+        }
+    }
+
+    /// Parses one JSONL line back into a record.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first structural problem.
+    pub fn from_line(line: &str) -> Result<JournalRecord, String> {
+        let v = Json::parse(line)?;
+        let field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing field {k}"))
+        };
+        let attempts = |k: &str| -> Result<u32, String> {
+            let n = v
+                .get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing field {k}"))?;
+            u32::try_from(n).map_err(|_| format!("field {k} out of range"))
+        };
+        let fingerprint = field("fingerprint")?;
+        let label = field("label")?;
+        let event = match field("event")?.as_str() {
+            "start" => JournalEvent::Start {
+                attempt: attempts("attempt")?,
+            },
+            "done" => JournalEvent::Done {
+                attempts: attempts("attempts")?,
+                exit: field("exit")?,
+                digest: field("digest")?,
+                metrics: Box::new(metrics_from_value(
+                    v.get("metrics").ok_or("missing metrics")?,
+                )?),
+            },
+            "failed" => JournalEvent::Failed {
+                attempts: attempts("attempts")?,
+                exit: field("exit")?,
+                dump: v.get("dump").and_then(Json::as_str).map(str::to_string),
+            },
+            other => return Err(format!("unknown event {other}")),
+        };
+        Ok(JournalRecord {
+            fingerprint,
+            label,
+            event,
+        })
+    }
+}
+
+/// An append-only journal file handle, safe to share across the
+/// supervisor's worker threads. Every append flushes, so a record is on
+/// disk before the result it describes is consumed.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: Mutex<fs::File>,
+}
+
+impl JournalWriter {
+    /// Opens (creating or appending to) the journal at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the file cannot be opened.
+    pub fn open(path: &Path) -> Result<JournalWriter, JournalError> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JournalWriter {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one record and flushes it to disk.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the write or flush fails.
+    pub fn append(&self, rec: &JournalRecord) -> Result<(), JournalError> {
+        let mut f = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        writeln!(f, "{}", rec.to_line())?;
+        f.flush()?;
+        Ok(())
+    }
+}
+
+/// Reads every record of the journal at `path`, in file order.
+///
+/// A malformed or truncated *final* line is tolerated and dropped — that
+/// is exactly the state a crash mid-append leaves behind, and the
+/// write-ahead discipline means the dropped record described work that
+/// will simply be redone. Malformed interior lines are corruption and
+/// error out.
+///
+/// # Errors
+///
+/// [`JournalError::Io`] / [`JournalError::Malformed`].
+pub fn read_journal(path: &Path) -> Result<Vec<JournalRecord>, JournalError> {
+    let text = fs::read_to_string(path)?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (idx, line) in lines.iter().enumerate() {
+        match JournalRecord::from_line(line) {
+            Ok(rec) => out.push(rec),
+            Err(why) if idx + 1 == lines.len() => {
+                // Torn tail from a crash mid-append; resume redoes it.
+                let _ = why;
+            }
+            Err(why) => return Err(JournalError::Malformed { line: idx + 1, why }),
+        }
+    }
+    Ok(out)
+}
+
+/// Folds journal records into the completed-work index used by
+/// `--resume`: fingerprint → final `Done` record (the last one wins, so
+/// re-running a shard is idempotent).
+pub fn completed_index(records: &[JournalRecord]) -> BTreeMap<String, JournalRecord> {
+    let mut index = BTreeMap::new();
+    for rec in records {
+        if matches!(rec.event, JournalEvent::Done { .. }) {
+            index.insert(rec.fingerprint.clone(), rec.clone());
+        }
+    }
+    index
+}
+
+/// Merges per-shard journals into one: the union of terminal records,
+/// first-seen order, `done` preferred over `failed` for the same
+/// fingerprint.
+///
+/// # Errors
+///
+/// [`JournalError::Conflict`] when two shards completed the same
+/// fingerprint with different metrics digests — evidence the shards came
+/// from diverging binaries or configurations.
+pub fn merge_journals(shards: &[Vec<JournalRecord>]) -> Result<Vec<JournalRecord>, JournalError> {
+    let mut order: Vec<String> = Vec::new();
+    let mut best: BTreeMap<String, JournalRecord> = BTreeMap::new();
+    for shard in shards {
+        for rec in shard {
+            let (is_done, digest) = match &rec.event {
+                JournalEvent::Done { digest, .. } => (true, Some(digest.clone())),
+                JournalEvent::Failed { .. } => (false, None),
+                JournalEvent::Start { .. } => continue,
+            };
+            match best.get(&rec.fingerprint) {
+                None => {
+                    order.push(rec.fingerprint.clone());
+                    best.insert(rec.fingerprint.clone(), rec.clone());
+                }
+                Some(prev) => match (&prev.event, is_done) {
+                    (JournalEvent::Done { digest: d0, .. }, true) => {
+                        let d1 = digest.unwrap_or_default();
+                        if *d0 != d1 {
+                            return Err(JournalError::Conflict {
+                                fingerprint: rec.fingerprint.clone(),
+                                label: rec.label.clone(),
+                                digest_a: d0.clone(),
+                                digest_b: d1,
+                            });
+                        }
+                    }
+                    (JournalEvent::Failed { .. }, true) => {
+                        best.insert(rec.fingerprint.clone(), rec.clone());
+                    }
+                    // done beats failed; failed never displaces anything.
+                    _ => {}
+                },
+            }
+        }
+    }
+    Ok(order
+        .into_iter()
+        .filter_map(|fp| best.remove(&fp))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_metrics() -> RunMetrics {
+        let mut m = RunMetrics {
+            total_cycles: u64::MAX - 7,
+            events_processed: 123_456_789_012_345,
+            walks: 42,
+            ..Default::default()
+        };
+        for v in [0, 1, 3, 900, u64::MAX / 2] {
+            m.ats_latency.record(v);
+        }
+        m.vpn_gap.record(7);
+        m
+    }
+
+    #[test]
+    fn metrics_roundtrip_is_exact() {
+        let m = busy_metrics();
+        let json = metrics_to_json(&m);
+        let back = metrics_from_json(&json).expect("roundtrip");
+        assert_eq!(m, back);
+        assert_eq!(json, metrics_to_json(&back), "canonical encoding stable");
+        assert_eq!(metrics_digest(&m), metrics_digest(&back));
+    }
+
+    #[test]
+    fn metrics_json_rejects_missing_fields() {
+        let err = metrics_from_json("{\"total_cycles\":1}").expect_err("must fail");
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn json_parses_nested_values() {
+        let v = Json::parse(r#"{"a": [1, -2.5, "x\n\"y\""], "b": {"c": true, "d": null}}"#)
+            .expect("parse");
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("a")
+                .and_then(Json::as_arr)
+                .and_then(|a| a[2].as_str()),
+            Some("x\n\"y\"")
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Json::Bool(true)));
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,2] trailing").is_err());
+    }
+
+    #[test]
+    fn json_numbers_keep_64_bit_precision() {
+        let v = Json::parse(&format!("[{}, {}]", u64::MAX, u128::MAX)).expect("parse");
+        let arr = v.as_arr().expect("arr");
+        assert_eq!(arr[0].as_u64(), Some(u64::MAX));
+        assert_eq!(arr[1].as_u128(), Some(u128::MAX));
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_boundary_sensitive() {
+        assert_ne!(fingerprint(&["ab", "c"]), fingerprint(&["a", "bc"]));
+        assert_ne!(fingerprint(&["a", "b"]), fingerprint(&["b", "a"]));
+        assert_eq!(fingerprint(&["a", "b"]), fingerprint(&["a", "b"]));
+    }
+
+    #[test]
+    fn records_roundtrip_through_lines() {
+        let recs = [
+            JournalRecord {
+                fingerprint: "f1".into(),
+                label: "gups/barre".into(),
+                event: JournalEvent::Start { attempt: 1 },
+            },
+            JournalRecord {
+                fingerprint: "f1".into(),
+                label: "gups/barre".into(),
+                event: JournalEvent::Done {
+                    attempts: 2,
+                    exit: "ok".into(),
+                    digest: metrics_digest(&busy_metrics()),
+                    metrics: Box::new(busy_metrics()),
+                },
+            },
+            JournalRecord {
+                fingerprint: "f2".into(),
+                label: "gemv \"odd\"/x".into(),
+                event: JournalEvent::Failed {
+                    attempts: 3,
+                    exit: "signal:9".into(),
+                    dump: Some("j/job-2.txt".into()),
+                },
+            },
+        ];
+        for rec in &recs {
+            let line = rec.to_line();
+            let back = JournalRecord::from_line(&line).expect("parse line");
+            assert_eq!(*rec, back, "{line}");
+        }
+    }
+
+    #[test]
+    fn journal_file_roundtrip_and_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("barre-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(JOURNAL_FILE);
+        let _ = std::fs::remove_file(&path);
+        let w = JournalWriter::open(&path).expect("open");
+        let rec = JournalRecord {
+            fingerprint: "f1".into(),
+            label: "a/b".into(),
+            event: JournalEvent::Done {
+                attempts: 1,
+                exit: "ok".into(),
+                digest: metrics_digest(&busy_metrics()),
+                metrics: Box::new(busy_metrics()),
+            },
+        };
+        w.append(&rec).expect("append");
+        // Simulate a crash mid-append: a torn trailing line.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("open raw");
+            write!(f, "{{\"event\":\"done\",\"finger").expect("torn write");
+        }
+        let recs = read_journal(&path).expect("read");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0], rec);
+        let index = completed_index(&recs);
+        assert!(index.contains_key("f1"));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn merge_unions_and_detects_conflicts() {
+        let done = |fp: &str, cycles: u64| JournalRecord {
+            fingerprint: fp.into(),
+            label: format!("app/{fp}"),
+            event: JournalEvent::Done {
+                attempts: 1,
+                exit: "ok".into(),
+                digest: metrics_digest(&RunMetrics {
+                    total_cycles: cycles,
+                    ..Default::default()
+                }),
+                metrics: Box::new(RunMetrics {
+                    total_cycles: cycles,
+                    ..Default::default()
+                }),
+            },
+        };
+        let failed = |fp: &str| JournalRecord {
+            fingerprint: fp.into(),
+            label: format!("app/{fp}"),
+            event: JournalEvent::Failed {
+                attempts: 2,
+                exit: "timeout".into(),
+                dump: None,
+            },
+        };
+        // Union: f1 from shard A, f2 failed in A but done in B.
+        let merged = merge_journals(&[vec![done("f1", 10), failed("f2")], vec![done("f2", 20)]])
+            .expect("merge");
+        assert_eq!(merged.len(), 2);
+        assert!(matches!(merged[0].event, JournalEvent::Done { .. }));
+        assert!(matches!(merged[1].event, JournalEvent::Done { .. }));
+        // Identical completions merge fine.
+        assert!(merge_journals(&[vec![done("f1", 10)], vec![done("f1", 10)]]).is_ok());
+        // Diverging digests are a conflict.
+        let err =
+            merge_journals(&[vec![done("f1", 10)], vec![done("f1", 11)]]).expect_err("conflict");
+        assert!(matches!(err, JournalError::Conflict { .. }), "{err}");
+    }
+}

@@ -24,12 +24,20 @@
 //! assert!(speedup(&base, &barre) > 0.0);
 //! ```
 
+/// System configuration (Table II) and translation-mode selection.
 pub mod config;
+/// The failure taxonomy of the build/run pipeline.
 pub mod error;
+/// Write-ahead run journal behind `barre sweep --resume` / `barre merge`.
+pub mod journal;
+/// The full-machine event-driven model.
 pub mod machine;
+/// Per-run measurements — everything the figures are plotted from.
 pub mod metrics;
 mod reqtrack;
+/// Building and running experiments (single runs, batches, sweeps).
 pub mod runner;
+/// Conservation-law sanitizer (compiled under `--features sanitizer`).
 #[cfg(feature = "sanitizer")]
 pub mod sanitizer;
 
@@ -38,10 +46,16 @@ pub use config::{
     TranslationMode,
 };
 pub use error::SimError;
+pub use journal::{
+    completed_index, fingerprint, merge_journals, metrics_digest, metrics_from_json,
+    metrics_to_json, read_journal, JournalError, JournalEvent, JournalRecord, JournalWriter,
+    JOURNAL_FILE,
+};
 pub use machine::{L2Payload, Machine};
 pub use metrics::{geomean, speedup, RunMetrics};
 pub use runner::{
-    build_machine, run_app, run_batch, run_pair, run_spec, smoke_config, summary_line, BatchJob,
+    build_machine, chaos_jobs, run_app, run_batch, run_pair, run_spec, smoke_config, summary_line,
+    sweep_jobs, BatchJob, LabeledJob,
 };
 #[cfg(feature = "sanitizer")]
 pub use sanitizer::{SanitizerReport, Violation};

@@ -54,6 +54,8 @@ pub(crate) struct ReqSlab {
 }
 
 impl ReqSlab {
+    /// An empty slab with room for `cap` in-flight requests before the
+    /// first reallocation.
     pub fn with_capacity(cap: usize) -> Self {
         Self {
             slots: Vec::with_capacity(cap),
@@ -123,6 +125,7 @@ pub(crate) struct AtsPendingTable {
 }
 
 impl AtsPendingTable {
+    /// An empty table with one index lane per chiplet.
     pub fn new(n_chiplets: usize) -> Self {
         Self {
             index: (0..n_chiplets).map(|_| Vec::new()).collect(),
@@ -138,11 +141,13 @@ impl AtsPendingTable {
         Some((pos, lane[pos].1))
     }
 
+    /// The entry for `(chiplet, key)`, if one is outstanding.
     pub fn get(&self, chiplet: u8, key: TlbKey) -> Option<&PendingAts> {
         let (_, slot) = self.find(chiplet, key)?;
         self.slots.get(slot as usize)
     }
 
+    /// Mutable access to the entry for `(chiplet, key)`, if outstanding.
     pub fn get_mut(&mut self, chiplet: u8, key: TlbKey) -> Option<&mut PendingAts> {
         let (_, slot) = self.find(chiplet, key)?;
         self.slots.get_mut(slot as usize)

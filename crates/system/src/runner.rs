@@ -184,6 +184,58 @@ pub fn run_spec(spec: WorkloadSpec, cfg: &SystemConfig, seed: u64) -> Result<Run
 /// configuration, and a seed.
 pub type BatchJob = (WorkloadSpec, SystemConfig, u64);
 
+/// A batch job plus the human label every harness (inline sweep, the
+/// crash-isolated supervisor, journal records) uses for it. Keeping the
+/// label on the job — rather than re-deriving it per frontend — is what
+/// makes a resumed sweep's rows match an uninterrupted run's exactly.
+#[derive(Debug, Clone)]
+pub struct LabeledJob {
+    /// Display/journal label, e.g. `"gups/fbarre"` or `"gups/drop=0.01"`.
+    pub label: String,
+    /// The simulation to run.
+    pub job: BatchJob,
+}
+
+/// The canonical job list of `barre sweep`: per app, a baseline run then
+/// a `cfg.mode` run. Every execution path (in-process pool, supervised
+/// children, `--job-index` replay) derives its work from this one
+/// function, so a job index means the same simulation everywhere.
+pub fn sweep_jobs(apps: &[AppId], cfg: &SystemConfig, seed: u64) -> Vec<LabeledJob> {
+    let base_cfg = cfg.clone().with_mode(TranslationMode::Baseline);
+    apps.iter()
+        .flat_map(|app| {
+            [
+                LabeledJob {
+                    label: format!("{app}/baseline"),
+                    job: (app.spec(), base_cfg.clone(), seed),
+                },
+                LabeledJob {
+                    label: format!("{app}/{}", cfg.mode.label()),
+                    job: (app.spec(), cfg.clone(), seed),
+                },
+            ]
+        })
+        .collect()
+}
+
+/// The canonical job list of `barre chaos`: one run per ATS-request drop
+/// rate. Same single-source-of-truth contract as [`sweep_jobs`].
+pub fn chaos_jobs(app: AppId, cfg: &SystemConfig, seed: u64, rates: &[f64]) -> Vec<LabeledJob> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let plan = barre_sim::FaultPlan {
+                ats_request_drop: rate,
+                ..barre_sim::FaultPlan::none()
+            };
+            LabeledJob {
+                label: format!("{app}/drop={rate}"),
+                job: (app.spec(), cfg.clone().with_fault_plan(plan), seed),
+            }
+        })
+        .collect()
+}
+
 /// Runs a batch of independent `(spec, cfg, seed)` simulations across
 /// `threads` pool workers ([`barre_sim::pool`]), returning each job's
 /// own `Result` in input order. Every simulation stays single-threaded
