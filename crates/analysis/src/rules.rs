@@ -7,6 +7,7 @@
 //! | D003 | ambient entropy (anything but the in-tree seeded RNG) |
 //! | P001 | panicking calls in non-test library code |
 //! | C001 | lossy `as` casts on cycle/address-typed expressions |
+//! | C002 | unchecked `+=` accumulation on long-lived cycle/traffic counters |
 //! | W001 | a `barre:allow` waiver without a justification |
 //! | A001 | an undocumented `pub` item in the API crates (core/system) |
 //!
@@ -65,6 +66,7 @@ const SIM_FACING: &[&str] = &[
     "workloads",
     "core",
     "system",
+    "trace",
 ];
 
 fn scope_for(path: &str) -> FileScope {
@@ -192,6 +194,26 @@ pub fn lint_source(path: &str, src: &str) -> FileLint {
                      explicit error path",
                 ));
             }
+        }
+
+        // C002: unchecked `+=` accumulation on a long-lived counter.
+        // The lexer splits `+=` into a `+` punct followed by `=`.
+        if scope.sim_facing
+            && !in_test
+            && counter_smell(&t.text)
+            && out.tokens.get(i + 1).is_some_and(|n| n.is_punct('+'))
+            && out.tokens.get(i + 2).is_some_and(|n| n.is_punct('='))
+        {
+            raw.push((
+                t.line,
+                "C002",
+                format!(
+                    "unchecked accumulation: `{} += …` can wrap over a long run",
+                    t.text
+                ),
+                "accumulate cycle/byte/message counters with `saturating_add` (or widen \
+                 the type); silent wrap-around corrupts conservation checks and reports",
+            ));
         }
     }
 
@@ -344,6 +366,17 @@ fn lossy_cast_at(tokens: &[Token], as_idx: usize) -> Option<(String, String)> {
     } else {
         None
     }
+}
+
+/// Whether an identifier smells like a long-lived cycle/traffic counter
+/// whose compound-assign accumulation C002 audits. Sim runs process
+/// billions of events; a wrapping counter poisons every downstream
+/// report without tripping any assertion.
+fn counter_smell(name: &str) -> bool {
+    let lower = name.to_lowercase();
+    ["cycle", "bytes", "msgs", "busy"]
+        .iter()
+        .any(|s| lower.contains(s))
 }
 
 /// Marks every token that belongs to a `#[test]` / `#[cfg(test)]` item
@@ -530,6 +563,44 @@ mod tests {
     fn c001_allows_widening() {
         let src = "let a = cycle as u64; let b = deadline as i64;";
         assert!(rules_of("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn c002_catches_counter_accumulation_in_sim_facing_crates() {
+        let src = "fn f(&mut self) { self.total_msgs += 1; self.busy_cycles += ser; }";
+        assert_eq!(
+            rules_of("crates/sim/src/link.rs", src),
+            vec!["C002", "C002"]
+        );
+        // Same source outside the sim-facing set is fine.
+        assert!(rules_of("crates/analysis/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn c002_ignores_benign_names_plain_addition_and_tests() {
+        // `offset`/`count` are not long-lived traffic counters, and a
+        // smelly name on the RHS of a plain `+` must not fire.
+        let src = "fn f(&mut self) { self.offset += bytes; let t = now + busy_cycles; }";
+        assert!(rules_of("crates/sim/src/x.rs", src).is_empty());
+        let test_src = "#[test]\nfn t() { total_bytes += 1; }";
+        assert!(rules_of("crates/sim/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn c002_saturating_add_and_waiver_are_clean() {
+        let src = "fn f(&mut self) { self.total_bytes = self.total_bytes.saturating_add(n); }";
+        assert!(rules_of("crates/sim/src/link.rs", src).is_empty());
+        let waived = "// barre:allow(C002) epoch-scoped counter, reset every 65536 events\n\
+                      total_bytes += n;\n";
+        let fl = lint_source("crates/sim/src/x.rs", waived);
+        assert!(fl.diagnostics.is_empty(), "{:?}", fl.diagnostics);
+        assert_eq!(fl.waived, 1);
+    }
+
+    #[test]
+    fn c002_applies_to_the_trace_crate() {
+        let src = "fn f(&mut self) { self.dropped_bytes += 1; }";
+        assert_eq!(rules_of("crates/trace/src/lib.rs", src), vec!["C002"]);
     }
 
     #[test]

@@ -56,6 +56,12 @@ fn c001_fires_on_narrowing_only() {
 }
 
 #[test]
+fn c002_fires_on_each_unchecked_accumulation() {
+    let fl = lint_fixture("c002_hit.rs");
+    assert_eq!(rules(&fl), vec!["C002"; 3], "{:?}", fl.diagnostics);
+}
+
+#[test]
 fn lexer_tricky_cases_never_fire() {
     let fl = lint_fixture("lexer_tricky.rs");
     assert!(fl.diagnostics.is_empty(), "{:?}", fl.diagnostics);

@@ -1,0 +1,32 @@
+// Fixture: C002 positive — unchecked accumulation on long-lived counters.
+// Linted under a synthetic sim-facing path (see tests/fixtures.rs).
+
+pub struct Stats {
+    total_bytes: u64,
+    total_msgs: u64,
+    busy_cycles: u64,
+    offset: u64,
+}
+
+impl Stats {
+    pub fn record(&mut self, bytes: u64, ser: u64) {
+        self.total_bytes += bytes; // C002
+        self.total_msgs += 1; // C002
+        self.busy_cycles += ser; // C002
+        // Benign: the accumulated name does not smell like a counter,
+        // and the smelly name sits on the RHS of a plain `+`.
+        self.offset += bytes + ser;
+        // The sanctioned form is silent.
+        self.total_bytes = self.total_bytes.saturating_add(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let mut busy_cycles = 0u64;
+        busy_cycles += 1;
+        assert_eq!(busy_cycles, 1);
+    }
+}

@@ -260,7 +260,10 @@ impl BenchReport {
 /// must agree wherever two shards cover the same cell — a mismatch means
 /// the shards came from diverging binaries or configurations and is
 /// refused. Wall-clock fields are per-shard measurements and are carried
-/// from the first shard that has the row.
+/// from the first shard that has the row; `events_per_sec` is recomputed
+/// from the carried `events` and `wall_ms_serial` (the same formula
+/// [`run_bench`] uses), so a merged row is always internally consistent
+/// instead of echoing whatever throughput the shard claimed.
 ///
 /// # Errors
 ///
@@ -313,17 +316,20 @@ pub fn merge_reports(docs: &[String]) -> Result<String, String> {
                 continue;
             }
             dets.insert(key.clone(), (cycles, events));
+            let wall_ms_serial = num_text(r.get("wall_ms_serial"));
+            let eps = match wall_ms_serial.parse::<f64>() {
+                Ok(ms) if ms > 0.0 => events as f64 / (ms / 1e3),
+                _ => 0.0,
+            };
             rows.insert(
                 key.clone(),
                 format!(
                     "    {{\"app\": {}, \"mode\": {}, \"total_cycles\": {cycles}, \
-                     \"events\": {events}, \"wall_ms_serial\": {}, \"wall_ms_parallel\": {}, \
-                     \"events_per_sec\": {}}}",
+                     \"events\": {events}, \"wall_ms_serial\": {wall_ms_serial}, \
+                     \"wall_ms_parallel\": {}, \"events_per_sec\": {eps:.0}}}",
                     json_str(app),
                     json_str(mode),
-                    num_text(r.get("wall_ms_serial")),
                     num_text(r.get("wall_ms_parallel")),
-                    num_text(r.get("events_per_sec")),
                 ),
             );
             order.push(key);
@@ -385,6 +391,27 @@ mod tests {
         assert!(err.contains("conflict"), "{err}");
         // Garbage shards are rejected with the shard index.
         assert!(merge_reports(&["not json".to_string()]).is_err());
+    }
+
+    #[test]
+    fn merge_recomputes_events_per_sec() {
+        // A shard claiming a bogus throughput: the merged row derives
+        // events/sec from the carried events and wall_ms_serial rather
+        // than echoing the claim, so the row stays self-consistent.
+        let a = shard(
+            "{\"app\": \"gemv\", \"mode\": \"barre\", \"total_cycles\": 100, \"events\": 10, \
+             \"wall_ms_serial\": 2.0, \"wall_ms_parallel\": 0.9, \"events_per_sec\": 123456}",
+        );
+        let merged = merge_reports(&[a]).expect("merge");
+        assert!(merged.contains("\"events_per_sec\": 5000"), "{merged}");
+        assert!(!merged.contains("123456"), "{merged}");
+        // Zero wall time degrades to 0 instead of dividing by zero.
+        let z = shard(
+            "{\"app\": \"gups\", \"mode\": \"barre\", \"total_cycles\": 1, \"events\": 5, \
+             \"wall_ms_serial\": 0.0, \"wall_ms_parallel\": 0.0, \"events_per_sec\": 99}",
+        );
+        let merged = merge_reports(&[z]).expect("merge");
+        assert!(merged.contains("\"events_per_sec\": 0"), "{merged}");
     }
 
     #[test]

@@ -37,6 +37,7 @@ use barre_system::{
 use barre_workloads::{AppId, AppPair};
 
 pub mod supervisor;
+pub mod trace_cmd;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone)]
@@ -99,6 +100,22 @@ pub enum Command {
     Lint {
         root: std::path::PathBuf,
         json: bool,
+    },
+    /// `barre trace` — run one app with the lifecycle tracer and export
+    /// the trace (Chrome-trace JSON, or JSONL when `--out` ends in
+    /// `.jsonl`).
+    Trace {
+        app: AppId,
+        cfg: Box<SystemConfig>,
+        seed: u64,
+        out: std::path::PathBuf,
+        opts: barre_trace::TraceOptions,
+    },
+    /// `barre report` — print per-stage latency percentiles and the
+    /// slowest journeys of a trace export (or summarize a journal).
+    Report {
+        input: std::path::PathBuf,
+        top: usize,
     },
     /// `barre help`.
     Help,
@@ -210,6 +227,34 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             inputs,
         });
     }
+    // `report` also takes a positional operand (the trace or journal).
+    if cmd == "report" {
+        let mut input: Option<std::path::PathBuf> = None;
+        let mut top = trace_cmd::DEFAULT_TOP;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--top" => {
+                    i += 1;
+                    let v = args
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| err("flag --top needs a value"))?;
+                    top = v.parse().map_err(|_| err(format!("bad top count {v}")))?;
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(err(format!("unknown flag {flag}")));
+                }
+                path if input.is_none() => input = Some(std::path::PathBuf::from(path)),
+                extra => return Err(err(format!("unexpected operand {extra}"))),
+            }
+            i += 1;
+        }
+        return Ok(Command::Report {
+            input: input.ok_or_else(|| err("report needs a trace or journal path"))?,
+            top,
+        });
+    }
     let mut cfg = SystemConfig::scaled();
     let mut seed = 0x15CA_2024u64;
     let mut app = None;
@@ -229,6 +274,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut timeout: Option<std::time::Duration> = None;
     let mut retries: Option<u32> = None;
     let mut job_index: Option<usize> = None;
+    let mut window: Option<usize> = None;
+    let mut filter = barre_trace::StageMask::all();
 
     let mut i = 1;
     while i < args.len() {
@@ -349,6 +396,25 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 }
                 rates = Some(list);
             }
+            "--window" => {
+                let v = value(&mut i)?;
+                let n: usize = v.parse().map_err(|_| err(format!("bad window {v}")))?;
+                if n == 0 {
+                    return Err(err("--window must be at least 1"));
+                }
+                window = Some(n);
+            }
+            "--filter" => {
+                let v = value(&mut i)?;
+                // Accept both `--filter ptw,fill` and the documented
+                // `--filter stage=ptw,fill` form.
+                let list = v.strip_prefix("stage=").unwrap_or(&v);
+                filter = barre_trace::StageMask::parse(list)
+                    .ok_or_else(|| err(format!("unknown stage in filter {v}")))?;
+            }
+            name if cmd == "trace" && !name.starts_with("--") && app.is_none() => {
+                app = Some(app_by_name(name).ok_or_else(|| err(format!("unknown app {name}")))?);
+            }
             other => return Err(err(format!("unknown flag {other}"))),
         }
         i += 1;
@@ -426,6 +492,16 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             root: root.unwrap_or_else(|| std::path::PathBuf::from(".")),
             json,
         }),
+        "trace" => Ok(Command::Trace {
+            app: app.ok_or_else(|| err("trace needs an app (positional or --app <name>)"))?,
+            cfg: Box::new(cfg),
+            seed,
+            out: out.unwrap_or_else(|| std::path::PathBuf::from("trace.json")),
+            opts: barre_trace::TraceOptions {
+                window: window.unwrap_or_else(|| barre_trace::TraceOptions::default().window),
+                filter,
+            },
+        }),
         other => Err(err(format!("unknown command {other}"))),
     }
 }
@@ -464,6 +540,8 @@ USAGE:
   barre bench [--json] [--quick] [flags]  timed smoke sweep + serial/parallel cross-check
   barre merge --out <dir> <inputs...>     fold shard journals / bench reports into one
   barre lint  [--json] [--root <dir>]     determinism & panic-safety lint (exit 1 on violations)
+  barre trace <app> [flags]               run one app traced; write trace.json (Perfetto-loadable)
+  barre report <trace|journal> [--top n]  per-stage p50/p95/p99 tables + slowest journeys
 
 FLAGS:
   --mode <baseline|valkyrie|least|shared-l2|barre|fbarre|fbarre1|fbarre4>
@@ -478,6 +556,11 @@ FLAGS:
   --quick                              bench: 3-app subset instead of the balanced 9
   --out <path>                         bench: report path (default BENCH_sweep.json)
                                        merge: output directory (default merged/)
+                                       trace: export path (default trace.json; .jsonl = compact)
+  --window <n>                         trace: span-ring retention (default 65536 spans)
+  --filter stage=<s1,s2,...>           trace: stages kept in the span ring (histograms
+                                       always cover every stage); names as in the report
+  --top <n>                            report: slowest journeys shown (default 10)
 
 SUPERVISOR FLAGS (sweep, chaos):
   --supervise                          run each job in a crash-isolated child process
@@ -890,6 +973,14 @@ pub fn execute(cmd: Command) -> i32 {
             print!("{}", render_chaos(&rates, &metrics));
             0
         }
+        Command::Trace {
+            app,
+            cfg,
+            seed,
+            out,
+            opts,
+        } => trace_cmd::run_trace(app, &cfg, seed, &out, &opts),
+        Command::Report { input, top } => trace_cmd::run_report(&input, top),
         Command::Merge { out, inputs } => run_merge(&out, &inputs),
         Command::Bench {
             quick,
@@ -1078,6 +1169,76 @@ mod tests {
         assert!(p(&["bench", "--jobs", "0"]).is_err());
         assert!(p(&["bench", "--jobs", "many"]).is_err());
         assert!(p(&["bench", "--out"]).is_err());
+    }
+
+    #[test]
+    fn parses_trace() {
+        // Positional app, documented `stage=` filter form, window.
+        match p(&[
+            "trace",
+            "gups",
+            "--mode",
+            "fbarre",
+            "--window",
+            "128",
+            "--filter",
+            "stage=ptw,fill",
+            "--out",
+            "/tmp/t.jsonl",
+        ])
+        .unwrap()
+        {
+            Command::Trace {
+                app,
+                cfg,
+                out,
+                opts,
+                ..
+            } => {
+                assert_eq!(app, AppId::Gups);
+                assert!(matches!(cfg.mode, TranslationMode::FBarre(_)));
+                assert_eq!(out, std::path::PathBuf::from("/tmp/t.jsonl"));
+                assert_eq!(opts.window, 128);
+                assert!(opts.filter.contains(barre_trace::Stage::Ptw));
+                assert!(!opts.filter.contains(barre_trace::Stage::TlbL1));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // --app form and defaults.
+        match p(&["trace", "--app", "gemv"]).unwrap() {
+            Command::Trace { app, out, opts, .. } => {
+                assert_eq!(app, AppId::Gemv);
+                assert_eq!(out, std::path::PathBuf::from("trace.json"));
+                assert_eq!(opts.window, 65_536);
+                assert!(opts.filter.contains(barre_trace::Stage::TlbL1));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(p(&["trace"]).is_err());
+        assert!(p(&["trace", "nosuch"]).is_err());
+        assert!(p(&["trace", "gups", "--filter", "warp-core"]).is_err());
+        assert!(p(&["trace", "gups", "--window", "0"]).is_err());
+    }
+
+    #[test]
+    fn parses_report() {
+        match p(&["report", "trace.json"]).unwrap() {
+            Command::Report { input, top } => {
+                assert_eq!(input, std::path::PathBuf::from("trace.json"));
+                assert_eq!(top, trace_cmd::DEFAULT_TOP);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match p(&["report", "--top", "3", "sweep-journal"]).unwrap() {
+            Command::Report { input, top } => {
+                assert_eq!(input, std::path::PathBuf::from("sweep-journal"));
+                assert_eq!(top, 3);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(p(&["report"]).is_err());
+        assert!(p(&["report", "a", "b"]).is_err());
+        assert!(p(&["report", "--top", "many", "t.json"]).is_err());
     }
 
     #[test]

@@ -21,8 +21,8 @@ use std::time::{Duration, Instant};
 
 use barre_system::error::EXIT_PERMANENT;
 use barre_system::journal::{
-    completed_index, fingerprint, metrics_digest, metrics_from_json, read_journal, JournalError,
-    JournalEvent, JournalRecord, JournalWriter, JOURNAL_FILE,
+    completed_index, fingerprint, metrics_digest, metrics_from_json, metrics_hist_digest,
+    read_journal, JournalError, JournalEvent, JournalRecord, JournalWriter, JOURNAL_FILE,
 };
 use barre_system::{LabeledJob, RunMetrics};
 
@@ -344,6 +344,7 @@ fn supervise_job(
                             attempts: attempt,
                             exit: a.exit,
                             digest: metrics_digest(&metrics),
+                            hist_digest: Some(metrics_hist_digest(&metrics)),
                             metrics: metrics.clone(),
                         },
                     })?;

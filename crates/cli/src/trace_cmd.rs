@@ -1,0 +1,424 @@
+//! `barre trace` and `barre report` — record one traced run and
+//! summarize trace (or journal) files.
+//!
+//! `trace` runs a single app with the lifecycle tracer attached and
+//! writes either a Chrome-trace/Perfetto JSON document (default) or the
+//! compact JSONL stream (when `--out` ends in `.jsonl`). `report` reads
+//! either export back — or a sweep journal — and prints per-stage
+//! p50/p95/p99 latency tables plus the top-N slowest journeys. All
+//! parsing goes through `barre_system::Json`, whose exact-text number
+//! handling keeps round-trips lossless.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use barre_system::{trace_app, JournalEvent, Json, SystemConfig};
+use barre_trace::export::{chrome_trace, jsonl, TraceMeta};
+use barre_trace::{LatencyHistogram, Stage, TraceOptions};
+use barre_workloads::AppId;
+
+/// Journeys shown by default in the slowest-journeys table.
+pub const DEFAULT_TOP: usize = 10;
+
+/// Runs `app` traced and writes the export to `out`. Returns the
+/// process exit code.
+pub fn run_trace(
+    app: AppId,
+    cfg: &SystemConfig,
+    seed: u64,
+    out: &Path,
+    opts: &TraceOptions,
+) -> i32 {
+    let (m, rec) = match trace_app(app, cfg, seed, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let meta = TraceMeta {
+        app: app.name().to_string(),
+        mode: cfg.mode.label(),
+        seed,
+        window: opts.window as u64,
+    };
+    let doc = if out.extension().is_some_and(|e| e == "jsonl") {
+        jsonl(&rec, &meta)
+    } else {
+        chrome_trace(&rec, &meta)
+    };
+    if let Err(e) = std::fs::write(out, &doc) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        return 1;
+    }
+    println!(
+        "traced {}/{} seed={}: {} cycles, {} span(s) recorded ({} dropped, {} filtered), {} sample(s)",
+        app.name(),
+        meta.mode,
+        seed,
+        m.total_cycles,
+        rec.ring().recorded(),
+        rec.ring().dropped(),
+        rec.filtered(),
+        rec.samples().len()
+    );
+    let stage_hists: Vec<(String, LatencyHistogram)> = Stage::ALL
+        .iter()
+        .map(|s| (s.name().to_string(), rec.stage_histogram(*s).clone()))
+        .collect();
+    print!("{}", render_stage_table(&stage_hists));
+    println!("trace written to {}", out.display());
+    0
+}
+
+/// Summarizes a trace export or a sweep journal. Returns the process
+/// exit code.
+pub fn run_report(input: &Path, top: usize) -> i32 {
+    let doc = match std::fs::read_to_string(input) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", input.display());
+            return 1;
+        }
+    };
+    let parsed = if doc.trim_start().starts_with("{\"traceEvents\"") {
+        parse_chrome_trace(&doc)
+    } else if doc
+        .lines()
+        .next()
+        .is_some_and(|l| l.contains("\"t\":\"meta\""))
+    {
+        parse_trace_jsonl(&doc)
+    } else {
+        return report_journal(input, &doc);
+    };
+    match parsed {
+        Ok(t) => {
+            print!("{}", render_trace_report(&t, top));
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {}: {e}", input.display());
+            1
+        }
+    }
+}
+
+/// A trace export read back for reporting.
+struct TraceDoc {
+    header: String,
+    stage_hists: Vec<(String, LatencyHistogram)>,
+    /// `(id, chiplet, start, duration)` of every retained whole-journey
+    /// (`cu-issue`) span.
+    journeys: Vec<(u64, u64, u64, u64)>,
+    samples: usize,
+}
+
+fn hist_from_value(v: &Json) -> Result<LatencyHistogram, String> {
+    let pairs = v
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or("histogram missing buckets")?
+        .iter()
+        .map(|p| {
+            let a = p.as_arr().ok_or("bucket pair not an array")?;
+            let i = a.first().and_then(Json::as_u64).ok_or("bad bucket index")?;
+            let c = a.get(1).and_then(Json::as_u64).ok_or("bad bucket count")?;
+            Ok((i as usize, c))
+        })
+        .collect::<Result<Vec<(usize, u64)>, String>>()?;
+    let sum = v
+        .get("sum")
+        .and_then(Json::as_u128)
+        .ok_or("histogram missing sum")?;
+    let min = v
+        .get("min")
+        .and_then(Json::as_u64)
+        .ok_or("histogram missing min")?;
+    let max = v
+        .get("max")
+        .and_then(Json::as_u64)
+        .ok_or("histogram missing max")?;
+    Ok(LatencyHistogram::from_parts(&pairs, sum, min, max))
+}
+
+fn header_of(v: &Json) -> String {
+    let s = |k: &str| v.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+    let n = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+    format!(
+        "app={} mode={} seed={} window={} spans: {} recorded, {} dropped, {} filtered",
+        s("app"),
+        s("mode"),
+        n("seed"),
+        n("window"),
+        n("spans_recorded"),
+        n("spans_dropped"),
+        n("spans_filtered"),
+    )
+}
+
+fn parse_chrome_trace(doc: &str) -> Result<TraceDoc, String> {
+    let v = Json::parse(doc)?;
+    let barre = v
+        .get("barre")
+        .ok_or("no barre section (not a barre trace?)")?;
+    let mut stage_hists = Vec::with_capacity(Stage::COUNT);
+    for (name, hv) in barre
+        .get("stage_histograms")
+        .and_then(Json::as_obj)
+        .ok_or("no stage_histograms")?
+    {
+        stage_hists.push((name.clone(), hist_from_value(hv)?));
+    }
+    let mut journeys = Vec::new();
+    for ev in v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("no traceEvents")?
+    {
+        if ev.get("name").and_then(Json::as_str) == Some(Stage::CuIssue.name()) {
+            let g = |k: &str| ev.get(k).and_then(Json::as_u64).ok_or("bad traceEvent");
+            journeys.push((g("tid")?, g("pid")?, g("ts")?, g("dur")?));
+        }
+    }
+    let samples = barre
+        .get("samples")
+        .and_then(Json::as_arr)
+        .map_or(0, <[Json]>::len);
+    Ok(TraceDoc {
+        header: header_of(barre),
+        stage_hists,
+        journeys,
+        samples,
+    })
+}
+
+fn parse_trace_jsonl(doc: &str) -> Result<TraceDoc, String> {
+    let mut header = String::new();
+    let mut stage_hists = Vec::new();
+    let mut journeys = Vec::new();
+    let mut samples = 0usize;
+    for (lineno, line) in doc.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        match v.get("t").and_then(Json::as_str) {
+            Some("meta") => header = header_of(&v),
+            Some("hist") => {
+                if v.get("scope").and_then(Json::as_str) == Some("stage") {
+                    let name = v
+                        .get("stage")
+                        .and_then(Json::as_str)
+                        .ok_or("hist line missing stage")?;
+                    let h = hist_from_value(v.get("hist").ok_or("hist line missing hist")?)?;
+                    stage_hists.push((name.to_string(), h));
+                }
+            }
+            Some("sample") => samples += 1,
+            Some("span") => {
+                if v.get("stage").and_then(Json::as_str) == Some(Stage::CuIssue.name()) {
+                    let g = |k: &str| v.get(k).and_then(Json::as_u64).ok_or("bad span line");
+                    let (start, end) = (g("start")?, g("end")?);
+                    journeys.push((g("id")?, g("chiplet")?, start, end.saturating_sub(start)));
+                }
+            }
+            _ => return Err(format!("line {}: unknown record", lineno + 1)),
+        }
+    }
+    Ok(TraceDoc {
+        header,
+        stage_hists,
+        journeys,
+        samples,
+    })
+}
+
+fn render_stage_table(stage_hists: &[(String, LatencyHistogram)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:>10} {:>9} {:>9} {:>9} {:>11} {:>9}",
+        "stage", "count", "p50", "p95", "p99", "mean", "max"
+    );
+    for (name, h) in stage_hists {
+        if h.count() == 0 {
+            let _ = writeln!(
+                s,
+                "{name:<10} {:>10} {:>9} {:>9} {:>9} {:>11} {:>9}",
+                0, "-", "-", "-", "-", "-"
+            );
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "{:<10} {:>10} {:>9} {:>9} {:>9} {:>11.1} {:>9}",
+            name,
+            h.count(),
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.mean(),
+            h.max()
+        );
+    }
+    s
+}
+
+fn render_trace_report(t: &TraceDoc, top: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{}; {} sample(s)", t.header, t.samples);
+    s.push_str(&render_stage_table(&t.stage_hists));
+    let mut slowest = t.journeys.clone();
+    // Duration-descending; break ties deterministically on (start, id).
+    slowest.sort_by_key(|&(id, _, start, dur)| (std::cmp::Reverse(dur), start, id));
+    slowest.truncate(top);
+    if !slowest.is_empty() {
+        let _ = writeln!(
+            s,
+            "top {} slowest journeys (cu-issue spans):",
+            slowest.len()
+        );
+        let _ = writeln!(
+            s,
+            "  {:>20} {:>8} {:>12} {:>10}",
+            "id", "chiplet", "start", "cycles"
+        );
+        for (id, chiplet, start, dur) in slowest {
+            let _ = writeln!(s, "  {id:>20} {chiplet:>8} {start:>12} {dur:>10}");
+        }
+    }
+    s
+}
+
+/// `barre report` on a sweep journal: one line per completed job. The
+/// percentile tables need a trace export; journals carry aggregate
+/// metrics only.
+fn report_journal(input: &Path, _doc: &str) -> i32 {
+    let path = crate::supervisor::journal_file_of(input);
+    let records = match barre_system::read_journal(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot read journal {}: {e}", path.display());
+            return 1;
+        }
+    };
+    let done = barre_system::completed_index(&records);
+    println!(
+        "journal {}: {} record(s), {} job(s) done",
+        path.display(),
+        records.len(),
+        done.len()
+    );
+    println!(
+        "{:<24} {:>12} {:>10} {:>12} {:>12} {:>18} {:>18}",
+        "job", "cycles", "ATS", "lat mean", "lat max", "digest", "hist"
+    );
+    for rec in done.values() {
+        if let JournalEvent::Done {
+            metrics,
+            digest,
+            hist_digest,
+            ..
+        } = &rec.event
+        {
+            let lat = &metrics.ats_latency;
+            let mean = if lat.count() == 0 {
+                0.0
+            } else {
+                lat.sum() as f64 / lat.count() as f64
+            };
+            let hist = hist_digest.as_deref().unwrap_or("-");
+            println!(
+                "{:<24} {:>12} {:>10} {:>12.1} {:>12} {:>18} {:>18}",
+                rec.label,
+                metrics.total_cycles,
+                metrics.ats_requests,
+                mean,
+                lat.max(),
+                digest,
+                hist
+            );
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use barre_trace::{Sample, StageMask, Tracer};
+
+    fn recorder() -> Box<barre_trace::TraceRecorder> {
+        let mut t = Tracer::recording(&TraceOptions {
+            window: 64,
+            filter: StageMask::all(),
+        });
+        t.span(Stage::CuIssue, 1, 0, 0, 100);
+        t.span(Stage::CuIssue, 2, 1, 10, 400);
+        t.span(Stage::TlbL1, 1, 0, 0, 4);
+        t.span(Stage::Ptw, 1 << 62, 0, 20, 320);
+        t.sample(Sample::default());
+        t.take_recorder().expect("recording")
+    }
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            app: "gups".into(),
+            mode: "fbarre".into(),
+            seed: 9,
+            window: 64,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_report_parser() {
+        let rec = recorder();
+        let doc = chrome_trace(&rec, &meta());
+        let t = parse_chrome_trace(&doc).expect("parse");
+        assert_eq!(t.journeys.len(), 2);
+        assert_eq!(t.samples, 1);
+        let (name, h) = t
+            .stage_hists
+            .iter()
+            .find(|(n, _)| n == "ptw")
+            .expect("ptw hist");
+        assert_eq!(name, "ptw");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 300);
+        assert_eq!(h.max(), rec.stage_histogram(Stage::Ptw).max());
+        assert_eq!(h.p99(), rec.stage_histogram(Stage::Ptw).p99());
+        assert!(t.header.contains("app=gups"));
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_report_parser() {
+        let rec = recorder();
+        let doc = jsonl(&rec, &meta());
+        let t = parse_trace_jsonl(&doc).expect("parse");
+        assert_eq!(t.journeys.len(), 2);
+        assert_eq!(t.samples, 1);
+        assert_eq!(t.stage_hists.len(), Stage::COUNT);
+        let cu = &t
+            .stage_hists
+            .iter()
+            .find(|(n, _)| n == "cu-issue")
+            .expect("cu-issue hist")
+            .1;
+        assert_eq!(cu.count(), 2);
+        assert_eq!(cu.min(), 100);
+    }
+
+    #[test]
+    fn report_renders_percentiles_and_slowest_journeys() {
+        let doc = chrome_trace(&recorder(), &meta());
+        let t = parse_chrome_trace(&doc).expect("parse");
+        let out = render_trace_report(&t, 1);
+        assert!(out.contains("tlb-l1"));
+        assert!(out.contains("p99"));
+        assert!(out.contains("top 1 slowest journeys"));
+        // Journey 2 (390 cycles) beats journey 1 (100 cycles).
+        let tail = out.lines().last().expect("rows");
+        assert!(tail.trim_start().starts_with('2'), "{tail}");
+    }
+}

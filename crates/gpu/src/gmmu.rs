@@ -57,6 +57,7 @@ impl Default for GmmuConfig {
 #[derive(Debug, Clone)]
 struct GmmuWalk {
     req: AtsRequest,
+    started_at: Cycle,
     done_at: Cycle,
     remote: bool,
 }
@@ -147,6 +148,7 @@ impl GmmuUnit {
             let done_at = now + latency;
             self.walks[slot] = Some(GmmuWalk {
                 req,
+                started_at: now,
                 done_at,
                 remote,
             });
@@ -195,6 +197,7 @@ impl GmmuUnit {
                 pec_entry: pec_entry.clone(),
                 coalesced: false,
                 iommu_tlb_hit: false,
+                walk_started_at: walk.started_at,
             },
         )];
         if let (Some(info), Some(entry), Some(pte)) = (info, pec_entry, pte) {
@@ -220,6 +223,7 @@ impl GmmuUnit {
                                 pec_entry: Some(entry.clone()),
                                 coalesced: true,
                                 iommu_tlb_hit: false,
+                                walk_started_at: walk.started_at,
                             },
                         ));
                     }

@@ -47,6 +47,10 @@ pub struct AtsResponse {
     pub coalesced: bool,
     /// Whether the producing walk hit the IOMMU TLB.
     pub iommu_tlb_hit: bool,
+    /// Cycle the serving walk occupied its walker slot (PTW-stage
+    /// tracing seam). Calculated and multicast responses carry the
+    /// primary walk's start, since that walk served them.
+    pub walk_started_at: Cycle,
 }
 
 #[cfg(test)]

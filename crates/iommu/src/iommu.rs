@@ -343,6 +343,7 @@ impl Iommu {
                 },
                 coalesced: false,
                 iommu_tlb_hit: walk.tlb_hit,
+                walk_started_at: walk.started_at,
             },
         ));
         // PEC calculation over the pending queue (§IV-F).
@@ -379,6 +380,7 @@ impl Iommu {
                                 },
                                 coalesced: true,
                                 iommu_tlb_hit: false,
+                                walk_started_at: walk.started_at,
                             },
                         ));
                     }
@@ -424,6 +426,7 @@ impl Iommu {
                             },
                             coalesced: true,
                             iommu_tlb_hit: false,
+                            walk_started_at: walk.started_at,
                         },
                     ));
                 }

@@ -76,7 +76,7 @@ impl Link {
         let ser = self.serialization(bytes);
         self.next_free = start.saturating_add(ser);
         self.total_bytes = self.total_bytes.saturating_add(bytes);
-        self.total_msgs += 1;
+        self.total_msgs = self.total_msgs.saturating_add(1);
         self.busy_cycles = self.busy_cycles.saturating_add(ser);
         self.next_free
             .saturating_add(self.latency)

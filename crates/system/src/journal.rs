@@ -390,6 +390,20 @@ pub fn metrics_digest(m: &RunMetrics) -> String {
     format!("{:016x}", fnv64(metrics_to_json(m).as_bytes()))
 }
 
+/// Digest of a run's latency-shape evidence: FNV-1a over the canonical
+/// JSON of the ATS-latency and VPN-gap histograms only. Two runs with
+/// equal hist digests saw identical latency/locality *distributions*,
+/// even if scalar counters differ — the signal `barre report` uses to
+/// spot drift between sweep shards.
+pub fn metrics_hist_digest(m: &RunMetrics) -> String {
+    let evidence = format!(
+        "{}|{}",
+        histogram_to_json(&m.ats_latency),
+        histogram_to_json(&m.vpn_gap)
+    );
+    format!("{:016x}", fnv64(evidence.as_bytes()))
+}
+
 // ---------------------------------------------------------------------------
 // RunMetrics <-> JSON
 // ---------------------------------------------------------------------------
@@ -598,6 +612,10 @@ pub enum JournalEvent {
         exit: String,
         /// [`metrics_digest`] of `metrics`.
         digest: String,
+        /// [`metrics_hist_digest`] of `metrics` — latency/locality
+        /// distribution fingerprint. `None` on records written by
+        /// older supervisors; readers must tolerate its absence.
+        hist_digest: Option<String>,
         /// The run's full metrics.
         metrics: Box<RunMetrics>,
     },
@@ -642,13 +660,20 @@ impl JournalRecord {
                 attempts,
                 exit,
                 digest,
+                hist_digest,
                 metrics,
-            } => format!(
-                "{{\"event\":\"done\",{head},\"attempts\":{attempts},\"exit\":{},\"digest\":{},\"metrics\":{}}}",
-                json_escape(exit),
-                json_escape(digest),
-                metrics_to_json(metrics)
-            ),
+            } => {
+                let hist = match hist_digest {
+                    Some(h) => format!(",\"hist_digest\":{}", json_escape(h)),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"event\":\"done\",{head},\"attempts\":{attempts},\"exit\":{},\"digest\":{}{hist},\"metrics\":{}}}",
+                    json_escape(exit),
+                    json_escape(digest),
+                    metrics_to_json(metrics)
+                )
+            }
             JournalEvent::Failed {
                 attempts,
                 exit,
@@ -696,6 +721,10 @@ impl JournalRecord {
                 attempts: attempts("attempts")?,
                 exit: field("exit")?,
                 digest: field("digest")?,
+                hist_digest: v
+                    .get("hist_digest")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
                 metrics: Box::new(metrics_from_value(
                     v.get("metrics").ok_or("missing metrics")?,
                 )?),
@@ -913,6 +942,40 @@ mod tests {
     }
 
     #[test]
+    fn hist_digest_tracks_distributions_not_counters() {
+        let a = busy_metrics();
+        let mut b = busy_metrics();
+        // A scalar-counter difference changes the metrics digest but not
+        // the distribution fingerprint…
+        b.walks = 43;
+        assert_ne!(metrics_digest(&a), metrics_digest(&b));
+        assert_eq!(metrics_hist_digest(&a), metrics_hist_digest(&b));
+        // …while one extra histogram observation flips it.
+        b.ats_latency.record(77);
+        assert_ne!(metrics_hist_digest(&a), metrics_hist_digest(&b));
+    }
+
+    #[test]
+    fn done_records_without_hist_digest_still_parse() {
+        // A line written by an older supervisor has no hist_digest field.
+        let rec = JournalRecord {
+            fingerprint: "f1".into(),
+            label: "a/b".into(),
+            event: JournalEvent::Done {
+                attempts: 1,
+                exit: "ok".into(),
+                digest: metrics_digest(&busy_metrics()),
+                hist_digest: None,
+                metrics: Box::new(busy_metrics()),
+            },
+        };
+        let line = rec.to_line();
+        assert!(!line.contains("hist_digest"), "{line}");
+        let back = JournalRecord::from_line(&line).expect("parse legacy line");
+        assert_eq!(rec, back);
+    }
+
+    #[test]
     fn records_roundtrip_through_lines() {
         let recs = [
             JournalRecord {
@@ -927,6 +990,7 @@ mod tests {
                     attempts: 2,
                     exit: "ok".into(),
                     digest: metrics_digest(&busy_metrics()),
+                    hist_digest: Some(metrics_hist_digest(&busy_metrics())),
                     metrics: Box::new(busy_metrics()),
                 },
             },
@@ -961,6 +1025,7 @@ mod tests {
                 attempts: 1,
                 exit: "ok".into(),
                 digest: metrics_digest(&busy_metrics()),
+                hist_digest: None,
                 metrics: Box::new(busy_metrics()),
             },
         };
@@ -983,6 +1048,100 @@ mod tests {
     }
 
     #[test]
+    fn torn_trace_jsonl_tail_is_dropped_and_duplicate_done_last_wins() {
+        let dir =
+            std::env::temp_dir().join(format!("barre-journal-trace-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(JOURNAL_FILE);
+        let _ = std::fs::remove_file(&path);
+        let w = JournalWriter::open(&path).expect("open");
+        let done = |cycles: u64| JournalRecord {
+            fingerprint: "f1".into(),
+            label: "gups/fbarre".into(),
+            event: JournalEvent::Done {
+                attempts: 1,
+                exit: "ok".into(),
+                digest: metrics_digest(&RunMetrics {
+                    total_cycles: cycles,
+                    ..Default::default()
+                }),
+                hist_digest: Some(metrics_hist_digest(&RunMetrics::default())),
+                metrics: Box::new(RunMetrics {
+                    total_cycles: cycles,
+                    ..Default::default()
+                }),
+            },
+        };
+        // The same fingerprint completes twice (a rerun shard); then the
+        // process dies mid-append while writing an attached trace-JSONL
+        // histogram payload, leaving a torn tail that is valid JSON
+        // *prefix* but not a journal record.
+        w.append(&done(10)).expect("append 1");
+        w.append(&done(20)).expect("append 2");
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("open raw");
+            write!(
+                f,
+                "{{\"t\":\"hist\",\"scope\":\"stage\",\"stage\":\"ptw\",\"hist\":{{\"buckets\":[[12,"
+            )
+            .expect("torn write");
+        }
+        let recs = read_journal(&path).expect("read");
+        assert_eq!(recs.len(), 2);
+        let index = completed_index(&recs);
+        assert_eq!(index.len(), 1);
+        match &index["f1"].event {
+            JournalEvent::Done { metrics, .. } => assert_eq!(metrics.total_cycles, 20),
+            other => panic!("expected done, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn complete_trace_jsonl_interior_line_is_corruption() {
+        let dir = std::env::temp_dir().join(format!(
+            "barre-journal-trace-interior-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(JOURNAL_FILE);
+        let _ = std::fs::remove_file(&path);
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&path).expect("create");
+            // A syntactically complete trace-JSONL line in the middle of
+            // a journal is not a crash artifact — it must error, not be
+            // silently skipped.
+            writeln!(
+                f,
+                "{{\"t\":\"span\",\"stage\":\"ptw\",\"id\":1,\"chiplet\":0,\"start\":5,\"end\":9}}"
+            )
+            .expect("write");
+            writeln!(
+                f,
+                "{}",
+                JournalRecord {
+                    fingerprint: "f2".into(),
+                    label: "a/b".into(),
+                    event: JournalEvent::Start { attempt: 1 },
+                }
+                .to_line()
+            )
+            .expect("write");
+        }
+        let err = read_journal(&path).expect_err("interior corruption");
+        assert!(
+            matches!(err, JournalError::Malformed { line: 1, .. }),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
     fn merge_unions_and_detects_conflicts() {
         let done = |fp: &str, cycles: u64| JournalRecord {
             fingerprint: fp.into(),
@@ -994,6 +1153,10 @@ mod tests {
                     total_cycles: cycles,
                     ..Default::default()
                 }),
+                hist_digest: Some(metrics_hist_digest(&RunMetrics {
+                    total_cycles: cycles,
+                    ..Default::default()
+                })),
                 metrics: Box::new(RunMetrics {
                     total_cycles: cycles,
                     ..Default::default()

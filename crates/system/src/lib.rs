@@ -48,14 +48,14 @@ pub use config::{
 pub use error::SimError;
 pub use journal::{
     completed_index, fingerprint, merge_journals, metrics_digest, metrics_from_json,
-    metrics_to_json, read_journal, JournalError, JournalEvent, JournalRecord, JournalWriter,
-    JOURNAL_FILE,
+    metrics_hist_digest, metrics_to_json, read_journal, JournalError, JournalEvent, JournalRecord,
+    JournalWriter, Json, JOURNAL_FILE,
 };
 pub use machine::{L2Payload, Machine};
 pub use metrics::{geomean, speedup, RunMetrics};
 pub use runner::{
     build_machine, chaos_jobs, run_app, run_batch, run_pair, run_spec, smoke_config, summary_line,
-    sweep_jobs, BatchJob, LabeledJob,
+    sweep_jobs, trace_app, BatchJob, LabeledJob,
 };
 #[cfg(feature = "sanitizer")]
 pub use sanitizer::{SanitizerReport, Violation};

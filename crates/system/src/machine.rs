@@ -25,6 +25,7 @@ use barre_mapping::Acud;
 use barre_mem::{ChipletId, FrameAllocator, GlobalPfn, PageTable, Vpn};
 use barre_sim::{Cycle, EventQueue, FaultInjector, Link};
 use barre_tlb::{MshrFile, MshrOutcome, Tlb, TlbKey};
+use barre_trace::{Sample, Stage, TraceOptions, TraceRecorder, Tracer};
 
 use crate::config::{MmuKind, SystemConfig, TranslationMode};
 use crate::error::SimError;
@@ -53,6 +54,9 @@ const MSHR_RETRY: Cycle = 30;
 const L1_PEER_PROBE: Cycle = 5;
 /// PEC calculation latency on the chiplet-side path.
 const CHIPLET_PEC_CALC: Cycle = 2;
+/// Offset separating ATS/PTW infrastructure span ids from per-request
+/// journey ids in the trace (Chrome-trace `tid` namespace).
+const ATS_TRACE_ID_BASE: u64 = 1 << 62;
 
 #[derive(Debug)]
 enum Ev {
@@ -141,6 +145,13 @@ struct PageReq {
     pfn: Option<GlobalPfn>,
     /// MSHR-full replay attempts (drives exponential backoff).
     attempts: u8,
+    /// Unique journey id (tracing; assigned at issue).
+    trace_id: u64,
+    /// Cycle the warp issued this page access (journey-span anchor).
+    issued_at: Cycle,
+    /// Cycle this request entered the L2 miss path (fill-span anchor;
+    /// 0 until the first primary/merged MSHR allocation).
+    miss_at: Cycle,
 }
 
 struct ChipletState {
@@ -209,6 +220,13 @@ pub struct Machine {
     ats_epoch: u64,
     /// Cycle of the last retired warp memory access (watchdog input).
     last_progress: Cycle,
+    /// Translation-path tracer ([`Tracer::Noop`] unless the machine was
+    /// started through [`Machine::run_traced`]). Tracing is passive — it
+    /// never schedules events — so recording cannot perturb cycle
+    /// counts, and the Noop arms keep the hot path on its profile.
+    tracer: Tracer,
+    /// Journey-id allocator for traced page requests.
+    trace_seq: u64,
     /// Accumulated conservation-law violations (sanitizer builds only).
     #[cfg(feature = "sanitizer")]
     san: crate::sanitizer::SanitizerReport,
@@ -369,6 +387,8 @@ impl Machine {
             ats_pending: AtsPendingTable::new(n),
             ats_epoch: 0,
             last_progress: 0,
+            tracer: Tracer::Noop,
+            trace_seq: 0,
             #[cfg(feature = "sanitizer")]
             san: crate::sanitizer::SanitizerReport::default(),
             cfg,
@@ -388,6 +408,37 @@ impl Machine {
     /// without demand paging, [`SimError::OutOfFrames`] when a
     /// demand-paging fault cannot be served.
     pub fn run(mut self) -> Result<RunMetrics, SimError> {
+        self.run_loop()?;
+        Ok(self.finalize())
+    }
+
+    /// Runs the machine to completion with a recording tracer attached,
+    /// returning the measurements together with the trace recorder
+    /// (stage/chiplet latency histograms, the span ring, and the
+    /// event-cadence time-series samples).
+    ///
+    /// Tracing is passive — it schedules nothing and reads no clocks —
+    /// so the returned `RunMetrics` are byte-identical to an untraced
+    /// [`Machine::run`] of the same machine, and the recorder's contents
+    /// are deterministic for a fixed seed.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Machine::run`].
+    pub fn run_traced(
+        mut self,
+        opts: &TraceOptions,
+    ) -> Result<(RunMetrics, Box<TraceRecorder>), SimError> {
+        self.tracer = Tracer::recording(opts);
+        self.run_loop()?;
+        let recorder = self
+            .tracer
+            .take_recorder()
+            .unwrap_or_else(|| Box::new(TraceRecorder::new(&TraceOptions::default())));
+        Ok((self.finalize(), recorder))
+    }
+
+    fn run_loop(&mut self) -> Result<(), SimError> {
         // Prime every CU slot, staggered: real kernels ramp up as blocks
         // arrive over thousands of cycles; starting every stream at t=0
         // phase-locks the whole machine into translation/memory waves.
@@ -426,6 +477,11 @@ impl Machine {
             if self.queue.processed().is_multiple_of(SANITIZER_EPOCH) {
                 self.sanitizer_check(false);
             }
+            // Time-series sampling rides the sanitizer cadence (passive:
+            // reads counters, schedules nothing).
+            if self.tracer.is_enabled() && self.queue.processed().is_multiple_of(SANITIZER_EPOCH) {
+                self.trace_sample();
+            }
             if self.queue.processed() >= budget {
                 return Err(SimError::EventBudgetExceeded {
                     processed: self.queue.processed(),
@@ -439,7 +495,46 @@ impl Machine {
         }
         #[cfg(feature = "sanitizer")]
         self.sanitizer_check(true);
-        Ok(self.finalize())
+        // Final sample at drain so the time series always covers the
+        // run's tail.
+        if self.tracer.is_enabled() {
+            self.trace_sample();
+        }
+        Ok(())
+    }
+
+    /// Snapshots cumulative counters into the tracer's time series.
+    fn trace_sample(&mut self) {
+        let mut l1 = (0u64, 0u64);
+        let mut l2 = (0u64, 0u64);
+        for ch in &self.chiplets {
+            for t in &ch.l1_tlbs {
+                let (h, m) = t.hits_misses();
+                l1.0 = l1.0.saturating_add(h);
+                l1.1 = l1.1.saturating_add(m);
+            }
+            let (h, m) = ch.l2_tlb.hits_misses();
+            l2.0 = l2.0.saturating_add(h);
+            l2.1 = l2.1.saturating_add(m);
+        }
+        if let Some(shared) = &self.shared_l2 {
+            let (h, m) = shared.hits_misses();
+            l2.0 = l2.0.saturating_add(h);
+            l2.1 = l2.1.saturating_add(m);
+        }
+        let sample = Sample {
+            cycle: self.now,
+            events: self.queue.processed(),
+            l1_hits: l1.0,
+            l1_misses: l1.1,
+            l2_hits: l2.0,
+            l2_misses: l2.1,
+            ats_in_flight: self.req_track.len() as u64,
+            pcie_bytes: self.pcie_up.total_bytes() + self.pcie_down.total_bytes(),
+            mesh_bytes: self.mesh.total_bytes()
+                + self.filter_vc.iter().map(Link::total_bytes).sum::<u64>(),
+        };
+        self.tracer.sample(sample);
     }
 
     fn handle(&mut self, ev: Ev) -> Result<(), SimError> {
@@ -576,6 +671,7 @@ impl Machine {
                         pages_left: pages.len() as u32,
                     });
                     for (vpn, off) in pages {
+                        self.trace_seq += 1;
                         let page = self.alloc_page(PageReq {
                             inst,
                             asid,
@@ -586,6 +682,9 @@ impl Machine {
                             cu,
                             pfn: None,
                             attempts: 0,
+                            trace_id: self.trace_seq,
+                            issued_at: now,
+                            miss_at: 0,
                         });
                         self.queue.push(now, Ev::Translate { page });
                     }
@@ -605,10 +704,20 @@ impl Machine {
             vpn: p.vpn,
         };
         self.m.l1_tlb_lookups += 1;
+        let l1_done = now + self.cfg.l1_tlb_latency;
+        self.tracer
+            .span(Stage::TlbL1, p.trace_id, p.chiplet as u16, now, l1_done);
         let cu_idx = self.cfg.topology.cu_index_flat(p.cu);
         let cu_l1 = &mut self.chiplets[p.chiplet as usize].l1_tlbs[cu_idx];
         if let Some(&pfn) = cu_l1.lookup(key) {
             self.pages[page as usize].pfn = Some(pfn);
+            self.tracer.span(
+                Stage::CuIssue,
+                p.trace_id,
+                p.chiplet as u16,
+                p.issued_at,
+                l1_done,
+            );
             self.queue
                 .push(now + self.cfg.l1_tlb_latency, Ev::MemStart { page });
             return;
@@ -628,6 +737,13 @@ impl Machine {
                 let idx = self.cfg.topology.cu_index_flat(p.cu);
                 ch.l1_tlbs[idx].insert(key, pfn);
                 self.pages[page as usize].pfn = Some(pfn);
+                self.tracer.span(
+                    Stage::CuIssue,
+                    p.trace_id,
+                    p.chiplet as u16,
+                    p.issued_at,
+                    now + self.cfg.l1_tlb_latency + L1_PEER_PROBE,
+                );
                 self.queue.push(
                     now + self.cfg.l1_tlb_latency + L1_PEER_PROBE,
                     Ev::MemStart { page },
@@ -657,6 +773,20 @@ impl Machine {
                 .copied(),
         };
         if let Some(payload) = hit {
+            self.tracer.span(
+                Stage::TlbL2,
+                p.trace_id,
+                p.chiplet as u16,
+                now + self.cfg.l1_tlb_latency,
+                t1,
+            );
+            self.tracer.span(
+                Stage::CuIssue,
+                p.trace_id,
+                p.chiplet as u16,
+                p.issued_at,
+                t1,
+            );
             self.fill_l1(p.chiplet, p.cu, key, payload.pfn);
             self.pages[page as usize].pfn = Some(payload.pfn);
             self.queue.push(t1, Ev::MemStart { page });
@@ -666,7 +796,16 @@ impl Machine {
             .l2_mshr
             .allocate(key, Some(page))
         {
-            MshrOutcome::Merged => {}
+            MshrOutcome::Merged => {
+                self.tracer.span(
+                    Stage::TlbL2,
+                    p.trace_id,
+                    p.chiplet as u16,
+                    now + self.cfg.l1_tlb_latency,
+                    t1,
+                );
+                self.pages[page as usize].miss_at = now;
+            }
             MshrOutcome::Full => {
                 // MSHR file full: the access replays with exponential
                 // backoff plus a deterministic per-page jitter. The
@@ -686,6 +825,14 @@ impl Machine {
             MshrOutcome::Primary => {
                 // MPKI counts unique (primary) misses; merged duplicates
                 // ride the same outstanding translation.
+                self.tracer.span(
+                    Stage::TlbL2,
+                    p.trace_id,
+                    p.chiplet as u16,
+                    now + self.cfg.l1_tlb_latency,
+                    t1,
+                );
+                self.pages[page as usize].miss_at = now;
                 self.pages[page as usize].attempts = 0;
                 self.m.l2_tlb_misses += 1;
                 // Miss-path replay overhead: the LSU re-plays the warp's
@@ -751,6 +898,8 @@ impl Machine {
                     self.m.intra_mcm_translations += 1;
                     self.m.lcf_translations += 1;
                     let done = t + 1 + self.cfg.l2_tlb_latency + CHIPLET_PEC_CALC;
+                    self.tracer
+                        .span(Stage::PecLookup, p.trace_id, p.chiplet as u16, t, done);
                     self.finish_l2_miss_at(p.chiplet, key, payload, done);
                     return;
                 }
@@ -1122,6 +1271,13 @@ impl Machine {
             let at = self
                 .pcie_down
                 .send_jittered(ready, ATS_RESPONSE_BYTES, spike);
+            self.tracer.span(
+                Stage::Ptw,
+                ATS_TRACE_ID_BASE.wrapping_add(resp.req.id),
+                resp.req.chiplet.0 as u16,
+                resp.walk_started_at,
+                ready,
+            );
             self.queue.push(at, Ev::RespArrive { resp });
         }
     }
@@ -1166,12 +1322,31 @@ impl Machine {
             {
                 continue;
             }
+            self.tracer.span(
+                Stage::Ptw,
+                ATS_TRACE_ID_BASE.wrapping_add(resp.req.id),
+                resp.req.chiplet.0 as u16,
+                resp.walk_started_at,
+                ready,
+            );
             self.queue.push(ready, Ev::RespArrive { resp });
         }
     }
 
     fn resp_arrive(&mut self, resp: AtsResponse) -> Result<(), SimError> {
         let now = self.now;
+        // Full PCIe round trip of this request: L2-miss issue to response
+        // arrival. GMMU responses never cross PCIe, so they carry no
+        // ats-pcie span.
+        if self.cfg.mmu == MmuKind::Iommu {
+            self.tracer.span(
+                Stage::AtsPcie,
+                ATS_TRACE_ID_BASE.wrapping_add(resp.req.id),
+                resp.req.chiplet.0 as u16,
+                resp.req.issued_at,
+                now,
+            );
+        }
         let Some(pfn) = resp.pfn else {
             return self.page_fault(resp.req.asid, resp.req.vpn, resp.req.chiplet.0, now);
         };
@@ -1403,6 +1578,12 @@ impl Machine {
             let p = self.pages[w as usize].clone();
             self.fill_l1(p.chiplet, p.cu, key, payload.pfn);
             self.pages[w as usize].pfn = Some(payload.pfn);
+            // Per-waiter fill span (miss to wake) plus the whole-journey
+            // span; prefetch fills have no waiters and trace nothing.
+            self.tracer
+                .span(Stage::Fill, p.trace_id, p.chiplet as u16, p.miss_at, t);
+            self.tracer
+                .span(Stage::CuIssue, p.trace_id, p.chiplet as u16, p.issued_at, t);
             self.queue.push(t, Ev::MemStart { page: w });
         }
     }
@@ -1772,8 +1953,9 @@ impl Machine {
     }
 }
 
-/// Events between conservation-law checks (sanitizer builds).
-#[cfg(feature = "sanitizer")]
+/// Events between conservation-law checks (sanitizer builds) and
+/// tracer time-series samples — one cadence so a traced sanitizer run
+/// lines the two up.
 const SANITIZER_EPOCH: u64 = 65_536;
 
 #[cfg(feature = "sanitizer")]

@@ -11,6 +11,7 @@ use barre_core::driver::{AllocError, BarreAllocator, MappingPlan};
 use barre_core::{CoalMode, PecEntry};
 use barre_gpu::{Cta, CtaId, CtaScheduler};
 use barre_mem::{FrameAllocator, GlobalPfn, PageTable, Pte, PteFlags, VirtAddr, VirtAllocator};
+use barre_trace::{TraceOptions, TraceRecorder};
 use barre_workloads::{AppId, AppPair, WorkloadSpec};
 
 use crate::config::{SystemConfig, TranslationMode};
@@ -178,6 +179,25 @@ pub fn run_app(app: AppId, cfg: &SystemConfig, seed: u64) -> Result<RunMetrics, 
 /// Everything [`build_machine`] and [`Machine::run`] can report.
 pub fn run_spec(spec: WorkloadSpec, cfg: &SystemConfig, seed: u64) -> Result<RunMetrics, SimError> {
     build_machine(&[spec], cfg, seed)?.run()
+}
+
+/// Runs one application with the lifecycle tracer attached, returning
+/// the measurements and the recorded trace (stage/chiplet latency
+/// histograms, span ring, time-series samples).
+///
+/// Tracing is passive: the `RunMetrics` here are byte-identical to an
+/// untraced [`run_app`] of the same `(app, cfg, seed)`.
+///
+/// # Errors
+///
+/// Everything [`build_machine`] and [`Machine::run`] can report.
+pub fn trace_app(
+    app: AppId,
+    cfg: &SystemConfig,
+    seed: u64,
+    opts: &TraceOptions,
+) -> Result<(RunMetrics, Box<TraceRecorder>), SimError> {
+    build_machine(&[app.spec()], cfg, seed)?.run_traced(opts)
 }
 
 /// One independent simulation job for [`run_batch`]: a workload, a
@@ -372,6 +392,26 @@ mod tests {
             base.ats_requests
         );
         assert!(speedup(&base, &fb) > 0.5);
+    }
+
+    #[test]
+    fn tracing_is_passive() {
+        // Recording must not perturb the simulation: metrics digests of
+        // a traced and an untraced run of the same (app, cfg, seed) are
+        // identical, and the recorder actually saw the journey.
+        let cfg = smoke_config();
+        let plain = run_app(AppId::Gups, &cfg, 7);
+        let (traced, rec) = trace_app(AppId::Gups, &cfg, 7, &barre_trace::TraceOptions::default())
+            .expect("traced run failed");
+        assert_eq!(
+            crate::journal::metrics_digest(&plain),
+            crate::journal::metrics_digest(&traced)
+        );
+        assert!(rec.ring().recorded() > 0, "no spans recorded");
+        assert!(
+            rec.stage_histogram(barre_trace::Stage::CuIssue).count() > 0,
+            "no journeys recorded"
+        );
     }
 
     #[test]

@@ -180,6 +180,14 @@ impl<P> Tlb<P> {
         self.stats
     }
 
+    /// Demand `(hits, misses)` snapshot. The tracer's time-series
+    /// sampler reads this on its event-cadence without touching recency
+    /// or statistics state.
+    pub fn hits_misses(&self) -> (u64, u64) {
+        let h = self.stats.hits();
+        (h, self.stats.total().saturating_sub(h))
+    }
+
     /// Number of capacity/conflict evictions so far.
     pub fn evictions(&self) -> u64 {
         self.evictions

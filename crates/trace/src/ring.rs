@@ -1,0 +1,124 @@
+//! Bounded span ring with deterministic drop accounting.
+//!
+//! Once the ring is full, each new span overwrites the oldest one and
+//! bumps the `dropped` counter. Because the simulation driving the ring
+//! is single-threaded and cycle-deterministic, the retained window and
+//! the drop count are byte-identical across runs and `--jobs` settings.
+
+use crate::Span;
+
+/// Fixed-capacity ring of completed stage spans.
+#[derive(Debug, Clone)]
+pub struct SpanRing {
+    cap: usize,
+    spans: Vec<Span>,
+    /// Next write position once the ring has wrapped.
+    cursor: usize,
+    dropped: u64,
+}
+
+impl SpanRing {
+    /// Creates a ring retaining at most `cap` spans (`cap` ≥ 1 enforced).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            cap,
+            spans: Vec::new(),
+            cursor: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Retention capacity in spans.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Appends a span, overwriting the oldest (and counting it as
+    /// dropped) when full.
+    pub fn push(&mut self, span: Span) {
+        if self.spans.len() < self.cap {
+            self.spans.push(span);
+        } else {
+            self.spans[self.cursor] = span;
+            self.cursor = (self.cursor + 1) % self.cap;
+            self.dropped = self.dropped.saturating_add(1);
+        }
+    }
+
+    /// Spans currently retained, oldest first (recording order).
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        let (tail, head) = self.spans.split_at(self.cursor.min(self.spans.len()));
+        head.iter().chain(tail.iter())
+    }
+
+    /// Number of spans overwritten after the ring filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total spans ever pushed (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        (self.spans.len() as u64).saturating_add(self.dropped)
+    }
+
+    /// Number of spans currently retained.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stage;
+
+    fn span(id: u64) -> Span {
+        Span {
+            id,
+            chiplet: 0,
+            stage: Stage::TlbL1,
+            start: id * 10,
+            end: id * 10 + 5,
+        }
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut r = SpanRing::new(4);
+        for i in 0..3 {
+            r.push(span(i));
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.recorded(), 3);
+        let ids: Vec<_> = r.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_in_order() {
+        let mut r = SpanRing::new(3);
+        for i in 0..5 {
+            r.push(span(i));
+        }
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.recorded(), 5);
+        let ids: Vec<_> = r.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = SpanRing::new(0);
+        r.push(span(7));
+        r.push(span(8));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.iter().next().map(|s| s.id), Some(8));
+    }
+}
