@@ -3,7 +3,7 @@
 //! | Rule | What it catches |
 //! |------|-----------------|
 //! | D001 | hash-based collections in sim-facing crates (iteration order) |
-//! | D002 | wall-clock reads outside bench/cli code |
+//! | D002 | wall-clock reads outside bench/cli/serve code |
 //! | D003 | ambient entropy (anything but the in-tree seeded RNG) |
 //! | P001 | panicking calls in non-test library code |
 //! | C001 | lossy `as` casts on cycle/address-typed expressions |
@@ -45,8 +45,13 @@ pub struct FileLint {
 struct FileScope {
     /// Crate is in the deterministic-simulation set (D001 applies).
     sim_facing: bool,
-    /// Bench or CLI code (wall-clock reads allowed).
-    bench_or_cli: bool,
+    /// Wall-clock reads allowed (bench/cli frontends, and the serve
+    /// daemon, whose deadlines and latency stats are inherently
+    /// wall-clock).
+    wall_clock_ok: bool,
+    /// Panicking calls allowed (bench/cli frontends only — the daemon
+    /// must stay up, so `serve` is NOT in this set).
+    panic_ok: bool,
     /// Integration test / example file (panic rules do not apply).
     test_file: bool,
     /// Library source of an API crate (A001 doc coverage applies).
@@ -67,6 +72,7 @@ const SIM_FACING: &[&str] = &[
     "core",
     "system",
     "trace",
+    "serve",
 ];
 
 fn scope_for(path: &str) -> FileScope {
@@ -79,9 +85,11 @@ fn scope_for(path: &str) -> FileScope {
         || path.contains("/examples/")
         || path.starts_with("examples/");
     let bench = path.contains("/benches/") || path.starts_with("benches/");
+    let frontend = bench || crate_name == "cli" || crate_name == "bench";
     FileScope {
         sim_facing: SIM_FACING.contains(&crate_name),
-        bench_or_cli: bench || crate_name == "cli" || crate_name == "bench",
+        wall_clock_ok: frontend || crate_name == "serve",
+        panic_ok: frontend,
         test_file,
         doc_required: path.starts_with("crates/core/src/")
             || path.starts_with("crates/system/src/"),
@@ -118,14 +126,14 @@ pub fn lint_source(path: &str, src: &str) -> FileLint {
             ));
         }
 
-        // D002: wall-clock reads outside bench/cli.
-        if !scope.bench_or_cli && !in_test && (t.text == "Instant" || t.text == "SystemTime") {
+        // D002: wall-clock reads outside bench/cli/serve.
+        if !scope.wall_clock_ok && !in_test && (t.text == "Instant" || t.text == "SystemTime") {
             raw.push((
                 t.line,
                 "D002",
-                format!("wall-clock read ({}) outside bench/cli code", t.text),
+                format!("wall-clock read ({}) outside bench/cli/serve code", t.text),
                 "derive timing from the simulated clock; wall-clock time is only \
-                 meaningful in bench/cli frontends",
+                 meaningful in bench/cli frontends and the serve daemon",
             ));
         }
 
@@ -151,7 +159,7 @@ pub fn lint_source(path: &str, src: &str) -> FileLint {
         }
 
         // P001: panicking calls in non-test library code.
-        if !in_test && !scope.bench_or_cli {
+        if !in_test && !scope.panic_ok {
             let after_dot = i > 0 && out.tokens[i - 1].is_punct('.');
             let before_bang = out.tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
             let hit = (after_dot && (t.text == "unwrap" || t.text == "expect"))
@@ -537,12 +545,31 @@ mod tests {
     }
 
     #[test]
-    fn d002_allowed_in_bench_and_cli() {
+    fn d002_allowed_in_bench_cli_and_serve() {
         let src = "let t = Instant::now();";
         assert_eq!(rules_of("crates/system/src/x.rs", src), vec!["D002"]);
         assert!(rules_of("crates/cli/src/lib.rs", src).is_empty());
         assert!(rules_of("crates/system/benches/b.rs", src).is_empty());
         assert!(rules_of("crates/bench/src/lib.rs", src).is_empty());
+        // The daemon's deadlines are wall-clock by nature.
+        assert!(rules_of("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serve_is_sim_facing_but_must_not_panic() {
+        // D001/C002 treat serve like any sim-facing crate…
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_of("crates/serve/src/cache.rs", src), vec!["D001"]);
+        let acc = "fn f(&mut self) { self.total_bytes += n; }";
+        assert_eq!(rules_of("crates/serve/src/stats.rs", acc), vec!["C002"]);
+        // …and P001 still applies: a panic in the daemon kills every
+        // in-flight request, unlike the one-shot CLI frontends.
+        let panicky = "fn f() { a.unwrap(); }";
+        assert_eq!(
+            rules_of("crates/serve/src/server.rs", panicky),
+            vec!["P001"]
+        );
+        assert!(rules_of("crates/cli/src/lib.rs", panicky).is_empty());
     }
 
     #[test]

@@ -127,26 +127,6 @@ pub fn sweep_specs_or_exit(
     })
 }
 
-/// Runs `specs × cfgs`, returning `results[spec][cfg]`. Thin panicking
-/// shim over [`try_sweep_specs`].
-///
-/// # Panics
-///
-/// Panics on any [`barre_system::SimError`]. No in-tree caller remains;
-/// use [`try_sweep_specs`] (callers that can report errors) or
-/// [`sweep_specs_or_exit`] (fig-bench binaries) instead.
-#[deprecated(
-    since = "0.4.0",
-    note = "panics on SimError; use try_sweep_specs or sweep_specs_or_exit"
-)]
-pub fn sweep_specs(
-    specs: &[WorkloadSpec],
-    cfgs: &[(String, SystemConfig)],
-    seed: u64,
-) -> Vec<Vec<RunMetrics>> {
-    try_sweep_specs(specs, cfgs, seed, None).unwrap_or_else(|e| panic!("{e}"))
-}
-
 /// Prints a speedup table: one row per app, one column per non-baseline
 /// config (speedup over column 0), plus a geometric-mean footer row.
 pub fn print_speedups(

@@ -27,14 +27,16 @@
 //! transition so an interrupted campaign resumes with byte-identical
 //! output.
 
-use barre_mapping::PolicyKind;
-use barre_mem::PageSize;
 use barre_system::{
     chaos_jobs, run_app, run_batch, run_pair, run_spec, speedup, summary_line, sweep_jobs,
-    BatchJob, FBarreConfig, LabeledJob, MmuKind, RunMetrics, SimError, SystemConfig,
-    TranslationMode,
+    BatchJob, LabeledJob, MmuKind, RunMetrics, SimError, SystemConfig, TranslationMode,
 };
 use barre_workloads::{AppId, AppPair};
+
+// Request-vocabulary helpers live with the daemon's validator so the CLI
+// and `barre serve` resolve names identically; re-exported here for the
+// existing callers.
+pub use barre_serve::request::{app_by_name, mode_by_name, page_size_by_name, policy_by_name};
 
 pub mod supervisor;
 pub mod trace_cmd;
@@ -52,6 +54,9 @@ pub enum Command {
         cfg: Box<SystemConfig>,
         seed: u64,
         baseline: bool,
+        /// Print only the canonical metrics JSON line (the `barre serve`
+        /// child protocol); failures exit with [`SimError::exit_code`].
+        metrics_json: bool,
     },
     /// `barre sweep` — run a set of apps, print speedups vs baseline.
     Sweep {
@@ -117,6 +122,11 @@ pub enum Command {
         input: std::path::PathBuf,
         top: usize,
     },
+    /// `barre serve` — long-running simulation daemon (JSONL over TCP
+    /// plus an HTTP health shim); see [`barre_serve`].
+    Serve {
+        opts: Box<barre_serve::ServeOptions>,
+    },
     /// `barre help`.
     Help,
 }
@@ -135,53 +145,6 @@ impl std::error::Error for ParseError {}
 
 fn err(msg: impl Into<String>) -> ParseError {
     ParseError(msg.into())
-}
-
-/// Resolves an application by its Table I abbreviation.
-pub fn app_by_name(name: &str) -> Option<AppId> {
-    AppId::all().into_iter().find(|a| a.name() == name)
-}
-
-/// Resolves a translation mode label.
-pub fn mode_by_name(name: &str) -> Option<TranslationMode> {
-    Some(match name {
-        "baseline" => TranslationMode::Baseline,
-        "valkyrie" => TranslationMode::Valkyrie,
-        "least" => TranslationMode::Least,
-        "shared-l2" => TranslationMode::SharedL2Ideal,
-        "barre" => TranslationMode::Barre,
-        "fbarre" | "fbarre2" => TranslationMode::FBarre(FBarreConfig::default()),
-        "fbarre1" | "fbarre-nomerge" => TranslationMode::FBarre(FBarreConfig {
-            max_merged: 1,
-            ..FBarreConfig::default()
-        }),
-        "fbarre4" => TranslationMode::FBarre(FBarreConfig {
-            max_merged: 4,
-            ..FBarreConfig::default()
-        }),
-        _ => return None,
-    })
-}
-
-/// Resolves a mapping policy label.
-pub fn policy_by_name(name: &str) -> Option<PolicyKind> {
-    Some(match name {
-        "lasp" => PolicyKind::Lasp,
-        "coda" => PolicyKind::Coda,
-        "rr" | "round-robin" => PolicyKind::RoundRobin,
-        "chunking" => PolicyKind::Chunking,
-        _ => return None,
-    })
-}
-
-/// Resolves a page-size label.
-pub fn page_size_by_name(name: &str) -> Option<PageSize> {
-    Some(match name {
-        "4k" | "4kb" => PageSize::Size4K,
-        "64k" | "64kb" => PageSize::Size64K,
-        "2m" | "2mb" => PageSize::Size2M,
-        _ => return None,
-    })
 }
 
 /// Parses the full argument list (without the program name).
@@ -255,6 +218,72 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             top,
         });
     }
+    // `serve` has its own flag vocabulary (daemon knobs, not simulation
+    // knobs), so it too gets a dedicated parser.
+    if cmd == "serve" {
+        let mut opts = barre_serve::ServeOptions::default();
+        let mut i = 1;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = |i: &mut usize| -> Result<String, ParseError> {
+                *i += 1;
+                args.get(*i)
+                    .cloned()
+                    .ok_or_else(|| err(format!("flag {flag} needs a value")))
+            };
+            match flag {
+                "--host" => opts.host = value(&mut i)?,
+                "--port" => {
+                    let v = value(&mut i)?;
+                    opts.port = v.parse().map_err(|_| err(format!("bad port {v}")))?;
+                }
+                "--workers" => {
+                    let v = value(&mut i)?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| err(format!("bad worker count {v}")))?;
+                    if n == 0 {
+                        return Err(err("--workers must be at least 1"));
+                    }
+                    opts.workers = Some(n);
+                }
+                "--queue-cap" => {
+                    let v = value(&mut i)?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| err(format!("bad queue capacity {v}")))?;
+                    if n == 0 {
+                        return Err(err("--queue-cap must be at least 1"));
+                    }
+                    opts.queue_cap = n;
+                }
+                "--cache-dir" => opts.cache_dir = std::path::PathBuf::from(value(&mut i)?),
+                "--timeout" => {
+                    let v = value(&mut i)?;
+                    let secs: f64 = v.parse().map_err(|_| err(format!("bad timeout {v}")))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(err(format!("timeout {v} must be positive seconds")));
+                    }
+                    opts.timeout = std::time::Duration::from_secs_f64(secs);
+                }
+                "--retries" => {
+                    let v = value(&mut i)?;
+                    opts.retries = v.parse().map_err(|_| err(format!("bad retry count {v}")))?;
+                }
+                "--breaker" => {
+                    let v = value(&mut i)?;
+                    opts.breaker_threshold = v
+                        .parse()
+                        .map_err(|_| err(format!("bad breaker threshold {v}")))?;
+                }
+                other => return Err(err(format!("unknown flag {other}"))),
+            }
+            i += 1;
+        }
+        return Ok(Command::Serve {
+            opts: Box::new(opts),
+        });
+    }
     let mut cfg = SystemConfig::scaled();
     let mut seed = 0x15CA_2024u64;
     let mut app = None;
@@ -262,6 +291,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut pair_a = None;
     let mut pair_b = None;
     let mut baseline = false;
+    let mut metrics_json = false;
     let mut rates: Option<Vec<f64>> = None;
     let mut json = false;
     let mut root: Option<std::path::PathBuf> = None;
@@ -309,6 +339,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 job_index = Some(v.parse().map_err(|_| err(format!("bad job index {v}")))?);
             }
             "--baseline" => baseline = true,
+            "--metrics-json" => metrics_json = true,
             "--json" => json = true,
             "--quick" => quick = true,
             "--root" => root = Some(std::path::PathBuf::from(value(&mut i)?)),
@@ -377,6 +408,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .parse()
                     .map_err(|_| err(format!("bad chiplet count {v}")))?;
                 cfg.topology = cfg.topology.with_chiplets(n);
+            }
+            "--frames" => {
+                let v = value(&mut i)?;
+                let n: usize = v.parse().map_err(|_| err(format!("bad frame count {v}")))?;
+                if n == 0 {
+                    return Err(err("--frames must be at least 1"));
+                }
+                cfg.frames_per_chiplet = Some(n);
             }
             "--seed" => {
                 let v = value(&mut i)?;
@@ -456,6 +495,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             cfg: Box::new(cfg),
             seed,
             baseline,
+            metrics_json,
         }),
         "sweep" => Ok(Command::Sweep {
             apps: apps.unwrap_or_else(|| AppId::all().to_vec()),
@@ -542,6 +582,8 @@ USAGE:
   barre lint  [--json] [--root <dir>]     determinism & panic-safety lint (exit 1 on violations)
   barre trace <app> [flags]               run one app traced; write trace.json (Perfetto-loadable)
   barre report <trace|journal> [--top n]  per-stage p50/p95/p99 tables + slowest journeys
+  barre serve [flags]                     simulation daemon: JSONL requests over TCP, HTTP health
+                                          shim (/healthz /readyz /stats), verified result cache
 
 FLAGS:
   --mode <baseline|valkyrie|least|shared-l2|barre|fbarre|fbarre1|fbarre4>
@@ -570,6 +612,19 @@ SUPERVISOR FLAGS (sweep, chaos):
   --timeout <secs>                     per-job wall-clock budget (kill + retry on expiry)
   --retries <n>                        transient-failure retries per job (default 2);
                                        permanent failures (exit 64) are never retried
+
+SERVE FLAGS:
+  --host <addr> --port <n>             bind address (default 127.0.0.1:7341; port 0 = ephemeral,
+                                       the chosen address is printed as `listening on ...`)
+  --workers <n>                        simulation worker threads (default: BARRE_JOBS, then cores)
+  --queue-cap <n>                      admission-queue bound; beyond it requests are shed with a
+                                       429-style response and a retry_after_ms hint (default 64)
+  --cache-dir <dir>                    verified result-cache location (default serve-cache/)
+  --timeout <secs>                     default per-request deadline, queue wait included
+                                       (default 60; requests may override with timeout_ms)
+  --retries <n>                        serve: transient-failure retries per request (default 1)
+  --breaker <n>                        quarantine a config fingerprint after n consecutive
+                                       failures (default 3; 0 disables the circuit breaker)
 ";
 
 /// Reports a simulation failure on stderr and yields the error exit code.
@@ -677,7 +732,7 @@ fn collect_metrics(
             "interrupted: in-flight jobs drained and journaled; rerun with --resume {} to finish",
             journal.display()
         );
-        return Err(supervisor::EXIT_INTERRUPTED);
+        return Err(supervisor::interrupt_exit_code());
     }
     if !run.failures.is_empty() {
         eprintln!(
@@ -888,7 +943,30 @@ pub fn execute(cmd: Command) -> i32 {
             cfg,
             seed,
             baseline,
+            metrics_json,
         } => {
+            // Deadline-test hook for the serve integration tests: a child
+            // that never finishes, so the daemon's watchdog must kill it.
+            if std::env::var("BARRE_TEST_RUN_HANG").is_ok() {
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+            if metrics_json {
+                // The `barre serve` child protocol: exactly one line of
+                // canonical metrics JSON on success; SimError exit codes
+                // tell the daemon permanent from transient failures.
+                return match run_app(app, &cfg, seed) {
+                    Ok(m) => {
+                        println!("{}", barre_system::metrics_to_json(&m));
+                        0
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        e.exit_code()
+                    }
+                };
+            }
             let m = match run_app(app, &cfg, seed) {
                 Ok(m) => m,
                 Err(e) => return report(&e),
@@ -981,6 +1059,7 @@ pub fn execute(cmd: Command) -> i32 {
             opts,
         } => trace_cmd::run_trace(app, &cfg, seed, &out, &opts),
         Command::Report { input, top } => trace_cmd::run_report(&input, top),
+        Command::Serve { opts } => barre_serve::run_serve(&opts),
         Command::Merge { out, inputs } => run_merge(&out, &inputs),
         Command::Bench {
             quick,

@@ -6,62 +6,57 @@
 //! attempt, never the campaign. The supervisor enforces a per-job
 //! wall-clock timeout, retries transient failures (timeout, nonzero
 //! exit, signal, watchdog fire) with capped exponential backoff, drains
-//! in-flight children on SIGINT, and records every transition in the
-//! append-only write-ahead journal (`sweep.journal.jsonl`) so
-//! `--resume` skips finished configs and reproduces the uninterrupted
-//! output byte for byte. Permanent failures (invalid configuration,
-//! deterministic translation faults — child exit [`EXIT_PERMANENT`])
-//! are reported immediately without burning retries.
+//! in-flight children on SIGINT *or* SIGTERM, and records every
+//! transition in the append-only write-ahead journal
+//! (`sweep.journal.jsonl`) so `--resume` skips finished configs and
+//! reproduces the uninterrupted output byte for byte. Permanent
+//! failures (invalid configuration, deterministic translation faults —
+//! child exit `EXIT_PERMANENT`) are reported immediately without
+//! burning retries.
+//!
+//! The attempt machinery (child spawn/kill/classify, deterministic
+//! backoff) and the drain-signal handler are shared with the `barre
+//! serve` daemon and live in [`barre_serve::attempt`] and
+//! [`barre_serve::signal`]; this module re-exports them under their
+//! historical names.
 
-use std::io::Read;
 use std::path::{Path, PathBuf};
-use std::process::Stdio;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
-use barre_system::error::EXIT_PERMANENT;
+use barre_serve::attempt::{run_attempt, Attempt};
 use barre_system::journal::{
     completed_index, fingerprint, metrics_digest, metrics_from_json, metrics_hist_digest,
     read_journal, JournalError, JournalEvent, JournalRecord, JournalWriter, JOURNAL_FILE,
 };
 use barre_system::{LabeledJob, RunMetrics};
 
-/// Set by the SIGINT handler; checked between job dispatches and during
-/// backoff sleeps. Once set, no new children are spawned — in-flight
-/// jobs finish and their results are journaled before the supervisor
-/// exits with [`EXIT_INTERRUPTED`].
-pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+/// Set once a drain signal (SIGINT or SIGTERM) lands; checked between
+/// job dispatches and during backoff sleeps. Once set, no new children
+/// are spawned — in-flight jobs finish and their results are journaled
+/// before the supervisor exits with [`interrupt_exit_code`].
+pub use barre_serve::signal::SHUTDOWN as INTERRUPTED;
 
-/// Process exit code after a graceful SIGINT drain (128 + SIGINT).
+/// Installs the SIGINT/SIGTERM drain handlers (the first signal drains;
+/// the default disposition is not restored, so the journal always stays
+/// consistent).
+pub use barre_serve::signal::install_drain_handlers;
+
+/// The supervisor's retry backoff and child usage exit code, shared with
+/// the daemon.
+pub use barre_serve::attempt::{backoff_delay, EXIT_USAGE};
+
+/// Process exit code after a graceful SIGINT drain (128 + SIGINT). Kept
+/// for callers that pinned the historical constant; prefer
+/// [`interrupt_exit_code`], which reports 143 after a SIGTERM drain.
 pub const EXIT_INTERRUPTED: i32 = 130;
 
-/// Exit code a child reports when invoked with a bad `--job-index`.
-pub const EXIT_USAGE: i32 = 2;
-
-extern "C" fn on_sigint(_sig: i32) {
-    INTERRUPTED.store(true, Ordering::SeqCst);
+/// Exit code for the drain that just happened: 128 + the signal number
+/// (130 for SIGINT, 143 for SIGTERM), following shell convention so
+/// callers can tell which signal ended the campaign.
+pub fn interrupt_exit_code() -> i32 {
+    barre_serve::signal::drain_exit_code()
 }
-
-/// Installs the SIGINT drain handler (first Ctrl-C drains; the default
-/// disposition is not restored, so the journal always stays consistent).
-#[cfg(unix)]
-pub fn install_sigint_handler() {
-    extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
-    }
-    const SIGINT: i32 = 2;
-    // SAFETY: installing a handler that only stores to an AtomicBool is
-    // async-signal-safe; the previous disposition is intentionally
-    // discarded.
-    unsafe {
-        let _ = signal(SIGINT, on_sigint);
-    }
-}
-
-/// No-op off unix: the supervisor still works, it just cannot drain on
-/// Ctrl-C.
-#[cfg(not(unix))]
-pub fn install_sigint_handler() {}
 
 /// Raises SIGKILL on the current process — the crash hook the
 /// kill-and-resume integration test uses to simulate a hard child death.
@@ -165,103 +160,8 @@ pub fn job_fingerprint(child_args: &[String], index: usize, label: &str) -> Stri
     fingerprint(&[&joined, &idx, label])
 }
 
-/// Outcome of one child attempt.
-struct Attempt {
-    /// `"ok"`, `"exit:N"`, `"signal:N"`, `"timeout"`, or `"spawn:…"`.
-    exit: String,
-    /// Whether retrying could plausibly change the outcome.
-    transient: bool,
-    stdout: String,
-    stderr: String,
-}
-
-fn drain_pipe<R: Read + Send + 'static>(r: Option<R>) -> std::thread::JoinHandle<String> {
-    std::thread::spawn(move || {
-        let mut buf = String::new();
-        if let Some(mut r) = r {
-            let _ = r.read_to_string(&mut buf);
-        }
-        buf
-    })
-}
-
-#[cfg(unix)]
-fn signal_of(status: std::process::ExitStatus) -> Option<i32> {
-    use std::os::unix::process::ExitStatusExt;
-    status.signal()
-}
-
-#[cfg(not(unix))]
-fn signal_of(_status: std::process::ExitStatus) -> Option<i32> {
-    None
-}
-
-/// Spawns one child attempt and waits for exit or timeout. Pipes are
-/// drained on dedicated threads so a chatty child can never dead-lock
-/// against the poll loop; on timeout the child is SIGKILLed and whatever
-/// it wrote is kept for the state dump.
-fn run_attempt(program: &Path, args: &[String], timeout: Option<Duration>) -> Attempt {
-    let spawned = std::process::Command::new(program)
-        .args(args)
-        .stdin(Stdio::null())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::piped())
-        .spawn();
-    let mut child = match spawned {
-        Ok(c) => c,
-        Err(e) => {
-            return Attempt {
-                exit: format!("spawn:{e}"),
-                transient: true,
-                stdout: String::new(),
-                stderr: String::new(),
-            }
-        }
-    };
-    let out = drain_pipe(child.stdout.take());
-    let err = drain_pipe(child.stderr.take());
-    let deadline = timeout.map(|t| Instant::now() + t);
-    let (status, timed_out) = loop {
-        match child.try_wait() {
-            Ok(Some(status)) => break (Some(status), false),
-            Ok(None) => {}
-            Err(_) => break (None, false),
-        }
-        if deadline.is_some_and(|d| Instant::now() >= d) {
-            let _ = child.kill();
-            let _ = child.wait();
-            break (None, true);
-        }
-        std::thread::sleep(Duration::from_millis(15));
-    };
-    let stdout = out.join().unwrap_or_default();
-    let stderr = err.join().unwrap_or_default();
-    let (exit, transient) = match (status, timed_out) {
-        (_, true) => ("timeout".to_string(), true),
-        (Some(s), _) if s.success() => ("ok".to_string(), true),
-        (Some(s), _) => match (s.code(), signal_of(s)) {
-            (Some(c), _) => (format!("exit:{c}"), c != EXIT_PERMANENT && c != EXIT_USAGE),
-            (None, Some(sig)) => (format!("signal:{sig}"), true),
-            (None, None) => ("exit:?".to_string(), true),
-        },
-        (None, false) => ("wait-failed".to_string(), true),
-    };
-    Attempt {
-        exit,
-        transient,
-        stdout,
-        stderr,
-    }
-}
-
-/// Capped exponential backoff before retry `attempt` (1-based): 100 ms
-/// doubling to a 6.4 s ceiling. Deterministic — no jitter — so test runs
-/// are reproducible.
-pub fn backoff_delay(attempt: u32) -> Duration {
-    Duration::from_millis(100u64 << attempt.min(6))
-}
-
-/// Sleeps `d` in small slices, returning early once SIGINT is seen.
+/// Sleeps `d` in small slices, returning early once a drain signal is
+/// seen.
 fn sleep_interruptible(d: Duration) {
     let until = Instant::now() + d;
     while Instant::now() < until && !INTERRUPTED.load(Ordering::SeqCst) {
@@ -272,8 +172,8 @@ fn sleep_interruptible(d: Duration) {
 enum JobOutcome {
     Done(Box<RunMetrics>),
     Failed(JobFailure),
-    /// SIGINT arrived before the job reached a terminal state; the
-    /// journal holds no terminal record, so `--resume` reruns it.
+    /// A drain signal arrived before the job reached a terminal state;
+    /// the journal holds no terminal record, so `--resume` reruns it.
     Skipped,
 }
 
@@ -419,7 +319,7 @@ pub fn run_supervised(
     threads: usize,
     opts: &SuperviseOpts,
 ) -> Result<SupervisedRun, JournalError> {
-    install_sigint_handler();
+    install_drain_handlers();
     let journal_path = journal_file_of(&opts.journal);
     let dump_dir = journal_path
         .parent()
@@ -486,14 +386,6 @@ pub fn run_supervised(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn backoff_doubles_and_caps() {
-        assert_eq!(backoff_delay(1), Duration::from_millis(200));
-        assert_eq!(backoff_delay(2), Duration::from_millis(400));
-        assert_eq!(backoff_delay(6), Duration::from_millis(6400));
-        assert_eq!(backoff_delay(60), Duration::from_millis(6400));
-    }
 
     #[test]
     fn journal_path_resolution() {

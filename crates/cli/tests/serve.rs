@@ -1,0 +1,457 @@
+//! End-to-end tests for the `barre serve` daemon: admission control,
+//! deadlines, load shedding, the circuit breaker, the verified result
+//! cache, and graceful drain on SIGINT/SIGTERM — all driven over real
+//! TCP against the real binary, including a 1000-request soak against a
+//! saturated two-worker daemon.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_barre");
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("barre-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+/// A running daemon plus the address it bound.
+struct Daemon {
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+    addr: String,
+}
+
+/// Starts `barre serve --port 0 <extra>` in `dir` and waits for its
+/// `listening on <addr>` handshake line.
+fn start_daemon(dir: &Path, extra: &[&str], envs: &[(&str, &str)]) -> Daemon {
+    let mut c = Command::new(BIN);
+    c.args(["serve", "--port", "0"])
+        .args(extra)
+        .current_dir(dir)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    for (k, v) in envs {
+        c.env(k, v);
+    }
+    let mut child = c.spawn().expect("spawn daemon");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("handshake line");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("bad handshake: {line:?}"))
+        .trim()
+        .to_string();
+    Daemon {
+        child,
+        stdout,
+        addr,
+    }
+}
+
+impl Daemon {
+    fn connect(&self) -> (BufReader<TcpStream>, TcpStream) {
+        let s = TcpStream::connect(&self.addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(120))).ok();
+        let r = BufReader::new(s.try_clone().expect("clone"));
+        (r, s)
+    }
+
+    /// One request line on a fresh connection, one response line back.
+    fn request(&self, line: &str) -> String {
+        let (mut r, mut w) = self.connect();
+        writeln!(w, "{line}").expect("send");
+        w.flush().expect("flush");
+        let mut resp = String::new();
+        r.read_line(&mut resp).expect("response");
+        resp.trim_end().to_string()
+    }
+
+    /// HTTP GET against the shim; returns (status_code, body).
+    fn http_get(&self, path: &str) -> (u16, String) {
+        let (mut r, mut w) = self.connect();
+        write!(w, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+        w.flush().expect("flush");
+        let mut doc = String::new();
+        r.read_to_string(&mut doc).expect("read response");
+        let code: u16 = doc
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or_else(|| panic!("bad HTTP response: {doc:?}"));
+        let body = doc
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (code, body)
+    }
+
+    fn signal(&self, sig: &str) {
+        Command::new("kill")
+            .args([sig, &self.child.id().to_string()])
+            .status()
+            .expect("kill");
+    }
+
+    /// Signals, waits, and returns (exit_code, stderr).
+    fn stop(mut self, sig: &str) -> (i32, String) {
+        self.signal(sig);
+        // Drain the remaining stdout so the daemon can never block on a
+        // full pipe, then collect stderr via wait_with_output.
+        let mut rest = String::new();
+        let _ = self.stdout.read_to_string(&mut rest);
+        let out = self.child.wait_with_output().expect("wait daemon");
+        (
+            out.status.code().unwrap_or(-1),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+}
+
+fn json_u64(doc: &str, path: &[&str]) -> u64 {
+    let v = barre_system::Json::parse(doc.trim()).unwrap_or_else(|e| panic!("bad JSON {e}: {doc}"));
+    let mut cur = &v;
+    for p in path {
+        cur = cur.get(p).unwrap_or_else(|| panic!("missing {p} in {doc}"));
+    }
+    cur.as_u64()
+        .unwrap_or_else(|| panic!("non-u64 at {path:?}"))
+}
+
+fn json_str(doc: &str, key: &str) -> String {
+    let v = barre_system::Json::parse(doc.trim()).unwrap_or_else(|e| panic!("bad JSON {e}: {doc}"));
+    v.get(key)
+        .and_then(barre_system::Json::as_str)
+        .unwrap_or_else(|| panic!("missing {key} in {doc}"))
+        .to_string()
+}
+
+const GUPS: &str = r#"{"app":"gups","smoke":true,"seed":7}"#;
+
+#[test]
+fn serve_cache_hits_are_byte_identical_and_survive_restart() {
+    let dir = tmpdir("cache");
+    let d = start_daemon(&dir, &["--workers", "1", "--cache-dir", "cache"], &[]);
+
+    // Health shim is green from the start.
+    let (code, body) = d.http_get("/healthz");
+    assert_eq!((code, body.contains("ok")), (200, true));
+    let (code, _) = d.http_get("/readyz");
+    assert_eq!(code, 200);
+    let (code, _) = d.http_get("/nope");
+    assert_eq!(code, 404);
+
+    // Cold run, then a cache hit: byte-identical responses.
+    let cold = d.request(GUPS);
+    assert_eq!(json_str(&cold, "status"), "ok", "{cold}");
+    let hit = d.request(GUPS);
+    assert_eq!(cold, hit, "cache hit must be byte-identical to cold run");
+    // Alias spellings collide on the same cache entry.
+    let alias = d.request(r#"{"seed":7,"smoke":true,"app":"gups"}"#);
+    assert_eq!(cold, alias);
+
+    // Invalid requests are structured 400s, not dropped connections.
+    let bad = d.request(r#"{"app":"nosuch"}"#);
+    assert_eq!(json_str(&bad, "status"), "error");
+    assert_eq!(json_u64(&bad, &["code"]), 400);
+    let typo = d.request(r#"{"app":"gups","warp":9}"#);
+    assert_eq!(json_u64(&typo, &["code"]), 400);
+
+    // /stats reflects all of it.
+    let (code, stats) = d.http_get("/stats");
+    assert_eq!(code, 200);
+    assert_eq!(json_u64(&stats, &["requests", "ok"]), 1);
+    assert_eq!(json_u64(&stats, &["requests", "cache_hits"]), 2);
+    assert_eq!(json_u64(&stats, &["requests", "invalid"]), 2);
+    assert_eq!(json_u64(&stats, &["cache", "entries"]), 1);
+    assert!(json_u64(&stats, &["latency_ms", "count"]) >= 3);
+
+    // SIGTERM: graceful drain, exit 0, flushed cache index.
+    let (exit, stderr) = d.stop("-TERM");
+    assert_eq!(exit, 0, "stderr: {stderr}");
+    assert!(stderr.contains("drain"), "{stderr}");
+    let index = dir.join("cache").join("serve-cache.jsonl");
+    let (records, skipped) =
+        barre_system::read_journal_lenient(&index).expect("cache index parses");
+    assert_eq!((records.len(), skipped), (1, 0));
+
+    // `barre report` summarizes the cache index like any journal.
+    let report = Command::new(BIN)
+        .args(["report", "cache/serve-cache.jsonl"])
+        .current_dir(&dir)
+        .output()
+        .expect("report");
+    assert!(
+        report.status.success(),
+        "report failed: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+
+    // Warm restart: the same request is served from the reloaded cache,
+    // byte-identical, with zero cold runs.
+    let d2 = start_daemon(&dir, &["--workers", "1", "--cache-dir", "cache"], &[]);
+    let warm = d2.request(GUPS);
+    assert_eq!(cold, warm, "warm-cache response must match the cold run");
+    let (_, stats) = d2.http_get("/stats");
+    assert_eq!(json_u64(&stats, &["requests", "ok"]), 0);
+    assert_eq!(json_u64(&stats, &["requests", "cache_hits"]), 1);
+    let (exit, _) = d2.stop("-TERM");
+    assert_eq!(exit, 0);
+}
+
+#[test]
+fn deadlines_fire_and_full_queue_sheds() {
+    let dir = tmpdir("deadline");
+    // Every child hangs; workers=1, queue-cap=1. First request occupies
+    // the worker, second fills the queue, third is shed instantly.
+    let d = start_daemon(
+        &dir,
+        &[
+            "--workers",
+            "1",
+            "--queue-cap",
+            "1",
+            "--breaker",
+            "0",
+            "--retries",
+            "0",
+            "--cache-dir",
+            "cache",
+        ],
+        &[("BARRE_TEST_RUN_HANG", "1")],
+    );
+
+    let send = |line: &str| {
+        let (r, mut w) = d.connect();
+        writeln!(w, "{line}").expect("send");
+        w.flush().expect("flush");
+        (r, w)
+    };
+    let (mut r1, _w1) = send(r#"{"app":"gups","smoke":true,"seed":1,"timeout_ms":900}"#);
+    std::thread::sleep(Duration::from_millis(150));
+    let (mut r2, _w2) = send(r#"{"app":"gups","smoke":true,"seed":2,"timeout_ms":900}"#);
+    std::thread::sleep(Duration::from_millis(150));
+    // Queue now holds request 2; this one must be shed without waiting.
+    let shed = d.request(r#"{"app":"gups","smoke":true,"seed":3,"timeout_ms":900}"#);
+    assert_eq!(json_str(&shed, "status"), "shed", "{shed}");
+    assert_eq!(json_u64(&shed, &["code"]), 429);
+    assert!(json_u64(&shed, &["retry_after_ms"]) >= 1);
+
+    // Both admitted requests hit their wall-clock deadline.
+    let mut resp1 = String::new();
+    r1.read_line(&mut resp1).expect("deadline response 1");
+    assert_eq!(json_str(&resp1, "status"), "timeout", "{resp1}");
+    assert_eq!(json_u64(&resp1, &["code"]), 504);
+    let mut resp2 = String::new();
+    r2.read_line(&mut resp2).expect("deadline response 2");
+    assert_eq!(json_str(&resp2, "status"), "timeout", "{resp2}");
+
+    let (_, stats) = d.http_get("/stats");
+    assert_eq!(json_u64(&stats, &["requests", "timeouts"]), 2);
+    assert_eq!(json_u64(&stats, &["requests", "shed"]), 1);
+    assert_eq!(json_u64(&stats, &["queue", "max_depth"]), 1);
+
+    let (exit, stderr) = d.stop("-TERM");
+    assert_eq!(exit, 0, "stderr: {stderr}");
+}
+
+#[test]
+fn breaker_quarantines_a_crashing_config() {
+    let dir = tmpdir("breaker");
+    let d = start_daemon(
+        &dir,
+        &[
+            "--workers",
+            "1",
+            "--breaker",
+            "2",
+            "--retries",
+            "0",
+            "--cache-dir",
+            "cache",
+        ],
+        &[],
+    );
+    // frames:1 exhausts physical frames instantly — a deterministic
+    // transient-class failure (exit 65), perfect breaker bait.
+    let bad = r#"{"app":"gups","smoke":true,"frames":1}"#;
+    let r1 = d.request(bad);
+    assert_eq!(json_str(&r1, "status"), "failed", "{r1}");
+    assert_eq!(json_u64(&r1, &["code"]), 500);
+    assert!(
+        json_str(&r1, "error").contains("out of physical frames"),
+        "{r1}"
+    );
+    let r2 = d.request(bad);
+    assert_eq!(json_str(&r2, "status"), "failed", "{r2}");
+    // Two consecutive failures tripped the breaker: no more children.
+    let r3 = d.request(bad);
+    assert_eq!(json_str(&r3, "status"), "quarantined", "{r3}");
+    assert_eq!(json_u64(&r3, &["code"]), 503);
+
+    // Other fingerprints are unaffected.
+    let ok = d.request(GUPS);
+    assert_eq!(json_str(&ok, "status"), "ok", "{ok}");
+
+    let (_, stats) = d.http_get("/stats");
+    assert_eq!(json_u64(&stats, &["requests", "failed_transient"]), 2);
+    assert_eq!(json_u64(&stats, &["requests", "quarantined"]), 1);
+    assert_eq!(json_u64(&stats, &["breaker", "open"]), 1);
+
+    let (exit, _) = d.stop("-TERM");
+    assert_eq!(exit, 0);
+}
+
+#[test]
+fn sigint_drains_as_cleanly_as_sigterm() {
+    let dir = tmpdir("sigint");
+    let d = start_daemon(&dir, &["--workers", "1", "--cache-dir", "cache"], &[]);
+    let cold = d.request(GUPS);
+    assert_eq!(json_str(&cold, "status"), "ok");
+    let (exit, stderr) = d.stop("-INT");
+    assert_eq!(exit, 0, "stderr: {stderr}");
+    let index = dir.join("cache").join("serve-cache.jsonl");
+    let (records, skipped) = barre_system::read_journal_lenient(&index).expect("index parses");
+    assert_eq!((records.len(), skipped), (1, 0));
+}
+
+/// The acceptance soak: 1000 mixed requests from 8 client threads
+/// against a saturated 2-worker daemon with a small bounded queue.
+/// Every request gets exactly one response, no panics, shed counts in
+/// /stats match what clients saw, and every `ok` for a given config is
+/// byte-identical.
+#[test]
+fn soak_1000_requests_against_saturated_daemon() {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let dir = tmpdir("soak");
+    let d = start_daemon(
+        &dir,
+        &["--workers", "2", "--queue-cap", "8", "--cache-dir", "cache"],
+        &[],
+    );
+
+    // Four distinct valid configs; every thread interleaves them with
+    // duplicates and ~10% invalid requests.
+    let configs: Vec<String> = (0..4)
+        .map(|i| {
+            format!(
+                r#"{{"app":"{}","smoke":true,"seed":{}}}"#,
+                ["gups", "gemv"][i % 2],
+                i / 2
+            )
+        })
+        .collect();
+    let shed_seen = Arc::new(AtomicU64::new(0));
+    let addr = d.addr.clone();
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let configs = configs.clone();
+        let shed_seen = Arc::clone(&shed_seen);
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let s = TcpStream::connect(&addr).expect("connect");
+            s.set_read_timeout(Some(Duration::from_secs(300))).ok();
+            let mut r = BufReader::new(s.try_clone().expect("clone"));
+            let mut w = s;
+            // Per-config responses this thread saw, for identity checks.
+            let mut ok_by_cfg: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+            let mut answered = 0u64;
+            for i in 0..125u64 {
+                let pick = ((t + i) % 10) as usize;
+                let line = if pick == 9 {
+                    // ~10% invalid: unknown app or malformed field.
+                    if i % 2 == 0 {
+                        r#"{"app":"nosuch"}"#.to_string()
+                    } else {
+                        r#"{"app":"gups","chiplets":0}"#.to_string()
+                    }
+                } else {
+                    configs[pick % configs.len()].clone()
+                };
+                writeln!(w, "{line}").expect("send");
+                w.flush().expect("flush");
+                let mut resp = String::new();
+                r.read_line(&mut resp).expect("response");
+                let resp = resp.trim_end().to_string();
+                assert!(!resp.is_empty(), "empty response");
+                answered += 1;
+                let status = json_str(&resp, "status");
+                match status.as_str() {
+                    "ok" => {
+                        if pick != 9 {
+                            ok_by_cfg
+                                .entry(pick % configs.len())
+                                .or_default()
+                                .push(resp);
+                        }
+                    }
+                    "shed" => {
+                        shed_seen.fetch_add(1, Ordering::Relaxed);
+                        assert!(json_u64(&resp, &["retry_after_ms"]) >= 1, "{resp}");
+                    }
+                    "error" => assert_eq!(json_u64(&resp, &["code"]), 400, "{resp}"),
+                    other => panic!("unexpected status {other}: {resp}"),
+                }
+            }
+            (answered, ok_by_cfg)
+        }));
+    }
+
+    let mut total_answered = 0u64;
+    let mut ok_by_cfg: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for h in handles {
+        let (answered, per_cfg) = h.join().expect("client thread");
+        total_answered += answered;
+        for (cfg, responses) in per_cfg {
+            ok_by_cfg.entry(cfg).or_default().extend(responses);
+        }
+    }
+    assert_eq!(total_answered, 1000, "every request must be answered");
+
+    // All ok responses for one config — cold or cached, any thread —
+    // are byte-identical.
+    for (cfg, responses) in &ok_by_cfg {
+        assert!(!responses.is_empty());
+        for resp in responses {
+            assert_eq!(
+                resp, &responses[0],
+                "config {cfg}: cache-hit response diverged from cold response"
+            );
+        }
+    }
+
+    let (_, stats) = d.http_get("/stats");
+    assert_eq!(
+        json_u64(&stats, &["requests", "shed"]),
+        shed_seen.load(Ordering::Relaxed),
+        "daemon shed count must match what clients observed: {stats}"
+    );
+    assert!(json_u64(&stats, &["queue", "max_depth"]) <= 8, "{stats}");
+    assert_eq!(json_u64(&stats, &["requests", "received"]), 1000);
+    assert_eq!(json_u64(&stats, &["cache", "entries"]), 4);
+
+    let (exit, stderr) = d.stop("-TERM");
+    assert_eq!(exit, 0, "stderr: {stderr}");
+    assert!(
+        !stderr.to_lowercase().contains("panic"),
+        "daemon panicked during soak: {stderr}"
+    );
+    // The flushed index warm-loads: 4 verified entries, nothing skipped.
+    let index = dir.join("cache").join("serve-cache.jsonl");
+    let (records, skipped) = barre_system::read_journal_lenient(&index).expect("index parses");
+    let (verified, dropped) = barre_system::verified_done_index(&records);
+    assert_eq!(skipped, 0);
+    assert_eq!(dropped, 0);
+    assert_eq!(verified.len(), 4);
+}

@@ -289,3 +289,58 @@ fn sigint_drains_and_journal_resumes() {
     );
     assert_eq!(text(&resumed.stdout), text(&reference.stdout));
 }
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_identically_to_sigint() {
+    let dir = tmpdir("sigterm");
+    let reference = barre(&dir, &sweep_args(&["--jobs", "1"]), &[]);
+    assert!(reference.status.success());
+
+    // Same shape as the SIGINT test, but with the signal a process
+    // manager actually sends. The drain must behave identically: wait
+    // out the hung child, journal, print the resume hint, and exit
+    // 128 + SIGTERM = 143.
+    let child = Command::new(BIN)
+        .args(sweep_args(&[
+            "--supervise",
+            "--journal",
+            "j",
+            "--jobs",
+            "1",
+            "--timeout",
+            "3",
+            "--retries",
+            "0",
+        ]))
+        .current_dir(&dir)
+        .env("BARRE_TEST_HANG", "0")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn supervisor");
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    let out = child.wait_with_output().expect("wait supervisor");
+    assert_eq!(
+        out.status.code(),
+        Some(143),
+        "stderr: {}",
+        text(&out.stderr)
+    );
+    let err = text(&out.stderr);
+    assert!(err.contains("interrupted"), "{err}");
+    assert!(err.contains("--resume"), "no resume hint: {err}");
+
+    // Resume (no hang) completes the campaign byte-identically.
+    let resumed = barre(&dir, &sweep_args(&["--resume", "j", "--jobs", "1"]), &[]);
+    assert!(
+        resumed.status.success(),
+        "stderr: {}",
+        text(&resumed.stderr)
+    );
+    assert_eq!(text(&resumed.stdout), text(&reference.stdout));
+}

@@ -1,0 +1,279 @@
+//! The content-addressed result cache behind `barre serve`.
+//!
+//! Completed runs are indexed by the journal fingerprint of their
+//! canonical argv and persisted as `done` records in a JSONL journal
+//! file (`serve-cache.jsonl`), reusing the sweep journal's line format —
+//! so `barre report <cache-file>` summarizes a cache like any journal,
+//! and the torn-tail discipline carries over.
+//!
+//! Trust model: a cache entry is only ever served after its stored
+//! `digest`/`hist_digest` verify against its own metrics. Verification
+//! happens twice — once at warm-load (via
+//! [`barre_system::verified_done_index`]) and again on every hit — and a
+//! mismatch is treated as corruption: evict, log to stderr, recompute.
+//! Never serve a record whose digest fails.
+//!
+//! During runtime, inserts append to the journal (so a crash loses at
+//! most the torn tail); a graceful drain rewrites a compacted index
+//! (one record per fingerprint) through a temp-file rename.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use barre_system::{
+    metrics_digest, metrics_hist_digest, read_journal_lenient, verified_done_index, JournalError,
+    JournalEvent, JournalRecord, JournalWriter, RunMetrics,
+};
+
+/// File name of the cache index inside the cache directory.
+pub const CACHE_FILE: &str = "serve-cache.jsonl";
+
+/// What warm-loading found on disk.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WarmLoad {
+    /// Entries that verified and were loaded.
+    pub loaded: usize,
+    /// Unparseable lines skipped by the lenient reader.
+    pub skipped_lines: usize,
+    /// Parseable `done` records evicted because a digest failed.
+    pub evicted: usize,
+}
+
+/// The in-memory index plus its append-only backing journal.
+pub struct ResultCache {
+    path: PathBuf,
+    entries: Mutex<BTreeMap<String, JournalRecord>>,
+    writer: Mutex<Option<JournalWriter>>,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache under `dir`, warm-loading
+    /// and digest-verifying any existing index.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the directory or index file cannot be
+    /// created/read. A *corrupt* index is not an error — bad lines and
+    /// bad records are dropped and reported in [`WarmLoad`].
+    pub fn open(dir: &Path) -> Result<(ResultCache, WarmLoad), JournalError> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(CACHE_FILE);
+        let mut warm = WarmLoad::default();
+        let mut entries = BTreeMap::new();
+        if path.exists() {
+            let (records, skipped) = read_journal_lenient(&path)?;
+            let (index, evicted) = verified_done_index(&records);
+            warm.skipped_lines = skipped;
+            warm.evicted = evicted;
+            warm.loaded = index.len();
+            entries = index;
+        }
+        let writer = JournalWriter::open(&path)?;
+        let cache = ResultCache {
+            path,
+            entries: Mutex::new(entries),
+            writer: Mutex::new(Some(writer)),
+            evictions: AtomicU64::new(warm.evicted as u64),
+        };
+        Ok((cache, warm))
+    }
+
+    /// Number of cached fingerprints.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entries evicted by digest verification (warm-load + reads).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Looks up `fp`, re-verifying digests before serving. A mismatch is
+    /// corruption: the entry is evicted and logged, and `None` comes
+    /// back so the caller recomputes.
+    pub fn get(&self, fp: &str) -> Option<JournalRecord> {
+        let mut g = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let rec = g.get(fp)?.clone();
+        let verified = match &rec.event {
+            JournalEvent::Done {
+                digest,
+                hist_digest,
+                metrics,
+                ..
+            } => {
+                *digest == metrics_digest(metrics)
+                    && match hist_digest {
+                        Some(h) => *h == metrics_hist_digest(metrics),
+                        None => true,
+                    }
+            }
+            _ => false,
+        };
+        if verified {
+            return Some(rec);
+        }
+        g.remove(fp);
+        drop(g);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "cache: digest mismatch on {fp} ({}): evicted, recomputing",
+            rec.label
+        );
+        None
+    }
+
+    /// Inserts a completed run, appending it to the backing journal.
+    /// Returns the stored record (digests freshly computed).
+    pub fn insert(&self, fp: &str, label: &str, metrics: RunMetrics) -> JournalRecord {
+        let metrics = Box::new(metrics);
+        let rec = JournalRecord {
+            fingerprint: fp.to_string(),
+            label: label.to_string(),
+            event: JournalEvent::Done {
+                attempts: 1,
+                exit: "ok".to_string(),
+                digest: metrics_digest(&metrics),
+                hist_digest: Some(metrics_hist_digest(&metrics)),
+                metrics,
+            },
+        };
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(fp.to_string(), rec.clone());
+        let g = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(w) = g.as_ref() {
+            if let Err(e) = w.append(&rec) {
+                // The in-memory entry still serves; only persistence of
+                // this one record is lost.
+                eprintln!("cache: append failed for {fp}: {e}");
+            }
+        }
+        rec
+    }
+
+    /// Rewrites the index compacted (one record per fingerprint, sorted)
+    /// through a temp file + rename, called during graceful drain. The
+    /// append writer is dropped first so the rename wins.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the temp file cannot be written or
+    /// renamed — the previous (append-form) index stays in place.
+    pub fn flush_compacted(&self) -> Result<usize, JournalError> {
+        *self.writer.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        let g = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut doc = String::with_capacity(g.len() * 1024);
+        for rec in g.values() {
+            doc.push_str(&rec.to_line());
+            doc.push('\n');
+        }
+        let n = g.len();
+        drop(g);
+        let tmp = self.path.with_extension("jsonl.tmp");
+        std::fs::write(&tmp, doc)?;
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("barre-serve-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn metrics(cycles: u64) -> RunMetrics {
+        let mut m = RunMetrics {
+            total_cycles: cycles,
+            walks: 3,
+            ..Default::default()
+        };
+        m.ats_latency.record(cycles);
+        m.vpn_gap.record(1);
+        m
+    }
+
+    #[test]
+    fn insert_get_roundtrip_and_warm_reload() {
+        let dir = tmpdir("roundtrip");
+        let (cache, warm) = ResultCache::open(&dir).expect("open");
+        assert_eq!(warm.loaded, 0);
+        cache.insert("fp1", "gups/barre", metrics(100));
+        cache.insert("fp2", "gemv/barre", metrics(200));
+        let hit = cache.get("fp1").expect("hit");
+        assert_eq!(hit.label, "gups/barre");
+        assert!(cache.get("fp3").is_none());
+        assert_eq!(cache.flush_compacted().expect("flush"), 2);
+        // Reload sees both entries, byte-identical records.
+        let (cache2, warm2) = ResultCache::open(&dir).expect("reopen");
+        assert_eq!(warm2.loaded, 2);
+        assert_eq!(warm2.evicted, 0);
+        assert_eq!(
+            cache2.get("fp1").expect("warm hit").to_line(),
+            hit.to_line()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_entry_is_evicted_on_load_never_served() {
+        let dir = tmpdir("corrupt");
+        let (cache, _) = ResultCache::open(&dir).expect("open");
+        cache.insert("fpA", "gups/barre", metrics(100));
+        cache.insert("fpB", "gemv/barre", metrics(200));
+        cache.flush_compacted().expect("flush");
+        // Bit-flip one digit of fpA's recorded total_cycles so the line
+        // still parses but the digest no longer matches.
+        let path = dir.join(CACHE_FILE);
+        let text = std::fs::read_to_string(&path).expect("read");
+        let corrupted = text.replace("\"total_cycles\":100,", "\"total_cycles\":101,");
+        assert_ne!(text, corrupted, "corruption must land");
+        std::fs::write(&path, corrupted).expect("write");
+        let (cache2, warm) = ResultCache::open(&dir).expect("reopen");
+        assert_eq!(warm.evicted, 1);
+        assert_eq!(warm.loaded, 1);
+        assert!(cache2.get("fpA").is_none(), "corrupt entry must not serve");
+        assert!(cache2.get("fpB").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_and_garbage_lines_are_skipped() {
+        let dir = tmpdir("torn");
+        let (cache, _) = ResultCache::open(&dir).expect("open");
+        cache.insert("fp1", "gups/barre", metrics(100));
+        drop(cache);
+        let path = dir.join(CACHE_FILE);
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("open raw");
+            writeln!(f, "not json at all").expect("garbage");
+            write!(f, "{{\"event\":\"done\",\"finger").expect("torn");
+        }
+        let (cache2, warm) = ResultCache::open(&dir).expect("reopen");
+        assert_eq!(warm.loaded, 1);
+        assert_eq!(warm.skipped_lines, 2);
+        assert!(cache2.get("fp1").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,106 @@
+//! A minimal hand-rolled HTTP/1.1 shim for the health endpoints.
+//!
+//! Just enough of the protocol for `curl`/load-balancer probes:
+//! `GET /healthz` (always 200 while the process lives), `GET /readyz`
+//! (503 once a drain starts), `GET /stats` (the counters JSON). Every
+//! response closes the connection; request headers are read and
+//! discarded. Anything fancier belongs behind a real proxy.
+
+/// Splits an HTTP request line (`"GET /stats HTTP/1.1"`) into method and
+/// path; `None` when it isn't one.
+pub fn parse_request_line(line: &str) -> Option<(&str, &str)> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") {
+        return None;
+    }
+    Some((method, path))
+}
+
+/// Whether a protocol line opens an HTTP exchange (vs a JSONL request).
+pub fn looks_like_http(line: &str) -> bool {
+    line.starts_with("GET ") || line.starts_with("HEAD ") || line.starts_with("POST ")
+}
+
+/// Renders a complete HTTP/1.1 response with a JSON body.
+pub fn render_http(code: u16, reason: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Routes a health-endpoint path to `(code, reason, body)`. `stats_body`
+/// is rendered lazily — only `/stats` pays for it.
+pub fn route(
+    method: &str,
+    path: &str,
+    draining: bool,
+    stats_body: impl FnOnce() -> String,
+) -> (u16, &'static str, String) {
+    if method != "GET" && method != "HEAD" {
+        return (
+            405,
+            "Method Not Allowed",
+            "{\"error\":\"method not allowed\"}".to_string(),
+        );
+    }
+    match path {
+        "/healthz" => (200, "OK", "{\"status\":\"ok\"}".to_string()),
+        "/readyz" => {
+            if draining {
+                (
+                    503,
+                    "Service Unavailable",
+                    "{\"ready\":false,\"reason\":\"draining\"}".to_string(),
+                )
+            } else {
+                (200, "OK", "{\"ready\":true}".to_string())
+            }
+        }
+        "/stats" => (200, "OK", stats_body()),
+        _ => (404, "Not Found", "{\"error\":\"not found\"}".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_parse() {
+        assert_eq!(
+            parse_request_line("GET /healthz HTTP/1.1"),
+            Some(("GET", "/healthz"))
+        );
+        assert_eq!(parse_request_line("{\"app\":\"gups\"}"), None);
+        assert!(looks_like_http("GET /stats HTTP/1.1"));
+        assert!(!looks_like_http("{\"app\":\"gups\"}"));
+    }
+
+    #[test]
+    fn routes_cover_health_ready_stats() {
+        let (code, _, body) = route("GET", "/healthz", true, String::new);
+        assert_eq!((code, body.contains("ok")), (200, true));
+        let (code, _, _) = route("GET", "/readyz", false, String::new);
+        assert_eq!(code, 200);
+        let (code, _, body) = route("GET", "/readyz", true, String::new);
+        assert_eq!((code, body.contains("draining")), (503, true));
+        let (code, _, body) = route("GET", "/stats", false, || "{\"x\":1}".to_string());
+        assert_eq!((code, body.as_str()), (200, "{\"x\":1}"));
+        let (code, _, _) = route("GET", "/nope", false, String::new);
+        assert_eq!(code, 404);
+        let (code, _, _) = route("PUT", "/healthz", false, String::new);
+        assert_eq!(code, 405);
+    }
+
+    #[test]
+    fn responses_carry_content_length() {
+        let r = render_http(200, "OK", "{\"a\":1}");
+        assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 7\r\n"));
+        assert!(r.ends_with("{\"a\":1}"));
+    }
+}

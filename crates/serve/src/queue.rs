@@ -1,0 +1,160 @@
+//! The bounded admission queue between connection handlers and workers.
+//!
+//! Admission control is the daemon's memory bound: a full queue rejects
+//! immediately (the caller sheds the request with a `429`-style
+//! response) instead of queueing unboundedly. `close` ends the stream —
+//! workers drain what was already admitted, then see `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why a push was refused.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the rejected item is handed back.
+    Full(T),
+    /// The queue was closed (drain in progress); item handed back.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A `Mutex + Condvar` MPMC queue with a hard capacity.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `cap` items at once (`cap` is
+    /// clamped to at least 1).
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The capacity passed to [`BoundedQueue::new`].
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Current number of admitted-but-unclaimed items.
+    pub fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .items
+            .len()
+    }
+
+    /// Admits `item`, returning the queue depth after the push.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when at capacity, [`PushError::Closed`] when
+    /// draining — both hand the item back untouched.
+    pub fn push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.items.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        g.items.push_back(item);
+        let depth = g.items.len();
+        drop(g);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// empty (drain complete), in which case `None`.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops admission. Already-admitted items are still drained by
+    /// `pop`; blocked workers wake and exit once the queue empties.
+    pub fn close(&self) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_sheds_at_cap() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push(1).ok(), Some(1));
+        assert_eq!(q.push(2).ok(), Some(2));
+        match q.push(3) {
+            Err(PushError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3).ok(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.push(1).ok();
+        q.push(2).ok();
+        q.close();
+        match q.push(3) {
+            Err(PushError::Closed(v)) => assert_eq!(v, 3),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.push(7).ok();
+        q.close();
+        let mut got = Vec::new();
+        for h in handles {
+            got.push(h.join().unwrap_or(None));
+        }
+        got.sort();
+        assert_eq!(got, vec![None, None, Some(7)]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Daemon counters and `barre-trace` histograms behind `GET /stats`.
+//!
+//! Counters are relaxed atomics (monotonic, saturating); the
+//! per-request latency and admission-queue-depth distributions use the
+//! fixed-bucket [`LatencyHistogram`], so `/stats` percentiles are
+//! deterministic functions of the samples, byte-stable across hosts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use barre_trace::LatencyHistogram;
+
+/// Saturating relaxed increment — the one way counters move.
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Point-in-time gauges sampled by the caller at render time — state
+/// that lives outside [`ServeStats`] (queue, cache, breaker, drain flag).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Current admission-queue depth.
+    pub queue_depth: usize,
+    /// Admission-queue capacity.
+    pub queue_cap: usize,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Entries in the result cache.
+    pub cache_entries: usize,
+    /// Cache evictions from digest verification failures.
+    pub cache_evictions: u64,
+    /// Quarantined fingerprints (open breaker circuits).
+    pub breaker_open: usize,
+    /// Whether a drain is in progress.
+    pub draining: bool,
+}
+
+/// Every counter the daemon exposes, plus the two histograms.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Request lines received (any outcome).
+    pub received: AtomicU64,
+    /// Cold successes (simulation actually ran).
+    pub ok_cold: AtomicU64,
+    /// Requests answered from the verified result cache.
+    pub cache_hits: AtomicU64,
+    /// Requests rejected by validation (`400`).
+    pub invalid: AtomicU64,
+    /// Requests shed by the full admission queue (`429`).
+    pub shed: AtomicU64,
+    /// Requests that hit their wall-clock deadline (`504`).
+    pub timeouts: AtomicU64,
+    /// Permanent simulation failures (`422`).
+    pub failed_permanent: AtomicU64,
+    /// Transient failures that exhausted their retries (`500`).
+    pub failed_transient: AtomicU64,
+    /// Requests refused because their fingerprint is quarantined (`503`).
+    pub quarantined: AtomicU64,
+    /// Requests refused because a drain was in progress (`503`).
+    pub rejected_draining: AtomicU64,
+    /// Child retry attempts (beyond each request's first attempt).
+    pub retries: AtomicU64,
+    /// Largest queue depth observed at admission.
+    pub max_depth: AtomicU64,
+    latency_ms: Mutex<LatencyHistogram>,
+    depth_hist: Mutex<LatencyHistogram>,
+}
+
+impl ServeStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request's wall-clock latency (ms).
+    pub fn record_latency_ms(&self, ms: u64) {
+        self.latency_ms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(ms);
+    }
+
+    /// Records the queue depth observed after an admission.
+    pub fn record_depth(&self, depth: u64) {
+        self.depth_hist
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(depth);
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Mean observed service latency in ms (≥ 1), defaulting to 1000
+    /// before any sample exists — the basis of the `retry_after_ms`
+    /// load-shed hint.
+    pub fn mean_service_ms(&self) -> u64 {
+        let g = self
+            .latency_ms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if g.count() == 0 {
+            return 1000;
+        }
+        let mean = g.mean();
+        if mean < 1.0 {
+            1
+        } else if mean >= 3_600_000.0 {
+            3_600_000
+        } else {
+            mean.round() as u64
+        }
+    }
+
+    /// Renders the `/stats` JSON body (one line).
+    pub fn render(&self, g: &Gauges) -> String {
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let lat = self
+            .latency_ms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let dep = self
+            .depth_hist
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        format!(
+            concat!(
+                "{{\"draining\":{drain},",
+                "\"requests\":{{\"received\":{rx},\"ok\":{ok},\"cache_hits\":{hits},",
+                "\"invalid\":{inv},\"shed\":{shed},\"timeouts\":{to},",
+                "\"failed_permanent\":{fp},\"failed_transient\":{ft},",
+                "\"quarantined\":{q},\"rejected_draining\":{rd},\"retries\":{rt}}},",
+                "\"queue\":{{\"depth\":{qd},\"cap\":{qc},\"workers\":{w},\"max_depth\":{md},",
+                "\"depth_p50\":{dp50},\"depth_p95\":{dp95},\"depth_p99\":{dp99}}},",
+                "\"cache\":{{\"entries\":{ce},\"evictions\":{ev}}},",
+                "\"breaker\":{{\"open\":{bo}}},",
+                "\"latency_ms\":{{\"count\":{lc},\"mean\":{lm:.3},\"p50\":{lp50},",
+                "\"p95\":{lp95},\"p99\":{lp99},\"max\":{lmax}}}}}"
+            ),
+            drain = g.draining,
+            rx = c(&self.received),
+            ok = c(&self.ok_cold),
+            hits = c(&self.cache_hits),
+            inv = c(&self.invalid),
+            shed = c(&self.shed),
+            to = c(&self.timeouts),
+            fp = c(&self.failed_permanent),
+            ft = c(&self.failed_transient),
+            q = c(&self.quarantined),
+            rd = c(&self.rejected_draining),
+            rt = c(&self.retries),
+            qd = g.queue_depth,
+            qc = g.queue_cap,
+            w = g.workers,
+            md = c(&self.max_depth),
+            dp50 = dep.p50(),
+            dp95 = dep.p95(),
+            dp99 = dep.p99(),
+            ce = g.cache_entries,
+            ev = g.cache_evictions,
+            bo = g.breaker_open,
+            lc = lat.count(),
+            lm = lat.mean(),
+            lp50 = lat.p50(),
+            lp95 = lat.p95(),
+            lp99 = lat.p99(),
+            lmax = lat.max(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_valid_json_and_counts_flow() {
+        let s = ServeStats::new();
+        bump(&s.received);
+        bump(&s.received);
+        bump(&s.cache_hits);
+        s.record_latency_ms(12);
+        s.record_latency_ms(40);
+        s.record_depth(3);
+        let body = s.render(&Gauges {
+            queue_depth: 1,
+            queue_cap: 64,
+            workers: 2,
+            cache_entries: 5,
+            ..Gauges::default()
+        });
+        let v = barre_system::Json::parse(&body).expect("valid JSON");
+        assert_eq!(
+            v.get("requests")
+                .and_then(|r| r.get("received"))
+                .and_then(barre_system::Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("queue")
+                .and_then(|q| q.get("max_depth"))
+                .and_then(barre_system::Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("latency_ms")
+                .and_then(|l| l.get("count"))
+                .and_then(barre_system::Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn mean_service_defaults_then_tracks() {
+        let s = ServeStats::new();
+        assert_eq!(s.mean_service_ms(), 1000);
+        s.record_latency_ms(10);
+        s.record_latency_ms(30);
+        assert_eq!(s.mean_service_ms(), 20);
+    }
+}

@@ -809,6 +809,66 @@ pub fn read_journal(path: &Path) -> Result<Vec<JournalRecord>, JournalError> {
     Ok(out)
 }
 
+/// Reads the journal at `path` *leniently*: malformed lines anywhere in
+/// the file are skipped (and counted) instead of erroring out.
+///
+/// This is the corruption-tolerant reader behind the `barre serve`
+/// cache-index loader, where the right response to a damaged record is
+/// to drop it and recompute — the strict [`read_journal`] stays the
+/// right tool for `--resume`/`merge`, where interior corruption must
+/// surface rather than silently shrink a campaign.
+///
+/// # Errors
+///
+/// [`JournalError::Io`] only; parse failures never error. Even invalid
+/// UTF-8 (bit rot inside a record) is decoded lossily so the damage
+/// stays confined to the lines it touched.
+pub fn read_journal_lenient(path: &Path) -> Result<(Vec<JournalRecord>, usize), JournalError> {
+    let bytes = fs::read(path)?;
+    let text = String::from_utf8_lossy(&bytes);
+    let mut out = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match JournalRecord::from_line(line) {
+            Ok(rec) => out.push(rec),
+            Err(_) => skipped = skipped.saturating_add(1),
+        }
+    }
+    Ok((out, skipped))
+}
+
+/// Folds records into a digest-*verified* completed index: fingerprint →
+/// last `Done` record whose stored `digest` (and `hist_digest`, when
+/// present) matches recomputation over its own metrics. Records that
+/// fail verification are dropped and counted — a parseable line whose
+/// digests disagree with its payload is bit-rot, and serving it would
+/// break the byte-identity the cache promises.
+pub fn verified_done_index(records: &[JournalRecord]) -> (BTreeMap<String, JournalRecord>, usize) {
+    let mut index = BTreeMap::new();
+    let mut dropped = 0usize;
+    for rec in records {
+        if let JournalEvent::Done {
+            digest,
+            hist_digest,
+            metrics,
+            ..
+        } = &rec.event
+        {
+            let digest_ok = *digest == metrics_digest(metrics);
+            let hist_ok = match hist_digest {
+                Some(h) => *h == metrics_hist_digest(metrics),
+                None => true,
+            };
+            if digest_ok && hist_ok {
+                index.insert(rec.fingerprint.clone(), rec.clone());
+            } else {
+                dropped = dropped.saturating_add(1);
+            }
+        }
+    }
+    (index, dropped)
+}
+
 /// Folds journal records into the completed-work index used by
 /// `--resume`: fingerprint → final `Done` record (the last one wins, so
 /// re-running a shard is idempotent).

@@ -48,8 +48,8 @@ pub use config::{
 pub use error::SimError;
 pub use journal::{
     completed_index, fingerprint, merge_journals, metrics_digest, metrics_from_json,
-    metrics_hist_digest, metrics_to_json, read_journal, JournalError, JournalEvent, JournalRecord,
-    JournalWriter, Json, JOURNAL_FILE,
+    metrics_hist_digest, metrics_to_json, read_journal, read_journal_lenient, verified_done_index,
+    JournalError, JournalEvent, JournalRecord, JournalWriter, Json, JOURNAL_FILE,
 };
 pub use machine::{L2Payload, Machine};
 pub use metrics::{geomean, speedup, RunMetrics};

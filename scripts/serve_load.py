@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Concurrent load driver for the `barre serve` daemon.
+
+Stdlib-only. Fires a mixed stream of JSONL simulation requests (a few
+distinct valid configs, duplicates, and ~10% deliberately invalid
+requests) at a running daemon from many client threads, then checks the
+hardening contract from the outside:
+
+  * every request receives exactly one JSON response line;
+  * all `ok` responses for one config are byte-identical, whether they
+    were served cold or from the verified result cache;
+  * shed responses carry a positive `retry_after_ms` hint;
+  * invalid requests come back as structured 400s, not dropped sockets;
+  * `GET /healthz` on the HTTP shim stays green under load.
+
+With `--save FILE` the canonical per-config `ok` line is written out;
+with `--check FILE` responses are additionally compared against a
+previously saved file — run once before a daemon restart and once after
+to prove the warm-loaded cache serves byte-identical results.
+
+Exit status: 0 on success, 1 on any violated assertion.
+"""
+
+import argparse
+import json
+import socket
+import sys
+import threading
+
+CONFIGS = [
+    '{"app":"gups","smoke":true,"seed":0}',
+    '{"app":"gemv","smoke":true,"seed":0}',
+    '{"app":"gups","smoke":true,"seed":1}',
+    '{"app":"gemv","smoke":true,"seed":1}',
+]
+INVALID = [
+    '{"app":"nosuch"}',
+    '{"app":"gups","chiplets":0}',
+    'not json at all',
+]
+
+
+def parse_addr(text):
+    host, _, port = text.rpartition(":")
+    return host, int(port)
+
+
+def http_get(addr, path, timeout=10.0):
+    """Raw HTTP/1.1 GET against the daemon's shim; returns (code, body)."""
+    with socket.create_connection(parse_addr(addr), timeout=timeout) as s:
+        s.sendall(f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n".encode())
+        doc = b""
+        while True:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            doc += chunk
+    head, _, body = doc.partition(b"\r\n\r\n")
+    code = int(head.split(b" ", 2)[1])
+    return code, body.decode()
+
+
+class Client(threading.Thread):
+    """One persistent connection sending a deterministic request mix."""
+
+    def __init__(self, addr, index, count, timeout):
+        super().__init__(name=f"client-{index}")
+        self.addr, self.index, self.count, self.timeout = addr, index, count, timeout
+        self.ok = {}  # config index -> list of response lines
+        self.counts = {"ok": 0, "shed": 0, "error": 0, "other": 0}
+        self.failures = []
+
+    def run(self):
+        try:
+            self.drive()
+        except Exception as e:  # noqa: BLE001 - report, don't crash the harness
+            self.failures.append(f"{self.name}: {type(e).__name__}: {e}")
+
+    def drive(self):
+        with socket.create_connection(parse_addr(self.addr), timeout=self.timeout) as s:
+            reader = s.makefile("r", encoding="utf-8", newline="\n")
+            for i in range(self.count):
+                pick = (self.index + i) % 10
+                if pick == 9:
+                    line = INVALID[i % len(INVALID)]
+                else:
+                    line = CONFIGS[pick % len(CONFIGS)]
+                s.sendall(line.encode() + b"\n")
+                resp = reader.readline()
+                if not resp.endswith("\n"):
+                    self.failures.append(f"{self.name}: truncated response {resp!r}")
+                    return
+                resp = resp.rstrip("\n")
+                try:
+                    doc = json.loads(resp)
+                except json.JSONDecodeError:
+                    self.failures.append(f"{self.name}: non-JSON response {resp!r}")
+                    return
+                status = doc.get("status")
+                if status == "ok":
+                    self.counts["ok"] += 1
+                    if pick != 9:
+                        self.ok.setdefault(pick % len(CONFIGS), []).append(resp)
+                elif status == "shed":
+                    self.counts["shed"] += 1
+                    if doc.get("retry_after_ms", 0) < 1:
+                        self.failures.append(f"{self.name}: shed without hint: {resp}")
+                elif status == "error":
+                    self.counts["error"] += 1
+                    if pick != 9:
+                        self.failures.append(f"{self.name}: valid request rejected: {resp}")
+                    elif doc.get("code") != 400:
+                        self.failures.append(f"{self.name}: invalid not a 400: {resp}")
+                else:
+                    self.counts["other"] += 1
+                    self.failures.append(f"{self.name}: unexpected status: {resp}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--addr", default="127.0.0.1:7341", help="daemon host:port")
+    ap.add_argument("--requests", type=int, default=200, help="total request count")
+    ap.add_argument("--threads", type=int, default=16, help="concurrent client connections")
+    ap.add_argument("--timeout", type=float, default=300.0, help="per-response socket timeout (s)")
+    ap.add_argument("--save", help="write the canonical per-config ok lines to FILE")
+    ap.add_argument("--check", help="compare ok lines against a previously saved FILE")
+    args = ap.parse_args()
+
+    code, body = http_get(args.addr, "/healthz")
+    if code != 200:
+        print(f"FAIL: /healthz returned {code}: {body}", file=sys.stderr)
+        return 1
+
+    per_thread = max(1, args.requests // args.threads)
+    clients = [Client(args.addr, i, per_thread, args.timeout) for i in range(args.threads)]
+    for c in clients:
+        c.start()
+    for c in clients:
+        c.join()
+
+    failures = [f for c in clients for f in c.failures]
+    totals = {k: sum(c.counts[k] for c in clients) for k in clients[0].counts}
+    sent = per_thread * args.threads
+    answered = sum(totals.values())
+    if answered != sent:
+        failures.append(f"sent {sent} requests but only {answered} were answered")
+
+    # Byte-identity: cold responses and cache hits must be indistinguishable.
+    canonical = {}
+    for c in clients:
+        for cfg, lines in c.ok.items():
+            for line in lines:
+                expect = canonical.setdefault(cfg, line)
+                if line != expect:
+                    failures.append(
+                        f"config {cfg}: responses diverged:\n  {expect}\n  {line}"
+                    )
+    if not canonical:
+        failures.append("no ok responses at all — daemon never ran a simulation?")
+
+    code, _ = http_get(args.addr, "/healthz")
+    if code != 200:
+        failures.append(f"/healthz degraded under load: {code}")
+    code, stats = http_get(args.addr, "/stats")
+    if code != 200:
+        failures.append(f"/stats returned {code}")
+        stats = "{}"
+
+    if args.check:
+        with open(args.check, encoding="utf-8") as f:
+            saved = {int(k): v for k, v in json.load(f).items()}
+        for cfg, line in canonical.items():
+            if cfg in saved and saved[cfg] != line:
+                failures.append(
+                    f"config {cfg}: response differs from saved baseline:\n"
+                    f"  saved: {saved[cfg]}\n  now:   {line}"
+                )
+    if args.save:
+        with open(args.save, "w", encoding="utf-8") as f:
+            json.dump(canonical, f, indent=1)
+
+    print(f"sent={sent} ok={totals['ok']} shed={totals['shed']} invalid={totals['error']}")
+    print(f"stats: {stats}")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
