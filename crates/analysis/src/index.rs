@@ -1,0 +1,148 @@
+//! Workspace symbol index: every file's lexed tokens and item-level
+//! shape, plus cross-file lookup tables for the interprocedural passes.
+//!
+//! The index is built once per `barre lint` run and shared by P002
+//! (call-graph panic reachability), D004 (sim-state struct audit) and
+//! R001 (the `Machine` type-closure parallel-readiness audit). Files are
+//! keyed by workspace-relative path with forward slashes; all tables use
+//! `BTreeMap` so iteration — and therefore every diagnostic order — is
+//! deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, LexOut};
+use crate::parser::{parse_file, FileAst};
+use crate::rules::{scope_of, test_mask_of, FileScope};
+
+/// One indexed source file.
+pub struct FileEntry {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Rule-applicability scope derived from the path.
+    pub scope: FileScope,
+    /// Lexer output (tokens, waivers, doc lines).
+    pub lex: LexOut,
+    /// Tokens covered by `#[test]` / `#[cfg(test)]` items.
+    pub test_mask: Vec<bool>,
+    /// Item-level shape.
+    pub ast: FileAst,
+}
+
+/// A workspace-unique function id: (file index, fn index within file).
+pub type FnId = (usize, usize);
+
+/// The cross-file symbol index.
+pub struct SymbolIndex {
+    /// Indexed files in sorted path order.
+    pub files: Vec<FileEntry>,
+    /// Function lookup by bare name (`step` → every fn named `step`).
+    pub fns_by_name: BTreeMap<String, Vec<FnId>>,
+    /// Function lookup by `Type::name` qualification.
+    pub fns_by_qual: BTreeMap<String, Vec<FnId>>,
+    /// Type lookup by name → (file index, type index) entries.
+    pub types_by_name: BTreeMap<String, Vec<(usize, usize)>>,
+}
+
+impl SymbolIndex {
+    /// Builds the index from `(path, source)` pairs. Paths should be
+    /// workspace-relative with forward slashes; entries are indexed in
+    /// the order given (callers sort beforehand for determinism).
+    pub fn build(sources: &[(String, String)]) -> SymbolIndex {
+        let mut files = Vec::with_capacity(sources.len());
+        for (path, src) in sources {
+            let lex_out = lex(src);
+            let test_mask = test_mask_of(&lex_out.tokens);
+            let ast = parse_file(&lex_out, &test_mask);
+            files.push(FileEntry {
+                path: path.clone(),
+                scope: scope_of(path),
+                lex: lex_out,
+                test_mask,
+                ast,
+            });
+        }
+        let mut fns_by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut fns_by_qual: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut types_by_name: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+        for (fi, entry) in files.iter().enumerate() {
+            for (ki, f) in entry.ast.fns.iter().enumerate() {
+                fns_by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push((fi, ki));
+                fns_by_qual
+                    .entry(f.qual.clone())
+                    .or_default()
+                    .push((fi, ki));
+            }
+            for (ti, t) in entry.ast.types.iter().enumerate() {
+                types_by_name
+                    .entry(t.name.clone())
+                    .or_default()
+                    .push((fi, ti));
+            }
+        }
+        SymbolIndex {
+            files,
+            fns_by_name,
+            fns_by_qual,
+            types_by_name,
+        }
+    }
+
+    /// Total number of indexed functions.
+    pub fn fn_count(&self) -> usize {
+        self.files.iter().map(|f| f.ast.fns.len()).sum()
+    }
+
+    /// Dense numbering of every function, in (file, fn) order.
+    pub fn fn_ids(&self) -> Vec<FnId> {
+        let mut ids = Vec::with_capacity(self.fn_count());
+        for (fi, entry) in self.files.iter().enumerate() {
+            for ki in 0..entry.ast.fns.len() {
+                ids.push((fi, ki));
+            }
+        }
+        ids
+    }
+
+    /// The function item behind an id.
+    pub fn fn_item(&self, id: FnId) -> &crate::parser::FnItem {
+        &self.files[id.0].ast.fns[id.1]
+    }
+
+    /// Human-readable location of a function: `path::qual`.
+    pub fn fn_label(&self, id: FnId) -> String {
+        format!("{}::{}", self.files[id.0].path, self.fn_item(id).qual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn index_spans_files() {
+        let idx = SymbolIndex::build(&src(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn alpha() {} struct S { x: u64 } impl S { pub fn get(&self) {} }",
+            ),
+            ("crates/b/src/lib.rs", "pub fn beta() { alpha(); }"),
+        ]));
+        assert_eq!(idx.fn_count(), 3);
+        assert_eq!(idx.fns_by_name["alpha"].len(), 1);
+        assert_eq!(idx.fns_by_qual["S::get"].len(), 1);
+        assert_eq!(idx.types_by_name["S"].len(), 1);
+        let (fi, ki) = idx.fns_by_name["beta"][0];
+        assert_eq!(idx.files[fi].path, "crates/b/src/lib.rs");
+        assert_eq!(idx.fn_label((fi, ki)), "crates/b/src/lib.rs::beta");
+    }
+}

@@ -51,8 +51,13 @@ pub struct Waiver {
     pub line: u32,
     /// Rule IDs the waiver names (e.g. `["D001", "P001"]`).
     pub rules: Vec<String>,
-    /// Whether a non-empty justification follows the rule list.
+    /// Whether a non-empty justification follows the rule list. A reason
+    /// that is only the `--fix` scaffold placeholder (starts with `TODO`)
+    /// does not count: scaffolding marks where a human must still write
+    /// the justification, it never silences a rule by itself.
     pub has_reason: bool,
+    /// The justification text (possibly empty), as written.
+    pub reason: String,
 }
 
 /// Lexer output: the token stream plus every waiver comment.
@@ -277,6 +282,7 @@ impl Lexer {
                 line,
                 rules: Vec::new(),
                 has_reason: false,
+                reason: String::new(),
             });
             return;
         };
@@ -289,7 +295,8 @@ impl Lexer {
         self.out.waivers.push(Waiver {
             line,
             rules,
-            has_reason: !reason.is_empty(),
+            has_reason: !reason.is_empty() && !reason.starts_with("TODO"),
+            reason: reason.to_string(),
         });
     }
 
@@ -448,6 +455,16 @@ mod tests {
         assert_eq!(out.waivers[1].rules, vec!["P001", "C001"]);
         assert!(out.waivers[1].has_reason);
         assert!(!out.waivers[2].has_reason, "bare waiver has no reason");
+        assert_eq!(out.waivers[0].reason, "keyed access only, never iterated");
+    }
+
+    #[test]
+    fn todo_scaffold_is_not_a_reason() {
+        let src = "// barre:allow(D001) TODO: justify — scaffolded by barre lint --fix\n";
+        let out = lex(src);
+        assert_eq!(out.waivers.len(), 1);
+        assert!(!out.waivers[0].has_reason, "TODO scaffold must not justify");
+        assert!(out.waivers[0].reason.starts_with("TODO"));
     }
 
     #[test]

@@ -1,0 +1,649 @@
+//! A lightweight item-level parser on top of the [`lexer`](crate::lexer).
+//!
+//! The token-pattern rules (D001, P001, …) never needed structure, but
+//! the interprocedural passes do: P002 must know where one function ends
+//! and the next begins, D004 must see struct *fields*, and R001 must walk
+//! the type graph hanging off `Machine`. This parser recovers exactly
+//! that much shape — functions with body token ranges, structs/enums
+//! with field type identifiers, `impl` blocks, `static mut` and
+//! `thread_local!` globals — and deliberately nothing more. It is not an
+//! AST: expressions stay flat token runs, types are bags of identifiers.
+//!
+//! Being approximate is fine here. The downstream analyses are
+//! over-approximating by construction (name-based call resolution), so a
+//! parse that occasionally attributes a token to the enclosing item is
+//! conservative, never unsound, for the reachability questions we ask.
+
+use crate::lexer::{LexOut, TokKind, Token};
+
+/// A function (or method) declaration.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name (`step`, `new`, …).
+    pub name: String,
+    /// `Type::name` when declared inside an `impl` block, else `name`.
+    pub qual: String,
+    /// The `impl` self type, when this is a method.
+    pub self_ty: Option<String>,
+    /// Declared with plain `pub` visibility (not `pub(crate)` etc.).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range `[start, end]` of the body, braces included.
+    /// `None` for bodyless declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+    /// Declared under `#[test]` / `#[cfg(test)]` (or inside such a mod).
+    pub in_test: bool,
+}
+
+/// One field of a struct/union, or one enum-variant payload slot.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// Field name; enum payload slots use the variant name.
+    pub name: String,
+    /// 1-based line of the field.
+    pub line: u32,
+    /// Every identifier appearing in the field's type (`Vec<Tlb<u64>>`
+    /// yields `["Vec", "Tlb", "u64"]`) — the edges of the type graph.
+    pub type_idents: Vec<String>,
+}
+
+/// A struct, enum, or union declaration with its field types.
+#[derive(Debug, Clone)]
+pub struct TypeItem {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the declaring keyword.
+    pub line: u32,
+    /// Fields (structs/unions) or variant payload slots (enums).
+    pub fields: Vec<FieldItem>,
+    /// Declared under test-only compilation.
+    pub in_test: bool,
+}
+
+/// What kind of process-global state a [`GlobalItem`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalKind {
+    /// `static mut NAME: …` — unsynchronized mutable global.
+    StaticMut,
+    /// `thread_local! { … }` — per-thread state, invisible to a
+    /// deterministic cross-thread merge.
+    ThreadLocal,
+}
+
+/// A process-global declaration that matters for parallel readiness.
+#[derive(Debug, Clone)]
+pub struct GlobalItem {
+    /// Which global form was found.
+    pub kind: GlobalKind,
+    /// Declared name (best effort; `thread_local!` reports the first
+    /// identifier inside the macro body).
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+    /// Declared under test-only compilation.
+    pub in_test: bool,
+}
+
+/// Item-level shape of one source file.
+#[derive(Debug, Default)]
+pub struct FileAst {
+    /// Every `fn` declaration, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every `struct`/`enum`/`union`, in source order.
+    pub types: Vec<TypeItem>,
+    /// Every `static mut` / `thread_local!`, in source order.
+    pub globals: Vec<GlobalItem>,
+}
+
+/// Identifiers that read like calls but are control-flow keywords.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "in", "as", "let", "mut", "ref",
+    "move", "fn", "impl", "trait", "struct", "enum", "union", "mod", "use", "pub", "const",
+    "static", "type", "where", "unsafe", "async", "await", "dyn", "box", "break", "continue",
+    "extern", "crate", "super", "self", "Self",
+];
+
+/// Whether `s` is a Rust keyword (for call-site extraction).
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Parses a lexed file into its item-level shape. `test_mask` must come
+/// from [`crate::rules::test_mask_of`] over the same token stream.
+pub fn parse_file(out: &LexOut, test_mask: &[bool]) -> FileAst {
+    let toks = &out.tokens;
+    let mut ast = FileAst::default();
+    // Stack of enclosing `impl` self types, keyed by the brace depth at
+    // which the impl body opened.
+    let mut impl_stack: Vec<(usize, String)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct => {
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                    while impl_stack.last().is_some_and(|(d, _)| *d > depth) {
+                        impl_stack.pop();
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident if t.text == "impl" => {
+                if let Some((body_open, self_ty)) = impl_header(toks, i) {
+                    // The impl body's `{` sits at `body_open`; methods in
+                    // it see `self_ty` at depth `depth + 1`.
+                    impl_stack.push((depth + 1, self_ty));
+                    depth += 1;
+                    i = body_open + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::Ident if t.text == "fn" => {
+                let is_pub = plain_pub_before(toks, i);
+                let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                let name = name_tok.text.clone();
+                let self_ty = impl_stack.last().map(|(_, ty)| ty.clone());
+                let qual = match &self_ty {
+                    Some(ty) => format!("{ty}::{name}"),
+                    None => name.clone(),
+                };
+                let body = fn_body_range(toks, i + 2);
+                let end = match body {
+                    Some((_, e)) => e,
+                    None => bodyless_end(toks, i + 2),
+                };
+                ast.fns.push(FnItem {
+                    name,
+                    qual,
+                    self_ty,
+                    is_pub,
+                    line: t.line,
+                    body,
+                    in_test: test_mask.get(i).copied().unwrap_or(false),
+                });
+                // Skip the whole declaration: nested closures/exprs stay
+                // attributed to this fn, which is what the call graph wants.
+                i = end + 1;
+            }
+            TokKind::Ident if t.text == "struct" || t.text == "enum" || t.text == "union" => {
+                let in_test = test_mask.get(i).copied().unwrap_or(false);
+                let (item, end) = parse_type_item(toks, i, t.text == "enum", in_test);
+                if let Some(item) = item {
+                    ast.types.push(item);
+                }
+                i = end + 1;
+            }
+            TokKind::Ident if t.text == "static" => {
+                if toks.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+                    if let Some(name) = toks.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
+                        ast.globals.push(GlobalItem {
+                            kind: GlobalKind::StaticMut,
+                            name: name.text.clone(),
+                            line: t.line,
+                            in_test: test_mask.get(i).copied().unwrap_or(false),
+                        });
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident if t.text == "thread_local" => {
+                if toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                    let name = toks
+                        .iter()
+                        .skip(i + 2)
+                        .find(|n| n.kind == TokKind::Ident && !is_keyword(&n.text))
+                        .map(|n| n.text.clone())
+                        .unwrap_or_default();
+                    ast.globals.push(GlobalItem {
+                        kind: GlobalKind::ThreadLocal,
+                        name,
+                        line: t.line,
+                        in_test: test_mask.get(i).copied().unwrap_or(false),
+                    });
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    ast
+}
+
+/// Whether the item introduced at `kw_idx` is preceded by a plain `pub`
+/// (possibly with qualifiers like `unsafe`/`async`/`const` in between).
+/// `pub(crate)` and friends do not count.
+fn plain_pub_before(toks: &[Token], kw_idx: usize) -> bool {
+    let mut j = kw_idx;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        match t.text.as_str() {
+            "unsafe" | "async" | "const" | "extern" | "default" if t.kind == TokKind::Ident => {
+                continue;
+            }
+            "pub" if t.kind == TokKind::Ident => {
+                return !toks.get(j + 1).is_some_and(|n| n.is_punct('('));
+            }
+            // An extern ABI string was skipped by the lexer entirely, so
+            // anything else ends the qualifier run.
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Resolves an `impl` header starting at `impl_idx`: returns the token
+/// index of the body's `{` and the self-type name (`impl Foo`,
+/// `impl<T> Trait for Foo<T>` → `Foo`). `None` if no body is found.
+fn impl_header(toks: &[Token], impl_idx: usize) -> Option<(usize, String)> {
+    let mut j = impl_idx + 1;
+    let mut angle = 0i32;
+    let mut after_for: Option<usize> = None;
+    let mut last_path_start: Option<usize> = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 && t.is_punct('{') {
+            // Pick the path after `for` when present, else the first path.
+            let start = after_for.or(last_path_start)?;
+            return Some((j, last_segment(toks, start)));
+        } else if angle == 0 && t.is_punct(';') {
+            return None;
+        } else if angle == 0 && t.kind == TokKind::Ident {
+            if t.text == "for" {
+                after_for = None; // next path segment wins
+            } else if t.text != "where"
+                && !is_keyword(&t.text)
+                && after_for.is_none()
+                && toks
+                    .get(j.wrapping_sub(1))
+                    .is_some_and(|p| p.is_ident("for"))
+            {
+                after_for = Some(j);
+            } else if last_path_start.is_none() && t.text != "where" && !is_keyword(&t.text) {
+                last_path_start = Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Last identifier of the `a::b::C` path starting at token `start`.
+fn last_segment(toks: &[Token], start: usize) -> String {
+    let mut name = toks[start].text.clone();
+    let mut j = start + 1;
+    while j + 1 < toks.len() && toks[j].is_punct(':') && toks[j + 1].is_punct(':') {
+        if let Some(n) = toks.get(j + 2).filter(|n| n.kind == TokKind::Ident) {
+            name = n.text.clone();
+            j += 3;
+        } else {
+            break;
+        }
+    }
+    name
+}
+
+/// Finds the body `{ … }` of a fn whose name token sits right before
+/// `from`: scans past the signature (parens, generics, return type,
+/// where clause) to the first `{` at angle/paren depth 0, then brace
+/// matches. Returns the inclusive token range, or `None` when the
+/// declaration ends with `;`.
+fn fn_body_range(toks: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut j = from;
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = (angle - 1).max(0); // `->` return arrows underflow
+        } else if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if paren == 0 && angle == 0 && t.is_punct(';') {
+            return None;
+        } else if paren == 0 && angle == 0 && t.is_punct('{') {
+            let mut depth = 0usize;
+            for (k, b) in toks.iter().enumerate().skip(j) {
+                if b.is_punct('{') {
+                    depth += 1;
+                } else if b.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((j, k));
+                    }
+                }
+            }
+            return Some((j, toks.len() - 1));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Token index where a bodyless declaration starting near `from` ends
+/// (its `;`, or the last token).
+fn bodyless_end(toks: &[Token], from: usize) -> usize {
+    let mut j = from;
+    let mut paren = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if paren == 0 && (t.is_punct(';') || t.is_punct('{')) {
+            return j;
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Parses a `struct`/`enum`/`union` starting at `kw_idx`. Returns the
+/// item (if a name was found) and the token index where it ends.
+fn parse_type_item(
+    toks: &[Token],
+    kw_idx: usize,
+    is_enum: bool,
+    in_test: bool,
+) -> (Option<TypeItem>, usize) {
+    let Some(name_tok) = toks.get(kw_idx + 1).filter(|n| n.kind == TokKind::Ident) else {
+        return (None, kw_idx);
+    };
+    let mut item = TypeItem {
+        name: name_tok.text.clone(),
+        line: toks[kw_idx].line,
+        fields: Vec::new(),
+        in_test,
+    };
+    // Skip generics / where clause to the body opener.
+    let mut j = kw_idx + 2;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 && t.is_punct(';') {
+            return (Some(item), j); // unit struct
+        } else if angle == 0 && (t.is_punct('{') || t.is_punct('(')) {
+            break;
+        }
+        j += 1;
+    }
+    let Some(open) = toks.get(j) else {
+        return (Some(item), j.saturating_sub(1));
+    };
+    if open.is_punct('(') {
+        // Tuple struct: every ident up to the matching `)` is a type edge.
+        let (idents, end, last_line) = idents_to_match(toks, j, '(', ')');
+        item.fields.push(FieldItem {
+            name: item.name.clone(),
+            line: last_line,
+            type_idents: idents,
+        });
+        return (Some(item), end);
+    }
+    // Braced body. For structs: `name: Type,` at depth 1. For enums:
+    // `Variant(Type)` / `Variant { f: Type }` — collect idents per slot.
+    let mut depth = 0usize;
+    let mut field_name: Option<(String, u32)> = None;
+    let mut collecting: Option<FieldItem> = None;
+    let mut k = j;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                if let Some(f) = collecting.take() {
+                    item.fields.push(f);
+                }
+                return (Some(item), k);
+            }
+        } else if depth == 1 {
+            if t.is_punct(',') {
+                if let Some(f) = collecting.take() {
+                    item.fields.push(f);
+                }
+                field_name = None;
+            } else if !is_enum && t.is_punct(':') {
+                // `name: Type` — everything until the `,` is the type.
+                if let Some((name, line)) = field_name.take() {
+                    collecting = Some(FieldItem {
+                        name,
+                        line,
+                        type_idents: Vec::new(),
+                    });
+                }
+            } else if t.kind == TokKind::Ident {
+                match &mut collecting {
+                    Some(f) => {
+                        if !is_keyword(&t.text) {
+                            f.type_idents.push(t.text.clone());
+                        }
+                    }
+                    None => {
+                        if is_enum {
+                            // Variant name opens a payload collector.
+                            collecting = Some(FieldItem {
+                                name: t.text.clone(),
+                                line: t.line,
+                                type_idents: Vec::new(),
+                            });
+                        } else if !is_keyword(&t.text) {
+                            field_name = Some((t.text.clone(), t.line));
+                        }
+                    }
+                }
+            }
+        } else if depth > 1 {
+            // Inside a variant's `{ … }` payload or nested type braces.
+            if let Some(f) = &mut collecting {
+                if t.kind == TokKind::Ident && !is_keyword(&t.text) {
+                    f.type_idents.push(t.text.clone());
+                }
+            }
+        }
+        // Tuple payload `Variant(Type)` sits at depth 1 inside parens —
+        // idents there already feed `collecting` via the depth==1 arm
+        // because parens do not change `depth`.
+        k += 1;
+    }
+    (Some(item), k.saturating_sub(1))
+}
+
+/// Collects identifiers between `open`/`close` punctuation starting at
+/// token `at` (which must be the opener). Returns (idents, index of the
+/// closer, line of the opener).
+fn idents_to_match(
+    toks: &[Token],
+    at: usize,
+    open: char,
+    close: char,
+) -> (Vec<String>, usize, u32) {
+    let mut idents = Vec::new();
+    let mut depth = 0i32;
+    let line = toks[at].line;
+    for (k, t) in toks.iter().enumerate().skip(at) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return (idents, k, line);
+            }
+        } else if t.kind == TokKind::Ident && !is_keyword(&t.text) {
+            idents.push(t.text.clone());
+        }
+    }
+    (idents, toks.len().saturating_sub(1), line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask_of;
+
+    fn parse(src: &str) -> FileAst {
+        let out = lex(src);
+        let mask = test_mask_of(&out.tokens);
+        parse_file(&out, &mask)
+    }
+
+    #[test]
+    fn finds_free_fns_and_methods() {
+        let src = "
+            pub fn alpha() -> u64 { beta() }
+            fn beta() -> u64 { 3 }
+            struct S { x: u64 }
+            impl S {
+                pub fn new() -> Self { S { x: 0 } }
+                fn bump(&mut self) { self.x += 1; }
+            }
+        ";
+        let ast = parse(src);
+        let quals: Vec<&str> = ast.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, vec!["alpha", "beta", "S::new", "S::bump"]);
+        assert!(ast.fns[0].is_pub && !ast.fns[1].is_pub);
+        assert!(ast.fns[2].is_pub && !ast.fns[3].is_pub);
+        assert_eq!(ast.fns[2].self_ty.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type() {
+        let src = "
+            impl<T: Clone> std::fmt::Display for Wrapper<T> {
+                fn fmt(&self) {}
+            }
+        ";
+        let ast = parse(src);
+        assert_eq!(ast.fns.len(), 1);
+        assert_eq!(ast.fns[0].qual, "Wrapper::fmt");
+    }
+
+    #[test]
+    fn body_ranges_cover_nested_braces() {
+        let src = "fn f() { if x { y(); } else { z(); } } fn g() {}";
+        let ast = parse(src);
+        assert_eq!(ast.fns.len(), 2);
+        let (s, e) = ast.fns[0].body.unwrap();
+        assert!(e > s);
+        // g's body must not overlap f's.
+        let (gs, _) = ast.fns[1].body.unwrap();
+        assert!(gs > e);
+    }
+
+    #[test]
+    fn trait_methods_without_body_are_recorded() {
+        let src = "trait T { fn required(&self) -> u64; fn with_default(&self) -> u64 { 1 } }";
+        let ast = parse(src);
+        assert_eq!(ast.fns.len(), 2);
+        assert!(ast.fns[0].body.is_none());
+        assert!(ast.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn struct_fields_capture_type_idents() {
+        let src = "
+            pub struct Machine {
+                queue: EventQueue<Ev>,
+                chiplets: Vec<ChipletState>,
+                now: u64,
+            }
+            struct Pair(Cycle, Option<GlobalPfn>);
+        ";
+        let ast = parse(src);
+        assert_eq!(ast.types.len(), 2);
+        let m = &ast.types[0];
+        assert_eq!(m.name, "Machine");
+        assert_eq!(m.fields.len(), 3);
+        assert_eq!(m.fields[0].type_idents, vec!["EventQueue", "Ev"]);
+        assert_eq!(m.fields[1].type_idents, vec!["Vec", "ChipletState"]);
+        let p = &ast.types[1];
+        assert_eq!(p.fields.len(), 1);
+        assert_eq!(
+            p.fields[0].type_idents,
+            vec!["Cycle", "Option", "GlobalPfn"]
+        );
+    }
+
+    #[test]
+    fn enum_variants_capture_payload_idents() {
+        let src = "enum Tracer { Noop, Recording(Box<Recorder>), Pair { a: Cell<u8> } }";
+        let ast = parse(src);
+        let e = &ast.types[0];
+        let names: Vec<&str> = e.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["Noop", "Recording", "Pair"]);
+        assert_eq!(e.fields[1].type_idents, vec!["Box", "Recorder"]);
+        assert_eq!(e.fields[2].type_idents, vec!["a", "Cell", "u8"]);
+    }
+
+    #[test]
+    fn globals_static_mut_and_thread_local() {
+        let src = "
+            static OK: u64 = 1;
+            static mut COUNTER: u64 = 0;
+            thread_local! { static SCRATCH: Vec<u8> = Vec::new(); }
+        ";
+        let ast = parse(src);
+        assert_eq!(ast.globals.len(), 2);
+        assert_eq!(ast.globals[0].kind, GlobalKind::StaticMut);
+        assert_eq!(ast.globals[0].name, "COUNTER");
+        assert_eq!(ast.globals[1].kind, GlobalKind::ThreadLocal);
+        assert_eq!(ast.globals[1].name, "SCRATCH");
+    }
+
+    #[test]
+    fn test_items_are_marked() {
+        let src = "
+            fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn t() {}
+            }
+        ";
+        let ast = parse(src);
+        assert!(!ast.fns[0].in_test);
+        assert!(ast.fns[1].in_test);
+        assert!(ast.fns[2].in_test);
+    }
+
+    #[test]
+    fn pub_crate_is_not_plain_pub() {
+        let src = "pub(crate) fn a() {} pub const fn b() {} pub unsafe fn c() {}";
+        let ast = parse(src);
+        assert!(!ast.fns[0].is_pub);
+        assert!(ast.fns[1].is_pub);
+        assert!(ast.fns[2].is_pub);
+    }
+
+    #[test]
+    fn where_clauses_and_return_generics_do_not_confuse_bodies() {
+        let src = "fn f<T>(x: T) -> Option<Vec<T>> where T: Clone { Some(vec![x]) } fn g() {}";
+        let ast = parse(src);
+        assert_eq!(ast.fns.len(), 2);
+        assert!(ast.fns[0].body.is_some());
+    }
+}

@@ -1,0 +1,467 @@
+//! The index-level passes: rules that need the whole workspace, not one
+//! file's tokens.
+//!
+//! * **P002** — interprocedural panic reachability. Every plain `pub fn`
+//!   in the API-surface crates (`core`, `system`, `serve`) is an entry
+//!   point; if its call closure reaches an unwaived `unwrap`/`expect`/
+//!   `panic!`/`unreachable!` or index expression in non-test library
+//!   code, the diagnostic prints the concrete (shortest) call path.
+//! * **D004** — float fields in sim-state structs. Floating-point
+//!   accumulation is order-sensitive, so a future chiplet partitioning
+//!   that reorders reductions would change results — exactly what the
+//!   byte-identical fingerprint guarantee forbids.
+//! * **R001** — parallel readiness. Walks the type graph hanging off
+//!   `Machine` and flags interior mutability (`Cell`, `RefCell`,
+//!   `Mutex`, `RwLock`, `Rc`, `UnsafeCell`) in it, plus `static mut` /
+//!   `thread_local!` globals anywhere in sim-state crates. This is the
+//!   go/no-go audit for ROADMAP item 2.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::{self, PanicKind};
+use crate::index::SymbolIndex;
+use crate::rules::Diagnostic;
+
+/// A finding silenced by a justified waiver — kept with its reason so
+/// the `--parallel-readiness` report can show *why* each acceptance.
+#[derive(Debug, Clone)]
+pub struct WaivedFinding {
+    /// Rule ID.
+    pub rule: &'static str,
+    /// File of the waived site.
+    pub file: String,
+    /// Line of the waived site.
+    pub line: u32,
+    /// Qualified symbol.
+    pub symbol: String,
+    /// The waiver's justification text.
+    pub reason: String,
+}
+
+/// Summary of the R001 audit for the readiness report.
+#[derive(Debug, Default)]
+pub struct Readiness {
+    /// Root types the audit started from, as `Type (file)` labels.
+    pub roots: Vec<String>,
+    /// Types reachable from the roots (the audited closure).
+    pub types_audited: usize,
+}
+
+/// Output of the index-level passes.
+#[derive(Debug, Default)]
+pub struct PassOutput {
+    /// Unwaived diagnostics (P002/D004/R001), unsorted.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by justified waivers.
+    pub waived: Vec<WaivedFinding>,
+    /// R001 audit summary.
+    pub readiness: Readiness,
+}
+
+/// Root types of the R001 audit: the whole simulated machine hangs off
+/// these.
+const R001_ROOTS: &[&str] = &["Machine"];
+
+/// Interior-mutability / shared-ownership type names R001 flags.
+const INTERIOR: &[&str] = &["Cell", "RefCell", "Mutex", "RwLock", "Rc", "UnsafeCell"];
+
+/// Runs every index-level pass.
+pub fn run(index: &SymbolIndex) -> PassOutput {
+    let mut out = PassOutput::default();
+    d004_float_fields(index, &mut out);
+    r001_parallel_readiness(index, &mut out);
+    p002_panic_reachability(index, &mut out);
+    out
+}
+
+/// The justified waiver reason covering (`line`, `rule`), if any.
+fn waiver_reason(entry: &crate::index::FileEntry, line: u32, rule: &str) -> Option<String> {
+    entry
+        .lex
+        .waivers
+        .iter()
+        .find(|w| {
+            (w.line == line || w.line + 1 == line)
+                && w.has_reason
+                && w.rules.iter().any(|r| r == rule)
+        })
+        .map(|w| w.reason.clone())
+}
+
+/// Pushes a finding into `out`, honoring waivers.
+fn emit(
+    out: &mut PassOutput,
+    entry: &crate::index::FileEntry,
+    rule: &'static str,
+    line: u32,
+    symbol: String,
+    message: String,
+    suggestion: &'static str,
+) {
+    match waiver_reason(entry, line, rule) {
+        Some(reason) => out.waived.push(WaivedFinding {
+            rule,
+            file: entry.path.clone(),
+            line,
+            symbol,
+            reason,
+        }),
+        None => out.diagnostics.push(Diagnostic {
+            file: entry.path.clone(),
+            line,
+            rule,
+            message,
+            suggestion,
+            symbol,
+        }),
+    }
+}
+
+/// D004: float fields in sim-state structs/enums.
+fn d004_float_fields(index: &SymbolIndex, out: &mut PassOutput) {
+    for entry in &index.files {
+        if !entry.scope.sim_state {
+            continue;
+        }
+        for ty in &entry.ast.types {
+            if ty.in_test {
+                continue;
+            }
+            for field in &ty.fields {
+                let Some(float) = field
+                    .type_idents
+                    .iter()
+                    .find(|id| *id == "f32" || *id == "f64")
+                else {
+                    continue;
+                };
+                emit(
+                    out,
+                    entry,
+                    "D004",
+                    field.line,
+                    format!("{}::{}", ty.name, field.name),
+                    format!(
+                        "float field `{}::{}` ({float}) in sim-state: accumulation order \
+                         changes results across partitionings",
+                        ty.name, field.name
+                    ),
+                    "store sim-state quantities as fixed-point integers (cycles, bytes, \
+                     permilles); floats make results depend on reduction order, which a \
+                     parallel partitioning will change",
+                );
+            }
+        }
+    }
+}
+
+/// R001: interior mutability reachable from `Machine`, plus process
+/// globals in sim-state crates.
+fn r001_parallel_readiness(index: &SymbolIndex, out: &mut PassOutput) {
+    // Type closure from the roots, following field type identifiers to
+    // workspace types declared in sim-state files.
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for root in R001_ROOTS {
+        if let Some(decls) = index.types_by_name.get(*root) {
+            for &(fi, ti) in decls {
+                if index.files[fi].scope.sim_state && seen.insert((fi, ti)) {
+                    out.readiness.roots.push(format!(
+                        "{} ({})",
+                        index.files[fi].ast.types[ti].name, index.files[fi].path
+                    ));
+                    work.push((fi, ti));
+                }
+            }
+        }
+    }
+    while let Some((fi, ti)) = work.pop() {
+        let entry = &index.files[fi];
+        let ty = &entry.ast.types[ti];
+        for field in &ty.fields {
+            for ident in &field.type_idents {
+                if INTERIOR.contains(&ident.as_str()) {
+                    emit(
+                        out,
+                        entry,
+                        "R001",
+                        field.line,
+                        format!("{}::{}", ty.name, field.name),
+                        format!(
+                            "`{}` in `{}::{}` is reachable from Machine state: interior \
+                             mutability breaks single-writer partitioning",
+                            ident, ty.name, field.name
+                        ),
+                        "parallel-ready sim state must be plainly owned — replace interior \
+                         mutability with explicit ownership, or move the cell outside the \
+                         per-chiplet state and merge at deterministic barriers",
+                    );
+                }
+                if let Some(decls) = index.types_by_name.get(ident) {
+                    for &(nfi, nti) in decls {
+                        if index.files[nfi].scope.sim_state
+                            && !index.files[nfi].ast.types[nti].in_test
+                            && seen.insert((nfi, nti))
+                        {
+                            work.push((nfi, nti));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.readiness.types_audited = seen.len();
+
+    // Process globals are shared state no matter what holds them.
+    for entry in &index.files {
+        if !entry.scope.sim_state {
+            continue;
+        }
+        for g in &entry.ast.globals {
+            if g.in_test {
+                continue;
+            }
+            let what = match g.kind {
+                crate::parser::GlobalKind::StaticMut => "static mut",
+                crate::parser::GlobalKind::ThreadLocal => "thread_local!",
+            };
+            emit(
+                out,
+                entry,
+                "R001",
+                g.line,
+                g.name.clone(),
+                format!(
+                    "`{what} {}` in a sim-state crate: process-global state defeats \
+                     deterministic partitioning",
+                    g.name
+                ),
+                "thread the state through the Machine explicitly; globals are invisible \
+                 to the chiplet cut and race under parallel execution",
+            );
+        }
+    }
+}
+
+/// P002: panic reachability from the public API surface.
+fn p002_panic_reachability(index: &SymbolIndex, out: &mut PassOutput) {
+    let graph = callgraph::build(index);
+    for (file, line, what, reason) in &graph.waived_sources {
+        out.waived.push(WaivedFinding {
+            rule: "P002",
+            file: file.clone(),
+            line: *line,
+            symbol: what.clone(),
+            reason: reason.clone(),
+        });
+    }
+    let reach = graph.panic_reach();
+    for (d, id) in graph.ids.iter().enumerate() {
+        let entry = &index.files[id.0];
+        if !entry.scope.api_entry || entry.scope.test_file {
+            continue;
+        }
+        let f = index.fn_item(*id);
+        if !f.is_pub || f.in_test {
+            continue;
+        }
+        // A direct indexing site is reportable here (P001 does not cover
+        // indexing); direct unwrap/panic sites are P001's domain.
+        let direct_hit = graph.direct[d]
+            .as_ref()
+            .filter(|s| s.kind == PanicKind::Indexing);
+        let path: Vec<usize> = if direct_hit.is_some() {
+            vec![d]
+        } else {
+            // Shortest path through a callee.
+            let best = graph.callees[d]
+                .iter()
+                .filter(|&&c| reach.dist[c] != u32::MAX)
+                .min_by_key(|&&c| (reach.dist[c], c));
+            match best {
+                Some(&c) => {
+                    let mut p = vec![d];
+                    p.extend(graph.witness(&reach, c));
+                    p
+                }
+                None => continue,
+            }
+        };
+        let Some(last) = path.last().copied() else {
+            continue;
+        };
+        let Some(site) = graph.direct[last].as_ref() else {
+            continue;
+        };
+        let site_file = &index.files[graph.ids[last].0].path;
+        let chain = path
+            .iter()
+            .map(|&n| index.fn_item(graph.ids[n]).qual.clone())
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        emit(
+            out,
+            entry,
+            "P002",
+            f.line,
+            f.qual.clone(),
+            format!(
+                "public `{}` can reach a panic: {chain} ({} `{}` at {site_file}:{})",
+                f.qual,
+                site.kind.label(),
+                site.what,
+                site.line
+            ),
+            "make the closure panic-free (return SimError / use checked access), or \
+             waive the *source* site with `// barre:allow(P001) <proof>` — one source \
+             waiver clears every path through it",
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(pairs: &[(&str, &str)]) -> PassOutput {
+        let sources: Vec<(String, String)> = pairs
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        run(&SymbolIndex::build(&sources))
+    }
+
+    #[test]
+    fn p002_prints_cross_module_call_path() {
+        let out = run_on(&[
+            (
+                "crates/system/src/machine.rs",
+                "pub fn step(m: u64) -> u64 { walk(m) }",
+            ),
+            (
+                "crates/mem/src/pt.rs",
+                "pub fn walk(x: u64) -> u64 { let f = vec![1]; f[x as usize] }",
+            ),
+        ]);
+        let p002: Vec<&Diagnostic> = out
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "P002")
+            .collect();
+        assert_eq!(p002.len(), 1, "{:?}", out.diagnostics);
+        assert_eq!(p002[0].symbol, "step");
+        assert!(
+            p002[0].message.contains("step -> walk"),
+            "{}",
+            p002[0].message
+        );
+        assert!(p002[0].message.contains("crates/mem/src/pt.rs"));
+        // `walk` is pub but crates/mem is not an API-entry crate, so it
+        // gets no diagnostic of its own.
+        assert!(!p002.iter().any(|d| d.symbol == "walk"));
+    }
+
+    #[test]
+    fn p002_miss_when_closure_is_clean() {
+        let out = run_on(&[
+            (
+                "crates/system/src/machine.rs",
+                "pub fn step(m: u64) -> u64 { helper(m) }",
+            ),
+            (
+                "crates/sim/src/h.rs",
+                "pub fn helper(x: u64) -> u64 { x.saturating_add(1) }",
+            ),
+        ]);
+        assert!(
+            out.diagnostics.iter().all(|d| d.rule != "P002"),
+            "{:?}",
+            out.diagnostics
+        );
+    }
+
+    #[test]
+    fn p002_source_waiver_clears_all_paths() {
+        let out = run_on(&[
+            (
+                "crates/system/src/a.rs",
+                "pub fn one(x: u64) -> u64 { shared(x) }\npub fn two(x: u64) -> u64 { shared(x) }",
+            ),
+            (
+                "crates/sim/src/b.rs",
+                "pub fn shared(x: u64) -> u64 {\n    let v = vec![1, 2];\n    \
+                 // barre:allow(P002) index bounded by the literal above\n    v[x as usize]\n}",
+            ),
+        ]);
+        assert!(out.diagnostics.iter().all(|d| d.rule != "P002"));
+        assert_eq!(out.waived.iter().filter(|w| w.rule == "P002").count(), 1);
+    }
+
+    #[test]
+    fn d004_flags_float_fields_with_symbols() {
+        let out = run_on(&[(
+            "crates/sim/src/fault.rs",
+            "pub struct Plan { pub drop_rate: f64, pub count: u64 }",
+        )]);
+        let hits: Vec<&Diagnostic> = out
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "D004")
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].symbol, "Plan::drop_rate");
+    }
+
+    #[test]
+    fn r001_walks_the_machine_closure_and_respects_waivers() {
+        let out = run_on(&[
+            (
+                "crates/system/src/machine.rs",
+                "pub struct Machine { tlb: TlbState, counters: Counters }",
+            ),
+            (
+                "crates/tlb/src/state.rs",
+                "pub struct TlbState { entries: Vec<u64>, cache: RefCell<u64> }",
+            ),
+            (
+                "crates/sim/src/counters.rs",
+                "pub struct Counters {\n    \
+                 // barre:allow(R001) single-threaded today, removed by the item-2 refactor\n    \
+                 scratch: Rc<u64>,\n}",
+            ),
+            // NOT reachable from Machine: no finding even though it has a Mutex.
+            (
+                "crates/sim/src/pool_state.rs",
+                "pub struct PoolSide { lock: Mutex<u64> }",
+            ),
+        ]);
+        let hits: Vec<&Diagnostic> = out
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "R001")
+            .collect();
+        assert_eq!(hits.len(), 1, "{:?}", out.diagnostics);
+        assert_eq!(hits[0].symbol, "TlbState::cache");
+        let waived: Vec<&WaivedFinding> = out.waived.iter().filter(|w| w.rule == "R001").collect();
+        assert_eq!(waived.len(), 1);
+        assert_eq!(waived[0].symbol, "Counters::scratch");
+        assert!(waived[0].reason.contains("single-threaded"));
+        assert_eq!(out.readiness.roots.len(), 1);
+        assert_eq!(out.readiness.types_audited, 3);
+    }
+
+    #[test]
+    fn r001_flags_globals_regardless_of_closure() {
+        let out = run_on(&[(
+            "crates/sim/src/g.rs",
+            "static mut SCRATCH: u64 = 0;\nthread_local! { static TLS: u64 = 1; }",
+        )]);
+        let hits: Vec<&str> = out
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "R001")
+            .map(|d| d.symbol.as_str())
+            .collect();
+        assert_eq!(hits, vec!["SCRATCH", "TLS"]);
+    }
+}

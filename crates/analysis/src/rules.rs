@@ -10,11 +10,17 @@
 //! | C002 | unchecked `+=` accumulation on long-lived cycle/traffic counters |
 //! | W001 | a `barre:allow` waiver without a justification |
 //! | A001 | an undocumented `pub` item in the API crates (core/system) |
+//! | D005 | `Ordering::Relaxed` / atomics inside deterministic sim state |
+//!
+//! The interprocedural rules (P002 panic reachability, D004 float
+//! fields in sim-state structs, R001 parallel readiness) live in
+//! [`crate::passes`] — they need the symbol index, not just one file's
+//! tokens.
 //!
 //! Any rule can be silenced with `// barre:allow(RULE) <reason>` on the
 //! same line or the line directly above the violation.
 
-use crate::lexer::{lex, TokKind, Token};
+use crate::lexer::{lex, LexOut, TokKind, Token};
 
 /// One reported violation.
 #[derive(Debug, Clone)]
@@ -29,6 +35,10 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it.
     pub suggestion: &'static str,
+    /// Qualified symbol the finding anchors to (`Machine::step`,
+    /// `FaultPlan::p_drop`). Empty for token-local rules; the baseline
+    /// falls back to the message text then.
+    pub symbol: String,
 }
 
 /// Result of linting one file.
@@ -42,20 +52,28 @@ pub struct FileLint {
 
 /// Where a file sits in the workspace, which decides rule applicability.
 #[derive(Debug, Clone, Copy)]
-struct FileScope {
+pub struct FileScope {
     /// Crate is in the deterministic-simulation set (D001 applies).
-    sim_facing: bool,
+    pub sim_facing: bool,
     /// Wall-clock reads allowed (bench/cli frontends, and the serve
     /// daemon, whose deadlines and latency stats are inherently
     /// wall-clock).
-    wall_clock_ok: bool,
+    pub wall_clock_ok: bool,
     /// Panicking calls allowed (bench/cli frontends only — the daemon
     /// must stay up, so `serve` is NOT in this set).
-    panic_ok: bool,
+    pub panic_ok: bool,
     /// Integration test / example file (panic rules do not apply).
-    test_file: bool,
+    pub test_file: bool,
     /// Library source of an API crate (A001 doc coverage applies).
-    doc_required: bool,
+    pub doc_required: bool,
+    /// Crate state feeds the deterministic simulation *itself* — the
+    /// sim-facing set minus `serve` (the daemon's wall-clock stats and
+    /// monitoring atomics never touch sim outcomes). D004/D005 and the
+    /// R001 parallel-readiness audit apply here.
+    pub sim_state: bool,
+    /// Library source of an API-surface crate (core/system/serve):
+    /// its plain `pub fn`s are the P002 panic-reachability entry points.
+    pub api_entry: bool,
 }
 
 /// Crates whose state feeds simulation outcomes; hash-order
@@ -75,7 +93,8 @@ const SIM_FACING: &[&str] = &[
     "serve",
 ];
 
-fn scope_for(path: &str) -> FileScope {
+/// Derives the rule-applicability scope from a workspace-relative path.
+pub fn scope_of(path: &str) -> FileScope {
     let crate_name = path
         .strip_prefix("crates/")
         .and_then(|rest| rest.split('/').next())
@@ -86,21 +105,32 @@ fn scope_for(path: &str) -> FileScope {
         || path.starts_with("examples/");
     let bench = path.contains("/benches/") || path.starts_with("benches/");
     let frontend = bench || crate_name == "cli" || crate_name == "bench";
+    let sim_facing = SIM_FACING.contains(&crate_name);
     FileScope {
-        sim_facing: SIM_FACING.contains(&crate_name),
+        sim_facing,
         wall_clock_ok: frontend || crate_name == "serve",
         panic_ok: frontend,
         test_file,
         doc_required: path.starts_with("crates/core/src/")
             || path.starts_with("crates/system/src/"),
+        sim_state: sim_facing && crate_name != "serve" && !test_file && !bench,
+        api_entry: path.starts_with("crates/core/src/")
+            || path.starts_with("crates/system/src/")
+            || path.starts_with("crates/serve/src/"),
     }
 }
 
 /// Lints one source file given its workspace-relative `path`.
 pub fn lint_source(path: &str, src: &str) -> FileLint {
-    let scope = scope_for(path);
     let out = lex(src);
-    let masked = test_mask(&out.tokens);
+    let masked = test_mask_of(&out.tokens);
+    lint_lexed(path, &out, &masked)
+}
+
+/// Token-rule pass over an already lexed file (the symbol index shares
+/// its lex with this pass so each file is lexed exactly once per run).
+pub fn lint_lexed(path: &str, out: &LexOut, masked: &[bool]) -> FileLint {
+    let scope = scope_of(path);
     // Nondecreasing line numbers of code tokens (used by the A001 doc
     // attachment check).
     let code_lines: Vec<u32> = out.tokens.iter().map(|t| t.line).collect();
@@ -223,6 +253,24 @@ pub fn lint_source(path: &str, src: &str) -> FileLint {
                  the type); silent wrap-around corrupts conservation checks and reports",
             ));
         }
+
+        // D005: relaxed/unsynchronized atomics in deterministic sim
+        // state. Under the future parallel partitioning (ROADMAP item
+        // 2), racy counters produce run-to-run drift that breaks the
+        // byte-identical fingerprint guarantee.
+        if scope.sim_state
+            && !in_test
+            && (t.text == "Relaxed" || (t.text.starts_with("Atomic") && t.text.len() > 6))
+        {
+            raw.push((
+                t.line,
+                "D005",
+                format!("atomic in deterministic sim state ({})", t.text),
+                "sim state must be single-writer: keep counters as plain integers owned \
+                 by one chiplet and merge deterministically at barriers; atomics (and \
+                 especially `Ordering::Relaxed`) admit interleaving-dependent results",
+            ));
+        }
     }
 
     // Apply waivers: a waiver on line L silences matching rules on L and L+1.
@@ -242,6 +290,7 @@ pub fn lint_source(path: &str, src: &str) -> FileLint {
                 rule,
                 message,
                 suggestion,
+                symbol: String::new(),
             });
         }
     }
@@ -255,7 +304,8 @@ pub fn lint_source(path: &str, src: &str) -> FileLint {
                 rule: "W001",
                 message: "waiver without a justification".to_string(),
                 suggestion: "write `// barre:allow(RULE) <one-line reason>` — the reason \
-                     is mandatory",
+                     is mandatory and must not start with TODO",
+                symbol: String::new(),
             });
         }
     }
@@ -390,7 +440,7 @@ fn counter_smell(name: &str) -> bool {
 /// Marks every token that belongs to a `#[test]` / `#[cfg(test)]` item
 /// (attribute through the end of the item body) so panic/collection rules
 /// skip test code embedded in library files.
-fn test_mask(tokens: &[Token]) -> Vec<bool> {
+pub fn test_mask_of(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {
@@ -709,5 +759,41 @@ mod tests {
         assert_eq!(fl.diagnostics.len(), 1);
         assert_eq!(fl.diagnostics[0].line, 3);
         assert_eq!(fl.diagnostics[0].rule, "D001");
+    }
+
+    #[test]
+    fn d005_fires_on_atomics_in_sim_state_only() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let rules = rules_of("crates/sim/src/x.rs", src);
+        // AtomicU64 twice (use + param) and Relaxed once.
+        assert_eq!(rules, vec!["D005"; 3], "{rules:?}");
+        // serve's monitoring counters are not sim state…
+        assert!(rules_of("crates/serve/src/stats.rs", src).is_empty());
+        // …and neither are non-sim crates or tests.
+        assert!(rules_of("crates/analysis/src/x.rs", src).is_empty());
+        assert!(rules_of("crates/sim/tests/it.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d005_waiver_with_reason_silences() {
+        let src = "// barre:allow(D005) read-only after init, never raced\n\
+                   use std::sync::atomic::AtomicBool;\n";
+        let fl = lint_source("crates/tlb/src/x.rs", src);
+        assert!(fl.diagnostics.is_empty(), "{:?}", fl.diagnostics);
+        assert_eq!(fl.waived, 1);
+    }
+
+    #[test]
+    fn scope_of_sim_state_and_api_entry_sets() {
+        assert!(scope_of("crates/sim/src/x.rs").sim_state);
+        assert!(scope_of("crates/system/src/x.rs").sim_state);
+        assert!(!scope_of("crates/serve/src/x.rs").sim_state);
+        assert!(!scope_of("crates/sim/benches/b.rs").sim_state);
+        assert!(!scope_of("crates/sim/tests/t.rs").sim_state);
+        assert!(scope_of("crates/core/src/x.rs").api_entry);
+        assert!(scope_of("crates/serve/src/x.rs").api_entry);
+        assert!(!scope_of("crates/sim/src/x.rs").api_entry);
+        assert!(!scope_of("crates/system/tests/t.rs").api_entry);
     }
 }

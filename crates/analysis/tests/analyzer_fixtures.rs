@@ -1,0 +1,162 @@
+//! Runs the index-level passes over the on-disk fixture corpus: P002
+//! cross-module reachability, D004/D005 determinism taint, the R001
+//! audit, SARIF golden output, and `--fix` idempotence. Fixtures are
+//! mounted at synthetic workspace paths so each rule's scope condition
+//! is satisfied; the fixtures directory itself is excluded from
+//! workspace walks.
+
+use std::fs;
+use std::path::Path;
+
+use barre_analysis::{analyze_sources, fix, sarif, AnalyzeOptions, LintReport};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).expect("fixture readable")
+}
+
+/// Analyzes fixtures mounted at the given synthetic paths.
+fn analyze(mounts: &[(&str, &str)]) -> LintReport {
+    let sources: Vec<(String, String)> = mounts
+        .iter()
+        .map(|(at, name)| (at.to_string(), fixture(name)))
+        .collect();
+    analyze_sources(&sources, &AnalyzeOptions::default())
+}
+
+#[test]
+fn p002_cross_module_hit_and_miss() {
+    let report = analyze(&[
+        ("crates/system/src/entry.rs", "p002_entry.rs"),
+        ("crates/mem/src/helper.rs", "p002_helper.rs"),
+    ]);
+    let p002: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "P002")
+        .collect();
+    // Hit: `translate` reaches the indexing in table_slots two hops away,
+    // and the diagnostic prints the concrete call path and source site.
+    let hit = p002
+        .iter()
+        .find(|d| d.symbol == "translate")
+        .expect("translate flagged");
+    assert!(
+        hit.message
+            .contains("translate -> walk_table -> table_slots"),
+        "{}",
+        hit.message
+    );
+    assert!(hit.message.contains("crates/mem/src/helper.rs"));
+    assert!(hit.message.contains("indexing"));
+    // Miss: the clean closure is not flagged, and the helper crate's own
+    // pub fns are not entry points.
+    assert!(!p002.iter().any(|d| d.symbol == "translate_checked"));
+    assert!(!p002.iter().any(|d| d.symbol == "walk_table"));
+}
+
+#[test]
+fn d004_and_d005_fire_in_sim_state_scope() {
+    let report = analyze(&[("crates/tlb/src/stats.rs", "d004_d005_hit.rs")]);
+    let d004: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "D004")
+        .map(|d| d.symbol.as_str())
+        .collect();
+    assert_eq!(d004, vec!["WalkStats::hit_rate", "WalkStats::miss_ewma"]);
+    let d005 = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "D005")
+        .count();
+    assert_eq!(d005, 3, "{:?}", report.diagnostics);
+
+    // The same file outside sim-state scope (a bench frontend) is clean.
+    let report = analyze(&[("crates/bench/src/stats.rs", "d004_d005_hit.rs")]);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.rule != "D004" && d.rule != "D005"),
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn r001_audit_reports_hit_and_waived() {
+    let report = analyze(&[("crates/system/src/machine.rs", "r001_hit_waived.rs")]);
+    let active: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "R001")
+        .map(|d| d.symbol.as_str())
+        .collect();
+    // The RefCell in the Machine closure is active; the waived Rc is
+    // silenced with its reason kept; the Mutex in the unreachable type
+    // is not reported.
+    assert_eq!(active, vec!["TlbBank::shootdown_log"]);
+    let waived: Vec<_> = report
+        .waived_findings
+        .iter()
+        .filter(|w| w.rule == "R001")
+        .collect();
+    assert_eq!(waived.len(), 1);
+    assert_eq!(waived[0].symbol, "TlbBank::config");
+    assert!(waived[0].reason.contains("item 2"));
+    assert_eq!(report.readiness.roots.len(), 1);
+}
+
+#[test]
+fn sarif_output_matches_golden_and_validates() {
+    let report = analyze(&[
+        ("crates/system/src/entry.rs", "p002_entry.rs"),
+        ("crates/mem/src/helper.rs", "p002_helper.rs"),
+        ("crates/tlb/src/stats.rs", "d004_d005_hit.rs"),
+    ]);
+    let rendered = sarif::render(&report.diagnostics);
+    sarif::validate(&rendered).expect("SARIF validates against the 2.1.0 core shape");
+
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/sarif_golden.sarif");
+    if std::env::var_os("BARRE_BLESS").is_some() {
+        fs::write(&golden_path, &rendered).expect("bless golden");
+    }
+    let golden = fs::read_to_string(&golden_path).expect("golden readable");
+    assert_eq!(
+        rendered, golden,
+        "SARIF output drifted from the golden; rerun with BARRE_BLESS=1 if intended"
+    );
+}
+
+#[test]
+fn fix_is_idempotent_on_the_fixture() {
+    let src = fixture("fix_input.rs");
+    let path = "crates/tlb/src/fix_input.rs";
+    let diags = |s: &str| {
+        let report = analyze_sources(
+            &[(path.to_string(), s.to_string())],
+            &AnalyzeOptions::default(),
+        );
+        report.diagnostics
+    };
+
+    let d1 = diags(&src);
+    let d1refs: Vec<_> = d1.iter().collect();
+    let (once, n) = fix::fix_source(&src, &d1refs).expect("fixes applied");
+    assert!(n >= 2, "expected the W001 scaffold and the D002 rewrite");
+    assert!(once.contains("TODO: justify this waiver"));
+    assert!(once.contains("clock.now()"));
+    assert!(!once.contains("Instant::now()"));
+
+    // Applying the fixer to its own output changes nothing.
+    let d2 = diags(&once);
+    let d2refs: Vec<_> = d2.iter().collect();
+    match fix::fix_source(&once, &d2refs) {
+        None => {}
+        Some((twice, _)) => assert_eq!(once, twice, "fix not idempotent"),
+    }
+}

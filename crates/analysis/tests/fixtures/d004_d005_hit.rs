@@ -1,0 +1,20 @@
+//! Fixture: determinism taint in sim-state code. Linted under a
+//! synthetic `crates/tlb/src/` path, so `sim_state` scope applies.
+//! Expected: two D004 findings (the f64 and f32 fields; `ratio_bp` is
+//! fine) and three D005 findings (the AtomicBool field, the AtomicU64
+//! parameter, and `Ordering::Relaxed`).
+
+pub struct WalkStats {
+    pub hit_rate: f64,
+    pub miss_ewma: f32,
+    pub ratio_bp: u32,
+    pub walks: u64,
+}
+
+pub struct Flags {
+    stop: AtomicBool,
+}
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,16 @@
+//! Fixture: `--fix` input. Contains a reasonless waiver (W001 — gets a
+//! TODO scaffold appended) and a wall-clock read (D002 — rewritten to
+//! the injected clock with a marker comment). Applying the fixes twice
+//! must be byte-identical to applying them once.
+
+use std::collections::HashSet;
+
+// barre:allow(D001)
+pub fn tracked(set: &HashSet<u64>) -> usize {
+    set.len()
+}
+
+pub fn stamp() -> std::time::Instant {
+    let t0 = Instant::now();
+    t0
+}

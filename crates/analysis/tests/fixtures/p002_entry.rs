@@ -1,0 +1,13 @@
+//! Fixture: P002 entry-point file. Linted under a synthetic
+//! `crates/system/src/` path so `api_entry` scope applies.
+//! `translate` reaches slice indexing two hops away (via
+//! `p002_helper.rs`); `translate_checked` only calls the clean helper
+//! and must NOT be flagged.
+
+pub fn translate(vpn: u64) -> u64 {
+    walk_table(vpn)
+}
+
+pub fn translate_checked(vpn: u64) -> u64 {
+    clean_lookup(vpn)
+}

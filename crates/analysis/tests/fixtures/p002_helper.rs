@@ -1,0 +1,17 @@
+//! Fixture: P002 helper module, linted under a synthetic
+//! `crates/mem/src/` path (sim-facing, not an API entry crate — its own
+//! pub fns get no P002 diagnostics, but panic sources here count).
+
+pub fn walk_table(vpn: u64) -> u64 {
+    let slots = table_slots(vpn);
+    slots
+}
+
+fn table_slots(vpn: u64) -> u64 {
+    let table = [0u64; 4];
+    table[(vpn & 3) as usize]
+}
+
+pub fn clean_lookup(vpn: u64) -> u64 {
+    vpn.wrapping_mul(2).rotate_left(1)
+}

@@ -1,0 +1,19 @@
+//! Fixture: the R001 parallel-readiness audit. Linted under a synthetic
+//! `crates/system/src/` path. `Machine` is the audit root; the RefCell
+//! field is an active finding, the waived Rc is counted but silenced,
+//! and the Mutex in `Offside` (unreachable from Machine) is ignored.
+
+pub struct Machine {
+    pub tlbs: TlbBank,
+}
+
+pub struct TlbBank {
+    entries: Vec<u64>,
+    shootdown_log: RefCell<Vec<u64>>,
+    // barre:allow(R001) read-only shared config, replaced by plain ownership in item 2
+    config: Rc<u64>,
+}
+
+pub struct Offside {
+    lock: Mutex<u64>,
+}

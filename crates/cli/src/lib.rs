@@ -38,6 +38,7 @@ use barre_workloads::{AppId, AppPair};
 // existing callers.
 pub use barre_serve::request::{app_by_name, mode_by_name, page_size_by_name, policy_by_name};
 
+pub mod lint_cmd;
 pub mod supervisor;
 pub mod trace_cmd;
 
@@ -101,11 +102,8 @@ pub enum Command {
         jobs: Option<usize>,
         out: std::path::PathBuf,
     },
-    /// `barre lint` — run the determinism & panic-safety linter.
-    Lint {
-        root: std::path::PathBuf,
-        json: bool,
-    },
+    /// `barre lint` — run the determinism & panic-safety analyzer.
+    Lint { opts: lint_cmd::LintOpts },
     /// `barre trace` — run one app with the lifecycle tracer and export
     /// the trace (Chrome-trace JSON, or JSONL when `--out` ends in
     /// `.jsonl`).
@@ -284,6 +282,49 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             opts: Box::new(opts),
         });
     }
+    // `lint` grew its own flag vocabulary in PR 7 (baseline files, SARIF,
+    // autofix, waiver budgets) that collides with the simulation flags
+    // (`--baseline` means something else entirely to `run`), so it gets a
+    // dedicated parser too.
+    if cmd == "lint" {
+        let mut opts = lint_cmd::LintOpts::default();
+        let mut i = 1;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = |i: &mut usize| -> Result<String, ParseError> {
+                *i += 1;
+                args.get(*i)
+                    .cloned()
+                    .ok_or_else(|| err(format!("flag {flag} needs a value")))
+            };
+            match flag {
+                "--json" => opts.json = true,
+                "--sarif" => opts.sarif = true,
+                "--fix" => opts.fix = true,
+                "--no-baseline" => opts.no_baseline = true,
+                "--write-baseline" => opts.write_baseline = true,
+                "--parallel-readiness" => opts.readiness = true,
+                "--root" => opts.root = std::path::PathBuf::from(value(&mut i)?),
+                "--baseline" => opts.baseline = Some(std::path::PathBuf::from(value(&mut i)?)),
+                "--changed-since" => opts.changed_since = Some(value(&mut i)?),
+                "--max-waivers" => {
+                    let v = value(&mut i)?;
+                    opts.max_waivers = v
+                        .parse()
+                        .map_err(|_| err(format!("bad waiver budget {v}")))?;
+                }
+                other => return Err(err(format!("unknown flag {other}"))),
+            }
+            i += 1;
+        }
+        if opts.json && opts.sarif {
+            return Err(err("--json and --sarif are mutually exclusive"));
+        }
+        if opts.no_baseline && opts.baseline.is_some() {
+            return Err(err("--no-baseline conflicts with --baseline <file>"));
+        }
+        return Ok(Command::Lint { opts });
+    }
     let mut cfg = SystemConfig::scaled();
     let mut seed = 0x15CA_2024u64;
     let mut app = None;
@@ -294,7 +335,6 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut metrics_json = false;
     let mut rates: Option<Vec<f64>> = None;
     let mut json = false;
-    let mut root: Option<std::path::PathBuf> = None;
     let mut jobs: Option<usize> = None;
     let mut quick = false;
     let mut out: Option<std::path::PathBuf> = None;
@@ -342,7 +382,6 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             "--metrics-json" => metrics_json = true,
             "--json" => json = true,
             "--quick" => quick = true,
-            "--root" => root = Some(std::path::PathBuf::from(value(&mut i)?)),
             "--out" => out = Some(std::path::PathBuf::from(value(&mut i)?)),
             "--jobs" => {
                 let v = value(&mut i)?;
@@ -528,10 +567,6 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             jobs,
             out: out.unwrap_or_else(|| std::path::PathBuf::from("BENCH_sweep.json")),
         }),
-        "lint" => Ok(Command::Lint {
-            root: root.unwrap_or_else(|| std::path::PathBuf::from(".")),
-            json,
-        }),
         "trace" => Ok(Command::Trace {
             app: app.ok_or_else(|| err("trace needs an app (positional or --app <name>)"))?,
             cfg: Box::new(cfg),
@@ -579,7 +614,8 @@ USAGE:
   barre chaos --app <name> [flags]        sweep ATS drop rates (fault injection)
   barre bench [--json] [--quick] [flags]  timed smoke sweep + serial/parallel cross-check
   barre merge --out <dir> <inputs...>     fold shard journals / bench reports into one
-  barre lint  [--json] [--root <dir>]     determinism & panic-safety lint (exit 1 on violations)
+  barre lint  [flags]                     determinism & panic-safety analyzer
+                                          (exit 0 clean, 1 violations, 2 usage/budget error)
   barre trace <app> [flags]               run one app traced; write trace.json (Perfetto-loadable)
   barre report <trace|journal> [--top n]  per-stage p50/p95/p99 tables + slowest journeys
   barre serve [flags]                     simulation daemon: JSONL requests over TCP, HTTP health
@@ -603,6 +639,17 @@ FLAGS:
   --filter stage=<s1,s2,...>           trace: stages kept in the span ring (histograms
                                        always cover every stage); names as in the report
   --top <n>                            report: slowest journeys shown (default 10)
+
+LINT FLAGS:
+  --root <dir>                         workspace to analyze (default .)
+  --json | --sarif                     barre-lint/2 JSON or SARIF 2.1.0 (mutually exclusive)
+  --baseline <file>                    accepted-findings file (default <root>/lint-baseline.json)
+  --no-baseline                        ignore any baseline file
+  --write-baseline                     regenerate the baseline from current findings
+  --changed-since <rev>                only report findings in files changed since <rev>
+  --max-waivers <n>                    inline-waiver budget (default 5; exit 2 on breach)
+  --fix                                apply safe autofixes (W001 scaffold, D002 clock rewrite)
+  --parallel-readiness                 append the R001 audit report (ROADMAP item 2 gate)
 
 SUPERVISOR FLAGS (sweep, chaos):
   --supervise                          run each job in a crash-isolated child process
@@ -1016,21 +1063,7 @@ pub fn execute(cmd: Command) -> i32 {
             println!("{}", summary_line(&pair.label(), &m));
             0
         }
-        Command::Lint { root, json } => {
-            let report = match barre_analysis::lint_workspace(&root) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("error: lint walk failed under {}: {e}", root.display());
-                    return 2;
-                }
-            };
-            if json {
-                print!("{}", barre_analysis::render_json(&report));
-            } else {
-                print!("{}", barre_analysis::render_human(&report));
-            }
-            i32::from(!report.is_clean())
-        }
+        Command::Lint { opts } => lint_cmd::run_lint(&opts),
         Command::Chaos {
             app,
             cfg,
@@ -1323,19 +1356,51 @@ mod tests {
     #[test]
     fn parses_lint() {
         match p(&["lint"]).unwrap() {
-            Command::Lint { root, json } => {
-                assert_eq!(root, std::path::PathBuf::from("."));
-                assert!(!json);
+            Command::Lint { opts } => {
+                assert_eq!(opts.root, std::path::PathBuf::from("."));
+                assert!(!opts.json && !opts.sarif && !opts.fix);
+                assert_eq!(opts.max_waivers, 5);
+                assert!(opts.baseline.is_none());
             }
             other => panic!("wrong command {other:?}"),
         }
         match p(&["lint", "--json", "--root", "/tmp/ws"]).unwrap() {
-            Command::Lint { root, json } => {
-                assert_eq!(root, std::path::PathBuf::from("/tmp/ws"));
-                assert!(json);
+            Command::Lint { opts } => {
+                assert_eq!(opts.root, std::path::PathBuf::from("/tmp/ws"));
+                assert!(opts.json);
             }
             other => panic!("wrong command {other:?}"),
         }
         assert!(p(&["lint", "--root"]).is_err());
+    }
+
+    #[test]
+    fn parses_lint_analyzer_flags() {
+        match p(&[
+            "lint",
+            "--sarif",
+            "--baseline",
+            "bl.json",
+            "--changed-since",
+            "origin/main",
+            "--max-waivers",
+            "9",
+            "--parallel-readiness",
+        ])
+        .unwrap()
+        {
+            Command::Lint { opts } => {
+                assert!(opts.sarif && opts.readiness);
+                assert_eq!(opts.baseline, Some(std::path::PathBuf::from("bl.json")));
+                assert_eq!(opts.changed_since.as_deref(), Some("origin/main"));
+                assert_eq!(opts.max_waivers, 9);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // --json and --sarif are two serializations of the same report.
+        assert!(p(&["lint", "--json", "--sarif"]).is_err());
+        assert!(p(&["lint", "--no-baseline", "--baseline", "b.json"]).is_err());
+        assert!(p(&["lint", "--max-waivers", "lots"]).is_err());
+        assert!(p(&["lint", "--frobnicate"]).is_err());
     }
 }

@@ -1,0 +1,304 @@
+//! `barre lint` — the CLI front end for `barre-analysis`.
+//!
+//! This module owns everything between argument parsing and process exit:
+//! baseline resolution (explicit `--baseline`, auto-discovered
+//! `lint-baseline.json`, or `--no-baseline`), the `--write-baseline`
+//! regeneration flow (which preserves hand-edited justifications for
+//! findings that still exist), `--fix` application, the
+//! `--changed-since <rev>` fast path (via `git diff --name-only`), the
+//! inline-waiver budget, and the three output formats (human,
+//! `barre-lint/2` JSON, SARIF 2.1.0).
+//!
+//! Exit-code contract: `0` clean, `1` active violations, `2` operational
+//! error (bad baseline file, git failure, waiver budget breach, walk
+//! error).
+
+use barre_analysis::{
+    analyze_workspace, baseline, fix, render_human, render_json, sarif, AnalyzeOptions, Baseline,
+    BaselineEntry, Diagnostic, LintReport,
+};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Parsed `barre lint` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintOpts {
+    /// Workspace root to analyze.
+    pub root: PathBuf,
+    /// Emit `barre-lint/2` JSON instead of human text.
+    pub json: bool,
+    /// Emit SARIF 2.1.0 instead of human text.
+    pub sarif: bool,
+    /// Explicit baseline file (default: `<root>/lint-baseline.json` when
+    /// present).
+    pub baseline: Option<PathBuf>,
+    /// Ignore any baseline file.
+    pub no_baseline: bool,
+    /// Regenerate the baseline from current findings and exit.
+    pub write_baseline: bool,
+    /// Apply safe autofixes before reporting.
+    pub fix: bool,
+    /// Inline-waiver budget; exceeding it is an operational error.
+    pub max_waivers: usize,
+    /// Only report findings in files changed since this git revision.
+    pub changed_since: Option<String>,
+    /// Append the R001 parallel-readiness report.
+    pub readiness: bool,
+}
+
+impl Default for LintOpts {
+    fn default() -> Self {
+        Self {
+            root: PathBuf::from("."),
+            json: false,
+            sarif: false,
+            baseline: None,
+            no_baseline: false,
+            write_baseline: false,
+            fix: false,
+            max_waivers: 5,
+            changed_since: None,
+            readiness: false,
+        }
+    }
+}
+
+/// Runs the analyzer per `opts` and returns the process exit code.
+pub fn run_lint(opts: &LintOpts) -> i32 {
+    // Resolve the baseline. `--write-baseline` analyzes without one (it
+    // must see every finding), but still reads the old file to preserve
+    // hand-edited justifications.
+    let default_path = opts.root.join("lint-baseline.json");
+    let baseline_path = match &opts.baseline {
+        Some(p) => Some(p.clone()),
+        None if default_path.is_file() => Some(default_path),
+        None => None,
+    };
+    let old_baseline = match &baseline_path {
+        Some(p) if !opts.no_baseline => match load_baseline(p) {
+            Ok(b) => Some(b),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return 2;
+            }
+        },
+        _ => None,
+    };
+
+    let analysis_baseline = if opts.write_baseline {
+        None
+    } else {
+        old_baseline.clone()
+    };
+    let mut report = match analyze(&opts.root, analysis_baseline.clone()) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+
+    if opts.write_baseline {
+        let path = opts
+            .baseline
+            .clone()
+            .unwrap_or_else(|| opts.root.join("lint-baseline.json"));
+        return write_baseline(&path, &report, old_baseline.as_ref());
+    }
+
+    if opts.fix {
+        match apply_fixes(&opts.root, &report.diagnostics) {
+            Ok(0) => {}
+            Ok(n) => {
+                eprintln!("fixed {n} finding(s); re-analyzing");
+                report = match analyze(&opts.root, analysis_baseline) {
+                    Ok(r) => r,
+                    Err(code) => return code,
+                };
+            }
+            Err(code) => return code,
+        }
+    }
+
+    if let Some(rev) = &opts.changed_since {
+        let changed = match changed_files(&opts.root, rev) {
+            Ok(set) => set,
+            Err(code) => return code,
+        };
+        report.diagnostics.retain(|d| changed.contains(&d.file));
+    }
+
+    let mut out = if opts.sarif {
+        sarif::render(&report.diagnostics)
+    } else if opts.json {
+        render_json(&report)
+    } else {
+        render_human(&report)
+    };
+    if opts.readiness {
+        out.push_str(&barre_analysis::report::render_readiness(&report));
+    }
+    print!("{out}");
+
+    if report.waived > opts.max_waivers {
+        eprintln!(
+            "error: inline-waiver budget exceeded: {} waived > --max-waivers {} — \
+             move accepted findings into lint-baseline.json or fix them",
+            report.waived, opts.max_waivers
+        );
+        return 2;
+    }
+    i32::from(!report.is_clean())
+}
+
+fn analyze(root: &Path, baseline: Option<Baseline>) -> Result<LintReport, i32> {
+    analyze_workspace(root, &AnalyzeOptions { baseline }).map_err(|e| {
+        eprintln!("error: lint walk failed under {}: {e}", root.display());
+        2
+    })
+}
+
+fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    let src = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    baseline::parse_baseline(&src).map_err(|e| format!("bad baseline {}: {e}", path.display()))
+}
+
+/// Regenerates the baseline file. Every current finding gets an entry;
+/// findings already present in the old baseline keep their (possibly
+/// hand-edited) justification, new ones get a rule-specific template
+/// that a human is expected to replace or confirm.
+fn write_baseline(path: &Path, report: &LintReport, old: Option<&Baseline>) -> i32 {
+    let entries: Vec<BaselineEntry> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let symbol = if d.symbol.is_empty() {
+                d.message.clone()
+            } else {
+                d.symbol.clone()
+            };
+            let justification = old
+                .and_then(|b| {
+                    b.entries
+                        .iter()
+                        .find(|e| e.rule == d.rule && e.file == d.file && e.symbol == symbol)
+                })
+                .map(|e| e.justification.clone())
+                .unwrap_or_else(|| default_justification(d.rule).to_string());
+            BaselineEntry {
+                rule: d.rule.to_string(),
+                file: d.file.clone(),
+                symbol,
+                justification,
+            }
+        })
+        .collect();
+    let rendered = baseline::render_baseline(&entries);
+    if let Err(e) = fs::write(path, rendered) {
+        eprintln!("error: cannot write baseline {}: {e}", path.display());
+        return 2;
+    }
+    println!(
+        "wrote {} accepted finding(s) to {}",
+        entries.len(),
+        path.display()
+    );
+    0
+}
+
+/// The justification template stamped on a finding first entering the
+/// baseline. Deliberately phrased as debt, not absolution.
+fn default_justification(rule: &str) -> &'static str {
+    match rule {
+        "P002" => {
+            "pre-existing panic path accepted at P002 introduction; burn down via \
+             checked access before ROADMAP item 2"
+        }
+        "D004" => {
+            "pre-existing float field accepted at D004 introduction; audit that the \
+             value is config input or derived output, never accumulated sim state"
+        }
+        "D005" => {
+            "pre-existing atomic accepted at D005 introduction; audit that it only \
+             orchestrates across runs, never orders intra-run sim state"
+        }
+        _ => "accepted at rule introduction; justify properly or burn down",
+    }
+}
+
+/// Applies `barre-analysis::fix` rewrites for the active diagnostics,
+/// grouped per file. Returns how many findings were rewritten.
+fn apply_fixes(root: &Path, diagnostics: &[Diagnostic]) -> Result<usize, i32> {
+    let mut files: Vec<&str> = diagnostics.iter().map(|d| d.file.as_str()).collect();
+    files.sort_unstable();
+    files.dedup();
+
+    let mut fixed = 0;
+    for file in files {
+        let per_file: Vec<&Diagnostic> = diagnostics.iter().filter(|d| d.file == file).collect();
+        let path = root.join(file);
+        let src = match fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: --fix cannot read {}: {e}", path.display());
+                return Err(2);
+            }
+        };
+        if let Some((new_src, n)) = fix::fix_source(&src, &per_file) {
+            if let Err(e) = fs::write(&path, new_src) {
+                eprintln!("error: --fix cannot write {}: {e}", path.display());
+                return Err(2);
+            }
+            fixed += n;
+        }
+    }
+    Ok(fixed)
+}
+
+/// Files changed since `rev`, as workspace-relative forward-slash paths.
+fn changed_files(root: &Path, rev: &str) -> Result<BTreeSet<String>, i32> {
+    let output = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", rev, "--"])
+        .output();
+    let output = match output {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: --changed-since requires git: {e}");
+            return Err(2);
+        }
+    };
+    if !output.status.success() {
+        eprintln!(
+            "error: git diff --name-only {rev} failed: {}",
+            String::from_utf8_lossy(&output.stderr).trim()
+        );
+        return Err(2);
+    }
+    Ok(String::from_utf8_lossy(&output.stdout)
+        .lines()
+        .map(|l| l.trim().replace('\\', "/"))
+        .filter(|l| !l.is_empty())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_opts_match_documented_contract() {
+        let o = LintOpts::default();
+        assert_eq!(o.root, PathBuf::from("."));
+        assert_eq!(o.max_waivers, 5);
+        assert!(!o.json && !o.sarif && !o.fix && !o.write_baseline);
+    }
+
+    #[test]
+    fn justification_templates_cover_new_rules() {
+        for rule in ["P002", "D004", "D005", "R001"] {
+            assert!(!default_justification(rule).is_empty());
+        }
+        assert!(default_justification("P002").contains("ROADMAP item 2"));
+    }
+}

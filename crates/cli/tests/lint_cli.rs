@@ -82,3 +82,175 @@ fn missing_root_exits_two() {
     let out = cmd.output().expect("spawn barre");
     assert_eq!(out.status.code(), Some(2));
 }
+
+fn run_args(root: &Path, args: &[&str]) -> (i32, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_barre"));
+    cmd.arg("lint").arg("--root").arg(root).args(args);
+    let out = cmd.output().expect("spawn barre");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+    )
+}
+
+#[test]
+fn json_is_schema_v2() {
+    let root = make_tree(
+        "lint_schema_v2",
+        &[(
+            "crates/tlb/src/lib.rs",
+            "use std::collections::BTreeMap;\npub type T = BTreeMap<u64, u64>;\n",
+        )],
+    );
+    let (code, stdout, _) = run_args(&root, &["--json"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"schema\": \"barre-lint/2\""), "{stdout}");
+    assert!(stdout.contains("\"baselined\": 0"), "{stdout}");
+}
+
+#[test]
+fn sarif_output_has_the_2_1_0_shape() {
+    let root = make_tree(
+        "lint_sarif",
+        &[(
+            "crates/tlb/src/lib.rs",
+            "use std::collections::HashMap;\npub type T = HashMap<u64, u64>;\n",
+        )],
+    );
+    let (code, stdout, _) = run_args(&root, &["--sarif"]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("\"version\": \"2.1.0\""), "{stdout}");
+    assert!(stdout.contains("\"ruleId\": \"D001\""), "{stdout}");
+    assert!(stdout.contains("%SRCROOT%"), "{stdout}");
+}
+
+#[test]
+fn write_baseline_then_lint_is_clean() {
+    let root = make_tree(
+        "lint_baseline_flow",
+        &[(
+            "crates/tlb/src/lib.rs",
+            "use std::collections::HashMap;\npub type T = HashMap<u64, u64>;\n",
+        )],
+    );
+    let (code, stdout, _) = run_args(&root, &["--write-baseline"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(root.join("lint-baseline.json").is_file());
+
+    // The baseline file is auto-discovered; the tree now lints clean.
+    let (code, stdout, _) = run_args(&root, &["--json"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"baselined\": 2"), "{stdout}");
+
+    // --no-baseline restores the violations.
+    let (code, _, _) = run_args(&root, &["--no-baseline"]);
+    assert_eq!(code, 1);
+}
+
+#[test]
+fn waiver_budget_breach_exits_two() {
+    let root = make_tree(
+        "lint_waiver_budget",
+        &[(
+            "crates/tlb/src/lib.rs",
+            "// barre:allow(D001) legacy import kept for serde compat\n\
+             use std::collections::HashMap;\n\
+             // barre:allow(D001) second legacy import\n\
+             use std::collections::HashSet;\n",
+        )],
+    );
+    // Two justified waivers: fine under the default budget of 5...
+    let (code, _, _) = run_args(&root, &[]);
+    assert_eq!(code, 0);
+    // ...but an operational error under --max-waivers 1.
+    let (code, _, stderr) = run_args(&root, &["--max-waivers", "1"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("waiver budget exceeded"), "{stderr}");
+}
+
+#[test]
+fn fix_rewrites_and_is_idempotent() {
+    let src = "pub fn stamp() -> u64 {\n    let t0 = Instant::now();\n    0\n}\n";
+    let root = make_tree("lint_fix", &[("crates/tlb/src/lib.rs", src)]);
+    let file = root.join("crates/tlb/src/lib.rs");
+
+    let (_, _, stderr) = run_args(&root, &["--fix"]);
+    assert!(stderr.contains("fixed 1 finding(s)"), "{stderr}");
+    let once = fs::read_to_string(&file).expect("read fixed file");
+    assert!(once.contains("clock.now()"), "{once}");
+    assert!(!once.contains("Instant::now()"), "{once}");
+
+    // Running --fix again must not touch the file further.
+    run_args(&root, &["--fix"]);
+    let twice = fs::read_to_string(&file).expect("read file again");
+    assert_eq!(once, twice, "--fix is not idempotent");
+}
+
+#[test]
+fn changed_since_filters_to_touched_files() {
+    let root = make_tree(
+        "lint_changed_since",
+        &[
+            (
+                "crates/tlb/src/old.rs",
+                "use std::collections::HashMap;\npub type T = HashMap<u64, u64>;\n",
+            ),
+            (
+                "crates/tlb/src/lib.rs",
+                "use std::collections::BTreeMap;\npub type U = BTreeMap<u64, u64>;\n",
+            ),
+        ],
+    );
+    let git = |args: &[&str]| {
+        let out = Command::new("git")
+            .arg("-C")
+            .arg(&root)
+            .args(args)
+            .env("GIT_AUTHOR_NAME", "t")
+            .env("GIT_AUTHOR_EMAIL", "t@t")
+            .env("GIT_COMMITTER_NAME", "t")
+            .env("GIT_COMMITTER_EMAIL", "t@t")
+            .output()
+            .expect("spawn git");
+        assert!(out.status.success(), "git {args:?}: {:?}", out);
+    };
+    git(&["init", "-q"]);
+    git(&["add", "-A"]);
+    git(&["commit", "-qm", "seed"]);
+    // Introduce a new violation in a new file only.
+    fs::write(
+        root.join("crates/tlb/src/new.rs"),
+        "use std::collections::HashSet;\npub type S = HashSet<u64>;\n",
+    )
+    .expect("write new file");
+    git(&["add", "-A"]);
+
+    let (code, stdout, _) = run_args(&root, &["--changed-since", "HEAD"]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("new.rs"), "{stdout}");
+    // The pre-existing violation in old.rs is filtered out of this run.
+    assert!(!stdout.contains("old.rs:1"), "{stdout}");
+
+    // A bad revision is an operational error.
+    let (code, _, stderr) = run_args(&root, &["--changed-since", "no-such-rev"]);
+    assert_eq!(code, 2, "{stderr}");
+}
+
+#[test]
+fn parallel_readiness_report_is_appended() {
+    let root = make_tree(
+        "lint_readiness",
+        &[(
+            "crates/system/src/machine.rs",
+            "/// The machine.\npub struct Machine {\n    counters: Vec<u64>,\n}\n",
+        )],
+    );
+    let (code, stdout, _) = run_args(&root, &["--parallel-readiness"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(
+        stdout.contains("parallel-readiness audit (R001)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("verdict: READY"), "{stdout}");
+}
