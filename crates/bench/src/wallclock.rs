@@ -11,6 +11,7 @@
 //! serial/parallel byte-identity the harness itself asserts); it lives
 //! only in this report.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use barre_system::{run_spec, smoke_config, RunMetrics, SystemConfig, TranslationMode};
@@ -230,6 +231,43 @@ impl BenchReport {
         s
     }
 
+    /// Cells whose serial throughput is more than `ratio` times slower
+    /// than the same app's baseline run — the `--gate` perf contract.
+    /// A cell that processed zero events/sec (a degenerate run) always
+    /// violates; a missing baseline cell never does (nothing to gate
+    /// against).
+    pub fn gate_violations(&self, ratio: f64) -> Vec<String> {
+        let mut out = Vec::new();
+        for r in &self.runs {
+            if r.mode == "baseline" {
+                continue;
+            }
+            let Some(base) = self
+                .runs
+                .iter()
+                .find(|b| b.mode == "baseline" && b.app == r.app)
+            else {
+                continue;
+            };
+            if base.events_per_sec <= 0.0 {
+                continue;
+            }
+            let slowdown = if r.events_per_sec > 0.0 {
+                base.events_per_sec / r.events_per_sec
+            } else {
+                f64::INFINITY
+            };
+            if slowdown > ratio {
+                out.push(format!(
+                    "{}/{}: {slowdown:.2}x slower than baseline ({:.0} vs {:.0} events/sec, \
+                     gate {ratio:.1}x)",
+                    r.app, r.mode, r.events_per_sec, base.events_per_sec,
+                ));
+            }
+        }
+        out
+    }
+
     /// Human-readable summary lines for the terminal.
     pub fn summary(&self) -> String {
         let mut s = String::new();
@@ -350,6 +388,168 @@ pub fn merge_reports(docs: &[String]) -> Result<String, String> {
     Ok(s)
 }
 
+/// One `(app, mode)` row of a [`diff_reports`] comparison.
+#[derive(Debug)]
+pub struct BenchDiffRow {
+    /// `app/mode` label.
+    pub label: String,
+    /// Serial events/sec in the old report.
+    pub old_eps: f64,
+    /// Serial events/sec in the new report.
+    pub new_eps: f64,
+    /// `old_eps / new_eps` — above 1.0 means the new run is slower.
+    pub slowdown: f64,
+    /// Whether the deterministic columns (`total_cycles`, `events`)
+    /// changed between the reports — a result change, not just noise.
+    pub results_changed: bool,
+}
+
+/// The outcome of comparing two `BENCH_sweep.json` documents.
+#[derive(Debug)]
+pub struct BenchDiff {
+    /// Rows present in both reports, old-report order.
+    pub rows: Vec<BenchDiffRow>,
+    /// `app/mode` labels present in only one of the reports.
+    pub missing: Vec<String>,
+    /// The threshold rows were judged against.
+    pub threshold: f64,
+}
+
+impl BenchDiff {
+    /// Rows slower than the threshold (the regressions the CI step
+    /// fails on).
+    pub fn regressions(&self) -> Vec<&BenchDiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.slowdown > self.threshold)
+            .collect()
+    }
+
+    /// Renders the comparison as a terminal table plus verdict line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<22} {:>12} {:>12} {:>9}",
+            "app/mode", "old ev/s", "new ev/s", "ratio"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:<22} {:>12.0} {:>12.0} {:>8.2}x{}{}",
+                r.label,
+                r.old_eps,
+                r.new_eps,
+                r.slowdown,
+                if r.slowdown > self.threshold {
+                    "  REGRESSED"
+                } else {
+                    ""
+                },
+                if r.results_changed {
+                    "  (results changed)"
+                } else {
+                    ""
+                },
+            );
+        }
+        for m in &self.missing {
+            let _ = writeln!(s, "{m:<22} only in one report");
+        }
+        let regs = self.regressions();
+        if regs.is_empty() {
+            let _ = writeln!(
+                s,
+                "no regressions beyond {:.2}x across {} comparable cell(s)",
+                self.threshold,
+                self.rows.len()
+            );
+        } else {
+            let _ = writeln!(
+                s,
+                "{} regression(s) beyond {:.2}x",
+                regs.len(),
+                self.threshold
+            );
+        }
+        s
+    }
+}
+
+/// Compares two bench-sweep JSON documents (`barre-bench-sweep/1` or
+/// `barre-bench-merged/1`) cell by cell: `old_eps / new_eps` per
+/// `(app, mode)` row, regression when the ratio exceeds `threshold`.
+/// Wall-clock noise is expected — pick thresholds accordingly (the CI
+/// step uses a generous one); deterministic drift is flagged separately
+/// via [`BenchDiffRow::results_changed`].
+///
+/// # Errors
+///
+/// A description of the first unparsable document.
+pub fn diff_reports(old: &str, new: &str, threshold: f64) -> Result<BenchDiff, String> {
+    use barre_system::journal::Json;
+
+    fn rows_of(doc: &str, which: &str) -> Result<Vec<(String, u64, u64, f64)>, String> {
+        let v = Json::parse(doc).map_err(|e| format!("{which} report: {e}"))?;
+        let runs = v
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{which} report: no runs array"))?;
+        let mut out = Vec::with_capacity(runs.len());
+        for r in runs {
+            let app = r
+                .get("app")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{which} report: run without app"))?;
+            let mode = r
+                .get("mode")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{which} report: run without mode"))?;
+            let cycles = r.get("total_cycles").and_then(Json::as_u64).unwrap_or(0);
+            let events = r.get("events").and_then(Json::as_u64).unwrap_or(0);
+            let eps = r
+                .get("events_per_sec")
+                .and_then(Json::as_u64)
+                .map_or(0.0, |n| n as f64);
+            out.push((format!("{app}/{mode}"), cycles, events, eps));
+        }
+        Ok(out)
+    }
+
+    let old_rows = rows_of(old, "old")?;
+    let new_rows = rows_of(new, "new")?;
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for (label, oc, oe, oeps) in &old_rows {
+        match new_rows.iter().find(|(l, ..)| l == label) {
+            Some((_, nc, ne, neps)) => rows.push(BenchDiffRow {
+                label: label.clone(),
+                old_eps: *oeps,
+                new_eps: *neps,
+                slowdown: if *neps > 0.0 {
+                    oeps / neps
+                } else if *oeps > 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0
+                },
+                results_changed: (oc, oe) != (nc, ne),
+            }),
+            None => missing.push(label.clone()),
+        }
+    }
+    for (label, ..) in &new_rows {
+        if !old_rows.iter().any(|(l, ..)| l == label) {
+            missing.push(label.clone());
+        }
+    }
+    Ok(BenchDiff {
+        rows,
+        missing,
+        threshold,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +624,94 @@ mod tests {
         assert!(json.contains("\"schema\": \"barre-bench-sweep/1\""));
         assert!(json.contains("\"divergent\": []"));
         assert!(r.summary().contains("identical"));
+    }
+
+    fn run(app: &'static str, mode: &'static str, eps: f64) -> BenchRun {
+        BenchRun {
+            app,
+            mode,
+            total_cycles: 1,
+            events: 1,
+            wall_ms_serial: 1.0,
+            wall_ms_parallel: 1.0,
+            events_per_sec: eps,
+        }
+    }
+
+    #[test]
+    fn gate_flags_cells_beyond_ratio() {
+        let report = BenchReport {
+            jobs: 1,
+            quick: true,
+            serial_wall_ms: 1.0,
+            parallel_wall_ms: 1.0,
+            speedup: 1.0,
+            divergent: Vec::new(),
+            runs: vec![
+                run("gups", "baseline", 6_000_000.0),
+                run("gups", "barre", 5_000_000.0),  // 1.2x: fine
+                run("gups", "fbarre", 1_000_000.0), // 6.0x: violation
+                run("gemv", "baseline", 2_000_000.0),
+                run("gemv", "fbarre", 500_000.0), // 4.0x: fine at 5.0
+                run("spmv", "fbarre", 1.0),       // no baseline cell: skipped
+            ],
+        };
+        let v = report.gate_violations(5.0);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].starts_with("gups/fbarre: 6.00x"), "{}", v[0]);
+        // Tighter gate catches more; looser gate passes everything.
+        assert_eq!(report.gate_violations(1.1).len(), 3);
+        assert!(report.gate_violations(10.0).is_empty());
+        // A dead cell (0 events/sec) is always a violation.
+        let mut dead = report;
+        dead.runs.push(run("gups", "fbarre1", 0.0));
+        let v = dead.gate_violations(5.0);
+        assert!(v.iter().any(|s| s.contains("gups/fbarre1: inf")), "{v:?}");
+    }
+
+    #[test]
+    fn diff_reports_ranks_and_flags_regressions() {
+        let old = shard(
+            "{\"app\": \"gups\", \"mode\": \"fbarre\", \"total_cycles\": 10, \"events\": 4, \
+             \"wall_ms_serial\": 1.0, \"wall_ms_parallel\": 1.0, \"events_per_sec\": 4000},\n\
+             {\"app\": \"gemv\", \"mode\": \"barre\", \"total_cycles\": 7, \"events\": 3, \
+             \"wall_ms_serial\": 1.0, \"wall_ms_parallel\": 1.0, \"events_per_sec\": 3000}",
+        );
+        let new = shard(
+            "{\"app\": \"gups\", \"mode\": \"fbarre\", \"total_cycles\": 10, \"events\": 4, \
+             \"wall_ms_serial\": 4.0, \"wall_ms_parallel\": 4.0, \"events_per_sec\": 1000},\n\
+             {\"app\": \"spmv\", \"mode\": \"barre\", \"total_cycles\": 9, \"events\": 9, \
+             \"wall_ms_serial\": 1.0, \"wall_ms_parallel\": 1.0, \"events_per_sec\": 9000}",
+        );
+        let d = diff_reports(&old, &new, 1.5).expect("diff");
+        assert_eq!(d.rows.len(), 1);
+        assert_eq!(d.rows[0].label, "gups/fbarre");
+        assert!((d.rows[0].slowdown - 4.0).abs() < 1e-9);
+        assert!(!d.rows[0].results_changed);
+        assert_eq!(d.regressions().len(), 1);
+        // Cells present on only one side are reported, not compared.
+        assert_eq!(d.missing, vec!["gemv/barre", "spmv/barre"]);
+        let rendered = d.render();
+        assert!(rendered.contains("REGRESSED"), "{rendered}");
+        assert!(
+            rendered.contains("1 regression(s) beyond 1.50x"),
+            "{rendered}"
+        );
+        // Same docs: no regressions, and the verdict line says so.
+        let same = diff_reports(&old, &old, 1.5).expect("diff");
+        assert!(same.regressions().is_empty());
+        assert!(same.render().contains("no regressions"));
+        // Deterministic drift is flagged even when throughput is fine.
+        let drift = shard(
+            "{\"app\": \"gups\", \"mode\": \"fbarre\", \"total_cycles\": 11, \"events\": 4, \
+             \"wall_ms_serial\": 1.0, \"wall_ms_parallel\": 1.0, \"events_per_sec\": 4000}",
+        );
+        let d = diff_reports(&old, &drift, 1.5).expect("diff");
+        assert!(d.rows[0].results_changed);
+        assert!(d.render().contains("results changed"));
+        // Garbage inputs name the side that failed to parse.
+        assert!(diff_reports("nope", &new, 1.5).unwrap_err().contains("old"));
+        assert!(diff_reports(&old, "nope", 1.5).unwrap_err().contains("new"));
     }
 
     #[test]

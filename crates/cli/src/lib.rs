@@ -101,6 +101,9 @@ pub enum Command {
         json: bool,
         jobs: Option<usize>,
         out: std::path::PathBuf,
+        /// `--gate <ratio>`: exit nonzero when any mode is more than
+        /// `ratio` times slower than the same app's baseline.
+        gate: Option<f64>,
     },
     /// `barre lint` — run the determinism & panic-safety analyzer.
     Lint { opts: lint_cmd::LintOpts },
@@ -119,6 +122,13 @@ pub enum Command {
     Report {
         input: std::path::PathBuf,
         top: usize,
+    },
+    /// `barre report --bench-diff` — compare two `BENCH_sweep.json`
+    /// documents cell by cell and flag throughput regressions.
+    BenchDiff {
+        old: std::path::PathBuf,
+        new: std::path::PathBuf,
+        threshold: f64,
     },
     /// `barre serve` — long-running simulation daemon (JSONL over TCP
     /// plus an HTTP health shim); see [`barre_serve`].
@@ -144,6 +154,15 @@ impl std::error::Error for ParseError {}
 fn err(msg: impl Into<String>) -> ParseError {
     ParseError(msg.into())
 }
+
+/// Default `--gate` ratio: no mode may run more than this many times
+/// slower than the same app's baseline (the ISSUE-8 perf contract).
+pub const DEFAULT_BENCH_GATE: f64 = 5.0;
+
+/// Default `--bench-diff` regression threshold. Wall-clock comparisons
+/// across CI runs are noisy, so the default is deliberately generous;
+/// tighten with `--threshold` on quiet machines.
+pub const DEFAULT_BENCH_DIFF_THRESHOLD: f64 = 1.5;
 
 /// Parses the full argument list (without the program name).
 ///
@@ -188,10 +207,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             inputs,
         });
     }
-    // `report` also takes a positional operand (the trace or journal).
+    // `report` also takes positional operands: the trace or journal,
+    // or two bench reports under `--bench-diff`.
     if cmd == "report" {
-        let mut input: Option<std::path::PathBuf> = None;
+        let mut paths: Vec<std::path::PathBuf> = Vec::new();
         let mut top = trace_cmd::DEFAULT_TOP;
+        let mut bench_diff = false;
+        let mut threshold: Option<f64> = None;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -203,18 +225,49 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         .ok_or_else(|| err("flag --top needs a value"))?;
                     top = v.parse().map_err(|_| err(format!("bad top count {v}")))?;
                 }
+                "--bench-diff" => bench_diff = true,
+                "--threshold" => {
+                    i += 1;
+                    let v = args
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| err("flag --threshold needs a value"))?;
+                    let r: f64 = v.parse().map_err(|_| err(format!("bad threshold {v}")))?;
+                    if !r.is_finite() || r <= 0.0 {
+                        return Err(err(format!("threshold {v} must be positive")));
+                    }
+                    threshold = Some(r);
+                }
                 flag if flag.starts_with("--") => {
                     return Err(err(format!("unknown flag {flag}")));
                 }
-                path if input.is_none() => input = Some(std::path::PathBuf::from(path)),
-                extra => return Err(err(format!("unexpected operand {extra}"))),
+                path => paths.push(std::path::PathBuf::from(path)),
             }
             i += 1;
         }
-        return Ok(Command::Report {
-            input: input.ok_or_else(|| err("report needs a trace or journal path"))?,
-            top,
-        });
+        if bench_diff {
+            let mut it = paths.into_iter();
+            let (old, new) = match (it.next(), it.next(), it.next()) {
+                (Some(old), Some(new), None) => (old, new),
+                _ => return Err(err("--bench-diff needs exactly two bench-report paths")),
+            };
+            return Ok(Command::BenchDiff {
+                old,
+                new,
+                threshold: threshold.unwrap_or(DEFAULT_BENCH_DIFF_THRESHOLD),
+            });
+        }
+        if threshold.is_some() {
+            return Err(err("--threshold only applies to --bench-diff"));
+        }
+        let mut it = paths.into_iter();
+        let input = it
+            .next()
+            .ok_or_else(|| err("report needs a trace or journal path"))?;
+        if let Some(extra) = it.next() {
+            return Err(err(format!("unexpected operand {}", extra.display())));
+        }
+        return Ok(Command::Report { input, top });
     }
     // `serve` has its own flag vocabulary (daemon knobs, not simulation
     // knobs), so it too gets a dedicated parser.
@@ -337,6 +390,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut json = false;
     let mut jobs: Option<usize> = None;
     let mut quick = false;
+    let mut gate: Option<f64> = None;
     let mut out: Option<std::path::PathBuf> = None;
     let mut supervise = false;
     let mut journal: Option<std::path::PathBuf> = None;
@@ -382,6 +436,18 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             "--metrics-json" => metrics_json = true,
             "--json" => json = true,
             "--quick" => quick = true,
+            "--gate" => {
+                // Optional value: `--gate` alone means the default ratio.
+                gate = Some(DEFAULT_BENCH_GATE);
+                if let Some(v) = args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    let r: f64 = v.parse().map_err(|_| err(format!("bad gate ratio {v}")))?;
+                    if !r.is_finite() || r <= 0.0 {
+                        return Err(err(format!("gate ratio {v} must be positive")));
+                    }
+                    gate = Some(r);
+                    i += 1;
+                }
+            }
             "--out" => out = Some(std::path::PathBuf::from(value(&mut i)?)),
             "--jobs" => {
                 let v = value(&mut i)?;
@@ -566,6 +632,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             json,
             jobs,
             out: out.unwrap_or_else(|| std::path::PathBuf::from("BENCH_sweep.json")),
+            gate,
         }),
         "trace" => Ok(Command::Trace {
             app: app.ok_or_else(|| err("trace needs an app (positional or --app <name>)"))?,
@@ -618,6 +685,8 @@ USAGE:
                                           (exit 0 clean, 1 violations, 2 usage/budget error)
   barre trace <app> [flags]               run one app traced; write trace.json (Perfetto-loadable)
   barre report <trace|journal> [--top n]  per-stage p50/p95/p99 tables + slowest journeys
+  barre report --bench-diff <old> <new>   compare two BENCH_sweep.json files; exit 1 on
+                                          regressions beyond --threshold (default 1.5x)
   barre serve [flags]                     simulation daemon: JSONL requests over TCP, HTTP health
                                           shim (/healthz /readyz /stats), verified result cache
 
@@ -632,6 +701,9 @@ FLAGS:
   --jobs <n>                           worker threads for sweep/chaos/bench
                                        (default: BARRE_JOBS env, then all cores; 1 = serial)
   --quick                              bench: 3-app subset instead of the balanced 9
+  --gate [ratio]                       bench: exit 1 if any mode is more than ratio times
+                                       slower than baseline (default 5.0)
+  --threshold <ratio>                  report --bench-diff: regression cutoff (default 1.5)
   --out <path>                         bench: report path (default BENCH_sweep.json)
                                        merge: output directory (default merged/)
                                        trace: export path (default trace.json; .jsonl = compact)
@@ -1092,6 +1164,32 @@ pub fn execute(cmd: Command) -> i32 {
             opts,
         } => trace_cmd::run_trace(app, &cfg, seed, &out, &opts),
         Command::Report { input, top } => trace_cmd::run_report(&input, top),
+        Command::BenchDiff {
+            old,
+            new,
+            threshold,
+        } => {
+            let read = |p: &std::path::Path| match std::fs::read_to_string(p) {
+                Ok(doc) => Some(doc),
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", p.display());
+                    None
+                }
+            };
+            let (Some(old_doc), Some(new_doc)) = (read(&old), read(&new)) else {
+                return 1;
+            };
+            match barre_bench::wallclock::diff_reports(&old_doc, &new_doc, threshold) {
+                Ok(diff) => {
+                    print!("{}", diff.render());
+                    i32::from(!diff.regressions().is_empty())
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
         Command::Serve { opts } => barre_serve::run_serve(&opts),
         Command::Merge { out, inputs } => run_merge(&out, &inputs),
         Command::Bench {
@@ -1099,6 +1197,7 @@ pub fn execute(cmd: Command) -> i32 {
             json,
             jobs,
             out,
+            gate,
         } => {
             let threads = barre_sim::pool::resolve_jobs(jobs);
             let r = match barre_bench::wallclock::run_bench(quick, threads) {
@@ -1118,6 +1217,17 @@ pub fn execute(cmd: Command) -> i32 {
             } else {
                 print!("{}", r.summary());
                 println!("report written to {}", out.display());
+            }
+            if let Some(ratio) = gate {
+                let violations = r.gate_violations(ratio);
+                if !violations.is_empty() {
+                    for v in &violations {
+                        eprintln!("gate: {v}");
+                    }
+                    eprintln!("gate: {} cell(s) beyond {ratio:.1}x", violations.len());
+                    return 1;
+                }
+                println!("gate: all modes within {ratio:.1}x of baseline");
             }
             // Serial/parallel divergence is a determinism bug — fail.
             i32::from(!r.divergent.is_empty())
@@ -1254,19 +1364,26 @@ mod tests {
                 json,
                 jobs,
                 out,
+                gate,
             } => {
                 assert!(quick && json);
                 assert_eq!(jobs, Some(8));
                 assert_eq!(out, std::path::PathBuf::from("/tmp/b.json"));
+                assert_eq!(gate, None);
             }
             other => panic!("wrong command {other:?}"),
         }
         match p(&["bench"]).unwrap() {
             Command::Bench {
-                quick, json, jobs, ..
+                quick,
+                json,
+                jobs,
+                gate,
+                ..
             } => {
                 assert!(!quick && !json);
                 assert_eq!(jobs, None);
+                assert_eq!(gate, None);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -1281,6 +1398,25 @@ mod tests {
         assert!(p(&["bench", "--jobs", "0"]).is_err());
         assert!(p(&["bench", "--jobs", "many"]).is_err());
         assert!(p(&["bench", "--out"]).is_err());
+    }
+
+    #[test]
+    fn parses_bench_gate() {
+        // Bare flag takes the default ratio; a following flag is not a value.
+        match p(&["bench", "--gate", "--quick"]).unwrap() {
+            Command::Bench { gate, quick, .. } => {
+                assert_eq!(gate, Some(DEFAULT_BENCH_GATE));
+                assert!(quick);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match p(&["bench", "--gate", "3.5"]).unwrap() {
+            Command::Bench { gate, .. } => assert_eq!(gate, Some(3.5)),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(p(&["bench", "--gate", "abc"]).is_err());
+        assert!(p(&["bench", "--gate", "0"]).is_err());
+        assert!(p(&["bench", "--gate", "-2"]).is_err());
     }
 
     #[test]
@@ -1351,6 +1487,31 @@ mod tests {
         assert!(p(&["report"]).is_err());
         assert!(p(&["report", "a", "b"]).is_err());
         assert!(p(&["report", "--top", "many", "t.json"]).is_err());
+    }
+
+    #[test]
+    fn parses_bench_diff() {
+        match p(&["report", "--bench-diff", "old.json", "new.json"]).unwrap() {
+            Command::BenchDiff {
+                old,
+                new,
+                threshold,
+            } => {
+                assert_eq!(old, std::path::PathBuf::from("old.json"));
+                assert_eq!(new, std::path::PathBuf::from("new.json"));
+                assert_eq!(threshold, DEFAULT_BENCH_DIFF_THRESHOLD);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match p(&["report", "--bench-diff", "a", "b", "--threshold", "1.1"]).unwrap() {
+            Command::BenchDiff { threshold, .. } => assert_eq!(threshold, 1.1),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(p(&["report", "--bench-diff", "only-one"]).is_err());
+        assert!(p(&["report", "--bench-diff", "a", "b", "c"]).is_err());
+        assert!(p(&["report", "--bench-diff", "a", "b", "--threshold", "0"]).is_err());
+        // --threshold without --bench-diff is rejected.
+        assert!(p(&["report", "t.json", "--threshold", "1.2"]).is_err());
     }
 
     #[test]

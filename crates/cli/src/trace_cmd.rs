@@ -112,6 +112,19 @@ struct TraceDoc {
     /// (`cu-issue`) span.
     journeys: Vec<(u64, u64, u64, u64)>,
     samples: usize,
+    /// `(spills, rebins, growths, buckets)` from the last sample, when
+    /// the trace carries event-queue counters (schema >= this version).
+    queue: Option<(u64, u64, u64, u64)>,
+}
+
+fn queue_of_sample(v: &Json) -> Option<(u64, u64, u64, u64)> {
+    let n = |k: &str| v.get(k).and_then(Json::as_u64);
+    Some((
+        n("queue_spills")?,
+        n("queue_rebins")?,
+        n("queue_growths")?,
+        n("queue_buckets")?,
+    ))
 }
 
 fn hist_from_value(v: &Json) -> Result<LatencyHistogram, String> {
@@ -181,15 +194,17 @@ fn parse_chrome_trace(doc: &str) -> Result<TraceDoc, String> {
             journeys.push((g("tid")?, g("pid")?, g("ts")?, g("dur")?));
         }
     }
-    let samples = barre
-        .get("samples")
-        .and_then(Json::as_arr)
-        .map_or(0, <[Json]>::len);
+    let sample_arr = barre.get("samples").and_then(Json::as_arr);
+    let samples = sample_arr.map_or(0, <[Json]>::len);
+    let queue = sample_arr
+        .and_then(<[Json]>::last)
+        .and_then(queue_of_sample);
     Ok(TraceDoc {
         header: header_of(barre),
         stage_hists,
         journeys,
         samples,
+        queue,
     })
 }
 
@@ -198,6 +213,7 @@ fn parse_trace_jsonl(doc: &str) -> Result<TraceDoc, String> {
     let mut stage_hists = Vec::new();
     let mut journeys = Vec::new();
     let mut samples = 0usize;
+    let mut queue = None;
     for (lineno, line) in doc.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -215,7 +231,12 @@ fn parse_trace_jsonl(doc: &str) -> Result<TraceDoc, String> {
                     stage_hists.push((name.to_string(), h));
                 }
             }
-            Some("sample") => samples += 1,
+            Some("sample") => {
+                samples += 1;
+                if let Some(s) = v.get("sample") {
+                    queue = queue_of_sample(s).or(queue);
+                }
+            }
             Some("span") => {
                 if v.get("stage").and_then(Json::as_str) == Some(Stage::CuIssue.name()) {
                     let g = |k: &str| v.get(k).and_then(Json::as_u64).ok_or("bad span line");
@@ -231,6 +252,7 @@ fn parse_trace_jsonl(doc: &str) -> Result<TraceDoc, String> {
         stage_hists,
         journeys,
         samples,
+        queue,
     })
 }
 
@@ -268,6 +290,13 @@ fn render_stage_table(stage_hists: &[(String, LatencyHistogram)]) -> String {
 fn render_trace_report(t: &TraceDoc, top: usize) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{}; {} sample(s)", t.header, t.samples);
+    if let Some((spills, rebins, growths, buckets)) = t.queue {
+        let _ = writeln!(
+            s,
+            "event queue: {spills} spill(s), {rebins} rebin(s), {growths} wheel growth(s), \
+             {buckets} bucket(s)"
+        );
+    }
     s.push_str(&render_stage_table(&t.stage_hists));
     let mut slowest = t.journeys.clone();
     // Duration-descending; break ties deterministically on (start, id).

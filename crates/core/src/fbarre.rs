@@ -18,6 +18,67 @@ use barre_mem::{ChipletId, Vpn};
 /// chiplet id, 40-bit coalescing VPN).
 pub const FILTER_UPDATE_BITS: u64 = 44;
 
+/// Displacement budget of the bank's cuckoo filters. Hardware filter
+/// pipelines complete an insert in a fixed number of swap stages; a small
+/// budget also bounds the simulation cost of the advertisement stream,
+/// which can run the RCFs to saturation (hundreds of futile kicks per
+/// insert under the unbounded walk) on irregular workloads.
+pub const FILTER_KICK_BUDGET: usize = 8;
+
+/// Slots in the direct-mapped negative-probe cache (power of two).
+const NEG_CACHE_SLOTS: usize = 512;
+
+/// Direct-mapped cache of keys whose last [`FilterBank::rcf_hit`] probe
+/// came back empty. Any RCF mutation bumps `gen`, invalidating every
+/// cached entry at once — exact and O(1), so cached answers can never
+/// diverge from a fresh probe.
+#[derive(Debug)]
+struct NegCache {
+    /// `(key, gen)` pairs; a slot is live only if its gen matches.
+    slots: Box<[(u64, u64)]>,
+    /// Current generation. Starts at 1 so zeroed slots are never live.
+    gen: u64,
+    hits: u64,
+}
+
+impl NegCache {
+    fn new() -> Self {
+        Self {
+            slots: vec![(0, 0); NEG_CACHE_SLOTS].into_boxed_slice(),
+            gen: 1,
+            hits: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(key: u64) -> usize {
+        // Fibonacci hashing: the top bits of key * golden-ratio spread
+        // well even for sequential VPNs.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 55) as usize & (NEG_CACHE_SLOTS - 1)
+    }
+
+    #[inline]
+    fn check(&mut self, key: u64) -> bool {
+        // `slot()` masks to `NEG_CACHE_SLOTS`; checked access keeps
+        // the public probe path provably panic-free.
+        let hit = self.slots.get(Self::slot(key)) == Some(&(key, self.gen));
+        self.hits += u64::from(hit);
+        hit
+    }
+
+    #[inline]
+    fn record(&mut self, key: u64) {
+        if let Some(s) = self.slots.get_mut(Self::slot(key)) {
+            *s = (key, self.gen);
+        }
+    }
+
+    #[inline]
+    fn invalidate_all(&mut self) {
+        self.gen += 1;
+    }
+}
+
 /// Filter-update command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FilterCmd {
@@ -51,11 +112,18 @@ pub struct FilterBank {
     chiplet: ChipletId,
     lcf: CuckooFilter,
     rcfs: Vec<Option<CuckooFilter>>,
+    neg: NegCache,
 }
 
 impl FilterBank {
     /// Creates the bank for `chiplet` in an `n_chiplets` MCM, with cuckoo
-    /// filters of `rows` rows (4-way, 9-bit fingerprints as in Table II).
+    /// filters of `rows` rows (4-way, 9-bit fingerprints as in Table II)
+    /// and a [`FILTER_KICK_BUDGET`]-swap insert pipeline.
+    ///
+    /// Every RCF of a bank shares one hash seed, so a single
+    /// [`CuckooFilter::key_hash`] serves the whole per-peer probe fan-out;
+    /// the RCFs are still independent tables (one per peer), they merely
+    /// alias identically. The LCF keeps its own seed.
     ///
     /// # Panics
     ///
@@ -63,14 +131,16 @@ impl FilterBank {
     /// power of two.
     pub fn new(chiplet: ChipletId, n_chiplets: usize, rows: usize, seed: u64) -> Self {
         assert!(chiplet.index() < n_chiplets, "chiplet outside the MCM");
-        let mk = |salt: u64| CuckooFilter::new(rows, 4, 9, seed ^ salt);
+        let mk =
+            |salt: u64| CuckooFilter::with_max_kicks(rows, 4, 9, seed ^ salt, FILTER_KICK_BUDGET);
         let rcfs = (0..n_chiplets)
-            .map(|p| (p != chiplet.index()).then(|| mk(0x1000 + p as u64)))
+            .map(|p| (p != chiplet.index()).then(|| mk(0x2CF_0000)))
             .collect();
         Self {
             chiplet,
             lcf: mk(0x10CA1),
             rcfs,
+            neg: NegCache::new(),
         }
     }
 
@@ -111,29 +181,58 @@ impl FilterBank {
                 rcf.remove(key);
             }
         }
+        // Either command may change a future probe's answer (a delete can
+        // un-shadow an aliasing fingerprint), so both drop the cache.
+        self.neg.invalidate_all();
     }
 
     /// Probes every RCF with `vpn`; returns the first peer whose filter
-    /// hits (the predicted sharer).
+    /// hits (the predicted sharer). One key hash serves all RCFs (they
+    /// share a seed — see [`new`](Self::new)).
     pub fn rcf_hit(&self, asid: u16, vpn: Vpn) -> Option<ChipletId> {
         let key = filter_key(asid, vpn);
+        let mut hash = None;
         self.rcfs.iter().enumerate().find_map(|(p, rcf)| {
-            rcf.as_ref()
-                .filter(|f| f.contains(key))
-                .map(|_| ChipletId(p as u8))
+            let rcf = rcf.as_ref()?;
+            let h = *hash.get_or_insert_with(|| rcf.key_hash(key));
+            rcf.contains_hashed(h).then_some(ChipletId(p as u8))
         })
+    }
+
+    /// [`rcf_hit`](Self::rcf_hit) through the negative-probe cache: a key
+    /// whose last probe found no peer is answered without touching the
+    /// RCFs until the next RCF mutation. Only negative results are
+    /// cached — a positive answer depends on which peer hit first, and
+    /// negatives dominate the miss stream that makes this path hot.
+    pub fn rcf_hit_cached(&mut self, asid: u16, vpn: Vpn) -> Option<ChipletId> {
+        let key = filter_key(asid, vpn);
+        if self.neg.check(key) {
+            return None;
+        }
+        let hit = self.rcf_hit(asid, vpn);
+        if hit.is_none() {
+            self.neg.record(key);
+        }
+        hit
+    }
+
+    /// Negative-cache hits served so far (diagnostics only; not part of
+    /// `RunMetrics`).
+    pub fn neg_cache_hits(&self) -> u64 {
+        self.neg.hits
     }
 
     /// All peers whose RCF hits (for multi-candidate probing studies).
     pub fn rcf_hits(&self, asid: u16, vpn: Vpn) -> Vec<ChipletId> {
         let key = filter_key(asid, vpn);
+        let mut hash = None;
         self.rcfs
             .iter()
             .enumerate()
             .filter_map(|(p, rcf)| {
-                rcf.as_ref()
-                    .filter(|f| f.contains(key))
-                    .map(|_| ChipletId(p as u8))
+                let rcf = rcf.as_ref()?;
+                let h = *hash.get_or_insert_with(|| rcf.key_hash(key));
+                rcf.contains_hashed(h).then_some(ChipletId(p as u8))
             })
             .collect()
     }
@@ -146,6 +245,7 @@ impl FilterBank {
         for rcf in self.rcfs.iter_mut().flatten() {
             rcf.clear();
         }
+        self.neg.invalidate_all();
     }
 
     /// Total fingerprints across LCF and RCFs (occupancy diagnostics).
@@ -257,6 +357,79 @@ mod tests {
         gpu0.lcf_insert(7, Vpn(0xA1));
         assert!(gpu0.lcf_contains(7, Vpn(0xA1)));
         assert!(!gpu0.lcf_contains(8, Vpn(0xA1)));
+    }
+
+    #[test]
+    fn neg_cache_serves_repeated_misses() {
+        let mut gpu0 = bank(0);
+        assert_eq!(gpu0.rcf_hit_cached(0, Vpn(0x77)), None);
+        assert_eq!(gpu0.neg_cache_hits(), 0, "first probe is a cache miss");
+        assert_eq!(gpu0.rcf_hit_cached(0, Vpn(0x77)), None);
+        assert_eq!(gpu0.rcf_hit_cached(0, Vpn(0x77)), None);
+        assert_eq!(gpu0.neg_cache_hits(), 2, "repeats served from the cache");
+    }
+
+    #[test]
+    fn neg_cache_invalidated_by_insert() {
+        let mut gpu0 = bank(0);
+        assert_eq!(gpu0.rcf_hit_cached(0, Vpn(0x42)), None);
+        gpu0.apply_update(FilterUpdate {
+            cmd: FilterCmd::Add,
+            sender: ChipletId(1),
+            asid: 0,
+            vpn: Vpn(0x42),
+        });
+        // The cached negative must not mask the freshly advertised VPN.
+        assert_eq!(gpu0.rcf_hit_cached(0, Vpn(0x42)), Some(ChipletId(1)));
+    }
+
+    #[test]
+    fn neg_cache_invalidated_by_remove() {
+        let mut gpu0 = bank(0);
+        let upd = |cmd| FilterUpdate {
+            cmd,
+            sender: ChipletId(2),
+            asid: 0,
+            vpn: Vpn(0x55),
+        };
+        gpu0.apply_update(upd(FilterCmd::Add));
+        assert_eq!(gpu0.rcf_hit_cached(0, Vpn(0x55)), Some(ChipletId(2)));
+        gpu0.apply_update(upd(FilterCmd::Delete));
+        assert_eq!(gpu0.rcf_hit_cached(0, Vpn(0x55)), None);
+        let hits_before = gpu0.neg_cache_hits();
+        assert_eq!(gpu0.rcf_hit_cached(0, Vpn(0x55)), None);
+        assert_eq!(gpu0.neg_cache_hits(), hits_before + 1);
+    }
+
+    #[test]
+    fn neg_cache_invalidated_by_shootdown() {
+        let mut gpu0 = bank(0);
+        assert_eq!(gpu0.rcf_hit_cached(0, Vpn(0x99)), None);
+        gpu0.rcf_hit_cached(0, Vpn(0x99));
+        let hits = gpu0.neg_cache_hits();
+        assert!(hits > 0);
+        gpu0.shootdown();
+        // Post-shootdown the first probe must consult the RCFs again.
+        assert_eq!(gpu0.rcf_hit_cached(0, Vpn(0x99)), None);
+        assert_eq!(gpu0.neg_cache_hits(), hits, "cache was flushed");
+    }
+
+    #[test]
+    fn cached_and_uncached_probes_agree() {
+        let mut gpu0 = bank(0);
+        for vpn in 0..64u64 {
+            gpu0.apply_update(FilterUpdate {
+                cmd: FilterCmd::Add,
+                sender: ChipletId((vpn % 3) as u8 + 1),
+                asid: 0,
+                vpn: Vpn(vpn * 17),
+            });
+        }
+        for vpn in 0..128u64 {
+            let fresh = gpu0.rcf_hit(0, Vpn(vpn * 13));
+            assert_eq!(gpu0.rcf_hit_cached(0, Vpn(vpn * 13)), fresh);
+            assert_eq!(gpu0.rcf_hit_cached(0, Vpn(vpn * 13)), fresh);
+        }
     }
 
     #[test]

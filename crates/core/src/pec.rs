@@ -5,6 +5,8 @@
 //! record, it enumerates the *coalescing VPNs* — the other pages of the
 //! group — and calculates their physical frames without page table walks.
 
+use std::ops::ControlFlow;
+
 use barre_mem::{GlobalPfn, LocalPfn, Vpn};
 use barre_sim::RatioStat;
 
@@ -152,31 +154,46 @@ impl PecLogic {
     /// (stale PEC record for a different layout — calculation must then
     /// be declined rather than produce a wrong frame).
     pub fn members(&self, pte_vpn: Vpn, info: &CoalInfo, entry: &PecEntry) -> Vec<GroupMember> {
+        let mut out = Vec::new();
+        self.for_each_member(pte_vpn, info, entry, |m| {
+            out.push(m);
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Visitor form of [`members`](Self::members): enumerates the group
+    /// members in the same order without allocating, stopping early when
+    /// the visitor breaks. This is the hot-path entry point — the
+    /// simulator's per-miss probe must not heap-allocate.
+    pub fn for_each_member<F>(&self, pte_vpn: Vpn, info: &CoalInfo, entry: &PecEntry, mut f: F)
+    where
+        F: FnMut(GroupMember) -> ControlFlow<()>,
+    {
         let Some(coords) = entry.coords(pte_vpn) else {
-            return Vec::new();
+            return;
         };
         if coords.inter != info.inter_order() {
-            return Vec::new();
+            return;
         }
         let run_len = info.merged_groups() as u64;
         let intra_pte = info.intra_order() as u64;
         if intra_pte > coords.intra {
-            return Vec::new();
+            return;
         }
         // A merged run never crosses a chiplet chunk boundary; a PTE that
         // claims otherwise is inconsistent with this PEC record.
         let run_start = coords.intra - intra_pte;
         if run_start + run_len > entry.gran {
-            return Vec::new();
+            return;
         }
         // First VPN of the (merged) group: VPN_PTE − intra_order −
         // interlv_gran × inter_order (§V-B), generalized to any round.
         let Some(first) =
             pte_vpn.offset(-((intra_pte + entry.gran * info.inter_order() as u64) as i64))
         else {
-            return Vec::new();
+            return;
         };
-        let mut out = Vec::new();
         for k in 0..entry.gpu_map.sharers() as u8 {
             let Some(chiplet) = entry.gpu_map.chiplet_at(k as usize) else {
                 continue;
@@ -189,15 +206,17 @@ impl PecLogic {
                 if !entry.range.contains(vpn) {
                     continue;
                 }
-                out.push(GroupMember {
+                let m = GroupMember {
                     vpn,
                     inter_order: k,
                     intra_order: j as u8,
                     chiplet,
-                });
+                };
+                if f(m).is_break() {
+                    return;
+                }
             }
         }
-        out
     }
 
     /// The group member corresponding to `pending`, if `pending` is in the
@@ -209,9 +228,16 @@ impl PecLogic {
         entry: &PecEntry,
         pending: Vpn,
     ) -> Option<GroupMember> {
-        self.members(pte_vpn, info, entry)
-            .into_iter()
-            .find(|m| m.vpn == pending)
+        let mut found = None;
+        self.for_each_member(pte_vpn, info, entry, |m| {
+            if m.vpn == pending {
+                found = Some(m);
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        found
     }
 
     /// The PFN calculator: computes `pending`'s physical frame from one
@@ -254,15 +280,29 @@ impl PecLogic {
     /// seen, so every offset below the merge limit is a candidate.
     /// `vpn` itself is excluded.
     pub fn coalescing_candidates(&self, entry: &PecEntry, vpn: Vpn, max_merged: u8) -> Vec<Vpn> {
+        let mut out = Vec::new();
+        self.for_each_candidate(entry, vpn, max_merged, |w| {
+            out.push(w);
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Visitor form of [`coalescing_candidates`](Self::coalescing_candidates):
+    /// same candidates, same order, no allocation, early exit when the
+    /// visitor breaks (the LCF probe stops at the first confirmed hit).
+    pub fn for_each_candidate<F>(&self, entry: &PecEntry, vpn: Vpn, max_merged: u8, mut f: F)
+    where
+        F: FnMut(Vpn) -> ControlFlow<()>,
+    {
         let Some(c) = entry.coords(vpn) else {
-            return Vec::new();
+            return;
         };
         let sharers = entry.gpu_map.sharers() as i64;
         let merge = match self.mode {
             CoalMode::Expanded => max_merged.max(1) as i64,
             _ => 1,
         };
-        let mut out = Vec::new();
         for dk in -(sharers - 1)..sharers {
             for dj in -(merge - 1)..merge {
                 if dk == 0 && dj == 0 {
@@ -278,11 +318,12 @@ impl PecLogic {
                     inter: inter as u8,
                     intra: intra as u64,
                 }) {
-                    out.push(w);
+                    if f(w).is_break() {
+                        return;
+                    }
                 }
             }
         }
-        out
     }
 
     /// Scheduler-side coalescibility estimate **without** a translated PTE

@@ -19,6 +19,20 @@ use crate::Filter;
 /// as in the original paper.
 const MAX_KICKS: usize = 500;
 
+/// The two candidate rows and fingerprint of one key, precomputed so a
+/// single hash can serve many probes.
+///
+/// A `KeyHash` is only meaningful for filters sharing the geometry and
+/// seed of the filter that produced it ([`CuckooFilter::key_hash`]
+/// documents the contract); probing an unrelated filter with it is not
+/// unsafe, just meaningless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyHash {
+    fp: u16,
+    i1: usize,
+    i2: usize,
+}
+
 /// A cuckoo filter with `rows` buckets of `ways` fingerprints.
 ///
 /// # Example
@@ -42,6 +56,11 @@ pub struct CuckooFilter {
     seed: u64,
     kick_rng: Rng,
     dropped: u64,
+    max_kicks: usize,
+    // alt_xor[fp] = hash(fp) & (rows - 1), so the partial-key relocation
+    // `i2 = i1 ^ hash(fp)` is a table lookup instead of a 64-bit mix on
+    // every probe. 2^fp_bits entries, built once at construction.
+    alt_xor: Vec<u32>,
 }
 
 fn mix(x: u64, seed: u64) -> u64 {
@@ -62,9 +81,34 @@ impl CuckooFilter {
     /// Panics unless `rows` is a power of two, `ways > 0`, and
     /// `1 <= fp_bits <= 16`.
     pub fn new(rows: usize, ways: usize, fp_bits: u32, seed: u64) -> Self {
+        Self::with_max_kicks(rows, ways, fp_bits, seed, MAX_KICKS)
+    }
+
+    /// Creates a filter like [`new`](Self::new) but with a bounded
+    /// displacement chain: an insert gives up after `max_kicks`
+    /// relocations instead of the paper's 500. Hardware filter pipelines
+    /// budget a handful of swaps per insert; a small bound turns the
+    /// saturated-table worst case (hundreds of futile kicks per insert)
+    /// into a constant-cost drop, at the price of dropping slightly
+    /// earlier when a long chain would eventually have found a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rows` is a power of two, `ways > 0`, and
+    /// `1 <= fp_bits <= 16`.
+    pub fn with_max_kicks(
+        rows: usize,
+        ways: usize,
+        fp_bits: u32,
+        seed: u64,
+        max_kicks: usize,
+    ) -> Self {
         assert!(rows.is_power_of_two(), "rows must be a power of two");
         assert!(ways > 0, "ways must be nonzero");
         assert!((1..=16).contains(&fp_bits), "fp_bits must be in 1..=16");
+        let alt_xor = (0..1u32 << fp_bits)
+            .map(|fp| (mix(fp as u64, seed ^ 0xA5A5) as u32) & (rows as u32 - 1))
+            .collect();
         Self {
             slots: vec![0; rows * ways],
             rows,
@@ -74,6 +118,8 @@ impl CuckooFilter {
             seed,
             kick_rng: Rng::new(seed ^ 0xC0FF_EE00),
             dropped: 0,
+            max_kicks,
+            alt_xor,
         }
     }
 
@@ -114,28 +160,58 @@ impl CuckooFilter {
         (2.0 * self.ways as f64) / (1u64 << self.fp_bits) as f64
     }
 
-    fn fingerprint(&self, key: u64) -> u16 {
-        // Fingerprints must be nonzero (0 marks an empty slot).
-        let h = mix(key, self.seed ^ 0xF1F1_F1F1);
+    /// Precomputes the fingerprint and both candidate rows of `key` with a
+    /// single `mix()` call: the row index comes from the low bits and the
+    /// fingerprint from the top 16 (they never overlap — `fp_bits <= 16`
+    /// and row counts stay far below 2^48).
+    ///
+    /// The result is reusable across every filter constructed with the
+    /// same `(rows, ways, fp_bits, seed)` tuple, which is how a bank of
+    /// peer filters serves one probe with one hash.
+    pub fn key_hash(&self, key: u64) -> KeyHash {
+        let h = mix(key, self.seed);
+        let i1 = (h as usize) & (self.rows - 1);
         let mask = (1u32 << self.fp_bits) - 1;
-        let fp = (h as u32) & mask;
-        if fp == 0 {
-            1
-        } else {
-            fp as u16
+        let raw = ((h >> 48) as u32) & mask;
+        let fp = if raw == 0 { 1 } else { raw as u16 };
+        KeyHash {
+            fp,
+            i1,
+            i2: self.alt_index(i1, fp),
         }
     }
 
+    #[cfg(test)]
+    fn fingerprint(&self, key: u64) -> u16 {
+        self.key_hash(key).fp
+    }
+
+    #[cfg(test)]
     fn index1(&self, key: u64) -> usize {
-        (mix(key, self.seed) as usize) & (self.rows - 1)
+        self.key_hash(key).i1
     }
 
     fn alt_index(&self, index: usize, fp: u16) -> usize {
-        (index ^ (mix(fp as u64, self.seed ^ 0xA5A5) as usize)) & (self.rows - 1)
+        // `fp` is masked to `fp_bits` at creation and `alt_xor` holds
+        // `1 << fp_bits` entries, so the lookup cannot actually miss;
+        // checked access keeps the path provably panic-free anyway.
+        let xor = self.alt_xor.get(fp as usize).copied().unwrap_or(0);
+        (index ^ xor as usize) & (self.rows - 1)
+    }
+
+    /// Membership probe from a precomputed [`KeyHash`] — the batched
+    /// lookup used when one key is checked against several same-seed
+    /// filters.
+    pub fn contains_hashed(&self, h: KeyHash) -> bool {
+        self.bucket(h.i1).contains(&h.fp) || self.bucket(h.i2).contains(&h.fp)
     }
 
     fn bucket(&self, row: usize) -> &[u16] {
-        &self.slots[row * self.ways..(row + 1) * self.ways]
+        // `row` is always masked to `rows` and `slots.len() == rows *
+        // ways`, so the range is in-bounds by construction; checked
+        // slicing keeps the probe path provably panic-free.
+        let start = row * self.ways;
+        self.slots.get(start..start + self.ways).unwrap_or(&[])
     }
 
     fn bucket_mut(&mut self, row: usize) -> &mut [u16] {
@@ -156,9 +232,7 @@ impl CuckooFilter {
 
 impl Filter for CuckooFilter {
     fn insert(&mut self, key: u64) -> bool {
-        let fp = self.fingerprint(key);
-        let i1 = self.index1(key);
-        let i2 = self.alt_index(i1, fp);
+        let KeyHash { fp, i1, i2 } = self.key_hash(key);
         if self.try_place(i1, fp) || self.try_place(i2, fp) {
             self.len += 1;
             return true;
@@ -166,7 +240,7 @@ impl Filter for CuckooFilter {
         // Relocate: kick a random resident fingerprint.
         let mut row = if self.kick_rng.chance(0.5) { i1 } else { i2 };
         let mut fp = fp;
-        for _ in 0..MAX_KICKS {
+        for _ in 0..self.max_kicks {
             let victim_slot = self.kick_rng.index(self.ways);
             let b = self.bucket_mut(row);
             std::mem::swap(&mut b[victim_slot], &mut fp);
@@ -184,9 +258,7 @@ impl Filter for CuckooFilter {
     }
 
     fn remove(&mut self, key: u64) -> bool {
-        let fp = self.fingerprint(key);
-        let i1 = self.index1(key);
-        let i2 = self.alt_index(i1, fp);
+        let KeyHash { fp, i1, i2 } = self.key_hash(key);
         for row in [i1, i2] {
             let b = self.bucket_mut(row);
             if let Some(slot) = b.iter_mut().find(|s| **s == fp) {
@@ -199,10 +271,7 @@ impl Filter for CuckooFilter {
     }
 
     fn contains(&self, key: u64) -> bool {
-        let fp = self.fingerprint(key);
-        let i1 = self.index1(key);
-        let i2 = self.alt_index(i1, fp);
-        self.bucket(i1).contains(&fp) || self.bucket(i2).contains(&fp)
+        self.contains_hashed(self.key_hash(key))
     }
 
     fn len(&self) -> usize {
@@ -320,6 +389,49 @@ mod tests {
     fn remove_absent_is_false() {
         let mut f = CuckooFilter::paper_default(8);
         assert!(!f.remove(123));
+    }
+
+    #[test]
+    fn key_hash_matches_scalar_probe() {
+        let mut f = CuckooFilter::paper_default(13);
+        for k in 0..300u64 {
+            f.insert(k * 31);
+        }
+        for k in 0..600u64 {
+            let h = f.key_hash(k * 31);
+            assert_eq!(f.contains_hashed(h), f.contains(k * 31), "key {k}");
+        }
+    }
+
+    #[test]
+    fn key_hash_shared_across_same_seed_filters() {
+        // Two filters with identical geometry and seed: one hash serves
+        // probes against both (the FilterBank batched-RCF contract).
+        let mut a = CuckooFilter::paper_default(21);
+        let mut b = CuckooFilter::paper_default(21);
+        a.insert(0xA1);
+        b.insert(0xB2);
+        let ha = a.key_hash(0xA1);
+        let hb = a.key_hash(0xB2);
+        assert_eq!(ha, b.key_hash(0xA1));
+        assert!(a.contains_hashed(ha) && !a.contains_hashed(hb));
+        assert!(b.contains_hashed(hb) && !b.contains_hashed(ha));
+    }
+
+    #[test]
+    fn bounded_kicks_drop_instead_of_walking() {
+        // A saturated 8-slot table: budget-2 inserts must still succeed
+        // while space remains, then fail fast without corrupting `len`.
+        let mut f = CuckooFilter::with_max_kicks(2, 4, 9, 17, 2);
+        let mut stored = 0u64;
+        for k in 0..64u64 {
+            if f.insert(k) {
+                stored += 1;
+            }
+        }
+        assert_eq!(f.len() as u64, stored);
+        assert!(f.len() <= f.capacity());
+        assert!(f.dropped() > 0);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 pub mod cuckoo;
 pub mod ideal;
 
-pub use cuckoo::CuckooFilter;
+pub use cuckoo::{CuckooFilter, KeyHash};
 pub use ideal::IdealFilter;
 
 /// Common interface of sharer-prediction filters.

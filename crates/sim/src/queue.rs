@@ -40,6 +40,16 @@ use crate::Cycle;
 /// delays are all well under this many cycles).
 const DEFAULT_BUCKETS: usize = 4096;
 
+/// Upper bound on adaptive wheel growth. 65536 buckets ≈ 2 MiB of empty
+/// `VecDeque` headers — past that, the O(buckets) sparse-jump scan and
+/// memory cost outweigh saving heap hops for truly far-future events.
+const MAX_BUCKETS: usize = 1 << 16;
+
+/// Overflow-heap population that triggers a wheel resize. Growth is only
+/// worth a rebuild when the heap is taking sustained traffic, not for a
+/// handful of stragglers.
+const GROW_PRESSURE: usize = 64;
+
 /// A deterministic min-queue of timestamped events.
 ///
 /// Events popped in nondecreasing cycle order; events pushed for the same
@@ -71,6 +81,15 @@ pub struct EventQueue<E> {
     len: usize,
     seq: u64,
     popped: u64,
+    /// Pushes that bypassed the wheel into the overflow heap.
+    spills: u64,
+    /// Overflow events re-binned into the wheel as the cursor advanced.
+    rebins: u64,
+    /// Adaptive wheel resizes performed.
+    growths: u64,
+    /// Largest `at - cur` gap observed at push time — the workload's
+    /// observed event horizon, which adaptive growth sizes the wheel to.
+    max_gap: u64,
 }
 
 #[derive(Debug)]
@@ -129,6 +148,10 @@ impl<E> EventQueue<E> {
             len: 0,
             seq: 0,
             popped: 0,
+            spills: 0,
+            rebins: 0,
+            growths: 0,
+            max_gap: 0,
         }
     }
 
@@ -149,11 +172,49 @@ impl<E> EventQueue<E> {
         }
         let e = Entry { at, seq, ev };
         if at >= self.horizon() {
+            self.spills += 1;
+            self.max_gap = self.max_gap.max(at - self.cur);
             self.overflow.push(Reverse(e));
+            self.len += 1;
+            // Adaptive sizing: sustained overflow pressure means the
+            // wheel is too small for this workload's event horizon —
+            // grow it toward the largest gap seen (capped), so future
+            // pushes at that distance bin in O(1) instead of heaping.
+            if self.overflow.len() >= GROW_PRESSURE && self.buckets.len() < MAX_BUCKETS {
+                self.grow_wheel();
+            }
         } else {
             Self::bin(&mut self.buckets, self.mask, e);
+            self.len += 1;
         }
-        self.len += 1;
+    }
+
+    /// Rebuilds the wheel at a larger size chosen from the observed event
+    /// horizon. Every entry keeps its `(at, seq)` key and every bucket
+    /// stays sorted, so pop order is unaffected — only the bucket an
+    /// event lives in changes.
+    fn grow_wheel(&mut self) {
+        let target = usize::try_from(self.max_gap.saturating_add(1))
+            .unwrap_or(MAX_BUCKETS)
+            .next_power_of_two()
+            .clamp(self.buckets.len().saturating_mul(2), MAX_BUCKETS);
+        if target <= self.buckets.len() {
+            return;
+        }
+        let old = std::mem::replace(
+            &mut self.buckets,
+            (0..target).map(|_| VecDeque::new()).collect(),
+        );
+        self.mask = (target - 1) as u64;
+        for b in old {
+            for e in b {
+                // Everything on the old wheel was inside the old horizon,
+                // which the new, larger horizon contains.
+                Self::bin(&mut self.buckets, self.mask, e);
+            }
+        }
+        self.drain_overflow();
+        self.growths += 1;
     }
 
     /// Inserts `e` into its wheel bucket, keeping the bucket sorted by
@@ -181,6 +242,7 @@ impl<E> EventQueue<E> {
             let Some(Reverse(e)) = self.overflow.pop() else {
                 break;
             };
+            self.rebins += 1;
             Self::bin(&mut self.buckets, self.mask, e);
         }
     }
@@ -212,6 +274,7 @@ impl<E> EventQueue<E> {
                 let Some(Reverse(e)) = self.overflow.pop() else {
                     break;
                 };
+                self.rebins += 1;
                 Self::bin(&mut self.buckets, self.mask, e);
             }
             let b = (self.cur & self.mask) as usize;
@@ -259,6 +322,28 @@ impl<E> EventQueue<E> {
     /// Total number of events processed (popped) so far.
     pub fn processed(&self) -> u64 {
         self.popped
+    }
+
+    /// Pushes that landed beyond the wheel horizon and took the overflow
+    /// heap instead of an O(1) bucket append.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    /// Overflow events migrated back onto the wheel as the cursor
+    /// approached them.
+    pub fn rebins(&self) -> u64 {
+        self.rebins
+    }
+
+    /// Adaptive wheel resizes performed so far.
+    pub fn growths(&self) -> u64 {
+        self.growths
+    }
+
+    /// Current wheel size in buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
     }
 }
 
@@ -405,6 +490,98 @@ mod tests {
             }
             assert_eq!(q.pop(), None);
         }
+    }
+
+    #[test]
+    fn adaptive_growth_fires_under_overflow_pressure() {
+        let mut q = EventQueue::new();
+        let before = q.buckets();
+        // Sustained far-future pushes (gap ~16k) overwhelm the 4096-cycle
+        // horizon; the wheel must grow and later pushes at that distance
+        // must bin without spilling.
+        for i in 0..200u64 {
+            q.push(16_000 + i, i);
+        }
+        assert!(q.growths() > 0, "no adaptive resize happened");
+        assert!(q.buckets() > before);
+        assert!(q.buckets() <= MAX_BUCKETS);
+        assert!(q.spills() >= GROW_PRESSURE as u64);
+        let spills_after_growth = q.spills();
+        for i in 0..100u64 {
+            q.push(10_000 + i, 1000 + i);
+        }
+        assert_eq!(q.spills(), spills_after_growth, "grown wheel still spilled");
+        // Order is untouched by the rebuild.
+        let mut last = (0, 0);
+        while let Some((at, v)) = q.pop() {
+            assert!((at, v) >= last);
+            last = (at, v);
+        }
+    }
+
+    #[test]
+    fn property_adaptive_sizing_preserves_cycle_seq_fifo_order() {
+        // The satellite property: whatever resizes the wheel performs
+        // mid-run, pop order must equal the (cycle, push-seq) stable sort
+        // — including FIFO ties — across schedules engineered to trigger
+        // growth at different moments.
+        for seed in 0..12u64 {
+            let mut rng = Rng::new(0xADA9_7100 ^ seed);
+            let mut q = EventQueue::new();
+            let mut model: Vec<(Cycle, u64)> = Vec::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            for round in 0..600u64 {
+                // Burst far-future pushes occasionally so the overflow
+                // heap crosses GROW_PRESSURE and the wheel grows while
+                // ordinary near events are in flight.
+                let burst = if round % 7 == 0 { 24 } else { 2 };
+                for _ in 0..burst {
+                    let at = now
+                        + match rng.next_u64() % 10 {
+                            0..=5 => rng.next_u64() % 256,
+                            6..=7 => 4096 + rng.next_u64() % 4096,
+                            8 => 20_000 + rng.next_u64() % 30_000,
+                            _ => 80_000 + rng.next_u64() % 100,
+                        };
+                    // Duplicate cycles on purpose: FIFO ties are the point.
+                    q.push(at, seq);
+                    model.push((at, seq));
+                    seq += 1;
+                }
+                for _ in 0..2 {
+                    model.sort_by_key(|&(at, s)| (at, s));
+                    let expect = (!model.is_empty()).then(|| model.remove(0));
+                    let got = q.pop();
+                    assert_eq!(got, expect, "seed {seed} round {round} diverged");
+                    if let Some((at, _)) = got {
+                        now = at;
+                    }
+                }
+            }
+            // Drain: the tail must match too.
+            model.sort_by_key(|&(at, s)| (at, s));
+            for &(at, s) in &model {
+                assert_eq!(q.pop(), Some((at, s)), "seed {seed} tail diverged");
+            }
+            assert_eq!(q.pop(), None);
+            assert!(
+                q.growths() > 0,
+                "seed {seed} never grew — test lost its bite"
+            );
+        }
+    }
+
+    #[test]
+    fn spill_and_rebin_counters_track() {
+        let mut q = EventQueue::new();
+        q.push(3, "near");
+        assert_eq!(q.spills(), 0);
+        q.push(1_000_000, "far");
+        assert_eq!(q.spills(), 1);
+        assert_eq!(q.pop(), Some((3, "near")));
+        assert_eq!(q.pop(), Some((1_000_000, "far")));
+        assert_eq!(q.rebins(), 1, "far event should have re-binned once");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! cycle-reproducible.
 
 use std::collections::VecDeque;
+use std::ops::ControlFlow;
 
 use barre_core::fbarre::{FilterBank, FilterCmd, FilterUpdate};
 use barre_core::{CoalInfo, CoalMode, PecBuffer, PecEntry, PecLogic};
@@ -58,6 +59,24 @@ const CHIPLET_PEC_CALC: Cycle = 2;
 /// journey ids in the trace (Chrome-trace `tid` namespace).
 const ATS_TRACE_ID_BASE: u64 = 1 << 62;
 
+/// VPNs per [`FilterBatch`]. Large enough for a full coalescing group in
+/// every stock topology (≤8 sharers × 2 merged); oversized groups are
+/// chunked into consecutive same-cycle events, which peers apply in the
+/// identical order.
+const FILTER_BATCH_MAX: usize = 16;
+
+/// One peer-bound advertisement packet: the whole group's filter updates
+/// share a command, sender, and ASID, so the event stores the VPNs
+/// inline instead of heap-allocating a `Vec<FilterUpdate>` per packet.
+#[derive(Debug, Clone)]
+struct FilterBatch {
+    cmd: FilterCmd,
+    sender: ChipletId,
+    asid: u16,
+    len: u8,
+    vpns: [Vpn; FILTER_BATCH_MAX],
+}
+
 #[derive(Debug)]
 enum Ev {
     Issue {
@@ -91,7 +110,7 @@ enum Ev {
     },
     FilterUpd {
         at: u8,
-        upds: Vec<FilterUpdate>,
+        batch: FilterBatch,
     },
     MemStart {
         page: u32,
@@ -227,9 +246,53 @@ pub struct Machine {
     tracer: Tracer,
     /// Journey-id allocator for traced page requests.
     trace_seq: u64,
+    /// Reused member-enumeration buffer for the broadcast path (cleared
+    /// before each use; never escapes a single call).
+    scratch_members: Vec<barre_core::GroupMember>,
+    /// Reused sharer-peer buffer for the broadcast path.
+    scratch_peers: Vec<ChipletId>,
+    /// Heap-allocation counter hook for the zero-alloc hot-path
+    /// assertion. A test harness that owns a counting global allocator
+    /// installs its counter via [`Machine::set_alloc_probe`]; the probe
+    /// paths then `debug_assert` the count is unchanged across each
+    /// probe. `None` (the default) costs one branch.
+    #[cfg(debug_assertions)]
+    alloc_probe: Option<fn() -> u64>,
     /// Accumulated conservation-law violations (sanitizer builds only).
     #[cfg(feature = "sanitizer")]
     san: crate::sanitizer::SanitizerReport,
+}
+
+/// Re-encodes a translated PTE's coalescing bits from the perspective of
+/// `member` — the bits the calculated entry would have carried had it been
+/// translated directly. A free function (not a `Machine` method) so the
+/// borrow-split probe closures can call it while chiplet state is
+/// borrowed.
+fn member_bits(
+    pec_logic: &PecLogic,
+    pte_vpn: Vpn,
+    info: &CoalInfo,
+    entry: &PecEntry,
+    member: Vpn,
+) -> Option<u16> {
+    let m = pec_logic.member_for(pte_vpn, info, entry, member)?;
+    let rebuilt = match *info {
+        CoalInfo::Base { bitmap, .. } => CoalInfo::Base {
+            bitmap,
+            inter_order: m.inter_order,
+        },
+        CoalInfo::Expanded { bitmap, merged, .. } => CoalInfo::Expanded {
+            bitmap,
+            inter_order: m.inter_order,
+            intra_order: m.intra_order,
+            merged,
+        },
+        CoalInfo::Wide { count, .. } => CoalInfo::Wide {
+            count,
+            inter_order: m.inter_order,
+        },
+    };
+    Some(rebuilt.encode())
 }
 
 impl Machine {
@@ -389,10 +452,24 @@ impl Machine {
             last_progress: 0,
             tracer: Tracer::Noop,
             trace_seq: 0,
+            scratch_members: Vec::new(),
+            scratch_peers: Vec::new(),
+            #[cfg(debug_assertions)]
+            alloc_probe: None,
             #[cfg(feature = "sanitizer")]
             san: crate::sanitizer::SanitizerReport::default(),
             cfg,
         }
+    }
+
+    /// Installs a heap-allocation counter for the zero-alloc hot-path
+    /// assertion (debug builds only). The counter is typically backed by
+    /// a counting `#[global_allocator]` owned by an integration-test
+    /// binary; with it installed, every F-Barre probe `debug_assert`s
+    /// that it performed zero heap allocations.
+    #[cfg(debug_assertions)]
+    pub fn set_alloc_probe(&mut self, counter: fn() -> u64) {
+        self.alloc_probe = Some(counter);
     }
 
     /// Runs the machine to completion and returns the measurements.
@@ -533,6 +610,10 @@ impl Machine {
             pcie_bytes: self.pcie_up.total_bytes() + self.pcie_down.total_bytes(),
             mesh_bytes: self.mesh.total_bytes()
                 + self.filter_vc.iter().map(Link::total_bytes).sum::<u64>(),
+            queue_spills: self.queue.spills(),
+            queue_rebins: self.queue.rebins(),
+            queue_growths: self.queue.growths(),
+            queue_buckets: self.queue.buckets() as u64,
         };
         self.tracer.sample(sample);
     }
@@ -547,10 +628,15 @@ impl Machine {
             Ev::RespArrive { resp } => return self.resp_arrive(resp),
             Ev::PeerProbe { page, at } => self.peer_probe(page, at),
             Ev::PeerReply { page, result } => self.peer_reply(page, result),
-            Ev::FilterUpd { at, upds } => {
+            Ev::FilterUpd { at, batch } => {
                 if let Some(f) = &mut self.chiplets[at as usize].filters {
-                    for upd in upds {
-                        f.apply_update(upd);
+                    for &vpn in &batch.vpns[..batch.len as usize] {
+                        f.apply_update(FilterUpdate {
+                            cmd: batch.cmd,
+                            sender: batch.sender,
+                            asid: batch.asid,
+                            vpn,
+                        });
                     }
                 }
             }
@@ -903,11 +989,12 @@ impl Machine {
                     self.finish_l2_miss_at(p.chiplet, key, payload, done);
                     return;
                 }
-                // 2) Remote calculation through the RCFs.
+                // 2) Remote calculation through the RCFs (negative-cached:
+                // repeated misses skip the filter probes entirely).
                 let peer = self.chiplets[p.chiplet as usize]
                     .filters
-                    .as_ref()
-                    .and_then(|fb| fb.rcf_hit(key.asid, key.vpn));
+                    .as_mut()
+                    .and_then(|fb| fb.rcf_hit_cached(key.asid, key.vpn));
                 if let Some(peer) = peer {
                     self.m.peer_probes += 1;
                     self.m.rcf_remote_attempts += 1;
@@ -954,18 +1041,21 @@ impl Machine {
         key: TlbKey,
         max_merged: u8,
     ) -> Option<L2Payload> {
+        #[cfg(debug_assertions)]
+        let allocs_before = self.alloc_probe.map(|f| f());
+        let pec_logic = self.pec_logic;
+        let coal_mode = self.coal_mode;
         let mut lcf_hits = 0u64;
         let mut found: Option<L2Payload> = None;
         {
+            // Borrow split: the PEC entry stays borrowed from the chiplet
+            // for the whole enumeration — no clone, no candidate Vec.
             let ch = &self.chiplets[chiplet as usize];
             let filters = ch.filters.as_ref()?;
-            let entry = ch.pec_buffer.peek(key.asid, key.vpn)?.clone();
-            let candidates = self
-                .pec_logic
-                .coalescing_candidates(&entry, key.vpn, max_merged);
-            for cand in candidates {
+            let entry = ch.pec_buffer.peek(key.asid, key.vpn)?;
+            pec_logic.for_each_candidate(entry, key.vpn, max_merged, |cand| {
                 if !filters.lcf_contains(key.asid, cand) {
-                    continue;
+                    return ControlFlow::Continue(());
                 }
                 lcf_hits += 1;
                 let ckey = TlbKey {
@@ -973,58 +1063,36 @@ impl Machine {
                     vpn: cand,
                 };
                 let Some(payload) = ch.l2_tlb.probe(ckey).copied() else {
-                    continue; // filter false positive
+                    return ControlFlow::Continue(()); // filter false positive
                 };
-                let Some(info) = CoalInfo::decode(payload.coal_bits, self.coal_mode) else {
-                    continue;
+                let Some(info) = CoalInfo::decode(payload.coal_bits, coal_mode) else {
+                    return ControlFlow::Continue(());
                 };
-                if let Some(pfn) =
-                    self.pec_logic
-                        .calc_pfn(cand, payload.pfn, &info, &entry, key.vpn)
-                {
-                    let bits = self
-                        .member_bits(cand, &info, &entry, key.vpn)
+                if let Some(pfn) = pec_logic.calc_pfn(cand, payload.pfn, &info, entry, key.vpn) {
+                    let bits = member_bits(&pec_logic, cand, &info, entry, key.vpn)
                         .unwrap_or(payload.coal_bits);
                     found = Some(L2Payload {
                         pfn,
                         coal_bits: bits,
                     });
-                    break;
+                    return ControlFlow::Break(());
                 }
-            }
+                ControlFlow::Continue(())
+            });
         }
         self.m.lcf_hits += lcf_hits;
         if found.is_some() {
             self.m.lcf_true_hits += 1;
         }
+        #[cfg(debug_assertions)]
+        if let (Some(f), Some(before)) = (self.alloc_probe, allocs_before) {
+            debug_assert_eq!(
+                f(),
+                before,
+                "F-Barre local probe heap-allocated on the hot path"
+            );
+        }
         found
-    }
-
-    fn member_bits(
-        &self,
-        pte_vpn: Vpn,
-        info: &CoalInfo,
-        entry: &PecEntry,
-        member: Vpn,
-    ) -> Option<u16> {
-        let m = self.pec_logic.member_for(pte_vpn, info, entry, member)?;
-        let rebuilt = match *info {
-            CoalInfo::Base { bitmap, .. } => CoalInfo::Base {
-                bitmap,
-                inter_order: m.inter_order,
-            },
-            CoalInfo::Expanded { bitmap, merged, .. } => CoalInfo::Expanded {
-                bitmap,
-                inter_order: m.inter_order,
-                intra_order: m.intra_order,
-                merged,
-            },
-            CoalInfo::Wide { count, .. } => CoalInfo::Wide {
-                count,
-                inter_order: m.inter_order,
-            },
-        };
-        Some(rebuilt.encode())
     }
 
     // ----- ATS path -----
@@ -1476,42 +1544,52 @@ impl Machine {
     }
 
     fn peer_calculate(&mut self, at: u8, key: TlbKey) -> Option<L2Payload> {
+        #[cfg(debug_assertions)]
+        let allocs_before = self.alloc_probe.map(|f| f());
         let max_merged = self.cfg.mode.max_merged();
-        let ch = &self.chiplets[at as usize];
-        let entry = ch.pec_buffer.peek(key.asid, key.vpn)?.clone();
-        let candidates = self
-            .pec_logic
-            .coalescing_candidates(&entry, key.vpn, max_merged);
-        for cand in candidates {
-            if let Some(fb) = &ch.filters {
-                if !fb.lcf_contains(key.asid, cand) {
-                    continue;
+        let pec_logic = self.pec_logic;
+        let coal_mode = self.coal_mode;
+        let mut found: Option<L2Payload> = None;
+        {
+            let ch = &self.chiplets[at as usize];
+            let entry = ch.pec_buffer.peek(key.asid, key.vpn)?;
+            pec_logic.for_each_candidate(entry, key.vpn, max_merged, |cand| {
+                if let Some(fb) = &ch.filters {
+                    if !fb.lcf_contains(key.asid, cand) {
+                        return ControlFlow::Continue(());
+                    }
                 }
-            }
-            let ckey = TlbKey {
-                asid: key.asid,
-                vpn: cand,
-            };
-            let Some(payload) = ch.l2_tlb.probe(ckey).copied() else {
-                continue;
-            };
-            let Some(info) = CoalInfo::decode(payload.coal_bits, self.coal_mode) else {
-                continue;
-            };
-            if let Some(pfn) = self
-                .pec_logic
-                .calc_pfn(cand, payload.pfn, &info, &entry, key.vpn)
-            {
-                let bits = self
-                    .member_bits(cand, &info, &entry, key.vpn)
-                    .unwrap_or(payload.coal_bits);
-                return Some(L2Payload {
-                    pfn,
-                    coal_bits: bits,
-                });
-            }
+                let ckey = TlbKey {
+                    asid: key.asid,
+                    vpn: cand,
+                };
+                let Some(payload) = ch.l2_tlb.probe(ckey).copied() else {
+                    return ControlFlow::Continue(());
+                };
+                let Some(info) = CoalInfo::decode(payload.coal_bits, coal_mode) else {
+                    return ControlFlow::Continue(());
+                };
+                if let Some(pfn) = pec_logic.calc_pfn(cand, payload.pfn, &info, entry, key.vpn) {
+                    let bits = member_bits(&pec_logic, cand, &info, entry, key.vpn)
+                        .unwrap_or(payload.coal_bits);
+                    found = Some(L2Payload {
+                        pfn,
+                        coal_bits: bits,
+                    });
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            });
         }
-        None
+        #[cfg(debug_assertions)]
+        if let (Some(f), Some(before)) = (self.alloc_probe, allocs_before) {
+            debug_assert_eq!(
+                f(),
+                before,
+                "F-Barre peer-calculate heap-allocated on the hot path"
+            );
+        }
+        found
     }
 
     fn peer_reply(&mut self, page: u32, result: Option<L2Payload>) {
@@ -1627,53 +1705,65 @@ impl Machine {
         let Some(info) = CoalInfo::decode(payload.coal_bits, self.coal_mode) else {
             return;
         };
-        let Some(entry) = self.chiplets[chiplet as usize]
-            .pec_buffer
-            .peek(key.asid, key.vpn)
-            .cloned()
-        else {
-            return;
-        };
-        // Which VPN anchors the member enumeration: the entry itself.
-        let members = self.pec_logic.members(key.vpn, &info, &entry);
+        // Reused scratch buffers: after warm-up this path performs no
+        // heap allocation besides the batched event payloads it queues.
+        let pec_logic = self.pec_logic;
+        let mut members = std::mem::take(&mut self.scratch_members);
+        members.clear();
+        {
+            let ch = &self.chiplets[chiplet as usize];
+            if let Some(entry) = ch.pec_buffer.peek(key.asid, key.vpn) {
+                // Which VPN anchors the member enumeration: the entry itself.
+                pec_logic.for_each_member(key.vpn, &info, entry, |m| {
+                    members.push(m);
+                    ControlFlow::Continue(())
+                });
+            }
+        }
         if members.is_empty() {
+            self.scratch_members = members;
             return;
         }
-        let advertised: Vec<Vpn> = members.iter().map(|m| m.vpn).collect();
-        let peers: Vec<ChipletId> = members
-            .iter()
-            .map(|m| m.chiplet)
-            .filter(|c| c.0 != chiplet)
-            .collect::<std::collections::BTreeSet<_>>()
-            .into_iter()
-            .collect();
+        let mut peers = std::mem::take(&mut self.scratch_peers);
+        peers.clear();
+        peers.extend(members.iter().map(|m| m.chiplet).filter(|c| c.0 != chiplet));
+        peers.sort_unstable();
+        peers.dedup();
         let oracle = matches!(self.cfg.mode, TranslationMode::FBarre(f) if f.oracle_traffic);
-        for peer in peers {
+        for &peer in &peers {
             // One batched message per peer carries the whole group's
             // advertisement (n × 43-bit records in a single mesh packet).
-            self.m.filter_updates_sent += advertised.len() as u64;
-            let bytes = 4 + FILTER_UPDATE_BYTES * advertised.len() as u64;
+            self.m.filter_updates_sent += members.len() as u64;
+            let bytes = 4 + FILTER_UPDATE_BYTES * members.len() as u64;
             let at = if oracle {
                 t + self.cfg.mesh_latency
             } else {
                 let vc = &mut self.filter_vc[chiplet as usize];
                 if vc.backlog(t) > FILTER_DROP_BACKLOG {
-                    self.m.filter_updates_dropped += advertised.len() as u64;
+                    self.m.filter_updates_dropped += members.len() as u64;
                     continue;
                 }
                 vc.send(t, bytes)
             };
-            let upds: Vec<FilterUpdate> = advertised
-                .iter()
-                .map(|&vpn| FilterUpdate {
+            // Inline-array batches; a group larger than FILTER_BATCH_MAX
+            // is split into consecutive same-cycle events, which the peer
+            // applies back-to-back in the original order.
+            for chunk in members.chunks(FILTER_BATCH_MAX) {
+                let mut batch = FilterBatch {
                     cmd,
                     sender: ChipletId(chiplet),
                     asid: key.asid,
-                    vpn,
-                })
-                .collect();
-            self.queue.push(at, Ev::FilterUpd { at: peer.0, upds });
+                    len: chunk.len() as u8,
+                    vpns: [Vpn(0); FILTER_BATCH_MAX],
+                };
+                for (slot, m) in batch.vpns.iter_mut().zip(chunk) {
+                    *slot = m.vpn;
+                }
+                self.queue.push(at, Ev::FilterUpd { at: peer.0, batch });
+            }
         }
+        self.scratch_members = members;
+        self.scratch_peers = peers;
     }
 
     // ----- data access -----

@@ -69,7 +69,8 @@ fn hist_json(h: &LatencyHistogram) -> String {
 fn sample_json(s: &Sample) -> String {
     format!(
         "{{\"cycle\":{},\"events\":{},\"l1_hits\":{},\"l1_misses\":{},\"l2_hits\":{},\
-         \"l2_misses\":{},\"ats_in_flight\":{},\"pcie_bytes\":{},\"mesh_bytes\":{}}}",
+         \"l2_misses\":{},\"ats_in_flight\":{},\"pcie_bytes\":{},\"mesh_bytes\":{},\
+         \"queue_spills\":{},\"queue_rebins\":{},\"queue_growths\":{},\"queue_buckets\":{}}}",
         s.cycle,
         s.events,
         s.l1_hits,
@@ -78,7 +79,11 @@ fn sample_json(s: &Sample) -> String {
         s.l2_misses,
         s.ats_in_flight,
         s.pcie_bytes,
-        s.mesh_bytes
+        s.mesh_bytes,
+        s.queue_spills,
+        s.queue_rebins,
+        s.queue_growths,
+        s.queue_buckets
     )
 }
 
@@ -256,6 +261,7 @@ mod tests {
             ats_in_flight: 3,
             pcie_bytes: 256,
             mesh_bytes: 64,
+            ..Sample::default()
         });
         t.take_recorder().expect("recording")
     }

@@ -139,6 +139,14 @@ pub struct Sample {
     pub pcie_bytes: u64,
     /// Cumulative mesh + filter-VC bytes.
     pub mesh_bytes: u64,
+    /// Cumulative event-queue calendar-wheel overflow spills.
+    pub queue_spills: u64,
+    /// Cumulative overflow entries rebinned back into the wheel.
+    pub queue_rebins: u64,
+    /// Adaptive wheel growths performed so far.
+    pub queue_growths: u64,
+    /// Current calendar-wheel bucket count.
+    pub queue_buckets: u64,
 }
 
 /// Bitmask over [`Stage`]s, used for `--filter stage=...`.
