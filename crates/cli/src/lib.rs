@@ -67,6 +67,9 @@ pub enum Command {
         jobs: Option<usize>,
         /// Crash-isolated supervision (`--supervise` and friends).
         sup: Option<supervisor::SuperviseOpts>,
+        /// Remote dispatch through a `barre queue` coordinator
+        /// (`--dispatch host:port`).
+        dispatch: Option<DispatchOpts>,
         /// Hidden child mode: run exactly this job of the sweep's job
         /// list and print its metrics as canonical JSON.
         job_index: Option<usize>,
@@ -86,6 +89,9 @@ pub enum Command {
         jobs: Option<usize>,
         /// Crash-isolated supervision (`--supervise` and friends).
         sup: Option<supervisor::SuperviseOpts>,
+        /// Remote dispatch through a `barre queue` coordinator
+        /// (`--dispatch host:port`).
+        dispatch: Option<DispatchOpts>,
         /// Hidden child mode (see [`Command::Sweep::job_index`]).
         job_index: Option<usize>,
     },
@@ -135,8 +141,35 @@ pub enum Command {
     Serve {
         opts: Box<barre_serve::ServeOptions>,
     },
+    /// `barre queue` — lease-based shared job-queue coordinator for
+    /// multi-node sweeps; see [`barre_serve::jobq`].
+    Queue {
+        opts: Box<barre_serve::jobq::QueueOptions>,
+    },
+    /// `barre worker` — pull jobs from a queue coordinator under
+    /// time-bounded leases and execute them in crash-isolated children.
+    Worker {
+        opts: Box<barre_serve::jobq::WorkerOptions>,
+    },
     /// `barre help`.
     Help,
+}
+
+/// How a dispatched sweep reaches its coordinator: address, client-side
+/// journal location, and the child argument list job fingerprints (and
+/// worker re-execution) are derived from — the same derivation the
+/// supervisor uses, so serial and dispatched runs of one command line
+/// agree on every fingerprint.
+#[derive(Debug, Clone)]
+pub struct DispatchOpts {
+    /// Coordinator address (`host:port`).
+    pub addr: String,
+    /// Where to write the terminal records, in job order (same default
+    /// as the supervisor's journal).
+    pub journal: std::path::PathBuf,
+    /// Base argument list for remote children (supervisor/dispatch
+    /// flags stripped); workers append `--job-index <i>`.
+    pub child_args: Vec<String>,
 }
 
 /// Errors produced while parsing arguments.
@@ -335,6 +368,93 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             opts: Box::new(opts),
         });
     }
+    // `queue` and `worker` are daemons too, with their own small flag
+    // vocabularies (lease protocol knobs, not simulation knobs).
+    if cmd == "queue" {
+        let mut opts = barre_serve::jobq::QueueOptions::default();
+        let mut i = 1;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = |i: &mut usize| -> Result<String, ParseError> {
+                *i += 1;
+                args.get(*i)
+                    .cloned()
+                    .ok_or_else(|| err(format!("flag {flag} needs a value")))
+            };
+            match flag {
+                "--host" => opts.host = value(&mut i)?,
+                "--port" => {
+                    let v = value(&mut i)?;
+                    opts.port = v.parse().map_err(|_| err(format!("bad port {v}")))?;
+                }
+                "--journal" => opts.journal = std::path::PathBuf::from(value(&mut i)?),
+                "--lease" => {
+                    let v = value(&mut i)?;
+                    let secs: f64 = v.parse().map_err(|_| err(format!("bad lease {v}")))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(err(format!("lease {v} must be positive seconds")));
+                    }
+                    opts.lease = std::time::Duration::from_secs_f64(secs);
+                }
+                "--max-leases" => {
+                    let v = value(&mut i)?;
+                    opts.max_leases = v
+                        .parse()
+                        .map_err(|_| err(format!("bad lease budget {v}")))?;
+                }
+                other => return Err(err(format!("unknown flag {other}"))),
+            }
+            i += 1;
+        }
+        return Ok(Command::Queue {
+            opts: Box::new(opts),
+        });
+    }
+    if cmd == "worker" {
+        let mut opts = barre_serve::jobq::WorkerOptions::default();
+        let mut connected = false;
+        let mut i = 1;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = |i: &mut usize| -> Result<String, ParseError> {
+                *i += 1;
+                args.get(*i)
+                    .cloned()
+                    .ok_or_else(|| err(format!("flag {flag} needs a value")))
+            };
+            match flag {
+                "--connect" => {
+                    opts.connect = value(&mut i)?;
+                    connected = true;
+                }
+                "--name" => opts.name = Some(value(&mut i)?),
+                "--jobs" => {
+                    let v = value(&mut i)?;
+                    let n: usize = v.parse().map_err(|_| err(format!("bad job count {v}")))?;
+                    if n == 0 {
+                        return Err(err("--jobs must be at least 1"));
+                    }
+                    opts.slots = n;
+                }
+                "--timeout" => {
+                    let v = value(&mut i)?;
+                    let secs: f64 = v.parse().map_err(|_| err(format!("bad timeout {v}")))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(err(format!("timeout {v} must be positive seconds")));
+                    }
+                    opts.timeout = Some(std::time::Duration::from_secs_f64(secs));
+                }
+                other => return Err(err(format!("unknown flag {other}"))),
+            }
+            i += 1;
+        }
+        if !connected {
+            return Err(err("worker needs --connect <host:port>"));
+        }
+        return Ok(Command::Worker {
+            opts: Box::new(opts),
+        });
+    }
     // `lint` grew its own flag vocabulary in PR 7 (baseline files, SARIF,
     // autofix, waiver budgets) that collides with the simulation flags
     // (`--baseline` means something else entirely to `run`), so it gets a
@@ -393,6 +513,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut gate: Option<f64> = None;
     let mut out: Option<std::path::PathBuf> = None;
     let mut supervise = false;
+    let mut dispatch_addr: Option<String> = None;
     let mut journal: Option<std::path::PathBuf> = None;
     let mut resume: Option<std::path::PathBuf> = None;
     let mut timeout: Option<std::time::Duration> = None;
@@ -414,6 +535,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             "--paper" => cfg = SystemConfig::paper().with_mode(cfg.mode),
             "--smoke" => cfg = barre_system::smoke_config().with_mode(cfg.mode),
             "--supervise" => supervise = true,
+            "--dispatch" => dispatch_addr = Some(value(&mut i)?),
             "--journal" => journal = Some(std::path::PathBuf::from(value(&mut i)?)),
             "--resume" => resume = Some(std::path::PathBuf::from(value(&mut i)?)),
             "--timeout" => {
@@ -564,13 +686,38 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         i += 1;
     }
 
+    // `--dispatch` hands the sweep to a remote queue coordinator: the
+    // workers own supervision there, so the local supervisor flags are
+    // either repurposed (`--journal`/`--resume` name the client-side
+    // journal) or rejected.
+    let dispatch = if let Some(addr) = dispatch_addr {
+        if supervise {
+            return Err(err("--supervise and --dispatch are mutually exclusive"));
+        }
+        if timeout.is_some() || retries.is_some() {
+            return Err(err(
+                "--timeout/--retries are supervisor and worker flags; with --dispatch the workers own them",
+            ));
+        }
+        Some(DispatchOpts {
+            addr,
+            journal: resume
+                .clone()
+                .or_else(|| journal.clone())
+                .unwrap_or_else(|| std::path::PathBuf::from("sweep-journal")),
+            child_args: strip_supervisor_flags(args),
+        })
+    } else {
+        None
+    };
     // Any supervision flag opts the sweep into the crash-isolated path;
     // `--resume` doubles as the journal location.
-    let sup = if supervise
-        || journal.is_some()
-        || resume.is_some()
-        || timeout.is_some()
-        || retries.is_some()
+    let sup = if dispatch.is_none()
+        && (supervise
+            || journal.is_some()
+            || resume.is_some()
+            || timeout.is_some()
+            || retries.is_some())
     {
         if let (Some(j), Some(r)) = (&journal, &resume) {
             if j != r {
@@ -608,6 +755,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             seed,
             jobs,
             sup,
+            dispatch,
             job_index,
         }),
         "pair" => Ok(Command::Pair {
@@ -625,6 +773,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             rates: rates.unwrap_or_else(|| vec![0.0, 0.001, 0.01, 0.05]),
             jobs,
             sup,
+            dispatch,
             job_index,
         }),
         "bench" => Ok(Command::Bench {
@@ -652,13 +801,16 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
 /// crash-isolated child is re-executed with (plus `--job-index <i>`).
 /// `--jobs` is stripped too: it does not change any job's simulation, so
 /// keeping it out makes job fingerprints stable across worker counts.
+/// `--dispatch` likewise, so a dispatched sweep and a local supervised
+/// run of the same command line agree on every job fingerprint.
 fn strip_supervisor_flags(args: &[String]) -> Vec<String> {
     let mut out = Vec::with_capacity(args.len());
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--supervise" => {}
-            "--journal" | "--resume" | "--timeout" | "--retries" | "--job-index" | "--jobs" => {
+            "--journal" | "--resume" | "--timeout" | "--retries" | "--job-index" | "--jobs"
+            | "--dispatch" => {
                 i += 1;
             }
             other => out.push(other.to_string()),
@@ -689,6 +841,10 @@ USAGE:
                                           regressions beyond --threshold (default 1.5x)
   barre serve [flags]                     simulation daemon: JSONL requests over TCP, HTTP health
                                           shim (/healthz /readyz /stats), verified result cache
+  barre queue [flags]                     lease-based shared job-queue coordinator with a
+                                          write-ahead journal (crash-restartable)
+  barre worker --connect <host:port>      pull jobs from a queue coordinator under leases,
+                                          heartbeat to keep them, run them crash-isolated
 
 FLAGS:
   --mode <baseline|valkyrie|least|shared-l2|barre|fbarre|fbarre1|fbarre4>
@@ -731,6 +887,9 @@ SUPERVISOR FLAGS (sweep, chaos):
   --timeout <secs>                     per-job wall-clock budget (kill + retry on expiry)
   --retries <n>                        transient-failure retries per job (default 2);
                                        permanent failures (exit 64) are never retried
+  --dispatch <host:port>               run the sweep on a `barre queue` coordinator instead
+                                       of locally; workers execute, results and the journal
+                                       come back byte-identical to a serial supervised run
 
 SERVE FLAGS:
   --host <addr> --port <n>             bind address (default 127.0.0.1:7341; port 0 = ephemeral,
@@ -744,6 +903,23 @@ SERVE FLAGS:
   --retries <n>                        serve: transient-failure retries per request (default 1)
   --breaker <n>                        quarantine a config fingerprint after n consecutive
                                        failures (default 3; 0 disables the circuit breaker)
+
+QUEUE FLAGS:
+  --host <addr> --port <n>             bind address (default 127.0.0.1:7342; port 0 = ephemeral,
+                                       printed as `listening on ...`)
+  --journal <dir|file.jsonl>           write-ahead journal location (default queue-journal/);
+                                       restart with the same journal to resume
+  --lease <secs>                       lease duration before an unheartbeated job is
+                                       re-dispatched (default 10)
+  --max-leases <n>                     quarantine a job as poison after n burned leases
+                                       (default 3; 0 disables quarantine)
+
+WORKER FLAGS:
+  --connect <host:port>                queue coordinator to pull jobs from (required)
+  --name <id>                          worker identity stamped on journal records
+                                       (default worker-<pid>; BARRE_WORKER_ID also works)
+  --jobs <n>                           concurrent job slots (default 1)
+  --timeout <secs>                     per-job wall-clock budget (kill + report on expiry)
 ";
 
 /// Reports a simulation failure on stderr and yields the error exit code.
@@ -874,6 +1050,72 @@ fn collect_metrics(
     Ok(metrics)
 }
 
+/// Runs a labeled job list through a remote `barre queue` coordinator,
+/// returning one [`RunMetrics`] per job in input order. The counterpart
+/// of [`collect_metrics`]'s supervised path: failures and poison
+/// verdicts go to stderr in the supervisor's format, stdout stays
+/// byte-identical to a local run.
+fn collect_dispatched(labeled: &[LabeledJob], d: &DispatchOpts) -> Result<Vec<RunMetrics>, i32> {
+    supervisor::install_drain_handlers();
+    let jobs: Vec<barre_serve::jobq::JobSpec> = labeled
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let mut args = d.child_args.clone();
+            args.push("--job-index".to_string());
+            args.push(i.to_string());
+            barre_serve::jobq::JobSpec {
+                fingerprint: supervisor::job_fingerprint(&d.child_args, i, &l.label),
+                label: l.label.clone(),
+                args,
+            }
+        })
+        .collect();
+    let journal = supervisor::journal_file_of(&d.journal);
+    let outcome = match barre_serve::jobq::dispatch_sweep(&d.addr, &jobs, &journal) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Err(1);
+        }
+    };
+    if outcome.interrupted {
+        return Err(supervisor::interrupt_exit_code());
+    }
+    for f in &outcome.failures {
+        if f.quarantined {
+            eprintln!(
+                "POISON {} quarantined after {} lease(s): {}",
+                f.label, f.attempts, f.exit
+            );
+        } else {
+            eprintln!(
+                "FAILED {} after {} attempt(s): {}",
+                f.label, f.attempts, f.exit
+            );
+        }
+    }
+    if !outcome.failures.is_empty() {
+        eprintln!(
+            "{} of {} job(s) failed; the rest completed and are journaled in {}",
+            outcome.failures.len(),
+            labeled.len(),
+            journal.display()
+        );
+        return Err(1);
+    }
+    let metrics: Vec<RunMetrics> = outcome.results.into_iter().flatten().collect();
+    if metrics.len() != labeled.len() {
+        eprintln!(
+            "error: coordinator returned {} of {} results",
+            metrics.len(),
+            labeled.len()
+        );
+        return Err(1);
+    }
+    Ok(metrics)
+}
+
 /// Renders the sweep speedup table. One shared renderer keeps inline,
 /// supervised and resumed runs byte-identical on stdout.
 fn render_sweep(apps: &[AppId], cfg: &SystemConfig, metrics: &[RunMetrics]) -> String {
@@ -940,6 +1182,7 @@ fn render_chaos(rates: &[f64], metrics: &[RunMetrics]) -> String {
 fn run_merge(out: &std::path::Path, inputs: &[std::path::PathBuf]) -> i32 {
     let mut journal_shards: Vec<Vec<barre_system::JournalRecord>> = Vec::new();
     let mut bench_docs: Vec<String> = Vec::new();
+    let mut skipped_total = 0usize;
     for p in inputs {
         if p.extension().is_some_and(|e| e == "json") {
             match std::fs::read_to_string(p) {
@@ -951,8 +1194,20 @@ fn run_merge(out: &std::path::Path, inputs: &[std::path::PathBuf]) -> i32 {
             }
         } else {
             let path = supervisor::journal_file_of(p);
-            match barre_system::read_journal(&path) {
-                Ok(recs) => journal_shards.push(recs),
+            // Lenient read: a shard that survived a crash may carry torn
+            // or corrupt lines anywhere, not just at the tail. Skipped
+            // lines are surfaced, never silently dropped.
+            match barre_system::read_journal_lenient(&path) {
+                Ok((recs, skipped)) => {
+                    if skipped > 0 {
+                        eprintln!(
+                            "warning: {}: skipped {skipped} corrupt line(s)",
+                            path.display()
+                        );
+                        skipped_total = skipped_total.saturating_add(skipped);
+                    }
+                    journal_shards.push(recs);
+                }
                 Err(e) => {
                     eprintln!("error: cannot read journal {}: {e}", path.display());
                     return 1;
@@ -979,13 +1234,30 @@ fn run_merge(out: &std::path::Path, inputs: &[std::path::PathBuf]) -> i32 {
         }
     }
     if !journal_shards.is_empty() {
-        let merged = match barre_system::merge_journals(&journal_shards) {
+        let mut merged = match barre_system::merge_journals(&journal_shards) {
             Ok(m) => m,
             Err(e) => {
                 eprintln!("error: {e}");
                 return 1;
             }
         };
+        // The merged journal is worker-agnostic: strip the identity
+        // stamps so a distributed run's merge is byte-identical to a
+        // serial run's, and report the attribution on stderr instead.
+        let mut by_worker: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for r in &mut merged {
+            if let barre_system::JournalEvent::Done { worker, .. } = &mut r.event {
+                if let Some(w) = worker.take() {
+                    *by_worker.entry(w).or_insert(0) += 1;
+                }
+            }
+        }
+        if !by_worker.is_empty() {
+            let attribution: Vec<String> =
+                by_worker.iter().map(|(w, n)| format!("{w}: {n}")).collect();
+            eprintln!("workers: {}", attribution.join(", "));
+        }
         let mut doc = String::with_capacity(merged.len() * 256);
         for r in &merged {
             doc.push_str(&r.to_line());
@@ -999,11 +1271,17 @@ fn run_merge(out: &std::path::Path, inputs: &[std::path::PathBuf]) -> i32 {
             .iter()
             .filter(|r| matches!(r.event, barre_system::JournalEvent::Done { .. }))
             .count();
+        let skipped_note = if skipped_total > 0 {
+            format!(", {skipped_total} line(s) skipped")
+        } else {
+            String::new()
+        };
         println!(
-            "merged {} journal shard(s): {} record(s), {} done -> {}",
+            "merged {} journal shard(s): {} record(s), {} done{} -> {}",
             journal_shards.len(),
             merged.len(),
             done,
+            skipped_note,
             journal_out.display()
         );
     }
@@ -1111,16 +1389,22 @@ pub fn execute(cmd: Command) -> i32 {
             seed,
             jobs,
             sup,
+            dispatch,
             job_index,
         } => {
             // Every execution path — inline pool, supervised children,
-            // `--job-index` replay — derives its work from this one job
-            // list, so a job index means the same simulation everywhere.
+            // remote dispatch, `--job-index` replay — derives its work
+            // from this one job list, so a job index means the same
+            // simulation everywhere.
             let labeled = sweep_jobs(&apps, &cfg, seed);
             if let Some(index) = job_index {
                 return run_child_job(&labeled, index);
             }
-            let metrics = match collect_metrics(&labeled, jobs, sup.as_ref()) {
+            let metrics = match &dispatch {
+                Some(d) => collect_dispatched(&labeled, d),
+                None => collect_metrics(&labeled, jobs, sup.as_ref()),
+            };
+            let metrics = match metrics {
                 Ok(m) => m,
                 Err(code) => return code,
             };
@@ -1143,13 +1427,18 @@ pub fn execute(cmd: Command) -> i32 {
             rates,
             jobs,
             sup,
+            dispatch,
             job_index,
         } => {
             let labeled = chaos_jobs(app, &cfg, seed, &rates);
             if let Some(index) = job_index {
                 return run_child_job(&labeled, index);
             }
-            let metrics = match collect_metrics(&labeled, jobs, sup.as_ref()) {
+            let metrics = match &dispatch {
+                Some(d) => collect_dispatched(&labeled, d),
+                None => collect_metrics(&labeled, jobs, sup.as_ref()),
+            };
+            let metrics = match metrics {
                 Ok(m) => m,
                 Err(code) => return code,
             };
@@ -1191,6 +1480,8 @@ pub fn execute(cmd: Command) -> i32 {
             }
         }
         Command::Serve { opts } => barre_serve::run_serve(&opts),
+        Command::Queue { opts } => barre_serve::jobq::run_queue(&opts),
+        Command::Worker { opts } => barre_serve::jobq::run_worker(&opts),
         Command::Merge { out, inputs } => run_merge(&out, &inputs),
         Command::Bench {
             quick,
@@ -1297,6 +1588,96 @@ mod tests {
         ));
         assert!(p(&["chaos", "--app", "gups", "--rates", "1.5"]).is_err());
         assert!(p(&["chaos", "--rates", "0.1"]).is_err());
+    }
+
+    #[test]
+    fn parses_queue_flags() {
+        match p(&[
+            "queue",
+            "--port",
+            "0",
+            "--journal",
+            "/tmp/q",
+            "--lease",
+            "2.5",
+            "--max-leases",
+            "5",
+        ])
+        .unwrap()
+        {
+            Command::Queue { opts } => {
+                assert_eq!(opts.port, 0);
+                assert_eq!(opts.journal, std::path::PathBuf::from("/tmp/q"));
+                assert_eq!(opts.lease, std::time::Duration::from_secs_f64(2.5));
+                assert_eq!(opts.max_leases, 5);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(p(&["queue", "--lease", "0"]).is_err());
+        assert!(p(&["queue", "--lease", "nope"]).is_err());
+        assert!(p(&["queue", "--apps", "gemv"]).is_err());
+    }
+
+    #[test]
+    fn parses_worker_flags() {
+        match p(&[
+            "worker",
+            "--connect",
+            "127.0.0.1:7342",
+            "--name",
+            "w1",
+            "--jobs",
+            "3",
+            "--timeout",
+            "4",
+        ])
+        .unwrap()
+        {
+            Command::Worker { opts } => {
+                assert_eq!(opts.connect, "127.0.0.1:7342");
+                assert_eq!(opts.name.as_deref(), Some("w1"));
+                assert_eq!(opts.slots, 3);
+                assert_eq!(opts.timeout, Some(std::time::Duration::from_secs(4)));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // --connect is mandatory; zero slots and bad budgets are rejected.
+        assert!(p(&["worker"]).is_err());
+        assert!(p(&["worker", "--connect", "h:1", "--jobs", "0"]).is_err());
+        assert!(p(&["worker", "--connect", "h:1", "--timeout", "-1"]).is_err());
+    }
+
+    #[test]
+    fn parses_dispatch_and_rejects_conflicts() {
+        match p(&[
+            "sweep",
+            "--apps",
+            "gemv",
+            "--dispatch",
+            "127.0.0.1:7342",
+            "--journal",
+            "/tmp/shard.jsonl",
+        ])
+        .unwrap()
+        {
+            Command::Sweep { sup, dispatch, .. } => {
+                let d = dispatch.expect("dispatch parsed");
+                assert!(sup.is_none(), "dispatch must not also supervise locally");
+                assert_eq!(d.addr, "127.0.0.1:7342");
+                assert_eq!(d.journal, std::path::PathBuf::from("/tmp/shard.jsonl"));
+                // The child args a worker replays must not re-dispatch.
+                assert!(!d.child_args.iter().any(|a| a == "--dispatch"));
+                assert!(!d.child_args.iter().any(|a| a == "127.0.0.1:7342"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match p(&["chaos", "--app", "gups", "--dispatch", "h:1"]).unwrap() {
+            Command::Chaos { dispatch, .. } => assert!(dispatch.is_some()),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(p(&["sweep", "--dispatch", "h:1", "--supervise"]).is_err());
+        assert!(p(&["sweep", "--dispatch", "h:1", "--timeout", "5"]).is_err());
+        assert!(p(&["sweep", "--dispatch", "h:1", "--retries", "1"]).is_err());
     }
 
     #[test]

@@ -160,6 +160,16 @@ pub fn job_fingerprint(child_args: &[String], index: usize, label: &str) -> Stri
     fingerprint(&[&joined, &idx, label])
 }
 
+/// The worker identity stamped onto supervised `done` journal records:
+/// `$BARRE_WORKER_ID` when set and non-empty (e.g. one value per host in
+/// a hand-sharded campaign), otherwise `None` — so merged multi-host
+/// journals are attributable without perturbing single-host output.
+pub fn worker_identity() -> Option<String> {
+    std::env::var("BARRE_WORKER_ID")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
 /// Sleeps `d` in small slices, returning early once a drain signal is
 /// seen.
 fn sleep_interruptible(d: Duration) {
@@ -245,6 +255,7 @@ fn supervise_job(
                             exit: a.exit,
                             digest: metrics_digest(&metrics),
                             hist_digest: Some(metrics_hist_digest(&metrics)),
+                            worker: worker_identity(),
                             metrics: metrics.clone(),
                         },
                     })?;

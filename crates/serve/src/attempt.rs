@@ -8,6 +8,7 @@
 use std::io::Read;
 use std::path::Path;
 use std::process::Stdio;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use barre_system::error::EXIT_PERMANENT;
@@ -54,6 +55,20 @@ fn signal_of(_status: std::process::ExitStatus) -> Option<i32> {
 /// against the poll loop; on timeout the child is SIGKILLed and whatever
 /// it wrote is kept for diagnostics.
 pub fn run_attempt(program: &Path, args: &[String], timeout: Option<Duration>) -> Attempt {
+    run_attempt_cancellable(program, args, timeout, &AtomicBool::new(false))
+}
+
+/// [`run_attempt`] with an external cancellation flag: when `cancel`
+/// flips true mid-attempt the child is SIGKILLed and the attempt comes
+/// back with exit `"cancelled"`. Used by `barre worker` to abandon a
+/// child whose lease the coordinator has already re-dispatched —
+/// finishing it would only produce a duplicate result.
+pub fn run_attempt_cancellable(
+    program: &Path,
+    args: &[String],
+    timeout: Option<Duration>,
+    cancel: &AtomicBool,
+) -> Attempt {
     let spawned = std::process::Command::new(program)
         .args(args)
         .stdin(Stdio::null())
@@ -74,11 +89,18 @@ pub fn run_attempt(program: &Path, args: &[String], timeout: Option<Duration>) -
     let out = drain_pipe(child.stdout.take());
     let err = drain_pipe(child.stderr.take());
     let deadline = timeout.map(|t| Instant::now() + t);
+    let mut cancelled = false;
     let (status, timed_out) = loop {
         match child.try_wait() {
             Ok(Some(status)) => break (Some(status), false),
             Ok(None) => {}
             Err(_) => break (None, false),
+        }
+        if cancel.load(Ordering::SeqCst) {
+            cancelled = true;
+            let _ = child.kill();
+            let _ = child.wait();
+            break (None, false);
         }
         if deadline.is_some_and(|d| Instant::now() >= d) {
             let _ = child.kill();
@@ -90,6 +112,7 @@ pub fn run_attempt(program: &Path, args: &[String], timeout: Option<Duration>) -
     let stdout = out.join().unwrap_or_default();
     let stderr = err.join().unwrap_or_default();
     let (exit, transient) = match (status, timed_out) {
+        _ if cancelled => ("cancelled".to_string(), true),
         (_, true) => ("timeout".to_string(), true),
         (Some(s), _) if s.success() => ("ok".to_string(), true),
         (Some(s), _) => match (s.code(), signal_of(s)) {
@@ -130,6 +153,15 @@ mod tests {
     fn spawn_failure_is_transient() {
         let a = run_attempt(Path::new("/nonexistent/barre-no-such-binary"), &[], None);
         assert!(a.exit.starts_with("spawn:"), "{}", a.exit);
+        assert!(a.transient);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn pre_set_cancel_kills_the_child_as_cancelled() {
+        let cancel = AtomicBool::new(true);
+        let a = run_attempt_cancellable(Path::new("/bin/sleep"), &["5".to_string()], None, &cancel);
+        assert_eq!(a.exit, "cancelled");
         assert!(a.transient);
     }
 }

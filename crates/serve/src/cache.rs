@@ -145,6 +145,7 @@ impl ResultCache {
                 exit: "ok".to_string(),
                 digest: metrics_digest(&metrics),
                 hist_digest: Some(metrics_hist_digest(&metrics)),
+                worker: None,
                 metrics,
             },
         };

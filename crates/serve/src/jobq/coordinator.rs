@@ -1,0 +1,586 @@
+//! `barre queue`: the lease-based job-queue coordinator daemon.
+//!
+//! Structurally a sibling of `barre serve` — same nonblocking accept
+//! loop, thread-per-connection JSONL handling, HTTP health shim, and
+//! drain discipline — but instead of executing jobs it *owns* them:
+//! every state transition goes through [`QueueState`] under one lock
+//! and is appended to a write-ahead journal before the reply leaves the
+//! socket. A SIGKILLed coordinator restarts from that journal with no
+//! lost or duplicated work; terminal records stand, in-flight leases
+//! are re-queued, and burned lease budgets survive so a poison job
+//! cannot launder its history through a coordinator crash.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use barre_sim::fault::NetFaultInjector;
+use barre_system::{read_journal, JournalError, JournalRecord, JournalWriter, JOURNAL_FILE};
+
+use super::state::{IngestReply, LeaseReply, QueueState};
+use super::wire::{Reply, Request};
+use crate::http;
+use crate::signal::{install_drain_handlers, shutting_down};
+
+/// How the coordinator runs.
+#[derive(Debug, Clone)]
+pub struct QueueOptions {
+    /// Bind host (default `127.0.0.1`).
+    pub host: String,
+    /// Bind port; `0` picks an ephemeral port (printed on stdout).
+    pub port: u16,
+    /// Write-ahead journal path (a `.jsonl` file, or a directory that
+    /// gets the standard journal file name).
+    pub journal: PathBuf,
+    /// Lease duration granted to workers.
+    pub lease: Duration,
+    /// Burned leases before a job is quarantined as poison (0 disables).
+    pub max_leases: u32,
+}
+
+impl Default for QueueOptions {
+    fn default() -> Self {
+        QueueOptions {
+            host: "127.0.0.1".to_string(),
+            port: 7342,
+            journal: PathBuf::from("queue-journal"),
+            lease: Duration::from_secs(10),
+            max_leases: 3,
+        }
+    }
+}
+
+fn journal_file_of(path: &Path) -> PathBuf {
+    if path.extension().is_some_and(|e| e == "jsonl") {
+        path.to_path_buf()
+    } else {
+        path.join(JOURNAL_FILE)
+    }
+}
+
+/// The queue state and its write-ahead journal under one lock, so the
+/// journal order always matches the transition order.
+struct Core {
+    state: QueueState,
+    writer: JournalWriter,
+}
+
+impl Core {
+    /// Appends the records a transition produced. An append failure is
+    /// fatal by design: a coordinator that cannot journal must not keep
+    /// accepting transitions, or a crash would forget them.
+    fn journal_all(&self, records: &[JournalRecord]) -> Result<(), JournalError> {
+        for rec in records {
+            self.writer.append(rec)?;
+        }
+        Ok(())
+    }
+}
+
+struct Shared {
+    core: Mutex<Core>,
+    journal_path: PathBuf,
+    epoch: Instant,
+    /// Fault injection for heartbeat drops (`BARRE_QUEUE_FAULTS`).
+    faults: Option<Mutex<NetFaultInjector>>,
+    journal_failures: AtomicU64,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn stats_body(&self) -> String {
+        let core = self.core.lock().unwrap_or_else(PoisonError::into_inner);
+        let c = core.state.counts();
+        drop(core);
+        format!(
+            "{{\"queued\":{},\"leased\":{},\"done\":{},\"failed\":{},\"quarantined\":{},\"expired\":{},\"conflicts\":{},\"duplicates\":{},\"draining\":{}}}",
+            c.queued,
+            c.leased,
+            c.done,
+            c.failed,
+            c.quarantined,
+            c.expired,
+            c.conflicts,
+            c.duplicates,
+            shutting_down(),
+        )
+    }
+
+    /// True when the simulated network ate this heartbeat.
+    fn drop_heartbeat(&self) -> bool {
+        match &self.faults {
+            Some(m) => m
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .drop_message(),
+            None => false,
+        }
+    }
+}
+
+/// Handles one request line: transition under the core lock, journal the
+/// records, reply. Returns `None` to drop the connection without a reply
+/// (simulated network fault).
+fn handle_request_line(sh: &Shared, line: &str) -> Option<String> {
+    let req = match Request::from_line(line) {
+        Ok(r) => r,
+        Err(why) => return Some(Reply::Error { error: why }.to_line()),
+    };
+    if matches!(req, Request::Heartbeat { .. }) && sh.drop_heartbeat() {
+        return None;
+    }
+    let now = sh.now_ms();
+    let mut core = sh.core.lock().unwrap_or_else(PoisonError::into_inner);
+    let (reply, records) = match req {
+        Request::Submit { jobs } => {
+            if shutting_down() {
+                (Reply::Draining, Vec::new())
+            } else {
+                let (accepted, known, records) = core.state.submit(&jobs);
+                let total = core.state.counts().total();
+                (
+                    Reply::Submitted {
+                        accepted: accepted as u64,
+                        known: known as u64,
+                        total: total as u64,
+                    },
+                    records,
+                )
+            }
+        }
+        Request::Lease { worker } => {
+            if shutting_down() {
+                (Reply::Draining, Vec::new())
+            } else {
+                let (reply, records) = core.state.lease(&worker, now);
+                let reply = match reply {
+                    LeaseReply::Job {
+                        fingerprint,
+                        label,
+                        args,
+                        lease_ms,
+                    } => Reply::Job {
+                        fingerprint,
+                        label,
+                        args,
+                        lease_ms,
+                    },
+                    LeaseReply::Empty {
+                        retry_after_ms,
+                        active,
+                    } => Reply::Empty {
+                        retry_after_ms,
+                        active: active as u64,
+                    },
+                };
+                (reply, records)
+            }
+        }
+        Request::Heartbeat {
+            worker,
+            fingerprint,
+        } => {
+            let live = core.state.heartbeat(&fingerprint, &worker, now);
+            (
+                if live {
+                    Reply::HeartbeatOk
+                } else {
+                    Reply::HeartbeatLost
+                },
+                Vec::new(),
+            )
+        }
+        Request::Complete { worker, record } => {
+            let (verdict, records) = match record.event {
+                barre_system::JournalEvent::Done {
+                    attempts,
+                    exit,
+                    digest,
+                    hist_digest,
+                    metrics,
+                    ..
+                } => {
+                    let (reply, records) = core.state.complete(
+                        &record.fingerprint,
+                        &worker,
+                        attempts,
+                        &exit,
+                        &digest,
+                        hist_digest.as_deref(),
+                        metrics,
+                        now,
+                    );
+                    let verdict = match reply {
+                        IngestReply::Accepted => "ok",
+                        IngestReply::Duplicate => "duplicate",
+                        IngestReply::Conflict => "conflict",
+                        IngestReply::BadDigest => "requeued",
+                        IngestReply::Unknown => "unknown",
+                    };
+                    (verdict, records)
+                }
+                _ => ("not-a-done-record", Vec::new()),
+            };
+            (
+                Reply::Completed {
+                    verdict: verdict.to_string(),
+                },
+                records,
+            )
+        }
+        Request::Fail {
+            worker,
+            fingerprint,
+            attempts,
+            exit,
+            permanent,
+        } => {
+            let (reply, records) = core
+                .state
+                .fail(&fingerprint, attempts, &exit, permanent, now);
+            if reply.quarantined {
+                // The tick path logs expiry-driven quarantines; reported
+                // failures that burn the last lease are poison too.
+                if let Some(rec) = records.last() {
+                    eprintln!(
+                        "queue: POISON {} quarantined after repeated failures (last worker {worker})",
+                        rec.label
+                    );
+                }
+            }
+            (
+                Reply::Failed {
+                    requeued: reply.requeued,
+                    quarantined: reply.quarantined,
+                },
+                records,
+            )
+        }
+        Request::Collect { fingerprints } => {
+            let (records, pending, unknown) = core.state.collect(&fingerprints);
+            (
+                Reply::Collected {
+                    pending: pending as u64,
+                    unknown: unknown as u64,
+                    records,
+                },
+                Vec::new(),
+            )
+        }
+    };
+    if let Err(e) = core.journal_all(&records) {
+        sh.journal_failures.fetch_add(1, Ordering::SeqCst);
+        drop(core);
+        eprintln!("error: journal append failed: {e}");
+        return Some(
+            Reply::Error {
+                error: format!("journal append failed: {e}"),
+            }
+            .to_line(),
+        );
+    }
+    drop(core);
+    Some(reply.to_line())
+}
+
+/// Serves the HTTP shim for one already-read request line (same contract
+/// as the serve daemon's).
+fn handle_http(sh: &Shared, first_line: &str, reader: &mut impl BufRead, out: &mut TcpStream) {
+    let mut line = String::new();
+    for _ in 0..128 {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim().is_empty() => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+    let (code, reason, body) = match http::parse_request_line(first_line) {
+        Some((method, path)) => http::route(method, path, shutting_down(), || sh.stats_body()),
+        None => (
+            400,
+            "Bad Request",
+            "{\"error\":\"bad request\"}".to_string(),
+        ),
+    };
+    let _ = out.write_all(http::render_http(code, reason, &body).as_bytes());
+    let _ = out.flush();
+}
+
+/// One connection: JSONL request/response until EOF, or one HTTP
+/// exchange. Read timeouts keep the thread responsive to drain signals.
+fn handle_conn(sh: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut out = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    line.clear();
+                    continue;
+                }
+                if http::looks_like_http(trimmed) {
+                    let first = trimmed.to_string();
+                    handle_http(sh, &first, &mut reader, &mut out);
+                    return;
+                }
+                let resp = match handle_request_line(sh, trimmed) {
+                    Some(r) => r,
+                    // Simulated partition: vanish without a reply.
+                    None => return,
+                };
+                line.clear();
+                if out.write_all(resp.as_bytes()).is_err()
+                    || out.write_all(b"\n").is_err()
+                    || out.flush().is_err()
+                {
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutting_down() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Atomically replaces the journal with the compacted record sequence
+/// (temp file + rename), then reopens an append writer on it.
+fn compact_journal(path: &Path, state: &QueueState) -> Result<JournalWriter, JournalError> {
+    let tmp = path.with_extension("jsonl.tmp");
+    {
+        let writer = JournalWriter::open(&tmp)?;
+        for rec in state.compacted() {
+            writer.append(&rec)?;
+        }
+    }
+    std::fs::rename(&tmp, path)?;
+    JournalWriter::open(path)
+}
+
+/// Binds, retrying briefly on address-in-use so a restarted coordinator
+/// can reclaim its old port while the kernel finishes tearing the old
+/// socket down.
+fn bind_with_retry(host: &str, port: u16) -> std::io::Result<TcpListener> {
+    let mut last = None;
+    for _ in 0..5 {
+        match TcpListener::bind((host, port)) {
+            Ok(l) => return Ok(l),
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && port != 0 => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(500));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| std::io::Error::other("bind failed")))
+}
+
+/// Runs the coordinator until a drain signal, then compacts the journal
+/// and exits. Returns the process exit code: 0 after a graceful drain,
+/// 1 on a startup or flush failure.
+pub fn run_queue(opts: &QueueOptions) -> i32 {
+    install_drain_handlers();
+    let journal_path = journal_file_of(&opts.journal);
+    if let Some(dir) = journal_path.parent() {
+        if !dir.as_os_str().is_empty() && std::fs::create_dir_all(dir).is_err() {
+            eprintln!("error: cannot create journal directory {}", dir.display());
+            return 1;
+        }
+    }
+    let lease_ms = u64::try_from(opts.lease.as_millis()).unwrap_or(u64::MAX);
+    // Restore: strict read (interior corruption of the WAL must surface,
+    // not silently shrink the campaign), replay, compact.
+    let restored = if journal_path.exists() {
+        match read_journal(&journal_path) {
+            Ok(records) => records,
+            Err(e) => {
+                eprintln!("error: cannot restore queue journal: {e}");
+                return 1;
+            }
+        }
+    } else {
+        Vec::new()
+    };
+    let state = QueueState::replay(&restored, lease_ms, opts.max_leases);
+    let counts = state.counts();
+    if counts.total() > 0 {
+        eprintln!(
+            "queue: restored {} job(s) from journal ({} done, {} failed, {} quarantined, {} re-queued)",
+            counts.total(),
+            counts.done,
+            counts.failed,
+            counts.quarantined,
+            counts.queued,
+        );
+    }
+    let writer = match compact_journal(&journal_path, &state) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: cannot compact queue journal: {e}");
+            return 1;
+        }
+    };
+    let faults = match std::env::var("BARRE_QUEUE_FAULTS") {
+        Ok(spec) => match NetFaultInjector::parse(&spec) {
+            Ok(inj) => {
+                eprintln!("queue: fault injection enabled ({spec})");
+                Some(Mutex::new(inj))
+            }
+            Err(why) => {
+                eprintln!("error: bad BARRE_QUEUE_FAULTS: {why}");
+                return 1;
+            }
+        },
+        Err(_) => None,
+    };
+    let listener = match bind_with_retry(&opts.host, opts.port) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {}:{}: {e}", opts.host, opts.port);
+            return 1;
+        }
+    };
+    let addr = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: cannot resolve bound address: {e}");
+            return 1;
+        }
+    };
+    if listener.set_nonblocking(true).is_err() {
+        eprintln!("error: cannot set listener nonblocking");
+        return 1;
+    }
+    let sh = Arc::new(Shared {
+        core: Mutex::new(Core { state, writer }),
+        journal_path: journal_path.clone(),
+        epoch: Instant::now(),
+        faults,
+        journal_failures: AtomicU64::new(0),
+    });
+
+    // Lease-expiry ticker: burned leases re-queue (or quarantine) even
+    // when no request traffic arrives to observe them.
+    let tick_sh = Arc::clone(&sh);
+    let ticker = std::thread::spawn(move || {
+        while !shutting_down() {
+            std::thread::sleep(Duration::from_millis(100));
+            let now = tick_sh.now_ms();
+            let mut core = tick_sh.core.lock().unwrap_or_else(PoisonError::into_inner);
+            let (records, expiries) = core.state.tick(now);
+            if let Err(e) = core.journal_all(&records) {
+                tick_sh.journal_failures.fetch_add(1, Ordering::SeqCst);
+                eprintln!("error: journal append failed: {e}");
+            }
+            drop(core);
+            for x in expiries {
+                if x.quarantined {
+                    eprintln!(
+                        "queue: POISON {} quarantined after lease expiry (last worker {})",
+                        x.label, x.worker
+                    );
+                } else {
+                    eprintln!(
+                        "queue: lease on {} held by {} expired; re-queued with backoff",
+                        x.label, x.worker
+                    );
+                }
+            }
+        }
+    });
+
+    // Same startup handshake as the serve daemon: the actual bound
+    // address (which resolves `--port 0`), flushed before serving.
+    println!("listening on {addr}");
+    let _ = std::io::stdout().flush();
+
+    let mut conn_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let sh = Arc::clone(&sh);
+                conn_handles.push(std::thread::spawn(move || handle_conn(&sh, stream)));
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+        conn_handles.retain(|h| !h.is_finished());
+    }
+
+    // Graceful drain: connection threads notice the flag via their read
+    // timeouts; then compact the journal so a restart replays a file
+    // proportional to the job count, not the churn.
+    eprintln!("drain: signal received; finishing in-flight work");
+    for h in conn_handles {
+        let _ = h.join();
+    }
+    let _ = ticker.join();
+    let mut core = sh.core.lock().unwrap_or_else(PoisonError::into_inner);
+    match compact_journal(&sh.journal_path, &core.state) {
+        Ok(w) => {
+            core.writer = w;
+            let c = core.state.counts();
+            eprintln!(
+                "drain: queue journal compacted ({} job(s): {} done, {} active)",
+                c.total(),
+                c.done,
+                c.active(),
+            );
+            if c.active() > 0 {
+                eprintln!(
+                    "drain: {} job(s) unfinished; resume with `barre queue --journal {}`",
+                    c.active(),
+                    sh.journal_path.display(),
+                );
+            }
+            if sh.journal_failures.load(Ordering::SeqCst) > 0 {
+                eprintln!("error: some transitions could not be journaled");
+                return 1;
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error: queue journal compaction failed: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! `barre worker`: pulls jobs from a queue coordinator under
+//! time-bounded leases and executes them in crash-isolated children.
+//!
+//! Each slot thread loops lease → execute → report. While a child runs,
+//! a heartbeat thread extends the lease; a `lost` heartbeat reply means
+//! the coordinator already re-dispatched the job (the lease expired
+//! behind a partition), so the child is killed and the attempt abandoned
+//! — finishing it could only produce a duplicate. Result delivery
+//! retries with the supervisor's capped backoff, so a coordinator crash
+//! between completion and acknowledgement loses nothing: the worker
+//! keeps re-offering the result and the restarted coordinator's dedup
+//! absorbs it.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use barre_system::{
+    metrics_digest, metrics_from_json, metrics_hist_digest, JournalEvent, JournalRecord,
+};
+
+use super::wire::{exchange, Reply, Request};
+use crate::attempt::{backoff_delay, run_attempt_cancellable};
+use crate::signal::{drain_exit_code, install_drain_handlers, shutting_down};
+
+/// How a worker runs.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Coordinator address (`host:port`).
+    pub connect: String,
+    /// Worker identity; defaults to `worker-<pid>`.
+    pub name: Option<String>,
+    /// Concurrent leases (slot threads).
+    pub slots: usize,
+    /// Per-attempt wall-clock budget; `None` = unlimited. A hanging
+    /// child is killed at this deadline and reported as a transient
+    /// failure, which burns one of the job's leases.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            connect: "127.0.0.1:7342".to_string(),
+            name: None,
+            slots: 1,
+            timeout: None,
+        }
+    }
+}
+
+/// Sleeps `d` in small slices, returning early on a drain signal.
+fn sleep_interruptible(d: Duration) {
+    let until = Instant::now() + d;
+    while Instant::now() < until && !shutting_down() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Sends `req` until the coordinator acknowledges it, with capped
+/// backoff — riding out coordinator restarts. Gives up only after
+/// `tries` consecutive failures.
+fn exchange_with_retry(addr: &str, req: &Request, tries: u32) -> Result<Reply, String> {
+    let mut last = String::new();
+    for attempt in 1..=tries.max(1) {
+        match exchange(addr, req) {
+            Ok(reply) => return Ok(reply),
+            Err(why) => last = why,
+        }
+        if attempt < tries {
+            sleep_interruptible(backoff_delay(attempt));
+        }
+    }
+    Err(last)
+}
+
+/// Runs one leased job to a report (or a deliberate abandonment).
+fn run_leased_job(
+    program: &Path,
+    opts: &WorkerOptions,
+    name: &str,
+    fingerprint: &str,
+    label: &str,
+    args: &[String],
+    lease_ms: u64,
+) {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let finished = Arc::new(AtomicBool::new(false));
+    let hb = {
+        let cancel = Arc::clone(&cancel);
+        let finished = Arc::clone(&finished);
+        let addr = opts.connect.clone();
+        let (name, fp) = (name.to_string(), fingerprint.to_string());
+        let interval = Duration::from_millis((lease_ms / 3).max(100));
+        std::thread::spawn(move || {
+            while !finished.load(Ordering::SeqCst) {
+                let until = Instant::now() + interval;
+                while Instant::now() < until && !finished.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                if finished.load(Ordering::SeqCst) {
+                    return;
+                }
+                let req = Request::Heartbeat {
+                    worker: name.clone(),
+                    fingerprint: fp.clone(),
+                };
+                // Any other reply — or a dropped/partitioned heartbeat —
+                // means "keep going"; the next beat retries.
+                if let Ok(Reply::HeartbeatLost) = exchange(&addr, &req) {
+                    // The coordinator re-dispatched this job; kill
+                    // the child rather than produce a duplicate.
+                    cancel.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+        })
+    };
+    let a = run_attempt_cancellable(program, args, opts.timeout, &cancel);
+    finished.store(true, Ordering::SeqCst);
+    let _ = hb.join();
+    if a.exit == "cancelled" {
+        eprintln!("worker {name}: abandoned {label} (lease lost)");
+        return;
+    }
+    let report = if a.exit == "ok" {
+        let parsed = a
+            .stdout
+            .lines()
+            .rev()
+            .find(|l| !l.trim().is_empty())
+            .ok_or_else(|| "empty child output".to_string())
+            .and_then(metrics_from_json);
+        match parsed {
+            Ok(metrics) => {
+                let metrics = Box::new(metrics);
+                Request::Complete {
+                    worker: name.to_string(),
+                    record: Box::new(JournalRecord {
+                        fingerprint: fingerprint.to_string(),
+                        label: label.to_string(),
+                        event: JournalEvent::Done {
+                            attempts: 1,
+                            exit: a.exit,
+                            digest: metrics_digest(&metrics),
+                            hist_digest: Some(metrics_hist_digest(&metrics)),
+                            worker: None,
+                            metrics,
+                        },
+                    }),
+                }
+            }
+            Err(why) => Request::Fail {
+                worker: name.to_string(),
+                fingerprint: fingerprint.to_string(),
+                attempts: 1,
+                exit: format!("badoutput:{why}"),
+                permanent: false,
+            },
+        }
+    } else {
+        Request::Fail {
+            worker: name.to_string(),
+            fingerprint: fingerprint.to_string(),
+            attempts: 1,
+            exit: a.exit.clone(),
+            permanent: !a.transient,
+        }
+    };
+    // Deliver the verdict, riding out coordinator restarts; dedup on the
+    // other side makes redelivery safe.
+    match exchange_with_retry(&opts.connect, &report, 8) {
+        Ok(Reply::Completed { verdict }) => {
+            eprintln!("worker {name}: {label} done ({verdict})");
+        }
+        Ok(Reply::Failed { quarantined, .. }) => {
+            if quarantined {
+                eprintln!("worker {name}: {label} failed; coordinator quarantined it");
+            } else {
+                eprintln!("worker {name}: {label} failed; re-queued");
+            }
+        }
+        Ok(_) => eprintln!("worker {name}: unexpected reply reporting {label}"),
+        Err(why) => eprintln!("worker {name}: could not report {label}: {why}"),
+    }
+}
+
+/// One slot: lease → execute → report, until a drain signal.
+fn slot_loop(program: &Path, opts: &WorkerOptions, name: &str) {
+    while !shutting_down() {
+        let req = Request::Lease {
+            worker: name.to_string(),
+        };
+        match exchange(&opts.connect, &req) {
+            Ok(Reply::Job {
+                fingerprint,
+                label,
+                args,
+                lease_ms,
+            }) => run_leased_job(program, opts, name, &fingerprint, &label, &args, lease_ms),
+            Ok(Reply::Empty { retry_after_ms, .. }) => {
+                sleep_interruptible(Duration::from_millis(retry_after_ms.clamp(50, 2_000)));
+            }
+            Ok(Reply::Draining) | Ok(_) => sleep_interruptible(Duration::from_millis(500)),
+            Err(_) => sleep_interruptible(Duration::from_millis(500)),
+        }
+    }
+}
+
+/// Runs the worker until a drain signal. Returns the process exit code
+/// (128 + signal after a drain, matching the supervisor's convention).
+pub fn run_worker(opts: &WorkerOptions) -> i32 {
+    install_drain_handlers();
+    let program = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot resolve own binary: {e}");
+            return 1;
+        }
+    };
+    let name = opts
+        .name
+        .clone()
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    eprintln!(
+        "worker {name}: polling {} with {} slot(s)",
+        opts.connect,
+        opts.slots.max(1)
+    );
+    let mut handles = Vec::with_capacity(opts.slots.max(1));
+    for _ in 0..opts.slots.max(1) {
+        let program = program.clone();
+        let opts = opts.clone();
+        let name = name.clone();
+        handles.push(std::thread::spawn(move || {
+            slot_loop(&program, &opts, &name)
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    eprintln!(
+        "worker {name}: drained; in-flight leases will expire and re-dispatch \
+         (resume with `barre worker --connect {}`)",
+        opts.connect
+    );
+    drain_exit_code()
+}

@@ -34,11 +34,18 @@
 //!
 //! Per-request latency and queue depth are recorded in `barre-trace`
 //! fixed-bucket histograms and exposed via `/stats` ([`stats`]).
+//!
+//! The crate also hosts the serve-adjacent distributed dispatch stack
+//! ([`jobq`]): the `barre queue` lease-based job-queue coordinator, the
+//! `barre worker` executor, and the `barre sweep --dispatch` client —
+//! built on the same TCP/JSONL framing, HTTP shim, drain signals, and
+//! crash-isolated attempt machinery as the daemon.
 
 pub mod attempt;
 pub mod breaker;
 pub mod cache;
 pub mod http;
+pub mod jobq;
 pub mod queue;
 pub mod request;
 pub mod server;

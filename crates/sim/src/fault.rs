@@ -258,6 +258,90 @@ impl FaultInjector {
     }
 }
 
+/// Salt for the queue-transport drop stream (distinct from every
+/// simulation-fault stream, so a queue chaos run never perturbs them).
+const SALT_NET: u64 = 0x6661_756c_745f_6e74; // "fault_nt"
+
+/// Deterministic message-drop decider for the `barre queue` transport
+/// path (the chaos hook behind `BARRE_QUEUE_FAULTS=<seed>:<rate>`).
+///
+/// Same contract as [`FaultInjector`]: one salted stream forked from the
+/// seed, bit-identical decisions for equal seeds, a zero rate makes zero
+/// draws. The coordinator asks it whether to "lose" an incoming
+/// heartbeat (simulating a partition), which forces the lease-expiry
+/// re-dispatch path deterministically in tests. Out-of-range rates are
+/// clamped to `[0, 1]` rather than panicking — this runs inside a
+/// daemon. The rate is held as integer parts-per-million so the
+/// decision stream never depends on float evaluation order.
+#[derive(Debug, Clone)]
+pub struct NetFaultInjector {
+    rate_ppm: u32,
+    rng: Rng,
+    dropped: u64,
+}
+
+/// One million: the fixed-point denominator for drop rates.
+const PPM: u64 = 1_000_000;
+
+impl NetFaultInjector {
+    /// Builds a decider dropping messages with probability `rate`
+    /// (clamped to `[0, 1]`), decisions forked from `seed`. The rate is
+    /// quantized to parts-per-million at this boundary.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        let rate_ppm = if rate.is_finite() {
+            (rate.clamp(0.0, 1.0) * PPM as f64).round() as u32
+        } else {
+            0
+        };
+        Self {
+            rate_ppm,
+            rng: Rng::new(seed ^ SALT_NET),
+            dropped: 0,
+        }
+    }
+
+    /// Parses the `<seed>:<rate>` form used by the
+    /// `BARRE_QUEUE_FAULTS` environment hook.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed spec.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (seed, rate) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("expected <seed>:<rate>, got {spec:?}"))?;
+        let seed: u64 = seed
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad seed in {spec:?}"))?;
+        let rate: f64 = rate
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad rate in {spec:?}"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("rate {rate} is not a probability in [0, 1]"));
+        }
+        Ok(Self::new(seed, rate))
+    }
+
+    /// Should this transport message be dropped?
+    pub fn drop_message(&mut self) -> bool {
+        if self.rate_ppm == 0 {
+            return false;
+        }
+        let hit = self.rng.next_below(PPM) < u64::from(self.rate_ppm);
+        if hit {
+            self.dropped = self.dropped.saturating_add(1);
+        }
+        hit
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +449,29 @@ mod tests {
         .validate()
         .is_err());
         assert!(FaultPlan::none().validate().is_ok());
+    }
+
+    #[test]
+    fn net_faults_are_seed_deterministic_and_zero_rate_never_drops() {
+        let mut a = NetFaultInjector::new(9, 0.4);
+        let mut b = NetFaultInjector::new(9, 0.4);
+        for _ in 0..1000 {
+            assert_eq!(a.drop_message(), b.drop_message());
+        }
+        assert_eq!(a.dropped(), b.dropped());
+        assert!(a.dropped() > 0);
+        let mut off = NetFaultInjector::new(9, 0.0);
+        assert!((0..1000).all(|_| !off.drop_message()));
+        assert_eq!(off.dropped(), 0);
+    }
+
+    #[test]
+    fn net_fault_spec_parses_and_rejects_garbage() {
+        assert!(NetFaultInjector::parse("7:0.5").is_ok());
+        assert!(NetFaultInjector::parse("7").is_err());
+        assert!(NetFaultInjector::parse("x:0.5").is_err());
+        assert!(NetFaultInjector::parse("7:nope").is_err());
+        assert!(NetFaultInjector::parse("7:1.5").is_err());
     }
 
     #[test]

@@ -210,7 +210,8 @@ fn parse_value(bytes: &[u8], i: &mut usize) -> Result<Json, String> {
 }
 
 fn parse_lit(bytes: &[u8], i: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
-    if bytes[*i..].starts_with(lit.as_bytes()) {
+    let rest = bytes.get(*i..).unwrap_or_default();
+    if rest.starts_with(lit.as_bytes()) {
         *i += lit.len();
         Ok(v)
     } else {
@@ -229,7 +230,8 @@ fn parse_num(bytes: &[u8], i: &mut usize) -> Result<Json, String> {
     {
         *i += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*i]).map_err(|e| e.to_string())?;
+    let text =
+        std::str::from_utf8(bytes.get(start..*i).unwrap_or_default()).map_err(|e| e.to_string())?;
     if text.is_empty() || text == "-" {
         return Err(format!("bad number at byte {start}"));
     }
@@ -275,7 +277,8 @@ fn parse_string(bytes: &[u8], i: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Multi-byte UTF-8 sequences pass through unchanged; find
                 // the char boundary via the original str slice.
-                let tail = std::str::from_utf8(&bytes[*i..]).map_err(|e| e.to_string())?;
+                let tail = std::str::from_utf8(bytes.get(*i..).unwrap_or_default())
+                    .map_err(|e| e.to_string())?;
                 let Some(c) = tail.chars().next() else {
                     return Err("unterminated string".to_string());
                 };
@@ -616,6 +619,12 @@ pub enum JournalEvent {
         /// distribution fingerprint. `None` on records written by
         /// older supervisors; readers must tolerate its absence.
         hist_digest: Option<String>,
+        /// Identity of the worker (queue worker name, or
+        /// `$BARRE_WORKER_ID` for supervised sweeps) that produced the
+        /// result. `None` on records written by older binaries or
+        /// unattributed runs; readers must tolerate its absence —
+        /// the same migration contract as `hist_digest`.
+        worker: Option<String>,
         /// The run's full metrics.
         metrics: Box<RunMetrics>,
     },
@@ -629,6 +638,30 @@ pub enum JournalEvent {
         /// Path of the per-job state-dump file, when one was written
         /// (watchdog fire, timeout, or any captured crash output).
         dump: Option<String>,
+    },
+    /// The job was accepted by a queue coordinator (write-ahead: the
+    /// full child argv is stored so a restarted coordinator can rebuild
+    /// the job list from its journal alone).
+    Queued {
+        /// Child argv to execute (includes `--job-index`).
+        args: Vec<String>,
+    },
+    /// A queue coordinator granted a time-bounded lease on the job.
+    Leased {
+        /// Name of the worker holding the lease.
+        worker: String,
+        /// 1-based lease number (how many leases this job has consumed,
+        /// including this one).
+        lease: u32,
+    },
+    /// The job burned through the coordinator's lease budget and was
+    /// quarantined as a poison job — reported, never retried again.
+    Quarantined {
+        /// Leases consumed before quarantine.
+        leases: u32,
+        /// Exit status of the last observed attempt (`"timeout"`,
+        /// `"signal:N"`, `"lease-expired"`, …).
+        exit: String,
     },
 }
 
@@ -661,14 +694,19 @@ impl JournalRecord {
                 exit,
                 digest,
                 hist_digest,
+                worker,
                 metrics,
             } => {
                 let hist = match hist_digest {
                     Some(h) => format!(",\"hist_digest\":{}", json_escape(h)),
                     None => String::new(),
                 };
+                let who = match worker {
+                    Some(w) => format!(",\"worker\":{}", json_escape(w)),
+                    None => String::new(),
+                };
                 format!(
-                    "{{\"event\":\"done\",{head},\"attempts\":{attempts},\"exit\":{},\"digest\":{}{hist},\"metrics\":{}}}",
+                    "{{\"event\":\"done\",{head},\"attempts\":{attempts},\"exit\":{},\"digest\":{}{hist}{who},\"metrics\":{}}}",
                     json_escape(exit),
                     json_escape(digest),
                     metrics_to_json(metrics)
@@ -685,6 +723,25 @@ impl JournalRecord {
                 };
                 format!(
                     "{{\"event\":\"failed\",{head},\"attempts\":{attempts},\"exit\":{}{dump}}}",
+                    json_escape(exit)
+                )
+            }
+            JournalEvent::Queued { args } => {
+                let args: Vec<String> = args.iter().map(|a| json_escape(a)).collect();
+                format!(
+                    "{{\"event\":\"queued\",{head},\"args\":[{}]}}",
+                    args.join(",")
+                )
+            }
+            JournalEvent::Leased { worker, lease } => {
+                format!(
+                    "{{\"event\":\"leased\",{head},\"worker\":{},\"lease\":{lease}}}",
+                    json_escape(worker)
+                )
+            }
+            JournalEvent::Quarantined { leases, exit } => {
+                format!(
+                    "{{\"event\":\"quarantined\",{head},\"leases\":{leases},\"exit\":{}}}",
                     json_escape(exit)
                 )
             }
@@ -725,6 +782,7 @@ impl JournalRecord {
                     .get("hist_digest")
                     .and_then(Json::as_str)
                     .map(str::to_string),
+                worker: v.get("worker").and_then(Json::as_str).map(str::to_string),
                 metrics: Box::new(metrics_from_value(
                     v.get("metrics").ok_or("missing metrics")?,
                 )?),
@@ -733,6 +791,27 @@ impl JournalRecord {
                 attempts: attempts("attempts")?,
                 exit: field("exit")?,
                 dump: v.get("dump").and_then(Json::as_str).map(str::to_string),
+            },
+            "queued" => JournalEvent::Queued {
+                args: v
+                    .get("args")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing field args")?
+                    .iter()
+                    .map(|a| {
+                        a.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "non-string queued arg".to_string())
+                    })
+                    .collect::<Result<Vec<String>, String>>()?,
+            },
+            "leased" => JournalEvent::Leased {
+                worker: field("worker")?,
+                lease: attempts("lease")?,
+            },
+            "quarantined" => JournalEvent::Quarantined {
+                leases: attempts("leases")?,
+                exit: field("exit")?,
             },
             other => return Err(format!("unknown event {other}")),
         };
@@ -883,8 +962,9 @@ pub fn completed_index(records: &[JournalRecord]) -> BTreeMap<String, JournalRec
 }
 
 /// Merges per-shard journals into one: the union of terminal records,
-/// first-seen order, `done` preferred over `failed` for the same
-/// fingerprint.
+/// first-seen order, `done` preferred over `failed`/`quarantined` for
+/// the same fingerprint. Non-terminal records (`start`, `queued`,
+/// `leased`) are bookkeeping and are skipped.
 ///
 /// # Errors
 ///
@@ -898,8 +978,10 @@ pub fn merge_journals(shards: &[Vec<JournalRecord>]) -> Result<Vec<JournalRecord
         for rec in shard {
             let (is_done, digest) = match &rec.event {
                 JournalEvent::Done { digest, .. } => (true, Some(digest.clone())),
-                JournalEvent::Failed { .. } => (false, None),
-                JournalEvent::Start { .. } => continue,
+                JournalEvent::Failed { .. } | JournalEvent::Quarantined { .. } => (false, None),
+                JournalEvent::Start { .. }
+                | JournalEvent::Queued { .. }
+                | JournalEvent::Leased { .. } => continue,
             };
             match best.get(&rec.fingerprint) {
                 None => {
@@ -918,10 +1000,11 @@ pub fn merge_journals(shards: &[Vec<JournalRecord>]) -> Result<Vec<JournalRecord
                             });
                         }
                     }
-                    (JournalEvent::Failed { .. }, true) => {
+                    (_, true) => {
+                        // done beats failed/quarantined.
                         best.insert(rec.fingerprint.clone(), rec.clone());
                     }
-                    // done beats failed; failed never displaces anything.
+                    // failed/quarantined never displace anything.
                     _ => {}
                 },
             }
@@ -1026,6 +1109,7 @@ mod tests {
                 exit: "ok".into(),
                 digest: metrics_digest(&busy_metrics()),
                 hist_digest: None,
+                worker: None,
                 metrics: Box::new(busy_metrics()),
             },
         };
@@ -1033,6 +1117,155 @@ mod tests {
         assert!(!line.contains("hist_digest"), "{line}");
         let back = JournalRecord::from_line(&line).expect("parse legacy line");
         assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn done_records_without_worker_still_parse_as_none() {
+        // Same migration contract as hist_digest: lines written before
+        // the worker field existed parse with `worker: None`, and a
+        // record with no worker emits no worker key.
+        let rec = JournalRecord {
+            fingerprint: "f1".into(),
+            label: "a/b".into(),
+            event: JournalEvent::Done {
+                attempts: 1,
+                exit: "ok".into(),
+                digest: metrics_digest(&busy_metrics()),
+                hist_digest: Some(metrics_hist_digest(&busy_metrics())),
+                worker: None,
+                metrics: Box::new(busy_metrics()),
+            },
+        };
+        let line = rec.to_line();
+        assert!(!line.contains("\"worker\""), "{line}");
+        assert_eq!(JournalRecord::from_line(&line).expect("parse"), rec);
+        // And a stamped record round-trips the identity.
+        let stamped = JournalRecord {
+            event: match rec.event.clone() {
+                JournalEvent::Done {
+                    attempts,
+                    exit,
+                    digest,
+                    hist_digest,
+                    metrics,
+                    ..
+                } => JournalEvent::Done {
+                    attempts,
+                    exit,
+                    digest,
+                    hist_digest,
+                    worker: Some("w\"1".into()),
+                    metrics,
+                },
+                other => other,
+            },
+            ..rec
+        };
+        let line = stamped.to_line();
+        assert!(line.contains("\"worker\""), "{line}");
+        assert_eq!(JournalRecord::from_line(&line).expect("parse"), stamped);
+    }
+
+    #[test]
+    fn queue_events_roundtrip_through_lines() {
+        let recs = [
+            JournalRecord {
+                fingerprint: "f1".into(),
+                label: "gups/barre".into(),
+                event: JournalEvent::Queued {
+                    args: vec![
+                        "sweep".into(),
+                        "--smoke".into(),
+                        "--job-index".into(),
+                        "0".into(),
+                    ],
+                },
+            },
+            JournalRecord {
+                fingerprint: "f1".into(),
+                label: "gups/barre".into(),
+                event: JournalEvent::Leased {
+                    worker: "w1".into(),
+                    lease: 2,
+                },
+            },
+            JournalRecord {
+                fingerprint: "f1".into(),
+                label: "gups/barre".into(),
+                event: JournalEvent::Quarantined {
+                    leases: 3,
+                    exit: "timeout".into(),
+                },
+            },
+        ];
+        for rec in &recs {
+            let line = rec.to_line();
+            let back = JournalRecord::from_line(&line).expect("parse line");
+            assert_eq!(*rec, back, "{line}");
+        }
+    }
+
+    #[test]
+    fn merge_skips_queue_bookkeeping_and_done_beats_quarantined() {
+        let done = |fp: &str, cycles: u64| JournalRecord {
+            fingerprint: fp.into(),
+            label: format!("app/{fp}"),
+            event: JournalEvent::Done {
+                attempts: 1,
+                exit: "ok".into(),
+                digest: metrics_digest(&RunMetrics {
+                    total_cycles: cycles,
+                    ..Default::default()
+                }),
+                hist_digest: None,
+                worker: Some("w1".into()),
+                metrics: Box::new(RunMetrics {
+                    total_cycles: cycles,
+                    ..Default::default()
+                }),
+            },
+        };
+        let queued = |fp: &str| JournalRecord {
+            fingerprint: fp.into(),
+            label: format!("app/{fp}"),
+            event: JournalEvent::Queued { args: vec![] },
+        };
+        let leased = |fp: &str| JournalRecord {
+            fingerprint: fp.into(),
+            label: format!("app/{fp}"),
+            event: JournalEvent::Leased {
+                worker: "w1".into(),
+                lease: 1,
+            },
+        };
+        let poison = |fp: &str| JournalRecord {
+            fingerprint: fp.into(),
+            label: format!("app/{fp}"),
+            event: JournalEvent::Quarantined {
+                leases: 3,
+                exit: "timeout".into(),
+            },
+        };
+        // Bookkeeping records never surface in the merge; a late done
+        // from a slow worker displaces an earlier quarantine verdict.
+        let merged = merge_journals(&[
+            vec![
+                queued("f1"),
+                leased("f1"),
+                poison("f1"),
+                queued("f2"),
+                leased("f2"),
+            ],
+            vec![done("f1", 10), done("f2", 20)],
+        ])
+        .expect("merge");
+        assert_eq!(merged.len(), 2);
+        assert!(matches!(merged[0].event, JournalEvent::Done { .. }));
+        assert!(matches!(merged[1].event, JournalEvent::Done { .. }));
+        // …and a quarantine never displaces a completed result.
+        let merged = merge_journals(&[vec![done("f1", 10)], vec![poison("f1")]]).expect("merge");
+        assert_eq!(merged.len(), 1);
+        assert!(matches!(merged[0].event, JournalEvent::Done { .. }));
     }
 
     #[test]
@@ -1051,6 +1284,7 @@ mod tests {
                     exit: "ok".into(),
                     digest: metrics_digest(&busy_metrics()),
                     hist_digest: Some(metrics_hist_digest(&busy_metrics())),
+                    worker: Some("host-a".into()),
                     metrics: Box::new(busy_metrics()),
                 },
             },
@@ -1086,6 +1320,7 @@ mod tests {
                 exit: "ok".into(),
                 digest: metrics_digest(&busy_metrics()),
                 hist_digest: None,
+                worker: None,
                 metrics: Box::new(busy_metrics()),
             },
         };
@@ -1126,6 +1361,7 @@ mod tests {
                     ..Default::default()
                 }),
                 hist_digest: Some(metrics_hist_digest(&RunMetrics::default())),
+                worker: None,
                 metrics: Box::new(RunMetrics {
                     total_cycles: cycles,
                     ..Default::default()
@@ -1217,6 +1453,7 @@ mod tests {
                     total_cycles: cycles,
                     ..Default::default()
                 })),
+                worker: None,
                 metrics: Box::new(RunMetrics {
                     total_cycles: cycles,
                     ..Default::default()

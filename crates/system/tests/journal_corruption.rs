@@ -76,6 +76,7 @@ fn clean_journal(dir: &std::path::Path, n: usize) -> Vec<u8> {
                     exit: "ok".to_string(),
                     digest: metrics_digest(&m),
                     hist_digest: Some(metrics_hist_digest(&m)),
+                    worker: None,
                     metrics: m,
                 },
             })

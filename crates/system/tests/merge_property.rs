@@ -1,0 +1,304 @@
+//! Property-style tests for the shard-merge contract.
+//!
+//! `barre merge` (and the dispatch client behind `--dispatch`) promise
+//! that folding per-shard journals is a *function of the records*, not
+//! of the accidents of how they arrived: shard order, record order
+//! inside a shard, and crash-retry duplication must not change the
+//! merged result, and a genuine digest conflict must be detected no
+//! matter where in the pile it hides. These tests machine-generate
+//! shard layouts from a seeded RNG and pin those properties on
+//! [`barre_system::merge_journals`] and
+//! [`barre_system::verified_done_index`].
+
+use std::collections::BTreeMap;
+
+use barre_system::{
+    merge_journals, metrics_digest, metrics_hist_digest, verified_done_index, JournalError,
+    JournalEvent, JournalRecord, RunMetrics,
+};
+
+/// Deterministic split-mix style generator so every layout is
+/// reproducible from its seed — no ambient entropy in tests either.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.below(i + 1));
+        }
+    }
+}
+
+fn metrics(cycles: u64) -> RunMetrics {
+    let mut m = RunMetrics {
+        total_cycles: cycles,
+        walks: cycles / 10,
+        ..Default::default()
+    };
+    m.ats_latency.record(cycles);
+    m.vpn_gap.record(3);
+    m
+}
+
+fn done(fp: &str, cycles: u64, worker: Option<&str>) -> JournalRecord {
+    let m = Box::new(metrics(cycles));
+    JournalRecord {
+        fingerprint: fp.to_string(),
+        label: format!("{fp}/barre"),
+        event: JournalEvent::Done {
+            attempts: 1,
+            exit: "ok".to_string(),
+            digest: metrics_digest(&m),
+            hist_digest: Some(metrics_hist_digest(&m)),
+            worker: worker.map(str::to_string),
+            metrics: m,
+        },
+    }
+}
+
+fn failed(fp: &str) -> JournalRecord {
+    JournalRecord {
+        fingerprint: fp.to_string(),
+        label: format!("{fp}/barre"),
+        event: JournalEvent::Failed {
+            attempts: 3,
+            exit: "signal:9".to_string(),
+            dump: None,
+        },
+    }
+}
+
+fn quarantined(fp: &str) -> JournalRecord {
+    JournalRecord {
+        fingerprint: fp.to_string(),
+        label: format!("{fp}/barre"),
+        event: JournalEvent::Quarantined {
+            leases: 3,
+            exit: "lease-expired".to_string(),
+        },
+    }
+}
+
+fn noise(fp: &str, which: usize) -> JournalRecord {
+    let event = match which % 3 {
+        0 => JournalEvent::Start { attempt: 1 },
+        1 => JournalEvent::Queued {
+            args: vec!["run".to_string(), "--app".to_string(), fp.to_string()],
+        },
+        _ => JournalEvent::Leased {
+            worker: "w0".to_string(),
+            lease: 1,
+        },
+    };
+    JournalRecord {
+        fingerprint: fp.to_string(),
+        label: format!("{fp}/barre"),
+        event,
+    }
+}
+
+/// The canonical view order-independence is asserted on: fingerprint →
+/// serialized terminal record.
+fn by_fingerprint(merged: &[JournalRecord]) -> BTreeMap<String, String> {
+    merged
+        .iter()
+        .map(|r| (r.fingerprint.clone(), r.to_line()))
+        .collect()
+}
+
+/// One seeded universe: `n` jobs, each with exactly one terminal
+/// outcome (done / failed / quarantined — done jobs may also carry a
+/// superseded failure), scattered over `k` shards with duplication and
+/// non-terminal noise.
+fn build_shards(
+    rng: &mut Rng,
+    n: usize,
+    k: usize,
+) -> (Vec<Vec<JournalRecord>>, BTreeMap<String, String>) {
+    let mut records: Vec<JournalRecord> = Vec::new();
+    let mut expect_kind: BTreeMap<String, String> = BTreeMap::new();
+    for i in 0..n {
+        let fp = format!("fp{i:02}");
+        records.push(noise(&fp, rng.below(3)));
+        match rng.below(4) {
+            // Clean completion, possibly stamped by different workers on
+            // duplicated shards — digests agree, so dups are benign.
+            0 | 1 => {
+                records.push(done(&fp, 100 + i as u64 * 37, Some("w1")));
+                expect_kind.insert(fp, "done".to_string());
+            }
+            2 => {
+                // A failure that a later (or earlier — order must not
+                // matter) completion displaces.
+                records.push(failed(&fp));
+                if rng.below(2) == 0 {
+                    records.push(done(&fp, 100 + i as u64 * 37, Some("w2")));
+                    expect_kind.insert(fp, "done".to_string());
+                } else {
+                    expect_kind.insert(fp, "failed".to_string());
+                }
+            }
+            _ => {
+                records.push(quarantined(&fp));
+                expect_kind.insert(fp, "quarantined".to_string());
+            }
+        }
+    }
+    // Crash-retry duplication: re-append a random slice of the records.
+    let dup_from = rng.below(records.len());
+    let dups: Vec<JournalRecord> = records[dup_from..].to_vec();
+    records.extend(dups);
+    rng.shuffle(&mut records);
+    // Deal the records round-robin-ish into shards.
+    let mut shards: Vec<Vec<JournalRecord>> = vec![Vec::new(); k];
+    for rec in records {
+        let at = rng.below(k);
+        shards[at].push(rec);
+    }
+    (shards, expect_kind)
+}
+
+fn kind(rec: &JournalRecord) -> &'static str {
+    match rec.event {
+        JournalEvent::Done { .. } => "done",
+        JournalEvent::Failed { .. } => "failed",
+        JournalEvent::Quarantined { .. } => "quarantined",
+        _ => "non-terminal",
+    }
+}
+
+#[test]
+fn merge_is_independent_of_shard_and_record_order() {
+    for seed in 0..24u64 {
+        let mut rng = Rng(seed);
+        let (shards, expect_kind) = build_shards(&mut rng, 12, 4);
+        let baseline = merge_journals(&shards).expect("merge clean shards");
+        assert_eq!(
+            baseline.len(),
+            expect_kind.len(),
+            "seed {seed}: every job must surface exactly once"
+        );
+        for rec in &baseline {
+            assert_eq!(
+                expect_kind.get(&rec.fingerprint).map(String::as_str),
+                Some(kind(rec)),
+                "seed {seed}: wrong terminal kind for {}",
+                rec.fingerprint
+            );
+        }
+        let canon = by_fingerprint(&baseline);
+        for round in 0..6 {
+            let mut shuffled = shards.clone();
+            rng.shuffle(&mut shuffled);
+            for shard in &mut shuffled {
+                rng.shuffle(shard);
+            }
+            let merged = merge_journals(&shuffled).expect("merge shuffled shards");
+            assert_eq!(
+                by_fingerprint(&merged),
+                canon,
+                "seed {seed} round {round}: merge changed under reordering"
+            );
+        }
+    }
+}
+
+#[test]
+fn duplicated_shards_change_nothing() {
+    for seed in 100..112u64 {
+        let mut rng = Rng(seed);
+        let (shards, _) = build_shards(&mut rng, 10, 3);
+        let canon = by_fingerprint(&merge_journals(&shards).expect("merge"));
+        // The whole pile again, twice — idempotent ingest.
+        let mut doubled = shards.clone();
+        doubled.extend(shards.clone());
+        assert_eq!(
+            by_fingerprint(&merge_journals(&doubled).expect("merge doubled")),
+            canon,
+            "seed {seed}: duplicated shards altered the merge"
+        );
+    }
+}
+
+#[test]
+fn injected_conflicts_are_detected_in_every_order() {
+    for seed in 200..212u64 {
+        let mut rng = Rng(seed);
+        let (mut shards, expect_kind) = build_shards(&mut rng, 10, 3);
+        // Pick a job that completed and plant a second completion with
+        // different metrics (hence a different digest) somewhere else.
+        let Some(victim) = expect_kind
+            .iter()
+            .find(|(_, k)| k.as_str() == "done")
+            .map(|(fp, _)| fp.clone())
+        else {
+            continue;
+        };
+        let at = rng.below(shards.len());
+        shards[at].push(done(&victim, 999_999, Some("w-evil")));
+        for round in 0..4 {
+            let mut shuffled = shards.clone();
+            rng.shuffle(&mut shuffled);
+            for shard in &mut shuffled {
+                rng.shuffle(shard);
+            }
+            match merge_journals(&shuffled) {
+                Err(JournalError::Conflict { fingerprint, .. }) => assert_eq!(
+                    fingerprint, victim,
+                    "seed {seed} round {round}: conflict blamed the wrong job"
+                ),
+                Ok(_) => panic!("seed {seed} round {round}: conflict slipped through"),
+                Err(other) => panic!("seed {seed} round {round}: wrong error {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn verified_done_index_is_order_independent_and_drops_corruption() {
+    for seed in 300..312u64 {
+        let mut rng = Rng(seed);
+        let (shards, _) = build_shards(&mut rng, 12, 4);
+        let mut flat: Vec<JournalRecord> = shards.into_iter().flatten().collect();
+        // Plant a digest-corrupt completion: parseable, verifiably wrong.
+        let mut rotten = done("fp-rotten", 123, None);
+        if let JournalEvent::Done { digest, .. } = &mut rotten.event {
+            *digest = "0000000000000000".to_string();
+        }
+        flat.push(rotten);
+        let (index, dropped) = verified_done_index(&flat);
+        assert!(dropped >= 1, "seed {seed}: corrupt record not counted");
+        assert!(
+            !index.contains_key("fp-rotten"),
+            "seed {seed}: corrupt record served"
+        );
+        let canon: BTreeMap<String, String> = index
+            .iter()
+            .map(|(fp, rec)| (fp.clone(), rec.to_line()))
+            .collect();
+        for round in 0..6 {
+            rng.shuffle(&mut flat);
+            let (again, _) = verified_done_index(&flat);
+            let view: BTreeMap<String, String> = again
+                .iter()
+                .map(|(fp, rec)| (fp.clone(), rec.to_line()))
+                .collect();
+            assert_eq!(
+                view, canon,
+                "seed {seed} round {round}: index changed under reordering"
+            );
+        }
+    }
+}

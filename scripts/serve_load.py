@@ -9,7 +9,9 @@ hardening contract from the outside:
   * every request receives exactly one JSON response line;
   * all `ok` responses for one config are byte-identical, whether they
     were served cold or from the verified result cache;
-  * shed responses carry a positive `retry_after_ms` hint;
+  * shed responses carry a positive `retry_after_ms` hint, and a client
+    that honors the hint (sleeps, resends) eventually gets through —
+    load shedding degrades latency, never correctness;
   * invalid requests come back as structured 400s, not dropped sockets;
   * `GET /healthz` on the HTTP shim stays green under load.
 
@@ -26,6 +28,11 @@ import json
 import socket
 import sys
 import threading
+import time
+
+# A shed request is retried after its hint this many times before the
+# client gives up and reports the daemon as wedged.
+MAX_SHED_RETRIES = 50
 
 CONFIGS = [
     '{"app":"gups","smoke":true,"seed":0}',
@@ -68,6 +75,7 @@ class Client(threading.Thread):
         self.addr, self.index, self.count, self.timeout = addr, index, count, timeout
         self.ok = {}  # config index -> list of response lines
         self.counts = {"ok": 0, "shed": 0, "error": 0, "other": 0}
+        self.shed_recovered = 0  # requests shed at least once that got through
         self.failures = []
 
     def run(self):
@@ -85,35 +93,54 @@ class Client(threading.Thread):
                     line = INVALID[i % len(INVALID)]
                 else:
                     line = CONFIGS[pick % len(CONFIGS)]
-                s.sendall(line.encode() + b"\n")
-                resp = reader.readline()
-                if not resp.endswith("\n"):
-                    self.failures.append(f"{self.name}: truncated response {resp!r}")
-                    return
-                resp = resp.rstrip("\n")
-                try:
-                    doc = json.loads(resp)
-                except json.JSONDecodeError:
-                    self.failures.append(f"{self.name}: non-JSON response {resp!r}")
-                    return
-                status = doc.get("status")
-                if status == "ok":
-                    self.counts["ok"] += 1
-                    if pick != 9:
-                        self.ok.setdefault(pick % len(CONFIGS), []).append(resp)
-                elif status == "shed":
-                    self.counts["shed"] += 1
-                    if doc.get("retry_after_ms", 0) < 1:
-                        self.failures.append(f"{self.name}: shed without hint: {resp}")
-                elif status == "error":
-                    self.counts["error"] += 1
-                    if pick != 9:
-                        self.failures.append(f"{self.name}: valid request rejected: {resp}")
-                    elif doc.get("code") != 400:
-                        self.failures.append(f"{self.name}: invalid not a 400: {resp}")
-                else:
-                    self.counts["other"] += 1
-                    self.failures.append(f"{self.name}: unexpected status: {resp}")
+                sheds = 0
+                while True:
+                    s.sendall(line.encode() + b"\n")
+                    resp = reader.readline()
+                    if not resp.endswith("\n"):
+                        self.failures.append(f"{self.name}: truncated response {resp!r}")
+                        return
+                    resp = resp.rstrip("\n")
+                    try:
+                        doc = json.loads(resp)
+                    except json.JSONDecodeError:
+                        self.failures.append(f"{self.name}: non-JSON response {resp!r}")
+                        return
+                    status = doc.get("status")
+                    if status == "shed":
+                        # Honor the hint: sleep what the daemon asked for
+                        # and resend the same request. The soak asserts a
+                        # polite client is never starved out.
+                        self.counts["shed"] += 1
+                        hint = doc.get("retry_after_ms", 0)
+                        if hint < 1:
+                            self.failures.append(f"{self.name}: shed without hint: {resp}")
+                            hint = 50
+                        sheds += 1
+                        if sheds > MAX_SHED_RETRIES:
+                            self.failures.append(
+                                f"{self.name}: still shed after {MAX_SHED_RETRIES} "
+                                f"hinted retries: {resp}"
+                            )
+                            break
+                        time.sleep(hint / 1000.0)
+                        continue
+                    if sheds:
+                        self.shed_recovered += 1
+                    if status == "ok":
+                        self.counts["ok"] += 1
+                        if pick != 9:
+                            self.ok.setdefault(pick % len(CONFIGS), []).append(resp)
+                    elif status == "error":
+                        self.counts["error"] += 1
+                        if pick != 9:
+                            self.failures.append(f"{self.name}: valid request rejected: {resp}")
+                        elif doc.get("code") != 400:
+                            self.failures.append(f"{self.name}: invalid not a 400: {resp}")
+                    else:
+                        self.counts["other"] += 1
+                        self.failures.append(f"{self.name}: unexpected status: {resp}")
+                    break
 
 
 def main():
@@ -140,10 +167,17 @@ def main():
 
     failures = [f for c in clients for f in c.failures]
     totals = {k: sum(c.counts[k] for c in clients) for k in clients[0].counts}
+    recovered = sum(c.shed_recovered for c in clients)
     sent = per_thread * args.threads
-    answered = sum(totals.values())
+    # Shed responses are not terminal — the client retried those — so the
+    # terminal outcomes must cover every distinct request.
+    answered = totals["ok"] + totals["error"] + totals["other"]
     if answered != sent:
         failures.append(f"sent {sent} requests but only {answered} were answered")
+    if totals["shed"] > 0 and recovered == 0:
+        failures.append(
+            f"{totals['shed']} shed response(s) but no shed request ever got through"
+        )
 
     # Byte-identity: cold responses and cache hits must be indistinguishable.
     canonical = {}
@@ -179,7 +213,10 @@ def main():
         with open(args.save, "w", encoding="utf-8") as f:
             json.dump(canonical, f, indent=1)
 
-    print(f"sent={sent} ok={totals['ok']} shed={totals['shed']} invalid={totals['error']}")
+    print(
+        f"sent={sent} ok={totals['ok']} shed={totals['shed']} "
+        f"shed_recovered={recovered} invalid={totals['error']}"
+    )
     print(f"stats: {stats}")
     for f in failures:
         print(f"FAIL: {f}", file=sys.stderr)
