@@ -11,6 +11,7 @@
 //! | W001 | a `barre:allow` waiver without a justification |
 //! | A001 | an undocumented `pub` item in the API crates (core/system) |
 //! | D005 | `Ordering::Relaxed` / atomics inside deterministic sim state |
+//! | O001 | bare `eprintln!` in fleet daemon code (serve crate) |
 //!
 //! The interprocedural rules (P002 panic reachability, D004 float
 //! fields in sim-state structs, R001 parallel readiness) live in
@@ -55,9 +56,9 @@ pub struct FileLint {
 pub struct FileScope {
     /// Crate is in the deterministic-simulation set (D001 applies).
     pub sim_facing: bool,
-    /// Wall-clock reads allowed (bench/cli frontends, and the serve
-    /// daemon, whose deadlines and latency stats are inherently
-    /// wall-clock).
+    /// Wall-clock reads allowed (bench/cli frontends, the serve daemon
+    /// — whose deadlines and latency stats are inherently wall-clock —
+    /// and the obs crate, which timestamps log lines and trace events).
     pub wall_clock_ok: bool,
     /// Panicking calls allowed (bench/cli frontends only — the daemon
     /// must stay up, so `serve` is NOT in this set).
@@ -74,6 +75,10 @@ pub struct FileScope {
     /// Library source of an API-surface crate (core/system/serve):
     /// its plain `pub fn`s are the P002 panic-reachability entry points.
     pub api_entry: bool,
+    /// Fleet daemon code whose diagnostics must flow through the
+    /// structured logger (O001): bare `eprintln!` lines are invisible
+    /// to level filtering and unparseable by log shippers.
+    pub structured_log: bool,
 }
 
 /// Crates whose state feeds simulation outcomes; hash-order
@@ -108,7 +113,7 @@ pub fn scope_of(path: &str) -> FileScope {
     let sim_facing = SIM_FACING.contains(&crate_name);
     FileScope {
         sim_facing,
-        wall_clock_ok: frontend || crate_name == "serve",
+        wall_clock_ok: frontend || crate_name == "serve" || crate_name == "obs",
         panic_ok: frontend,
         test_file,
         doc_required: path.starts_with("crates/core/src/")
@@ -117,6 +122,7 @@ pub fn scope_of(path: &str) -> FileScope {
         api_entry: path.starts_with("crates/core/src/")
             || path.starts_with("crates/system/src/")
             || path.starts_with("crates/serve/src/"),
+        structured_log: path.starts_with("crates/serve/src/") && !test_file,
     }
 }
 
@@ -251,6 +257,24 @@ pub fn lint_lexed(path: &str, out: &LexOut, masked: &[bool]) -> FileLint {
                 ),
                 "accumulate cycle/byte/message counters with `saturating_add` (or widen \
                  the type); silent wrap-around corrupts conservation checks and reports",
+            ));
+        }
+
+        // O001: bare eprintln! in fleet daemon code. Everything the
+        // serve/queue/worker processes say must carry the structured
+        // ts_ms/level/component/event envelope, or operators cannot
+        // filter by level and log shippers cannot parse it.
+        if scope.structured_log
+            && !in_test
+            && t.text == "eprintln"
+            && out.tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            raw.push((
+                t.line,
+                "O001",
+                "bare eprintln! in fleet daemon code".to_string(),
+                "emit through barre_obs::log (error/warn/info/debug) so the line carries \
+                 the structured envelope, or add `// barre:allow(O001) <reason>`",
             ));
         }
 
@@ -782,6 +806,43 @@ mod tests {
         let fl = lint_source("crates/tlb/src/x.rs", src);
         assert!(fl.diagnostics.is_empty(), "{:?}", fl.diagnostics);
         assert_eq!(fl.waived, 1);
+    }
+
+    #[test]
+    fn o001_fires_on_bare_eprintln_in_serve_only() {
+        let src = "fn f() { eprintln!(\"boom\"); }";
+        assert_eq!(rules_of("crates/serve/src/server.rs", src), vec!["O001"]);
+        assert_eq!(
+            rules_of("crates/serve/src/jobq/worker.rs", src),
+            vec!["O001"]
+        );
+        // Frontends, other crates, and test code keep their stderr.
+        assert!(rules_of("crates/cli/src/lib.rs", src).is_empty());
+        assert!(rules_of("crates/obs/src/log.rs", src).is_empty());
+        assert!(rules_of("crates/serve/tests/serve.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { eprintln!(\"x\"); } }";
+        assert!(rules_of("crates/serve/src/server.rs", in_test).is_empty());
+        // println! (the `listening on` handshake) and olog macro-free
+        // calls are untouched.
+        let ok =
+            "fn f() { println!(\"listening on {}\", a); olog::info(\"c\", \"e\", &[], \"m\"); }";
+        assert!(rules_of("crates/serve/src/server.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn o001_waiver_with_reason_silences() {
+        let src = "// barre:allow(O001) pre-logger bootstrap failure path\n\
+                   fn f() { eprintln!(\"x\"); }\n";
+        let fl = lint_source("crates/serve/src/server.rs", src);
+        assert!(fl.diagnostics.is_empty(), "{:?}", fl.diagnostics);
+        assert_eq!(fl.waived, 1);
+    }
+
+    #[test]
+    fn obs_crate_may_read_the_wall_clock() {
+        let src = "let t = SystemTime::now();";
+        assert!(rules_of("crates/obs/src/log.rs", src).is_empty());
+        assert_eq!(rules_of("crates/system/src/x.rs", src), vec!["D002"]);
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! transition so an interrupted campaign resumes with byte-identical
 //! output.
 
+use barre_obs::log as olog;
+use barre_obs::Field;
 use barre_system::{
     chaos_jobs, run_app, run_batch, run_pair, run_spec, speedup, summary_line, sweep_jobs,
     BatchJob, LabeledJob, MmuKind, RunMetrics, SimError, SystemConfig, TranslationMode,
@@ -128,6 +130,13 @@ pub enum Command {
     Report {
         input: std::path::PathBuf,
         top: usize,
+    },
+    /// `barre report --fleet` — stitch per-process fleet-trace files
+    /// (`BARRE_FLEET_TRACE`) from a distributed sweep into one
+    /// Perfetto/Chrome-trace timeline keyed by correlation id.
+    FleetReport {
+        dirs: Vec<std::path::PathBuf>,
+        out: Option<std::path::PathBuf>,
     },
     /// `barre report --bench-diff` — compare two `BENCH_sweep.json`
     /// documents cell by cell and flag throughput regressions.
@@ -246,10 +255,21 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         let mut paths: Vec<std::path::PathBuf> = Vec::new();
         let mut top = trace_cmd::DEFAULT_TOP;
         let mut bench_diff = false;
+        let mut fleet = false;
+        let mut out: Option<std::path::PathBuf> = None;
         let mut threshold: Option<f64> = None;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
+                "--fleet" => fleet = true,
+                "--out" => {
+                    i += 1;
+                    let v = args
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| err("flag --out needs a value"))?;
+                    out = Some(std::path::PathBuf::from(v));
+                }
                 "--top" => {
                     i += 1;
                     let v = args
@@ -277,6 +297,21 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 path => paths.push(std::path::PathBuf::from(path)),
             }
             i += 1;
+        }
+        if fleet {
+            if bench_diff {
+                return Err(err("--fleet and --bench-diff are mutually exclusive"));
+            }
+            if threshold.is_some() {
+                return Err(err("--threshold only applies to --bench-diff"));
+            }
+            if paths.is_empty() {
+                return Err(err("--fleet needs at least one trace directory"));
+            }
+            return Ok(Command::FleetReport { dirs: paths, out });
+        }
+        if out.is_some() {
+            return Err(err("--out only applies to --fleet"));
         }
         if bench_diff {
             let mut it = paths.into_iter();
@@ -360,6 +395,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         .parse()
                         .map_err(|_| err(format!("bad breaker threshold {v}")))?;
                 }
+                "--log-file" => opts.log_file = Some(std::path::PathBuf::from(value(&mut i)?)),
                 other => return Err(err(format!("unknown flag {other}"))),
             }
             i += 1;
@@ -402,6 +438,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         .parse()
                         .map_err(|_| err(format!("bad lease budget {v}")))?;
                 }
+                "--log-file" => opts.log_file = Some(std::path::PathBuf::from(value(&mut i)?)),
                 other => return Err(err(format!("unknown flag {other}"))),
             }
             i += 1;
@@ -444,6 +481,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     }
                     opts.timeout = Some(std::time::Duration::from_secs_f64(secs));
                 }
+                "--log-file" => opts.log_file = Some(std::path::PathBuf::from(value(&mut i)?)),
                 other => return Err(err(format!("unknown flag {other}"))),
             }
             i += 1;
@@ -839,10 +877,13 @@ USAGE:
   barre report <trace|journal> [--top n]  per-stage p50/p95/p99 tables + slowest journeys
   barre report --bench-diff <old> <new>   compare two BENCH_sweep.json files; exit 1 on
                                           regressions beyond --threshold (default 1.5x)
-  barre serve [flags]                     simulation daemon: JSONL requests over TCP, HTTP health
-                                          shim (/healthz /readyz /stats), verified result cache
+  barre report --fleet <dirs...> [--out p] stitch BARRE_FLEET_TRACE'd per-process trace files
+                                          into one Perfetto timeline (default fleet-trace.json)
+  barre serve [flags]                     simulation daemon: JSONL requests over TCP, HTTP shim
+                                          (/healthz /readyz /stats /metrics), verified result cache
   barre queue [flags]                     lease-based shared job-queue coordinator with a
-                                          write-ahead journal (crash-restartable)
+                                          write-ahead journal (crash-restartable) and an HTTP
+                                          shim (/healthz /readyz /stats /metrics)
   barre worker --connect <host:port>      pull jobs from a queue coordinator under leases,
                                           heartbeat to keep them, run them crash-isolated
 
@@ -867,6 +908,17 @@ FLAGS:
   --filter stage=<s1,s2,...>           trace: stages kept in the span ring (histograms
                                        always cover every stage); names as in the report
   --top <n>                            report: slowest journeys shown (default 10)
+  --out <path>                         report --fleet: timeline path (default fleet-trace.json)
+
+OBSERVABILITY:
+  BARRE_LOG=<error|warn|info|debug|trace>  stderr structured-log threshold (default info);
+                                       daemon/worker/dispatch diagnostics are one JSON
+                                       object per line (ts_ms, level, component, event, msg)
+  BARRE_FLEET_TRACE=<dir>              fleet processes append span events to
+                                       <dir>/fleet-<role>-<pid>.trace.jsonl; stitch with
+                                       `barre report --fleet <dir>`
+  --log-file <path>                    serve/queue/worker: append structured logs to <path>
+                                       instead of stderr
 
 LINT FLAGS:
   --root <dir>                         workspace to analyze (default .)
@@ -1007,34 +1059,57 @@ fn collect_metrics(
     let run = match supervisor::run_supervised(labeled, threads, sup) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("error: {e}");
+            olog::error("supervisor", "run_failed", &[], &format!("error: {e}"));
             return Err(1);
         }
     };
     let journal = supervisor::journal_file_of(&sup.journal);
     if run.resumed > 0 {
-        eprintln!(
-            "resumed {} finished job(s) from {}",
-            run.resumed,
-            journal.display()
+        olog::info(
+            "supervisor",
+            "resumed",
+            &[("jobs", Field::U(run.resumed as u64))],
+            &format!(
+                "resumed {} finished job(s) from {}",
+                run.resumed,
+                journal.display()
+            ),
         );
     }
     for f in &run.failures {
-        eprintln!("{f}");
+        olog::warn(
+            "supervisor",
+            "job_failed",
+            &[("label", Field::S(&f.label))],
+            &f.to_string(),
+        );
     }
     if run.interrupted {
-        eprintln!(
-            "interrupted: in-flight jobs drained and journaled; rerun with --resume {} to finish",
-            journal.display()
+        olog::warn(
+            "supervisor",
+            "interrupted",
+            &[],
+            &format!(
+                "interrupted: in-flight jobs drained and journaled; rerun with --resume {} to finish",
+                journal.display()
+            ),
         );
         return Err(supervisor::interrupt_exit_code());
     }
     if !run.failures.is_empty() {
-        eprintln!(
-            "{} of {} job(s) failed; the rest completed and are journaled in {}",
-            run.failures.len(),
-            labeled.len(),
-            journal.display()
+        olog::error(
+            "supervisor",
+            "jobs_failed",
+            &[
+                ("failed", Field::U(run.failures.len() as u64)),
+                ("total", Field::U(labeled.len() as u64)),
+            ],
+            &format!(
+                "{} of {} job(s) failed; the rest completed and are journaled in {}",
+                run.failures.len(),
+                labeled.len(),
+                journal.display()
+            ),
         );
         return Err(1);
     }
@@ -1068,6 +1143,9 @@ fn collect_dispatched(labeled: &[LabeledJob], d: &DispatchOpts) -> Result<Vec<Ru
                 fingerprint: supervisor::job_fingerprint(&d.child_args, i, &l.label),
                 label: l.label.clone(),
                 args,
+                // One correlation id per job, minted at the dispatch
+                // origin — the root of the cross-process trace.
+                corr: Some(barre_obs::corr_id()),
             }
         })
         .collect();
@@ -1075,7 +1153,7 @@ fn collect_dispatched(labeled: &[LabeledJob], d: &DispatchOpts) -> Result<Vec<Ru
     let outcome = match barre_serve::jobq::dispatch_sweep(&d.addr, &jobs, &journal) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}");
+            olog::error("dispatch", "sweep_failed", &[], &format!("error: {e}"));
             return Err(1);
         }
     };
@@ -1084,32 +1162,55 @@ fn collect_dispatched(labeled: &[LabeledJob], d: &DispatchOpts) -> Result<Vec<Ru
     }
     for f in &outcome.failures {
         if f.quarantined {
-            eprintln!(
-                "POISON {} quarantined after {} lease(s): {}",
-                f.label, f.attempts, f.exit
+            olog::warn(
+                "dispatch",
+                "job_quarantined",
+                &[("label", Field::S(&f.label))],
+                &format!(
+                    "POISON {} quarantined after {} lease(s): {}",
+                    f.label, f.attempts, f.exit
+                ),
             );
         } else {
-            eprintln!(
-                "FAILED {} after {} attempt(s): {}",
-                f.label, f.attempts, f.exit
+            olog::warn(
+                "dispatch",
+                "job_failed",
+                &[("label", Field::S(&f.label))],
+                &format!(
+                    "FAILED {} after {} attempt(s): {}",
+                    f.label, f.attempts, f.exit
+                ),
             );
         }
     }
     if !outcome.failures.is_empty() {
-        eprintln!(
-            "{} of {} job(s) failed; the rest completed and are journaled in {}",
-            outcome.failures.len(),
-            labeled.len(),
-            journal.display()
+        olog::error(
+            "dispatch",
+            "jobs_failed",
+            &[
+                ("failed", Field::U(outcome.failures.len() as u64)),
+                ("total", Field::U(labeled.len() as u64)),
+            ],
+            &format!(
+                "{} of {} job(s) failed; the rest completed and are journaled in {}",
+                outcome.failures.len(),
+                labeled.len(),
+                journal.display()
+            ),
         );
         return Err(1);
     }
     let metrics: Vec<RunMetrics> = outcome.results.into_iter().flatten().collect();
     if metrics.len() != labeled.len() {
-        eprintln!(
-            "error: coordinator returned {} of {} results",
-            metrics.len(),
-            labeled.len()
+        olog::error(
+            "dispatch",
+            "results_incomplete",
+            &[],
+            &format!(
+                "error: coordinator returned {} of {} results",
+                metrics.len(),
+                labeled.len()
+            ),
         );
         return Err(1);
     }
@@ -1453,6 +1554,7 @@ pub fn execute(cmd: Command) -> i32 {
             opts,
         } => trace_cmd::run_trace(app, &cfg, seed, &out, &opts),
         Command::Report { input, top } => trace_cmd::run_report(&input, top),
+        Command::FleetReport { dirs, out } => trace_cmd::run_fleet_report(&dirs, out.as_deref()),
         Command::BenchDiff {
             old,
             new,

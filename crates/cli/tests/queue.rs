@@ -117,6 +117,27 @@ impl Daemon {
     }
 }
 
+/// HTTP GET against a daemon's shim; returns (status, headers, body).
+fn http_get(addr: &str, path: &str) -> (u16, String, String) {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect http");
+    s.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+    s.flush().expect("flush");
+    let mut doc = String::new();
+    s.read_to_string(&mut doc).expect("read http response");
+    let code: u16 = doc
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad HTTP response: {doc:?}"));
+    let (head, body) = doc
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or_default();
+    (code, head, body)
+}
+
 /// Waits (bounded) until the queue's stats report no active work, so
 /// tests can tear daemons down without racing in-flight transitions.
 fn wait_until_exit(mut child: Child, budget: Duration) -> Output {
@@ -225,11 +246,13 @@ fn sigkilled_worker_lease_expires_and_redispatches() {
     let reference = barre(&dir, &sweep_args(&["--jobs", "1"]), &[]);
     assert!(reference.status.success());
 
-    // Short leases so the dead worker's job comes back quickly.
+    // Short leases so the dead worker's job comes back quickly. The
+    // whole fleet writes span events under fleet/ for stitching below.
+    let fleet = ("BARRE_FLEET_TRACE", "fleet".to_string());
     let mut queue = Daemon::spawn(
         &dir,
         &["queue", "--port", "0", "--journal", "q", "--lease", "1"],
-        &[],
+        std::slice::from_ref(&fleet),
     );
     let addr = queue.addr();
     // w1 hangs on job 0 forever (heartbeating all the while) — the only
@@ -237,7 +260,7 @@ fn sigkilled_worker_lease_expires_and_redispatches() {
     let w1 = Daemon::spawn(
         &dir,
         &["worker", "--connect", &addr, "--name", "w1"],
-        &[("BARRE_TEST_HANG", "0".to_string())],
+        &[("BARRE_TEST_HANG", "0".to_string()), fleet.clone()],
     );
 
     // Dispatch in the background while the chaos plays out.
@@ -245,6 +268,7 @@ fn sigkilled_worker_lease_expires_and_redispatches() {
     client
         .args(sweep_args(&["--dispatch", &addr, "--journal", "shard"]))
         .current_dir(&dir)
+        .env(fleet.0, &fleet.1)
         .stdout(Stdio::piped())
         .stderr(Stdio::piped());
     let client = client.spawn().expect("spawn dispatch client");
@@ -264,7 +288,11 @@ fn sigkilled_worker_lease_expires_and_redispatches() {
     }
 
     // A healthy worker picks up the expired lease and finishes the sweep.
-    let w2 = Daemon::spawn(&dir, &["worker", "--connect", &addr, "--name", "w2"], &[]);
+    let w2 = Daemon::spawn(
+        &dir,
+        &["worker", "--connect", &addr, "--name", "w2"],
+        std::slice::from_ref(&fleet),
+    );
     let out = wait_until_exit(client, Duration::from_secs(60));
     assert!(
         out.status.success(),
@@ -285,6 +313,46 @@ fn sigkilled_worker_lease_expires_and_redispatches() {
     assert!(
         qerr.contains("expired; re-queued"),
         "no lease-expiry evidence: {qerr}"
+    );
+
+    // The per-process fleet traces stitch into one timeline: both jobs
+    // show queued → leased phases (the churned job twice) and end done.
+    let report = barre(
+        &dir,
+        &["report", "--fleet", "fleet", "--out", "fleet.json"],
+        &[],
+    );
+    assert!(
+        report.status.success(),
+        "fleet report failed: {}",
+        text(&report.stderr)
+    );
+    let rout = text(&report.stdout);
+    assert!(rout.contains("2 job(s)"), "{rout}");
+    assert_eq!(rout.matches(" done ").count(), 2, "{rout}");
+    let doc = std::fs::read_to_string(dir.join("fleet.json")).expect("fleet.json");
+    let v = barre_system::Json::parse(&doc).expect("fleet timeline parses");
+    let evs = v
+        .get("traceEvents")
+        .and_then(barre_system::Json::as_arr)
+        .expect("traceEvents");
+    let spans: Vec<&str> = evs
+        .iter()
+        .filter(|e| e.get("ph").and_then(barre_system::Json::as_str) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(barre_system::Json::as_str))
+        .collect();
+    assert!(
+        spans.iter().filter(|n| **n == "queued").count() >= 2,
+        "{spans:?}"
+    );
+    assert!(
+        spans.iter().filter(|n| **n == "leased").count() >= 2,
+        "{spans:?}"
+    );
+    // The SIGKILLed worker's burned lease is visible in the timeline.
+    assert!(
+        doc.contains("lease_expired"),
+        "no expiry event in the stitched timeline"
     );
 }
 
@@ -326,6 +394,44 @@ fn sigkilled_coordinator_restarts_from_journal_and_resumes() {
         &[],
     );
     assert_eq!(queue.addr(), addr);
+
+    // The restarted coordinator's shim accounts for the replay: journal
+    // records read back, jobs re-queued, plus the startup compaction.
+    let (code, head, stats) = http_get(&addr, "/stats");
+    assert_eq!(code, 200);
+    assert!(
+        head.to_lowercase()
+            .contains("content-type: application/json"),
+        "{head}"
+    );
+    let v = barre_system::Json::parse(stats.trim()).expect("stats json");
+    let n = |k: &str| {
+        v.get(k)
+            .and_then(barre_system::Json::as_u64)
+            .unwrap_or_else(|| panic!("missing {k} in {stats}"))
+    };
+    assert!(n("replayed_records") >= 2, "{stats}");
+    assert_eq!(n("replayed_requeued"), 2, "{stats}");
+    assert!(n("compactions") >= 1, "{stats}");
+    assert_eq!(n("queued"), 2, "{stats}");
+
+    // Same numbers in Prometheus exposition on /metrics.
+    let (code, head, metrics) = http_get(&addr, "/metrics");
+    assert_eq!(code, 200);
+    assert!(
+        head.to_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "{head}"
+    );
+    assert!(metrics.contains("barre_queue_jobs_queued 2\n"), "{metrics}");
+    assert!(
+        metrics.contains("# TYPE barre_queue_replayed_records_total counter"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("barre_queue_replayed_requeued_total 2\n"),
+        "{metrics}"
+    );
 
     // A worker drains the restored queue; the client (which rode out the
     // crash polling) comes back byte-identical.

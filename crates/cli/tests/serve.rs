@@ -75,8 +75,8 @@ impl Daemon {
         resp.trim_end().to_string()
     }
 
-    /// HTTP GET against the shim; returns (status_code, body).
-    fn http_get(&self, path: &str) -> (u16, String) {
+    /// HTTP GET against the shim; returns (status_code, headers, body).
+    fn http_get_full(&self, path: &str) -> (u16, String, String) {
         let (mut r, mut w) = self.connect();
         write!(w, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
         w.flush().expect("flush");
@@ -87,10 +87,16 @@ impl Daemon {
             .nth(1)
             .and_then(|c| c.parse().ok())
             .unwrap_or_else(|| panic!("bad HTTP response: {doc:?}"));
-        let body = doc
+        let (head, body) = doc
             .split_once("\r\n\r\n")
-            .map(|(_, b)| b.to_string())
+            .map(|(h, b)| (h.to_string(), b.to_string()))
             .unwrap_or_default();
+        (code, head, body)
+    }
+
+    /// HTTP GET against the shim; returns (status_code, body).
+    fn http_get(&self, path: &str) -> (u16, String) {
+        let (code, _, body) = self.http_get_full(path);
         (code, body)
     }
 
@@ -165,14 +171,46 @@ fn serve_cache_hits_are_byte_identical_and_survive_restart() {
     let typo = d.request(r#"{"app":"gups","warp":9}"#);
     assert_eq!(json_u64(&typo, &["code"]), 400);
 
-    // /stats reflects all of it.
-    let (code, stats) = d.http_get("/stats");
+    // /stats reflects all of it — and says it is JSON.
+    let (code, head, stats) = d.http_get_full("/stats");
     assert_eq!(code, 200);
+    assert!(
+        head.to_lowercase()
+            .contains("content-type: application/json"),
+        "{head}"
+    );
     assert_eq!(json_u64(&stats, &["requests", "ok"]), 1);
     assert_eq!(json_u64(&stats, &["requests", "cache_hits"]), 2);
     assert_eq!(json_u64(&stats, &["requests", "invalid"]), 2);
     assert_eq!(json_u64(&stats, &["cache", "entries"]), 1);
     assert!(json_u64(&stats, &["latency_ms", "count"]) >= 3);
+
+    // /metrics serves the same counters in Prometheus text exposition,
+    // with the exposition-format content type.
+    let (code, head, metrics) = d.http_get_full("/metrics");
+    assert_eq!(code, 200);
+    assert!(
+        head.to_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "{head}"
+    );
+    assert!(
+        metrics.contains("barre_serve_requests_ok_cold_total 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("barre_serve_cache_hits_total 2\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE barre_serve_request_latency_ms histogram"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("barre_serve_request_latency_ms_bucket{le=\"+Inf\"}"),
+        "{metrics}"
+    );
+    assert!(metrics.ends_with('\n'), "exposition must end with newline");
 
     // SIGTERM: graceful drain, exit 0, flushed cache index.
     let (exit, stderr) = d.stop("-TERM");
@@ -408,6 +446,24 @@ fn soak_1000_requests_against_saturated_daemon() {
         }));
     }
 
+    // Scrape /metrics while the daemon is saturated: the exposition must
+    // stay valid and the scrape must never block behind simulation work.
+    for _ in 0..5 {
+        let (code, head, body) = d.http_get_full("/metrics");
+        assert_eq!(code, 200, "mid-soak scrape failed");
+        assert!(
+            head.to_lowercase()
+                .contains("content-type: text/plain; version=0.0.4"),
+            "{head}"
+        );
+        assert!(
+            body.contains("# TYPE barre_serve_requests_received_total counter"),
+            "{body}"
+        );
+        assert!(body.ends_with('\n'), "{body}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
     let mut total_answered = 0u64;
     let mut ok_by_cfg: BTreeMap<usize, Vec<String>> = BTreeMap::new();
     for h in handles {
@@ -440,6 +496,17 @@ fn soak_1000_requests_against_saturated_daemon() {
     assert!(json_u64(&stats, &["queue", "max_depth"]) <= 8, "{stats}");
     assert_eq!(json_u64(&stats, &["requests", "received"]), 1000);
     assert_eq!(json_u64(&stats, &["cache", "entries"]), 4);
+
+    // The final exposition agrees with /stats.
+    let (_, metrics) = d.http_get("/metrics");
+    assert!(
+        metrics.contains("barre_serve_requests_received_total 1000\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("barre_serve_cache_entries 4\n"),
+        "{metrics}"
+    );
 
     let (exit, stderr) = d.stop("-TERM");
     assert_eq!(exit, 0, "stderr: {stderr}");

@@ -1,0 +1,33 @@
+//! The fleet observability plane: metrics, logs, and cross-process
+//! traces for the `barre` daemons.
+//!
+//! Three pillars, all zero-dependency and none of them allowed anywhere
+//! near the simulation hot path:
+//!
+//! * [`metrics`] — a Prometheus text-exposition (format 0.0.4) encoder.
+//!   The daemons keep their counters wherever they already live (relaxed
+//!   atomics, [`barre_trace::LatencyHistogram`]s); at `GET /metrics`
+//!   scrape time they render a snapshot through [`metrics::PromText`],
+//!   so a stock Prometheus scraper works against a barre fleet.
+//! * [`log`] — a leveled JSONL logger with a stable field order,
+//!   `BARRE_LOG=<level>` control, and a stderr or `--log-file` sink.
+//!   Replaces the daemons' ad-hoc `eprintln!` sites so fleet logs are
+//!   grep/jq-able and machine-mergeable; the human-readable message is
+//!   preserved verbatim in the `msg` field.
+//! * [`fleet`] — per-process span-event JSONL written when
+//!   `BARRE_FLEET_TRACE=<dir>` is set, plus the correlation-id plumbing
+//!   (`BARRE_CORR_ID`) that lets `barre report --fleet` stitch a
+//!   dispatch client, a queue coordinator, and N workers into one
+//!   Perfetto timeline.
+//!
+//! Everything here is best-effort by design: a full disk, a closed
+//! stderr, or a poisoned sink mutex degrades observability, never the
+//! work being observed. No function in this crate panics.
+
+pub mod fleet;
+pub mod log;
+pub mod metrics;
+
+pub use fleet::{corr_id, FleetTracer, CORR_ENV, FLEET_TRACE_ENV};
+pub use log::{Field, Level};
+pub use metrics::PromText;

@@ -69,8 +69,23 @@ pub fn run_attempt_cancellable(
     timeout: Option<Duration>,
     cancel: &AtomicBool,
 ) -> Attempt {
+    run_attempt_cancellable_env(program, args, &[], timeout, cancel)
+}
+
+/// [`run_attempt_cancellable`] with extra environment variables for the
+/// child. Used by `barre worker` to hand the job's fleet-trace
+/// correlation id (`BARRE_CORR_ID`) to the simulating child without
+/// touching its argv — argv feeds the job fingerprint, env does not.
+pub fn run_attempt_cancellable_env(
+    program: &Path,
+    args: &[String],
+    envs: &[(String, String)],
+    timeout: Option<Duration>,
+    cancel: &AtomicBool,
+) -> Attempt {
     let spawned = std::process::Command::new(program)
         .args(args)
+        .envs(envs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())

@@ -22,6 +22,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
+use barre_obs::log as olog;
+use barre_obs::Field;
 use barre_system::{
     metrics_digest, metrics_hist_digest, read_journal_lenient, verified_done_index, JournalError,
     JournalEvent, JournalRecord, JournalWriter, RunMetrics,
@@ -126,9 +128,14 @@ impl ResultCache {
         g.remove(fp);
         drop(g);
         self.evictions.fetch_add(1, Ordering::Relaxed);
-        eprintln!(
-            "cache: digest mismatch on {fp} ({}): evicted, recomputing",
-            rec.label
+        olog::warn(
+            "cache",
+            "digest_mismatch",
+            &[("fp", Field::S(fp)), ("label", Field::S(&rec.label))],
+            &format!(
+                "cache: digest mismatch on {fp} ({}): evicted, recomputing",
+                rec.label
+            ),
         );
         None
     }
@@ -158,7 +165,12 @@ impl ResultCache {
             if let Err(e) = w.append(&rec) {
                 // The in-memory entry still serves; only persistence of
                 // this one record is lost.
-                eprintln!("cache: append failed for {fp}: {e}");
+                olog::error(
+                    "cache",
+                    "append_failed",
+                    &[("fp", Field::S(fp))],
+                    &format!("cache: append failed for {fp}: {e}"),
+                );
             }
         }
         rec

@@ -2,9 +2,16 @@
 //!
 //! Just enough of the protocol for `curl`/load-balancer probes:
 //! `GET /healthz` (always 200 while the process lives), `GET /readyz`
-//! (503 once a drain starts), `GET /stats` (the counters JSON). Every
+//! (503 once a drain starts), `GET /stats` (the counters JSON), and
+//! `GET /metrics` (Prometheus text exposition, format 0.0.4). Every
 //! response closes the connection; request headers are read and
 //! discarded. Anything fancier belongs behind a real proxy.
+
+/// `Content-Type` for the JSON endpoints.
+pub const CT_JSON: &str = "application/json";
+
+/// `Content-Type` for `/metrics` (Prometheus text exposition).
+pub const CT_METRICS: &str = barre_obs::metrics::CONTENT_TYPE;
 
 /// Splits an HTTP request line (`"GET /stats HTTP/1.1"`) into method and
 /// path; `None` when it isn't one.
@@ -24,44 +31,54 @@ pub fn looks_like_http(line: &str) -> bool {
     line.starts_with("GET ") || line.starts_with("HEAD ") || line.starts_with("POST ")
 }
 
-/// Renders a complete HTTP/1.1 response with a JSON body.
-pub fn render_http(code: u16, reason: &str, body: &str) -> String {
+/// Renders a complete HTTP/1.1 response with the given `Content-Type`.
+pub fn render_http(code: u16, reason: &str, content_type: &str, body: &str) -> String {
     format!(
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     )
 }
 
-/// Routes a health-endpoint path to `(code, reason, body)`. `stats_body`
-/// is rendered lazily — only `/stats` pays for it.
+/// Routes a health-endpoint path to `(code, reason, content_type,
+/// body)`. `stats_body` and `metrics_body` are rendered lazily — only
+/// the endpoint asked for pays for its snapshot.
 pub fn route(
     method: &str,
     path: &str,
     draining: bool,
     stats_body: impl FnOnce() -> String,
-) -> (u16, &'static str, String) {
+    metrics_body: impl FnOnce() -> String,
+) -> (u16, &'static str, &'static str, String) {
     if method != "GET" && method != "HEAD" {
         return (
             405,
             "Method Not Allowed",
+            CT_JSON,
             "{\"error\":\"method not allowed\"}".to_string(),
         );
     }
     match path {
-        "/healthz" => (200, "OK", "{\"status\":\"ok\"}".to_string()),
+        "/healthz" => (200, "OK", CT_JSON, "{\"status\":\"ok\"}".to_string()),
         "/readyz" => {
             if draining {
                 (
                     503,
                     "Service Unavailable",
+                    CT_JSON,
                     "{\"ready\":false,\"reason\":\"draining\"}".to_string(),
                 )
             } else {
-                (200, "OK", "{\"ready\":true}".to_string())
+                (200, "OK", CT_JSON, "{\"ready\":true}".to_string())
             }
         }
-        "/stats" => (200, "OK", stats_body()),
-        _ => (404, "Not Found", "{\"error\":\"not found\"}".to_string()),
+        "/stats" => (200, "OK", CT_JSON, stats_body()),
+        "/metrics" => (200, "OK", CT_METRICS, metrics_body()),
+        _ => (
+            404,
+            "Not Found",
+            CT_JSON,
+            "{\"error\":\"not found\"}".to_string(),
+        ),
     }
 }
 
@@ -81,26 +98,37 @@ mod tests {
     }
 
     #[test]
-    fn routes_cover_health_ready_stats() {
-        let (code, _, body) = route("GET", "/healthz", true, String::new);
-        assert_eq!((code, body.contains("ok")), (200, true));
-        let (code, _, _) = route("GET", "/readyz", false, String::new);
+    fn routes_cover_health_ready_stats_metrics() {
+        let none = String::new;
+        let (code, _, ct, body) = route("GET", "/healthz", true, none, none);
+        assert_eq!((code, ct, body.contains("ok")), (200, CT_JSON, true));
+        let (code, _, _, _) = route("GET", "/readyz", false, none, none);
         assert_eq!(code, 200);
-        let (code, _, body) = route("GET", "/readyz", true, String::new);
+        let (code, _, _, body) = route("GET", "/readyz", true, none, none);
         assert_eq!((code, body.contains("draining")), (503, true));
-        let (code, _, body) = route("GET", "/stats", false, || "{\"x\":1}".to_string());
-        assert_eq!((code, body.as_str()), (200, "{\"x\":1}"));
-        let (code, _, _) = route("GET", "/nope", false, String::new);
+        let (code, _, ct, body) = route("GET", "/stats", false, || "{\"x\":1}".to_string(), none);
+        assert_eq!((code, ct, body.as_str()), (200, CT_JSON, "{\"x\":1}"));
+        let (code, _, ct, body) = route("GET", "/metrics", false, none, || {
+            "# HELP x y\n".to_string()
+        });
+        assert_eq!(
+            (code, ct, body.as_str()),
+            (200, "text/plain; version=0.0.4", "# HELP x y\n")
+        );
+        let (code, _, _, _) = route("GET", "/nope", false, none, none);
         assert_eq!(code, 404);
-        let (code, _, _) = route("PUT", "/healthz", false, String::new);
+        let (code, _, _, _) = route("PUT", "/healthz", false, none, none);
         assert_eq!(code, 405);
     }
 
     #[test]
-    fn responses_carry_content_length() {
-        let r = render_http(200, "OK", "{\"a\":1}");
+    fn responses_carry_content_length_and_type() {
+        let r = render_http(200, "OK", CT_JSON, "{\"a\":1}");
         assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.contains("Content-Type: application/json\r\n"));
         assert!(r.contains("Content-Length: 7\r\n"));
         assert!(r.ends_with("{\"a\":1}"));
+        let m = render_http(200, "OK", CT_METRICS, "x 1\n");
+        assert!(m.contains("Content-Type: text/plain; version=0.0.4\r\n"));
     }
 }

@@ -13,6 +13,8 @@ use std::path::Path;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
+use barre_obs::log as olog;
+use barre_obs::{Field, FleetTracer};
 use barre_system::{JournalEvent, JournalRecord, JournalWriter, RunMetrics};
 
 use super::state::JobSpec;
@@ -68,15 +70,29 @@ fn submit_all(addr: &str, jobs: &[JobSpec]) -> Result<bool, String> {
             Ok(Reply::Submitted {
                 accepted, known, ..
             }) => {
-                eprintln!(
-                    "dispatch: submitted {} job(s) to {addr} ({accepted} new, {known} already known)",
-                    jobs.len()
+                olog::info(
+                    "dispatch",
+                    "submitted",
+                    &[
+                        ("jobs", Field::U(jobs.len() as u64)),
+                        ("accepted", Field::U(accepted)),
+                        ("known", Field::U(known)),
+                    ],
+                    &format!(
+                        "dispatch: submitted {} job(s) to {addr} ({accepted} new, {known} already known)",
+                        jobs.len()
+                    ),
                 );
                 return Ok(true);
             }
             Ok(Reply::Draining) => {
                 if !reported {
-                    eprintln!("dispatch: coordinator draining; waiting for it to come back");
+                    olog::warn(
+                        "dispatch",
+                        "coordinator_draining",
+                        &[],
+                        "dispatch: coordinator draining; waiting for it to come back",
+                    );
                     reported = true;
                 }
                 sleep_interruptible(Duration::from_millis(500));
@@ -85,7 +101,12 @@ fn submit_all(addr: &str, jobs: &[JobSpec]) -> Result<bool, String> {
             Ok(_) => return Err("unexpected reply to submit".to_string()),
             Err(why) => {
                 if !reported {
-                    eprintln!("dispatch: cannot reach {addr} yet ({why}); retrying");
+                    olog::warn(
+                        "dispatch",
+                        "coordinator_unreachable",
+                        &[],
+                        &format!("dispatch: cannot reach {addr} yet ({why}); retrying"),
+                    );
                     reported = true;
                 }
                 sleep_interruptible(Duration::from_millis(500));
@@ -108,12 +129,25 @@ pub fn dispatch_sweep(
     jobs: &[JobSpec],
     journal: &Path,
 ) -> Result<DispatchOutcome, String> {
+    let tracer = FleetTracer::from_env("client");
     if !submit_all(addr, jobs)? {
         return Ok(DispatchOutcome {
             results: vec![None; jobs.len()],
             failures: Vec::new(),
             interrupted: true,
         });
+    }
+    if let Some(t) = &tracer {
+        for j in jobs {
+            t.event(
+                "submitted",
+                j.corr.as_deref().unwrap_or(""),
+                &[
+                    ("fp", Field::S(&j.fingerprint)),
+                    ("label", Field::S(&j.label)),
+                ],
+            );
+        }
     }
     let fps: Vec<String> = jobs.iter().map(|j| j.fingerprint.clone()).collect();
     let collect = Request::Collect {
@@ -122,8 +156,13 @@ pub fn dispatch_sweep(
     let mut last_done = usize::MAX;
     let terminal: Vec<JournalRecord> = loop {
         if SHUTDOWN.load(Ordering::SeqCst) {
-            eprintln!(
-                "dispatch: interrupted; jobs stay queued — rerun with --dispatch {addr} to resume"
+            olog::warn(
+                "dispatch",
+                "interrupted",
+                &[],
+                &format!(
+                    "dispatch: interrupted; jobs stay queued — rerun with --dispatch {addr} to resume"
+                ),
             );
             return Ok(DispatchOutcome {
                 results: vec![None; jobs.len()],
@@ -139,7 +178,12 @@ pub fn dispatch_sweep(
             }) => {
                 if unknown > 0 {
                     // The coordinator lost its journal; re-seed it.
-                    eprintln!("dispatch: coordinator is missing {unknown} job(s); resubmitting");
+                    olog::warn(
+                        "dispatch",
+                        "resubmitting",
+                        &[("unknown", Field::U(unknown))],
+                        &format!("dispatch: coordinator is missing {unknown} job(s); resubmitting"),
+                    );
                     if !submit_all(addr, jobs)? {
                         return Ok(DispatchOutcome {
                             results: vec![None; jobs.len()],
@@ -150,7 +194,15 @@ pub fn dispatch_sweep(
                     continue;
                 }
                 if records.len() != last_done {
-                    eprintln!("dispatch: {}/{} done", records.len(), jobs.len());
+                    olog::info(
+                        "dispatch",
+                        "progress",
+                        &[
+                            ("done", Field::U(records.len() as u64)),
+                            ("total", Field::U(jobs.len() as u64)),
+                        ],
+                        &format!("dispatch: {}/{} done", records.len(), jobs.len()),
+                    );
                     last_done = records.len();
                 }
                 if pending == 0 {
@@ -164,6 +216,23 @@ pub fn dispatch_sweep(
         }
         sleep_interruptible(Duration::from_millis(300));
     };
+    if let Some(t) = &tracer {
+        for (job, rec) in jobs.iter().zip(terminal.iter()) {
+            let verdict = match &rec.event {
+                JournalEvent::Done { .. } => "done",
+                JournalEvent::Quarantined { .. } => "quarantined",
+                _ => "failed",
+            };
+            t.event(
+                "collected",
+                job.corr.as_deref().unwrap_or(""),
+                &[
+                    ("fp", Field::S(&rec.fingerprint)),
+                    ("verdict", Field::S(verdict)),
+                ],
+            );
+        }
+    }
 
     // Client-side journal: the terminal records, in job order — the
     // distributed twin of the supervisor's journal, built for

@@ -17,6 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use barre_obs::log as olog;
+use barre_obs::{Field, FleetTracer, PromText};
 use barre_sim::fault::NetFaultInjector;
 use barre_system::{read_journal, JournalError, JournalRecord, JournalWriter, JOURNAL_FILE};
 
@@ -39,6 +41,8 @@ pub struct QueueOptions {
     pub lease: Duration,
     /// Burned leases before a job is quarantined as poison (0 disables).
     pub max_leases: u32,
+    /// Redirect structured logs to this file instead of stderr.
+    pub log_file: Option<PathBuf>,
 }
 
 impl Default for QueueOptions {
@@ -49,6 +53,7 @@ impl Default for QueueOptions {
             journal: PathBuf::from("queue-journal"),
             lease: Duration::from_secs(10),
             max_leases: 3,
+            log_file: None,
         }
     }
 }
@@ -87,6 +92,16 @@ struct Shared {
     /// Fault injection for heartbeat drops (`BARRE_QUEUE_FAULTS`).
     faults: Option<Mutex<NetFaultInjector>>,
     journal_failures: AtomicU64,
+    /// Journal records read back at startup (0 on a fresh queue).
+    replayed_records: u64,
+    /// In-flight leases the startup replay re-queued.
+    replayed_requeued: u64,
+    /// Journal compactions performed (startup + drain).
+    compactions: AtomicU64,
+    /// Heartbeats answered with `lost` — the worker's lease was gone.
+    heartbeats_lost: AtomicU64,
+    /// Fleet-trace sink (`BARRE_FLEET_TRACE`), if enabled.
+    tracer: Option<FleetTracer>,
 }
 
 impl Shared {
@@ -94,12 +109,18 @@ impl Shared {
         u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
     }
 
+    fn trace(&self, event: &str, corr: &str, fields: &[(&str, Field<'_>)]) {
+        if let Some(t) = &self.tracer {
+            t.event(event, corr, fields);
+        }
+    }
+
     fn stats_body(&self) -> String {
         let core = self.core.lock().unwrap_or_else(PoisonError::into_inner);
         let c = core.state.counts();
         drop(core);
         format!(
-            "{{\"queued\":{},\"leased\":{},\"done\":{},\"failed\":{},\"quarantined\":{},\"expired\":{},\"conflicts\":{},\"duplicates\":{},\"draining\":{}}}",
+            "{{\"queued\":{},\"leased\":{},\"done\":{},\"failed\":{},\"quarantined\":{},\"expired\":{},\"conflicts\":{},\"duplicates\":{},\"replayed_records\":{},\"replayed_requeued\":{},\"compactions\":{},\"heartbeats_lost\":{},\"journal_failures\":{},\"draining\":{}}}",
             c.queued,
             c.leased,
             c.done,
@@ -108,8 +129,91 @@ impl Shared {
             c.expired,
             c.conflicts,
             c.duplicates,
+            self.replayed_records,
+            self.replayed_requeued,
+            self.compactions.load(Ordering::SeqCst),
+            self.heartbeats_lost.load(Ordering::SeqCst),
+            self.journal_failures.load(Ordering::SeqCst),
             shutting_down(),
         )
+    }
+
+    fn metrics_body(&self) -> String {
+        let core = self.core.lock().unwrap_or_else(PoisonError::into_inner);
+        let c = core.state.counts();
+        drop(core);
+        let mut p = PromText::new();
+        p.gauge(
+            "barre_queue_jobs_queued",
+            "Jobs waiting for a worker (including backoff waits).",
+            c.queued as u64,
+        );
+        p.gauge(
+            "barre_queue_jobs_leased",
+            "Jobs currently held under a worker lease.",
+            c.leased as u64,
+        );
+        p.gauge(
+            "barre_queue_jobs_done",
+            "Jobs with a verified completion.",
+            c.done as u64,
+        );
+        p.gauge(
+            "barre_queue_jobs_failed",
+            "Jobs failed permanently.",
+            c.failed as u64,
+        );
+        p.gauge(
+            "barre_queue_jobs_quarantined",
+            "Jobs quarantined as poison.",
+            c.quarantined as u64,
+        );
+        p.counter(
+            "barre_queue_lease_expiries_total",
+            "Leases that expired without a result.",
+            c.expired,
+        );
+        p.counter(
+            "barre_queue_ingest_conflicts_total",
+            "Completions rejected because a different digest already won.",
+            c.conflicts,
+        );
+        p.counter(
+            "barre_queue_ingest_duplicates_total",
+            "Identical duplicate completions dropped (first wins).",
+            c.duplicates,
+        );
+        p.counter(
+            "barre_queue_heartbeats_lost_total",
+            "Heartbeats answered with lost: the worker's lease was gone.",
+            self.heartbeats_lost.load(Ordering::SeqCst),
+        );
+        p.counter(
+            "barre_queue_replayed_records_total",
+            "Journal records replayed at startup.",
+            self.replayed_records,
+        );
+        p.counter(
+            "barre_queue_replayed_requeued_total",
+            "In-flight leases the startup replay re-queued.",
+            self.replayed_requeued,
+        );
+        p.counter(
+            "barre_queue_journal_compactions_total",
+            "Journal compactions performed (startup and drain).",
+            self.compactions.load(Ordering::SeqCst),
+        );
+        p.counter(
+            "barre_queue_journal_failures_total",
+            "Journal appends that failed (fatal at drain).",
+            self.journal_failures.load(Ordering::SeqCst),
+        );
+        p.gauge_bool(
+            "barre_queue_draining",
+            "Whether the coordinator is draining.",
+            shutting_down(),
+        );
+        p.render()
     }
 
     /// True when the simulated network ate this heartbeat.
@@ -124,6 +228,15 @@ impl Shared {
     }
 }
 
+/// A fleet-trace event collected under the core lock and emitted after
+/// it is released, so trace I/O never extends the critical section.
+struct TraceEvent {
+    event: &'static str,
+    corr: String,
+    fp: String,
+    worker: String,
+}
+
 /// Handles one request line: transition under the core lock, journal the
 /// records, reply. Returns `None` to drop the connection without a reply
 /// (simulated network fault).
@@ -136,6 +249,8 @@ fn handle_request_line(sh: &Shared, line: &str) -> Option<String> {
         return None;
     }
     let now = sh.now_ms();
+    let tracing = sh.tracer.is_some();
+    let mut traces: Vec<TraceEvent> = Vec::new();
     let mut core = sh.core.lock().unwrap_or_else(PoisonError::into_inner);
     let (reply, records) = match req {
         Request::Submit { jobs } => {
@@ -143,6 +258,23 @@ fn handle_request_line(sh: &Shared, line: &str) -> Option<String> {
                 (Reply::Draining, Vec::new())
             } else {
                 let (accepted, known, records) = core.state.submit(&jobs);
+                if tracing {
+                    // Only newly accepted jobs (the ones with a queued
+                    // record) get a trace event; resubmits are no-ops.
+                    for rec in &records {
+                        let corr = jobs
+                            .iter()
+                            .find(|j| j.fingerprint == rec.fingerprint)
+                            .and_then(|j| j.corr.clone())
+                            .unwrap_or_default();
+                        traces.push(TraceEvent {
+                            event: "queued",
+                            corr,
+                            fp: rec.fingerprint.clone(),
+                            worker: String::new(),
+                        });
+                    }
+                }
                 let total = core.state.counts().total();
                 (
                     Reply::Submitted {
@@ -165,12 +297,24 @@ fn handle_request_line(sh: &Shared, line: &str) -> Option<String> {
                         label,
                         args,
                         lease_ms,
-                    } => Reply::Job {
-                        fingerprint,
-                        label,
-                        args,
-                        lease_ms,
-                    },
+                        corr,
+                    } => {
+                        if tracing {
+                            traces.push(TraceEvent {
+                                event: "leased",
+                                corr: corr.clone().unwrap_or_default(),
+                                fp: fingerprint.clone(),
+                                worker: worker.clone(),
+                            });
+                        }
+                        Reply::Job {
+                            fingerprint,
+                            label,
+                            args,
+                            lease_ms,
+                            corr,
+                        }
+                    }
                     LeaseReply::Empty {
                         retry_after_ms,
                         active,
@@ -187,6 +331,17 @@ fn handle_request_line(sh: &Shared, line: &str) -> Option<String> {
             fingerprint,
         } => {
             let live = core.state.heartbeat(&fingerprint, &worker, now);
+            if !live {
+                sh.heartbeats_lost.fetch_add(1, Ordering::SeqCst);
+                if tracing {
+                    traces.push(TraceEvent {
+                        event: "heartbeat_lost",
+                        corr: core.state.corr_of(&fingerprint).unwrap_or("").to_string(),
+                        fp: fingerprint.clone(),
+                        worker: worker.clone(),
+                    });
+                }
+            }
             (
                 if live {
                     Reply::HeartbeatOk
@@ -223,6 +378,18 @@ fn handle_request_line(sh: &Shared, line: &str) -> Option<String> {
                         IngestReply::BadDigest => "requeued",
                         IngestReply::Unknown => "unknown",
                     };
+                    if tracing && reply == IngestReply::Accepted {
+                        traces.push(TraceEvent {
+                            event: "done",
+                            corr: core
+                                .state
+                                .corr_of(&record.fingerprint)
+                                .unwrap_or("")
+                                .to_string(),
+                            fp: record.fingerprint.clone(),
+                            worker: worker.clone(),
+                        });
+                    }
                     (verdict, records)
                 }
                 _ => ("not-a-done-record", Vec::new()),
@@ -248,11 +415,34 @@ fn handle_request_line(sh: &Shared, line: &str) -> Option<String> {
                 // The tick path logs expiry-driven quarantines; reported
                 // failures that burn the last lease are poison too.
                 if let Some(rec) = records.last() {
-                    eprintln!(
-                        "queue: POISON {} quarantined after repeated failures (last worker {worker})",
-                        rec.label
+                    olog::warn(
+                        "queue",
+                        "job_quarantined",
+                        &[
+                            ("fp", Field::S(&rec.fingerprint)),
+                            ("label", Field::S(&rec.label)),
+                            ("worker", Field::S(&worker)),
+                        ],
+                        &format!(
+                            "queue: POISON {} quarantined after repeated failures (last worker {worker})",
+                            rec.label
+                        ),
                     );
                 }
+            }
+            if tracing {
+                traces.push(TraceEvent {
+                    event: if reply.quarantined {
+                        "quarantined"
+                    } else if reply.requeued {
+                        "requeued"
+                    } else {
+                        "failed"
+                    },
+                    corr: core.state.corr_of(&fingerprint).unwrap_or("").to_string(),
+                    fp: fingerprint.clone(),
+                    worker: worker.clone(),
+                });
             }
             (
                 Reply::Failed {
@@ -277,7 +467,12 @@ fn handle_request_line(sh: &Shared, line: &str) -> Option<String> {
     if let Err(e) = core.journal_all(&records) {
         sh.journal_failures.fetch_add(1, Ordering::SeqCst);
         drop(core);
-        eprintln!("error: journal append failed: {e}");
+        olog::error(
+            "queue",
+            "journal_append_failed",
+            &[],
+            &format!("error: journal append failed: {e}"),
+        );
         return Some(
             Reply::Error {
                 error: format!("journal append failed: {e}"),
@@ -286,6 +481,13 @@ fn handle_request_line(sh: &Shared, line: &str) -> Option<String> {
         );
     }
     drop(core);
+    for t in traces {
+        let mut fields: Vec<(&str, Field<'_>)> = vec![("fp", Field::S(&t.fp))];
+        if !t.worker.is_empty() {
+            fields.push(("worker", Field::S(&t.worker)));
+        }
+        sh.trace(t.event, &t.corr, &fields);
+    }
     Some(reply.to_line())
 }
 
@@ -310,15 +512,22 @@ fn handle_http(sh: &Shared, first_line: &str, reader: &mut impl BufRead, out: &m
             Err(_) => return,
         }
     }
-    let (code, reason, body) = match http::parse_request_line(first_line) {
-        Some((method, path)) => http::route(method, path, shutting_down(), || sh.stats_body()),
+    let (code, reason, content_type, body) = match http::parse_request_line(first_line) {
+        Some((method, path)) => http::route(
+            method,
+            path,
+            shutting_down(),
+            || sh.stats_body(),
+            || sh.metrics_body(),
+        ),
         None => (
             400,
             "Bad Request",
+            http::CT_JSON,
             "{\"error\":\"bad request\"}".to_string(),
         ),
     };
-    let _ = out.write_all(http::render_http(code, reason, &body).as_bytes());
+    let _ = out.write_all(http::render_http(code, reason, content_type, &body).as_bytes());
     let _ = out.flush();
 }
 
@@ -412,10 +621,21 @@ fn bind_with_retry(host: &str, port: u16) -> std::io::Result<TcpListener> {
 /// 1 on a startup or flush failure.
 pub fn run_queue(opts: &QueueOptions) -> i32 {
     install_drain_handlers();
+    if let Some(path) = &opts.log_file {
+        if let Err(e) = olog::set_log_file(path) {
+            olog::error("queue", "log_file_failed", &[], &format!("error: {e}"));
+            return 1;
+        }
+    }
     let journal_path = journal_file_of(&opts.journal);
     if let Some(dir) = journal_path.parent() {
         if !dir.as_os_str().is_empty() && std::fs::create_dir_all(dir).is_err() {
-            eprintln!("error: cannot create journal directory {}", dir.display());
+            olog::error(
+                "queue",
+                "journal_dir_failed",
+                &[],
+                &format!("error: cannot create journal directory {}", dir.display()),
+            );
             return 1;
         }
     }
@@ -426,40 +646,71 @@ pub fn run_queue(opts: &QueueOptions) -> i32 {
         match read_journal(&journal_path) {
             Ok(records) => records,
             Err(e) => {
-                eprintln!("error: cannot restore queue journal: {e}");
+                olog::error(
+                    "queue",
+                    "journal_restore_failed",
+                    &[],
+                    &format!("error: cannot restore queue journal: {e}"),
+                );
                 return 1;
             }
         }
     } else {
         Vec::new()
     };
+    let replayed_records = restored.len() as u64;
     let state = QueueState::replay(&restored, lease_ms, opts.max_leases);
     let counts = state.counts();
+    let replayed_requeued = counts.queued as u64;
     if counts.total() > 0 {
-        eprintln!(
-            "queue: restored {} job(s) from journal ({} done, {} failed, {} quarantined, {} re-queued)",
-            counts.total(),
-            counts.done,
-            counts.failed,
-            counts.quarantined,
-            counts.queued,
+        olog::info(
+            "queue",
+            "restored",
+            &[
+                ("jobs", Field::U(counts.total() as u64)),
+                ("records", Field::U(replayed_records)),
+                ("requeued", Field::U(replayed_requeued)),
+            ],
+            &format!(
+                "queue: restored {} job(s) from journal ({} done, {} failed, {} quarantined, {} re-queued)",
+                counts.total(),
+                counts.done,
+                counts.failed,
+                counts.quarantined,
+                counts.queued,
+            ),
         );
     }
     let writer = match compact_journal(&journal_path, &state) {
         Ok(w) => w,
         Err(e) => {
-            eprintln!("error: cannot compact queue journal: {e}");
+            olog::error(
+                "queue",
+                "journal_compact_failed",
+                &[],
+                &format!("error: cannot compact queue journal: {e}"),
+            );
             return 1;
         }
     };
     let faults = match std::env::var("BARRE_QUEUE_FAULTS") {
         Ok(spec) => match NetFaultInjector::parse(&spec) {
             Ok(inj) => {
-                eprintln!("queue: fault injection enabled ({spec})");
+                olog::info(
+                    "queue",
+                    "fault_injection",
+                    &[("spec", Field::S(&spec))],
+                    &format!("queue: fault injection enabled ({spec})"),
+                );
                 Some(Mutex::new(inj))
             }
             Err(why) => {
-                eprintln!("error: bad BARRE_QUEUE_FAULTS: {why}");
+                olog::error(
+                    "queue",
+                    "fault_spec_invalid",
+                    &[],
+                    &format!("error: bad BARRE_QUEUE_FAULTS: {why}"),
+                );
                 return 1;
             }
         },
@@ -468,19 +719,34 @@ pub fn run_queue(opts: &QueueOptions) -> i32 {
     let listener = match bind_with_retry(&opts.host, opts.port) {
         Ok(l) => l,
         Err(e) => {
-            eprintln!("error: cannot bind {}:{}: {e}", opts.host, opts.port);
+            olog::error(
+                "queue",
+                "bind_failed",
+                &[],
+                &format!("error: cannot bind {}:{}: {e}", opts.host, opts.port),
+            );
             return 1;
         }
     };
     let addr = match listener.local_addr() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: cannot resolve bound address: {e}");
+            olog::error(
+                "queue",
+                "startup_failed",
+                &[],
+                &format!("error: cannot resolve bound address: {e}"),
+            );
             return 1;
         }
     };
     if listener.set_nonblocking(true).is_err() {
-        eprintln!("error: cannot set listener nonblocking");
+        olog::error(
+            "queue",
+            "startup_failed",
+            &[],
+            "error: cannot set listener nonblocking",
+        );
         return 1;
     }
     let sh = Arc::new(Shared {
@@ -489,6 +755,11 @@ pub fn run_queue(opts: &QueueOptions) -> i32 {
         epoch: Instant::now(),
         faults,
         journal_failures: AtomicU64::new(0),
+        replayed_records,
+        replayed_requeued,
+        compactions: AtomicU64::new(1),
+        heartbeats_lost: AtomicU64::new(0),
+        tracer: FleetTracer::from_env("queue"),
     });
 
     // Lease-expiry ticker: burned leases re-queue (or quarantine) even
@@ -502,20 +773,46 @@ pub fn run_queue(opts: &QueueOptions) -> i32 {
             let (records, expiries) = core.state.tick(now);
             if let Err(e) = core.journal_all(&records) {
                 tick_sh.journal_failures.fetch_add(1, Ordering::SeqCst);
-                eprintln!("error: journal append failed: {e}");
+                olog::error(
+                    "queue",
+                    "journal_append_failed",
+                    &[],
+                    &format!("error: journal append failed: {e}"),
+                );
             }
+            let corrs: Vec<String> = expiries
+                .iter()
+                .map(|x| core.state.corr_of(&x.fingerprint).unwrap_or("").to_string())
+                .collect();
             drop(core);
-            for x in expiries {
+            for (x, corr) in expiries.iter().zip(&corrs) {
+                let fields = [
+                    ("fp", Field::S(&x.fingerprint)),
+                    ("label", Field::S(&x.label)),
+                    ("worker", Field::S(&x.worker)),
+                ];
                 if x.quarantined {
-                    eprintln!(
-                        "queue: POISON {} quarantined after lease expiry (last worker {})",
-                        x.label, x.worker
+                    olog::warn(
+                        "queue",
+                        "job_quarantined",
+                        &fields,
+                        &format!(
+                            "queue: POISON {} quarantined after lease expiry (last worker {})",
+                            x.label, x.worker
+                        ),
                     );
+                    tick_sh.trace("quarantined", corr, &fields);
                 } else {
-                    eprintln!(
-                        "queue: lease on {} held by {} expired; re-queued with backoff",
-                        x.label, x.worker
+                    olog::warn(
+                        "queue",
+                        "lease_expired",
+                        &fields,
+                        &format!(
+                            "queue: lease on {} held by {} expired; re-queued with backoff",
+                            x.label, x.worker
+                        ),
                     );
+                    tick_sh.trace("lease_expired", corr, &fields);
                 }
             }
         }
@@ -549,7 +846,12 @@ pub fn run_queue(opts: &QueueOptions) -> i32 {
     // Graceful drain: connection threads notice the flag via their read
     // timeouts; then compact the journal so a restart replays a file
     // proportional to the job count, not the churn.
-    eprintln!("drain: signal received; finishing in-flight work");
+    olog::info(
+        "queue",
+        "drain_begin",
+        &[],
+        "drain: signal received; finishing in-flight work",
+    );
     for h in conn_handles {
         let _ = h.join();
     }
@@ -558,28 +860,53 @@ pub fn run_queue(opts: &QueueOptions) -> i32 {
     match compact_journal(&sh.journal_path, &core.state) {
         Ok(w) => {
             core.writer = w;
+            sh.compactions.fetch_add(1, Ordering::SeqCst);
             let c = core.state.counts();
-            eprintln!(
-                "drain: queue journal compacted ({} job(s): {} done, {} active)",
-                c.total(),
-                c.done,
-                c.active(),
+            olog::info(
+                "queue",
+                "drain_compacted",
+                &[
+                    ("jobs", Field::U(c.total() as u64)),
+                    ("done", Field::U(c.done as u64)),
+                    ("active", Field::U(c.active() as u64)),
+                ],
+                &format!(
+                    "drain: queue journal compacted ({} job(s): {} done, {} active)",
+                    c.total(),
+                    c.done,
+                    c.active(),
+                ),
             );
             if c.active() > 0 {
-                eprintln!(
-                    "drain: {} job(s) unfinished; resume with `barre queue --journal {}`",
-                    c.active(),
-                    sh.journal_path.display(),
+                olog::info(
+                    "queue",
+                    "drain_unfinished",
+                    &[("active", Field::U(c.active() as u64))],
+                    &format!(
+                        "drain: {} job(s) unfinished; resume with `barre queue --journal {}`",
+                        c.active(),
+                        sh.journal_path.display(),
+                    ),
                 );
             }
             if sh.journal_failures.load(Ordering::SeqCst) > 0 {
-                eprintln!("error: some transitions could not be journaled");
+                olog::error(
+                    "queue",
+                    "journal_failures",
+                    &[],
+                    "error: some transitions could not be journaled",
+                );
                 return 1;
             }
             0
         }
         Err(e) => {
-            eprintln!("error: queue journal compaction failed: {e}");
+            olog::error(
+                "queue",
+                "journal_compact_failed",
+                &[],
+                &format!("error: queue journal compaction failed: {e}"),
+            );
             1
         }
     }

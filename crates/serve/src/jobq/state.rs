@@ -43,6 +43,10 @@ pub struct JobSpec {
     pub label: String,
     /// Child argv to execute (includes `--job-index`).
     pub args: Vec<String>,
+    /// Fleet-trace correlation id minted by the dispatch client, if
+    /// any. Held in memory only — it never enters the journal, so
+    /// journal bytes stay identical whether or not tracing is on.
+    pub corr: Option<String>,
 }
 
 /// Where a job currently is in its lifecycle.
@@ -66,6 +70,9 @@ struct Entry {
     leases: u32,
     /// Last worker that held a lease, for compaction/attribution.
     last_worker: Option<String>,
+    /// Correlation id from the submitting client (in-memory only; lost
+    /// on coordinator restart, by design — journals stay byte-stable).
+    corr: Option<String>,
 }
 
 /// Reply to a lease request.
@@ -82,6 +89,9 @@ pub enum LeaseReply {
         args: Vec<String>,
         /// Lease duration in milliseconds.
         lease_ms: u64,
+        /// Correlation id from the submitting client, forwarded so the
+        /// worker can stitch its attempt into the same fleet trace.
+        corr: Option<String>,
     },
     /// Nothing leasable right now.
     Empty {
@@ -227,6 +237,7 @@ impl QueueState {
                     slot: Slot::Queued { not_before_ms: 0 },
                     leases: 0,
                     last_worker: None,
+                    corr: spec.corr.clone(),
                 },
             );
             self.order.push(spec.fingerprint.clone());
@@ -270,6 +281,7 @@ impl QueueState {
                         label: e.label.clone(),
                         args: e.args.clone(),
                         lease_ms: self.lease_ms,
+                        corr: e.corr.clone(),
                     };
                     return (reply, vec![rec]);
                 }
@@ -499,6 +511,13 @@ impl QueueState {
         (false, Vec::new())
     }
 
+    /// The correlation id the submitting client attached to `fp`, if
+    /// any — for the coordinator's fleet-trace events on transitions
+    /// that arrive without one (expiry, completion, failure).
+    pub fn corr_of(&self, fp: &str) -> Option<&str> {
+        self.entries.get(fp).and_then(|e| e.corr.as_deref())
+    }
+
     /// Terminal records for the requested fingerprints, in request
     /// order, plus how many are still pending and how many are unknown
     /// (a client seeing `unknown > 0` resubmits — the coordinator lost
@@ -564,6 +583,7 @@ impl QueueState {
                                 slot: Slot::Queued { not_before_ms: 0 },
                                 leases: 0,
                                 last_worker: None,
+                                corr: None,
                             },
                         );
                         st.order.push(rec.fingerprint.clone());
@@ -593,6 +613,7 @@ impl QueueState {
                                 slot: Slot::Terminal(rec.clone()),
                                 leases: 0,
                                 last_worker: None,
+                                corr: None,
                             },
                         );
                         st.order.push(rec.fingerprint.clone());
@@ -659,6 +680,7 @@ mod tests {
             fingerprint: fp.to_string(),
             label: format!("app/{fp}"),
             args: vec!["sweep".into(), "--job-index".into(), "0".into()],
+            corr: Some(format!("c{fp}")),
         }
     }
 
@@ -880,6 +902,24 @@ mod tests {
         assert!(matches!(reply, LeaseReply::Job { ref fingerprint, .. } if fingerprint == "f2"));
         let (reply, _) = st2.fail("f2", 1, "signal:9", false, 1);
         assert!(reply.quarantined, "replayed lease counts toward poison");
+    }
+
+    #[test]
+    fn corr_ids_flow_to_leases_but_never_into_journals() {
+        let mut st = QueueState::new(1000, 3);
+        let (_, _, recs) = st.submit(&[spec("f1")]);
+        assert!(!recs[0].to_line().contains("cf1"), "corr leaked to journal");
+        let (reply, recs) = st.lease("w1", 0);
+        match reply {
+            LeaseReply::Job { corr, .. } => assert_eq!(corr.as_deref(), Some("cf1")),
+            other => panic!("expected job, got {other:?}"),
+        }
+        assert!(!recs[0].to_line().contains("cf1"), "corr leaked to journal");
+        assert_eq!(st.corr_of("f1"), Some("cf1"));
+        assert_eq!(st.corr_of("nope"), None);
+        for r in st.compacted() {
+            assert!(!r.to_line().contains("cf1"), "corr leaked to compaction");
+        }
     }
 
     #[test]

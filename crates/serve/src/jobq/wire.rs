@@ -108,6 +108,9 @@ pub enum Reply {
         args: Vec<String>,
         /// Lease duration; heartbeat well within it.
         lease_ms: u64,
+        /// Fleet-trace correlation id from the submitting client, if
+        /// any. Older coordinators simply omit the field.
+        corr: Option<String>,
     },
     /// Nothing leasable right now.
     Empty {
@@ -199,8 +202,13 @@ impl Request {
                 let parts: Vec<String> = jobs
                     .iter()
                     .map(|j| {
+                        let corr = j
+                            .corr
+                            .as_deref()
+                            .map(|c| format!(",\"corr\":{}", json_escape(c)))
+                            .unwrap_or_default();
                         format!(
-                            "{{\"fingerprint\":{},\"label\":{},\"args\":{}}}",
+                            "{{\"fingerprint\":{},\"label\":{},\"args\":{}{corr}}}",
                             json_escape(&j.fingerprint),
                             json_escape(&j.label),
                             render_args(&j.args),
@@ -263,6 +271,7 @@ impl Request {
                             it.get("args")
                                 .ok_or_else(|| "missing \"args\"".to_string())?,
                         )?,
+                        corr: it.get("corr").and_then(Json::as_str).map(str::to_string),
                     });
                 }
                 Ok(Request::Submit { jobs })
@@ -317,12 +326,19 @@ impl Reply {
                 label,
                 args,
                 lease_ms,
-            } => format!(
-                "{{\"status\":\"job\",\"fingerprint\":{},\"label\":{},\"args\":{},\"lease_ms\":{lease_ms}}}",
-                json_escape(fingerprint),
-                json_escape(label),
-                render_args(args),
-            ),
+                corr,
+            } => {
+                let corr = corr
+                    .as_deref()
+                    .map(|c| format!(",\"corr\":{}", json_escape(c)))
+                    .unwrap_or_default();
+                format!(
+                    "{{\"status\":\"job\",\"fingerprint\":{},\"label\":{},\"args\":{},\"lease_ms\":{lease_ms}{corr}}}",
+                    json_escape(fingerprint),
+                    json_escape(label),
+                    render_args(args),
+                )
+            }
             Reply::Empty {
                 retry_after_ms,
                 active,
@@ -377,6 +393,7 @@ impl Reply {
                         .ok_or_else(|| "missing \"args\"".to_string())?,
                 )?,
                 lease_ms: want_u64(&v, "lease_ms")?,
+                corr: v.get("corr").and_then(Json::as_str).map(str::to_string),
             }),
             "empty" => Ok(Reply::Empty {
                 retry_after_ms: want_u64(&v, "retry_after_ms")?,
@@ -441,11 +458,20 @@ mod tests {
     #[test]
     fn requests_roundtrip_including_awkward_strings() {
         roundtrip_req(Request::Submit {
-            jobs: vec![JobSpec {
-                fingerprint: "abc123".into(),
-                label: "gups/\"quoted\"".into(),
-                args: vec!["sweep".into(), "--ptw-share".into(), "0.5\n".into()],
-            }],
+            jobs: vec![
+                JobSpec {
+                    fingerprint: "abc123".into(),
+                    label: "gups/\"quoted\"".into(),
+                    args: vec!["sweep".into(), "--ptw-share".into(), "0.5\n".into()],
+                    corr: Some("c0011223344556677".into()),
+                },
+                JobSpec {
+                    fingerprint: "def456".into(),
+                    label: "gups/plain".into(),
+                    args: vec!["sweep".into()],
+                    corr: None,
+                },
+            ],
         });
         roundtrip_req(Request::Lease {
             worker: "host-a:1".into(),
@@ -510,7 +536,17 @@ mod tests {
             label: "gups/barre".into(),
             args: vec!["sweep".into(), "--job-index".into(), "7".into()],
             lease_ms: 10_000,
+            corr: Some("c8899aabbccddeeff".into()),
         });
+        // Older peers omit "corr" entirely: the field parses as absent.
+        match Reply::from_line(
+            "{\"status\":\"job\",\"fingerprint\":\"f1\",\"label\":\"l\",\"args\":[],\"lease_ms\":5}",
+        )
+        .expect("legacy job reply")
+        {
+            Reply::Job { corr, .. } => assert_eq!(corr, None),
+            other => panic!("expected job, got {other:?}"),
+        }
         roundtrip_reply(Reply::Empty {
             retry_after_ms: 250,
             active: 4,

@@ -11,17 +11,19 @@
 //! keeps re-offering the result and the restarted coordinator's dedup
 //! absorbs it.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use barre_obs::log as olog;
+use barre_obs::{Field, FleetTracer, CORR_ENV};
 use barre_system::{
     metrics_digest, metrics_from_json, metrics_hist_digest, JournalEvent, JournalRecord,
 };
 
 use super::wire::{exchange, Reply, Request};
-use crate::attempt::{backoff_delay, run_attempt_cancellable};
+use crate::attempt::{backoff_delay, run_attempt_cancellable_env};
 use crate::signal::{drain_exit_code, install_drain_handlers, shutting_down};
 
 /// How a worker runs.
@@ -37,6 +39,8 @@ pub struct WorkerOptions {
     /// child is killed at this deadline and reported as a transient
     /// failure, which burns one of the job's leases.
     pub timeout: Option<Duration>,
+    /// Redirect structured logs to this file instead of stderr.
+    pub log_file: Option<PathBuf>,
 }
 
 impl Default for WorkerOptions {
@@ -46,6 +50,7 @@ impl Default for WorkerOptions {
             name: None,
             slots: 1,
             timeout: None,
+            log_file: None,
         }
     }
 }
@@ -76,6 +81,7 @@ fn exchange_with_retry(addr: &str, req: &Request, tries: u32) -> Result<Reply, S
 }
 
 /// Runs one leased job to a report (or a deliberate abandonment).
+#[allow(clippy::too_many_arguments)]
 fn run_leased_job(
     program: &Path,
     opts: &WorkerOptions,
@@ -84,7 +90,17 @@ fn run_leased_job(
     label: &str,
     args: &[String],
     lease_ms: u64,
+    corr: &str,
+    tracer: Option<&FleetTracer>,
 ) {
+    let trace = |event: &str, extra: &[(&str, Field<'_>)]| {
+        if let Some(t) = tracer {
+            let mut fields: Vec<(&str, Field<'_>)> =
+                vec![("fp", Field::S(fingerprint)), ("label", Field::S(label))];
+            fields.extend_from_slice(extra);
+            t.event(event, corr, &fields);
+        }
+    };
     let cancel = Arc::new(AtomicBool::new(false));
     let finished = Arc::new(AtomicBool::new(false));
     let hb = {
@@ -117,11 +133,25 @@ fn run_leased_job(
             }
         })
     };
-    let a = run_attempt_cancellable(program, args, opts.timeout, &cancel);
+    trace("attempt_start", &[]);
+    // The correlation id rides into the simulating child via the
+    // environment — argv feeds the job fingerprint and must not change.
+    let envs: Vec<(String, String)> = if corr.is_empty() {
+        Vec::new()
+    } else {
+        vec![(CORR_ENV.to_string(), corr.to_string())]
+    };
+    let a = run_attempt_cancellable_env(program, args, &envs, opts.timeout, &cancel);
     finished.store(true, Ordering::SeqCst);
     let _ = hb.join();
+    trace("attempt_end", &[("exit", Field::S(&a.exit))]);
     if a.exit == "cancelled" {
-        eprintln!("worker {name}: abandoned {label} (lease lost)");
+        olog::warn(
+            "worker",
+            "lease_lost",
+            &[("fp", Field::S(fingerprint)), ("label", Field::S(label))],
+            &format!("worker {name}: abandoned {label} (lease lost)"),
+        );
         return;
     }
     let report = if a.exit == "ok" {
@@ -170,24 +200,62 @@ fn run_leased_job(
     };
     // Deliver the verdict, riding out coordinator restarts; dedup on the
     // other side makes redelivery safe.
+    let fields = [("fp", Field::S(fingerprint)), ("label", Field::S(label))];
     match exchange_with_retry(&opts.connect, &report, 8) {
         Ok(Reply::Completed { verdict }) => {
-            eprintln!("worker {name}: {label} done ({verdict})");
+            trace("reported", &[("verdict", Field::S(&verdict))]);
+            olog::info(
+                "worker",
+                "job_done",
+                &fields,
+                &format!("worker {name}: {label} done ({verdict})"),
+            );
         }
         Ok(Reply::Failed { quarantined, .. }) => {
+            trace(
+                "reported",
+                &[(
+                    "verdict",
+                    Field::S(if quarantined {
+                        "quarantined"
+                    } else {
+                        "requeued"
+                    }),
+                )],
+            );
             if quarantined {
-                eprintln!("worker {name}: {label} failed; coordinator quarantined it");
+                olog::warn(
+                    "worker",
+                    "job_quarantined",
+                    &fields,
+                    &format!("worker {name}: {label} failed; coordinator quarantined it"),
+                );
             } else {
-                eprintln!("worker {name}: {label} failed; re-queued");
+                olog::warn(
+                    "worker",
+                    "job_requeued",
+                    &fields,
+                    &format!("worker {name}: {label} failed; re-queued"),
+                );
             }
         }
-        Ok(_) => eprintln!("worker {name}: unexpected reply reporting {label}"),
-        Err(why) => eprintln!("worker {name}: could not report {label}: {why}"),
+        Ok(_) => olog::warn(
+            "worker",
+            "report_unexpected_reply",
+            &fields,
+            &format!("worker {name}: unexpected reply reporting {label}"),
+        ),
+        Err(why) => olog::error(
+            "worker",
+            "report_failed",
+            &fields,
+            &format!("worker {name}: could not report {label}: {why}"),
+        ),
     }
 }
 
 /// One slot: lease → execute → report, until a drain signal.
-fn slot_loop(program: &Path, opts: &WorkerOptions, name: &str) {
+fn slot_loop(program: &Path, opts: &WorkerOptions, name: &str, tracer: Option<&FleetTracer>) {
     while !shutting_down() {
         let req = Request::Lease {
             worker: name.to_string(),
@@ -198,7 +266,18 @@ fn slot_loop(program: &Path, opts: &WorkerOptions, name: &str) {
                 label,
                 args,
                 lease_ms,
-            }) => run_leased_job(program, opts, name, &fingerprint, &label, &args, lease_ms),
+                corr,
+            }) => run_leased_job(
+                program,
+                opts,
+                name,
+                &fingerprint,
+                &label,
+                &args,
+                lease_ms,
+                corr.as_deref().unwrap_or(""),
+                tracer,
+            ),
             Ok(Reply::Empty { retry_after_ms, .. }) => {
                 sleep_interruptible(Duration::from_millis(retry_after_ms.clamp(50, 2_000)));
             }
@@ -212,10 +291,21 @@ fn slot_loop(program: &Path, opts: &WorkerOptions, name: &str) {
 /// (128 + signal after a drain, matching the supervisor's convention).
 pub fn run_worker(opts: &WorkerOptions) -> i32 {
     install_drain_handlers();
+    if let Some(path) = &opts.log_file {
+        if let Err(e) = olog::set_log_file(path) {
+            olog::error("worker", "log_file_failed", &[], &format!("error: {e}"));
+            return 1;
+        }
+    }
     let program = match std::env::current_exe() {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("error: cannot resolve own binary: {e}");
+            olog::error(
+                "worker",
+                "startup_failed",
+                &[],
+                &format!("error: cannot resolve own binary: {e}"),
+            );
             return 1;
         }
     };
@@ -223,27 +313,42 @@ pub fn run_worker(opts: &WorkerOptions) -> i32 {
         .name
         .clone()
         .unwrap_or_else(|| format!("worker-{}", std::process::id()));
-    eprintln!(
-        "worker {name}: polling {} with {} slot(s)",
-        opts.connect,
-        opts.slots.max(1)
+    olog::info(
+        "worker",
+        "start",
+        &[
+            ("connect", Field::S(&opts.connect)),
+            ("slots", Field::U(opts.slots.max(1) as u64)),
+        ],
+        &format!(
+            "worker {name}: polling {} with {} slot(s)",
+            opts.connect,
+            opts.slots.max(1)
+        ),
     );
+    let tracer = Arc::new(FleetTracer::from_env("worker"));
     let mut handles = Vec::with_capacity(opts.slots.max(1));
     for _ in 0..opts.slots.max(1) {
         let program = program.clone();
         let opts = opts.clone();
         let name = name.clone();
+        let tracer = Arc::clone(&tracer);
         handles.push(std::thread::spawn(move || {
-            slot_loop(&program, &opts, &name)
+            slot_loop(&program, &opts, &name, tracer.as_ref().as_ref())
         }));
     }
     for h in handles {
         let _ = h.join();
     }
-    eprintln!(
-        "worker {name}: drained; in-flight leases will expire and re-dispatch \
-         (resume with `barre worker --connect {}`)",
-        opts.connect
+    olog::info(
+        "worker",
+        "drained",
+        &[("connect", Field::S(&opts.connect))],
+        &format!(
+            "worker {name}: drained; in-flight leases will expire and re-dispatch \
+             (resume with `barre worker --connect {}`)",
+            opts.connect
+        ),
     );
     drain_exit_code()
 }

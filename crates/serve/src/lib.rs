@@ -3,7 +3,8 @@
 //! A long-running process that accepts simulation requests as JSONL over
 //! TCP (one JSON object per line, one JSON response line per request, in
 //! order) plus a minimal hand-rolled HTTP/1.1 shim for `GET /healthz`,
-//! `GET /readyz`, and `GET /stats`. Every request is validated into the
+//! `GET /readyz`, `GET /stats` (JSON), and `GET /metrics` (Prometheus
+//! text exposition). Every request is validated into the
 //! same canonical job the CLI would run, executed in a crash-isolated
 //! child process (a self-exec of `barre run --metrics-json …`), and
 //! cached content-addressed by the journal fingerprint of its canonical
@@ -33,7 +34,12 @@
 //!   the cache.
 //!
 //! Per-request latency and queue depth are recorded in `barre-trace`
-//! fixed-bucket histograms and exposed via `/stats` ([`stats`]).
+//! fixed-bucket histograms and exposed via `/stats` (percentiles) and
+//! `/metrics` (cumulative buckets) ([`stats`]). Diagnostics are leveled
+//! JSONL structured log events (`barre-obs`; `BARRE_LOG`, `--log-file`),
+//! including a per-request debug-level trace summary, and the daemon
+//! participates in fleet tracing (`BARRE_FLEET_TRACE`, `BARRE_CORR_ID`)
+//! stitched by `barre report --fleet`.
 //!
 //! The crate also hosts the serve-adjacent distributed dispatch stack
 //! ([`jobq`]): the `barre queue` lease-based job-queue coordinator, the

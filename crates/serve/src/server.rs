@@ -22,6 +22,8 @@ use crate::queue::{BoundedQueue, PushError};
 use crate::request::{parse_request, render_ok, render_reject, render_shed, ValidRequest};
 use crate::signal::{install_drain_handlers, shutting_down};
 use crate::stats::{bump, Gauges, ServeStats};
+use barre_obs::log as olog;
+use barre_obs::Field;
 use barre_system::{metrics_from_json, JournalEvent};
 
 /// How the daemon runs: bind address, worker pool size, queue bound,
@@ -47,6 +49,8 @@ pub struct ServeOptions {
     /// Circuit-breaker threshold: consecutive terminal failures before a
     /// fingerprint is quarantined (0 disables).
     pub breaker_threshold: u32,
+    /// Structured-log sink (`--log-file`); `None` keeps stderr.
+    pub log_file: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -60,6 +64,7 @@ impl Default for ServeOptions {
             timeout: Duration::from_secs(60),
             retries: 1,
             breaker_threshold: 3,
+            log_file: None,
         }
     }
 }
@@ -103,6 +108,18 @@ impl Shared {
         ((depth / workers) + 1)
             .saturating_mul(self.stats.mean_service_ms())
             .min(60_000)
+    }
+
+    fn metrics_body(&self) -> String {
+        self.stats.render_prometheus(&Gauges {
+            queue_depth: self.queue.depth(),
+            queue_cap: self.queue.cap(),
+            workers: self.workers,
+            cache_entries: self.cache.len(),
+            cache_evictions: self.cache.evictions(),
+            breaker_open: self.breaker.open_count(),
+            draining: shutting_down(),
+        })
     }
 
     fn render_cached(&self, rec: &barre_system::JournalRecord, id: Option<&str>) -> String {
@@ -312,16 +329,55 @@ fn handle_http(sh: &Shared, first_line: &str, reader: &mut impl BufRead, out: &m
             Err(_) => return,
         }
     }
-    let (code, reason, body) = match http::parse_request_line(first_line) {
-        Some((method, path)) => http::route(method, path, shutting_down(), || sh.stats_body()),
+    let (code, reason, content_type, body) = match http::parse_request_line(first_line) {
+        Some((method, path)) => http::route(
+            method,
+            path,
+            shutting_down(),
+            || sh.stats_body(),
+            || sh.metrics_body(),
+        ),
         None => (
             400,
             "Bad Request",
+            http::CT_JSON,
             "{\"error\":\"bad request\"}".to_string(),
         ),
     };
-    let _ = out.write_all(http::render_http(code, reason, &body).as_bytes());
+    let _ = out.write_all(http::render_http(code, reason, content_type, &body).as_bytes());
     let _ = out.flush();
+}
+
+/// Streams one completed request's trace summary as a debug-level
+/// structured log event — the fields a fleet dashboard tails: status,
+/// fingerprint, and wall-clock latency. The response line is already
+/// canonical JSON, so the fields are read back out of it rather than
+/// threaded through every return path of [`handle_request_line`].
+fn log_request_summary(resp: &str, ms: u64) {
+    if !olog::enabled(olog::Level::Debug) {
+        return;
+    }
+    let parsed = barre_system::Json::parse(resp);
+    let field = |k: &str| {
+        parsed
+            .as_ref()
+            .ok()
+            .and_then(|v| v.get(k))
+            .and_then(barre_system::Json::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
+    let (status, fp) = (field("status"), field("fingerprint"));
+    olog::debug(
+        "serve",
+        "request",
+        &[
+            ("fp", Field::S(&fp)),
+            ("status", Field::S(&status)),
+            ("ms", Field::U(ms)),
+        ],
+        &format!("request {status} in {ms}ms"),
+    );
 }
 
 /// One connection: JSONL request/response until EOF (or an HTTP exchange,
@@ -355,6 +411,7 @@ fn handle_conn(sh: &Shared, stream: TcpStream) {
                 line.clear();
                 let ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
                 sh.stats.record_latency_ms(ms);
+                log_request_summary(&resp, ms);
                 if out.write_all(resp.as_bytes()).is_err()
                     || out.write_all(b"\n").is_err()
                     || out.flush().is_err()
@@ -384,48 +441,88 @@ fn handle_conn(sh: &Shared, stream: TcpStream) {
 /// startup or flush failure.
 pub fn run_serve(opts: &ServeOptions) -> i32 {
     install_drain_handlers();
+    if let Some(path) = &opts.log_file {
+        if let Err(why) = olog::set_log_file(path) {
+            olog::error("serve", "log_file_failed", &[], &format!("error: {why}"));
+            return 1;
+        }
+    }
     let (cache, warm) = match ResultCache::open(&opts.cache_dir) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!(
-                "error: cannot open cache at {}: {e}",
-                opts.cache_dir.display()
+            olog::error(
+                "serve",
+                "cache_open_failed",
+                &[],
+                &format!(
+                    "error: cannot open cache at {}: {e}",
+                    opts.cache_dir.display()
+                ),
             );
             return 1;
         }
     };
     if warm.loaded > 0 || warm.skipped_lines > 0 || warm.evicted > 0 {
-        eprintln!(
-            "cache: warm-loaded {} entr{} ({} line(s) skipped, {} evicted by digest)",
-            warm.loaded,
-            if warm.loaded == 1 { "y" } else { "ies" },
-            warm.skipped_lines,
-            warm.evicted
+        olog::info(
+            "serve",
+            "cache_warm_loaded",
+            &[
+                ("loaded", Field::U(warm.loaded as u64)),
+                ("skipped", Field::U(warm.skipped_lines as u64)),
+                ("evicted", Field::U(warm.evicted as u64)),
+            ],
+            &format!(
+                "cache: warm-loaded {} entr{} ({} line(s) skipped, {} evicted by digest)",
+                warm.loaded,
+                if warm.loaded == 1 { "y" } else { "ies" },
+                warm.skipped_lines,
+                warm.evicted
+            ),
         );
     }
     let program = match std::env::current_exe() {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("error: cannot resolve own binary: {e}");
+            olog::error(
+                "serve",
+                "startup_failed",
+                &[],
+                &format!("error: cannot resolve own binary: {e}"),
+            );
             return 1;
         }
     };
     let listener = match TcpListener::bind((opts.host.as_str(), opts.port)) {
         Ok(l) => l,
         Err(e) => {
-            eprintln!("error: cannot bind {}:{}: {e}", opts.host, opts.port);
+            olog::error(
+                "serve",
+                "bind_failed",
+                &[],
+                &format!("error: cannot bind {}:{}: {e}", opts.host, opts.port),
+            );
             return 1;
         }
     };
     let addr = match listener.local_addr() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: cannot resolve bound address: {e}");
+            olog::error(
+                "serve",
+                "startup_failed",
+                &[],
+                &format!("error: cannot resolve bound address: {e}"),
+            );
             return 1;
         }
     };
     if listener.set_nonblocking(true).is_err() {
-        eprintln!("error: cannot set listener nonblocking");
+        olog::error(
+            "serve",
+            "startup_failed",
+            &[],
+            "error: cannot set listener nonblocking",
+        );
         return 1;
     }
     let workers = barre_sim::pool::resolve_jobs(opts.workers);
@@ -473,7 +570,12 @@ pub fn run_serve(opts: &ServeOptions) -> i32 {
     // Graceful drain: stop admitting (queue.close), let workers finish
     // what was admitted, let connection threads flush their responses,
     // then persist the compacted cache index.
-    eprintln!("drain: signal received; finishing in-flight work");
+    olog::info(
+        "serve",
+        "drain_begin",
+        &[],
+        "drain: signal received; finishing in-flight work",
+    );
     sh.queue.close();
     for h in worker_handles {
         let _ = h.join();
@@ -483,14 +585,24 @@ pub fn run_serve(opts: &ServeOptions) -> i32 {
     }
     match sh.cache.flush_compacted() {
         Ok(n) => {
-            eprintln!(
-                "drain: cache index flushed ({n} entr{})",
-                if n == 1 { "y" } else { "ies" }
+            olog::info(
+                "serve",
+                "drain_cache_flushed",
+                &[("entries", Field::U(n as u64))],
+                &format!(
+                    "drain: cache index flushed ({n} entr{})",
+                    if n == 1 { "y" } else { "ies" }
+                ),
             );
             0
         }
         Err(e) => {
-            eprintln!("error: cache flush failed: {e}");
+            olog::error(
+                "serve",
+                "cache_flush_failed",
+                &[],
+                &format!("error: cache flush failed: {e}"),
+            );
             1
         }
     }

@@ -167,6 +167,130 @@ impl ServeStats {
             lmax = lat.max(),
         )
     }
+
+    /// Renders the `GET /metrics` Prometheus text exposition — the same
+    /// counters as [`render`](ServeStats::render), one snapshot, names
+    /// under the `barre_serve_` prefix.
+    pub fn render_prometheus(&self, g: &Gauges) -> String {
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let lat = self
+            .latency_ms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let dep = self
+            .depth_hist
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let mut p = barre_obs::PromText::new();
+        p.counter(
+            "barre_serve_requests_received_total",
+            "Request lines received (any outcome).",
+            c(&self.received),
+        );
+        p.counter(
+            "barre_serve_requests_ok_cold_total",
+            "Cold successes (simulation actually ran).",
+            c(&self.ok_cold),
+        );
+        p.counter(
+            "barre_serve_cache_hits_total",
+            "Requests answered from the verified result cache.",
+            c(&self.cache_hits),
+        );
+        p.counter(
+            "barre_serve_requests_invalid_total",
+            "Requests rejected by validation (400).",
+            c(&self.invalid),
+        );
+        p.counter(
+            "barre_serve_requests_shed_total",
+            "Requests shed by the full admission queue (429).",
+            c(&self.shed),
+        );
+        p.counter(
+            "barre_serve_requests_timeout_total",
+            "Requests that hit their wall-clock deadline (504).",
+            c(&self.timeouts),
+        );
+        p.counter(
+            "barre_serve_requests_failed_permanent_total",
+            "Permanent simulation failures (422).",
+            c(&self.failed_permanent),
+        );
+        p.counter(
+            "barre_serve_requests_failed_transient_total",
+            "Transient failures that exhausted their retries (500).",
+            c(&self.failed_transient),
+        );
+        p.counter(
+            "barre_serve_requests_quarantined_total",
+            "Requests refused by the circuit breaker (503).",
+            c(&self.quarantined),
+        );
+        p.counter(
+            "barre_serve_requests_rejected_draining_total",
+            "Requests refused because a drain was in progress (503).",
+            c(&self.rejected_draining),
+        );
+        p.counter(
+            "barre_serve_child_retries_total",
+            "Child retry attempts beyond each request's first attempt.",
+            c(&self.retries),
+        );
+        p.counter(
+            "barre_serve_cache_evictions_total",
+            "Cache evictions from digest verification failures.",
+            g.cache_evictions,
+        );
+        p.gauge(
+            "barre_serve_queue_depth",
+            "Current admission-queue depth.",
+            g.queue_depth as u64,
+        );
+        p.gauge(
+            "barre_serve_queue_cap",
+            "Admission-queue capacity.",
+            g.queue_cap as u64,
+        );
+        p.gauge(
+            "barre_serve_queue_max_depth",
+            "Largest queue depth observed at admission.",
+            c(&self.max_depth),
+        );
+        p.gauge(
+            "barre_serve_workers",
+            "Simulation worker-pool size.",
+            g.workers as u64,
+        );
+        p.gauge(
+            "barre_serve_cache_entries",
+            "Entries in the verified result cache.",
+            g.cache_entries as u64,
+        );
+        p.gauge(
+            "barre_serve_breaker_open",
+            "Quarantined fingerprints (open breaker circuits).",
+            g.breaker_open as u64,
+        );
+        p.gauge_bool(
+            "barre_serve_draining",
+            "Whether a drain is in progress.",
+            g.draining,
+        );
+        p.histogram(
+            "barre_serve_request_latency_ms",
+            "Completed-request wall-clock latency in milliseconds.",
+            &lat,
+        );
+        p.histogram(
+            "barre_serve_queue_depth_observed",
+            "Admission-queue depth observed at each admission.",
+            &dep,
+        );
+        p.render()
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +331,47 @@ mod tests {
                 .and_then(|l| l.get("count"))
                 .and_then(barre_system::Json::as_u64),
             Some(2)
+        );
+    }
+
+    #[test]
+    fn prometheus_snapshot_matches_counters() {
+        let s = ServeStats::new();
+        bump(&s.received);
+        bump(&s.shed);
+        s.record_latency_ms(12);
+        s.record_depth(3);
+        let body = s.render_prometheus(&Gauges {
+            queue_depth: 2,
+            queue_cap: 64,
+            workers: 4,
+            cache_entries: 9,
+            breaker_open: 1,
+            draining: true,
+            ..Gauges::default()
+        });
+        assert!(
+            body.contains("barre_serve_requests_received_total 1\n"),
+            "{body}"
+        );
+        assert!(
+            body.contains("barre_serve_requests_shed_total 1\n"),
+            "{body}"
+        );
+        assert!(body.contains("barre_serve_queue_depth 2\n"), "{body}");
+        assert!(body.contains("barre_serve_breaker_open 1\n"), "{body}");
+        assert!(body.contains("barre_serve_draining 1\n"), "{body}");
+        assert!(
+            body.contains("barre_serve_request_latency_ms_count 1\n"),
+            "{body}"
+        );
+        assert!(
+            body.contains("barre_serve_request_latency_ms_bucket{le=\"+Inf\"} 1\n"),
+            "{body}"
+        );
+        assert!(
+            body.contains("# TYPE barre_serve_request_latency_ms histogram"),
+            "{body}"
         );
     }
 

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) exposition.
+
+Stdlib only — CI scrapes a live daemon's /metrics mid-soak and pipes the
+body through this script. It checks what a real scraper would choke on:
+
+  * every sample line parses: name, optional {labels}, numeric value
+  * every sample belongs to a family announced by both # HELP and # TYPE
+  * TYPE values are legal (counter|gauge|histogram|summary|untyped)
+  * counter samples are non-negative
+  * histogram families carry _bucket/_sum/_count, the bucket counts are
+    cumulative over increasing le, the +Inf bucket exists and equals
+    _count
+  * the exposition ends with a newline
+
+Usage: check_metrics.py [file]   (reads stdin when no file is given)
+Exit:  0 valid, 1 violations (listed on stderr), 2 usage.
+"""
+
+import re
+import sys
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+SAMPLE_RE = re.compile(rf"^({NAME})(?:\{{(.*)\}})?\s+(-?(?:[0-9.eE+-]+)|NaN|[+-]?Inf)$")
+LABEL_RE = re.compile(rf'^({NAME})="((?:[^"\\]|\\.)*)"$')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def split_labels(s):
+    """Split a label body on commas that sit outside quoted values."""
+    out, cur, in_quotes, escaped = [], "", False, False
+    for ch in s:
+        if escaped:
+            cur += ch
+            escaped = False
+            continue
+        if ch == "\\":
+            cur += ch
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+        if ch == "," and not in_quotes:
+            out.append(cur)
+            cur = ""
+        else:
+            cur += ch
+    if cur:
+        out.append(cur)
+    return out
+
+
+def family_of(name, families):
+    """Map a histogram sample name back to its declared family."""
+    for suffix in HIST_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return name
+
+
+def validate(text):
+    errors = []
+    families = {}  # name -> {"help": bool, "type": str | None}
+    samples = []  # (name, labels, value, lineno)
+
+    if text and not text.endswith("\n"):
+        errors.append("exposition does not end with a newline")
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                errors.append(f"line {lineno}: HELP without text: {line!r}")
+                continue
+            fam = families.setdefault(parts[2], {"help": False, "type": None})
+            fam["help"] = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in TYPES:
+                errors.append(f"line {lineno}: bad TYPE line: {line!r}")
+                continue
+            fam = families.setdefault(parts[2], {"help": False, "type": None})
+            fam["type"] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, label_body, value = m.groups()
+        labels = {}
+        for item in split_labels(label_body) if label_body else []:
+            lm = LABEL_RE.match(item)
+            if not lm:
+                errors.append(f"line {lineno}: bad label {item!r} in: {line!r}")
+            else:
+                labels[lm.group(1)] = lm.group(2)
+        try:
+            num = float(value)
+        except ValueError:
+            errors.append(f"line {lineno}: bad value {value!r}")
+            continue
+        samples.append((name, labels, num, lineno))
+
+    for name, _labels, num, lineno in samples:
+        fam = family_of(name, families)
+        decl = families.get(fam)
+        if decl is None or decl["type"] is None or not decl["help"]:
+            errors.append(
+                f"line {lineno}: sample {name} has no # HELP + # TYPE for family {fam}"
+            )
+        elif decl["type"] == "counter" and num < 0:
+            errors.append(f"line {lineno}: counter {name} is negative ({num})")
+
+    for fam, decl in sorted(families.items()):
+        if decl["type"] != "histogram":
+            continue
+        buckets, count, saw_sum = [], None, False
+        for name, labels, num, lineno in samples:
+            if name == fam + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: {name} sample without le label")
+                    continue
+                try:
+                    buckets.append((float(le), num))
+                except ValueError:
+                    errors.append(f"line {lineno}: bad le value {le!r}")
+            elif name == fam + "_count":
+                count = num
+            elif name == fam + "_sum":
+                saw_sum = True
+        if not buckets:
+            errors.append(f"histogram {fam} has no _bucket samples")
+        else:
+            les = [le for le, _ in buckets]
+            if les != sorted(les):
+                errors.append(f"histogram {fam}: le values not increasing: {les}")
+            counts = [c for _, c in buckets]
+            if any(b < a for a, b in zip(counts, counts[1:])):
+                errors.append(f"histogram {fam}: bucket counts not cumulative: {counts}")
+            if les[-1] != float("inf"):
+                errors.append(f"histogram {fam}: missing +Inf bucket")
+            elif count is not None and counts[-1] != count:
+                errors.append(
+                    f"histogram {fam}: +Inf bucket {counts[-1]} != _count {count}"
+                )
+        if count is None:
+            errors.append(f"histogram {fam} has no _count sample")
+        if not saw_sum:
+            errors.append(f"histogram {fam} has no _sum sample")
+
+    return errors, len(samples), len(families)
+
+
+def main(argv):
+    if len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if len(argv) == 2:
+        with open(argv[1], encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    errors, n_samples, n_families = validate(text)
+    if not n_samples:
+        errors.append("exposition contains no samples")
+    if errors:
+        for e in errors:
+            print(f"check_metrics: {e}", file=sys.stderr)
+        return 1
+    print(f"ok: {n_samples} sample(s) across {n_families} family(ies)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
